@@ -1,0 +1,76 @@
+// Ablation: the ground-truth similarity threshold (DESIGN.md §6).
+//
+// The threshold trades reuse against probing: at 1.0 nothing is ever similar
+// enough (always probe, PipeTune degenerates to per-trial grid probing); at
+// 0.0 everything matches (always reuse the nearest profile, including across
+// genuinely different workloads). The paper leaves the confidence level
+// implicit (§5.6); this sweep shows the operating range.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+int main() {
+    using namespace pipetune;
+    bench::print_header("Ablation", "Ground-truth similarity threshold sweep (LeNet+MNIST)");
+
+    const auto& workload = workload::find_workload("lenet-mnist");
+
+    util::Table table({"threshold", "tuning [s]", "hits", "probes", "final accuracy [%]"});
+    util::CsvWriter csv("ablation_threshold.csv",
+                        {"threshold", "tuning_s", "hits", "probes", "accuracy"});
+
+    struct Sample {
+        double threshold, tuning;
+        std::size_t hits, probes;
+    };
+    std::vector<Sample> samples;
+    for (double threshold : {0.0, 0.05, 0.15, 0.35, 0.6, 0.9, 1.0}) {
+        sim::SimBackend backend({.seed = 500});
+        hpt::HptJobConfig job;
+        job.seed = 500;
+        core::PipeTuneConfig config;
+        config.ground_truth.similarity_threshold = threshold;
+        core::WarmStartConfig warm_config;
+        warm_config.ground_truth = config.ground_truth;
+        core::GroundTruth warm = core::build_warm_ground_truth(backend, {workload}, warm_config);
+        const auto result = core::run_pipetune(backend, workload, job, config, &warm);
+        samples.push_back({threshold, result.baseline.tuning.tuning_duration_s,
+                           result.ground_truth_hits, result.probes_started});
+        table.add_row({util::Table::num(threshold, 2),
+                       util::Table::num(result.baseline.tuning.tuning_duration_s, 0),
+                       std::to_string(result.ground_truth_hits),
+                       std::to_string(result.probes_started),
+                       util::Table::num(result.baseline.final_accuracy, 2)});
+        csv.add_row(std::vector<double>{threshold, result.baseline.tuning.tuning_duration_s,
+                                        static_cast<double>(result.ground_truth_hits),
+                                        static_cast<double>(result.probes_started),
+                                        result.baseline.final_accuracy});
+    }
+    std::cout << table.render();
+
+    const Sample& permissive = samples.front();   // threshold 0: always reuse
+    const Sample& strict = samples.back();        // threshold 1: always probe
+    const Sample& operating = samples[2];         // 0.15, the library default
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"Threshold 1.0 disables reuse entirely", "0 hits",
+                      std::to_string(strict.hits) + " hits / " +
+                          std::to_string(strict.probes) + " probes",
+                      strict.hits == 0 && strict.probes > 0});
+    claims.push_back({"Threshold 0.0 reuses aggressively", "hit-dominated",
+                      std::to_string(permissive.hits) + " hits / " +
+                          std::to_string(permissive.probes) + " probes",
+                      permissive.hits > permissive.probes});
+    claims.push_back({"Operating point beats always-probe on tuning time",
+                      "reuse pays off",
+                      util::Table::num(operating.tuning, 0) + " < " +
+                          util::Table::num(strict.tuning, 0),
+                      operating.tuning < strict.tuning});
+    bench::print_claims(claims);
+    return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches: consistent
+// headers, paper-vs-measured summaries, and CSV dumps next to the binary.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/table.hpp"
+
+namespace pipetune::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& description) {
+    std::cout << util::section(experiment_id + " — " + description);
+}
+
+/// One line of the PAPER-vs-MEASURED summary every bench ends with.
+struct Claim {
+    std::string what;      ///< the paper's qualitative/quantitative claim
+    std::string paper;     ///< value or trend reported in the paper
+    std::string measured;  ///< what this run produced
+    bool holds = false;    ///< does the measured shape match?
+};
+
+inline void print_claims(const std::vector<Claim>& claims) {
+    util::Table table({"claim", "paper", "measured", "holds"});
+    bool all = true;
+    for (const auto& claim : claims) {
+        table.add_row({claim.what, claim.paper, claim.measured, claim.holds ? "YES" : "NO"});
+        all = all && claim.holds;
+    }
+    std::cout << "\nPAPER vs MEASURED\n" << table.render();
+    std::cout << (all ? "[SHAPE OK] all claims hold\n" : "[SHAPE MISMATCH] see NO rows above\n");
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+    return util::Table::num(100.0 * fraction, precision) + "%";
+}
+
+}  // namespace pipetune::bench

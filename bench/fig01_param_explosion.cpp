@@ -1,0 +1,90 @@
+// Figure 1 reproduction: grid-search tuning time grows exponentially with the
+// number of tuned parameters (1..6, up to 3 values each, LeNet+MNIST), and
+// the resulting dollar cost on three ML-optimized EC2 instance classes.
+//
+// Paper shape: both curves blow up combinatorially toward 6 parameters,
+// making naive full exploration "unpractical, costly and slow" (§1).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/hpt/runner.hpp"
+#include "pipetune/hpt/searchers.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+namespace {
+
+// On-demand us-east-1 hourly prices of the paper's instance types.
+struct Instance {
+    const char* name;
+    double dollars_per_hour;
+};
+constexpr Instance kInstances[] = {
+    {"m4.4xlarge", 0.80},
+    {"m5.12xlarge", 2.304},
+    {"m5.24xlarge", 4.608},
+};
+
+}  // namespace
+
+int main() {
+    using namespace pipetune;
+    bench::print_header("Figure 1", "Grid-search tuning time & EC2 cost vs number of parameters");
+
+    // Six tunable parameters in a fixed order; prefix(n) tunes the first n.
+    hpt::ParamSpace full;
+    full.add_discrete("batch_size", {32, 256, 1024});
+    full.add_discrete("learning_rate", {0.001, 0.01, 0.1});
+    full.add_discrete("dropout", {0.0, 0.25, 0.5});
+    full.add_discrete("epochs", {5, 10, 20});
+    full.add_discrete("embedding_dim", {50, 150, 300});
+    full.add_discrete("cores", {4, 8, 16});
+
+    const auto& workload = workload::find_workload("lenet-mnist");
+    util::Table table({"#params", "grid size", "tuning time [h]", "m4.4xlarge [$]",
+                       "m5.12xlarge [$]", "m5.24xlarge [$]"});
+    util::CsvWriter csv("fig01_param_explosion.csv",
+                        {"params", "grid_size", "tuning_hours", "cost_m4_4xl", "cost_m5_12xl",
+                         "cost_m5_24xl"});
+
+    std::vector<double> hours_by_params;
+    for (std::size_t n = 1; n <= 6; ++n) {
+        sim::SimBackend backend({.seed = 100 + n});
+        hpt::RunnerConfig config;
+        config.parallel_slots = 1;  // a single rented instance
+        hpt::TuningJobRunner runner(backend, workload, config);
+        hpt::GridSearch grid(full.prefix(n), 3, /*default_epochs=*/5);
+        const auto result = runner.run(grid);
+        const double hours = result.tuning_duration_s / 3600.0;
+        hours_by_params.push_back(hours);
+
+        std::vector<std::string> row{std::to_string(n), std::to_string(result.trials),
+                                     util::Table::num(hours, 2)};
+        std::vector<double> csv_row{static_cast<double>(n), static_cast<double>(result.trials),
+                                    hours};
+        for (const auto& instance : kInstances) {
+            row.push_back(util::Table::num(hours * instance.dollars_per_hour, 2));
+            csv_row.push_back(hours * instance.dollars_per_hour);
+        }
+        table.add_row(row);
+        csv.add_row(csv_row);
+    }
+    std::cout << table.render();
+
+    std::vector<bench::Claim> claims;
+    bool monotone = true;
+    for (std::size_t n = 1; n < hours_by_params.size(); ++n)
+        monotone = monotone && hours_by_params[n] > hours_by_params[n - 1];
+    claims.push_back({"Tuning time grows monotonically with #params", "monotone increase",
+                      monotone ? "monotone" : "non-monotone", monotone});
+    const double growth = hours_by_params[5] / hours_by_params[4];
+    claims.push_back({"Growth is combinatorial (~3x per extra parameter)",
+                      "x3 per parameter", util::Table::num(growth, 2) + "x from 5 to 6 params",
+                      growth > 2.0});
+    const double blowup = hours_by_params[5] / hours_by_params[0];
+    claims.push_back({"Full 6-parameter grid is impractical vs 1 parameter",
+                      ">100x cost blow-up", util::Table::num(blowup, 0) + "x", blowup > 100.0});
+    bench::print_claims(claims);
+    return 0;
+}

@@ -1,0 +1,140 @@
+// Figure 3 reproduction (LeNet + MNIST):
+//  (a) batch-size impact on accuracy / duration / energy, baseline batch 32;
+//  (b) cores impact on epoch duration per batch size, baseline 1 core;
+//  (c) cores impact on energy per batch size, baseline 1 core.
+//
+// Paper shapes: larger batches -> worse accuracy but shorter, cheaper epochs;
+// extra cores speed up large batches but *slow down* small ones (synchronous
+// SGD sync overhead); energy tracks runtime.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/energy/power.hpp"
+#include "pipetune/sim/accuracy_model.hpp"
+#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/util/csv.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+double epoch_energy(const sim::CostModel& cost, const energy::PowerModel& power,
+                    const workload::Workload& workload, const workload::HyperParams& hyper,
+                    const workload::SystemParams& system) {
+    const double duration = cost.epoch_seconds(workload, hyper, system);
+    const double watts = power.power_watts(system.cores,
+                                           cost.compute_utilization(workload, hyper, system),
+                                           static_cast<double>(system.memory_gb));
+    return watts * duration;
+}
+
+double pct_diff(double value, double baseline) { return 100.0 * (value - baseline) / baseline; }
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 3", "Hyper & system parameter impact on LeNet+MNIST");
+
+    const auto& workload = workload::find_workload("lenet-mnist");
+    sim::CostModel cost;
+    sim::AccuracyModel accuracy;
+    energy::PowerModel power;
+    const std::size_t kEpochBudget = 10;
+
+    auto hp_for = [&](std::size_t batch) {
+        workload::HyperParams hp;
+        hp.batch_size = batch;
+        hp.learning_rate = 0.02;
+        hp.dropout = 0.2;
+        return hp;
+    };
+
+    // ---- (a) batch-size impact vs batch 32 ----
+    std::cout << "(a) Batch-size impact [% difference vs batch 32]\n";
+    const workload::SystemParams default_system = workload::default_system_params();
+    const auto hp32 = hp_for(32);
+    const double acc_base = accuracy.accuracy_at(workload, hp32, kEpochBudget);
+    const double dur_base = cost.epoch_seconds(workload, hp32, default_system);
+    const double energy_base = epoch_energy(cost, power, workload, hp32, default_system);
+
+    util::Table table_a({"batch", "accuracy diff [%]", "duration diff [%]", "energy diff [%]"});
+    util::CsvWriter csv_a("fig03a_batch_impact.csv",
+                          {"batch", "accuracy_diff_pct", "duration_diff_pct", "energy_diff_pct"});
+    double acc_diff_1024 = 0, dur_diff_1024 = 0;
+    for (std::size_t batch : {64, 256, 1024}) {
+        const auto hp = hp_for(batch);
+        const double acc_diff =
+            pct_diff(accuracy.accuracy_at(workload, hp, kEpochBudget), acc_base);
+        const double dur_diff = pct_diff(cost.epoch_seconds(workload, hp, default_system), dur_base);
+        const double energy_diff =
+            pct_diff(epoch_energy(cost, power, workload, hp, default_system), energy_base);
+        if (batch == 1024) {
+            acc_diff_1024 = acc_diff;
+            dur_diff_1024 = dur_diff;
+        }
+        table_a.add_row({std::to_string(batch), util::Table::num(acc_diff, 1),
+                         util::Table::num(dur_diff, 1), util::Table::num(energy_diff, 1)});
+        csv_a.add_row(std::vector<double>{static_cast<double>(batch), acc_diff, dur_diff,
+                                          energy_diff});
+    }
+    std::cout << table_a.render() << "\n";
+
+    // ---- (b)/(c) cores impact per batch size, baseline 1 core ----
+    std::cout << "(b) Cores impact on duration / (c) on energy [% difference vs 1 core]\n";
+    util::Table table_bc({"cores", "dur batch64", "dur batch256", "dur batch1024", "en batch64",
+                          "en batch256", "en batch1024"});
+    util::CsvWriter csv_bc("fig03bc_cores_impact.csv",
+                           {"cores", "dur64", "dur256", "dur1024", "en64", "en256", "en1024"});
+    double dur64_at8 = 0, dur1024_at8 = 0, en64_at8 = 0, en1024_at8 = 0;
+    for (std::size_t cores : {2, 4, 8}) {
+        std::vector<std::string> row{std::to_string(cores)};
+        std::vector<double> csv_row{static_cast<double>(cores)};
+        std::vector<double> duration_diffs, energy_diffs;
+        for (std::size_t batch : {64, 256, 1024}) {
+            const auto hp = hp_for(batch);
+            const workload::SystemParams one{.cores = 1, .memory_gb = 16};
+            const workload::SystemParams many{.cores = cores, .memory_gb = 16};
+            duration_diffs.push_back(pct_diff(cost.epoch_seconds(workload, hp, many),
+                                              cost.epoch_seconds(workload, hp, one)));
+            energy_diffs.push_back(pct_diff(epoch_energy(cost, power, workload, hp, many),
+                                            epoch_energy(cost, power, workload, hp, one)));
+        }
+        for (double d : duration_diffs) {
+            row.push_back(util::Table::num(d, 1));
+            csv_row.push_back(d);
+        }
+        for (double e : energy_diffs) {
+            row.push_back(util::Table::num(e, 1));
+            csv_row.push_back(e);
+        }
+        if (cores == 8) {
+            dur64_at8 = duration_diffs[0];
+            dur1024_at8 = duration_diffs[2];
+            en64_at8 = energy_diffs[0];
+            en1024_at8 = energy_diffs[2];
+        }
+        table_bc.add_row(row);
+        csv_bc.add_row(csv_row);
+    }
+    std::cout << table_bc.render();
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"(a) Larger batch worsens accuracy", "negative diff, worst at 1024",
+                      util::Table::num(acc_diff_1024, 1) + "% at batch 1024",
+                      acc_diff_1024 < -10.0});
+    claims.push_back({"(a) Larger batch shortens epochs", "~-50% at batch 1024",
+                      util::Table::num(dur_diff_1024, 1) + "% at batch 1024",
+                      dur_diff_1024 < -30.0});
+    claims.push_back({"(b) 8 cores SLOW DOWN batch 64", "+40..+60%",
+                      util::Table::num(dur64_at8, 1) + "%", dur64_at8 > 5.0});
+    claims.push_back({"(b) 8 cores SPEED UP batch 1024", "-40%",
+                      util::Table::num(dur1024_at8, 1) + "%", dur1024_at8 < -15.0});
+    claims.push_back({"(c) Energy correlates with runtime gains",
+                      "energy sign follows duration sign",
+                      "batch64 " + util::Table::num(en64_at8, 1) + "%, batch1024 " +
+                          util::Table::num(en1024_at8, 1) + "%",
+                      en64_at8 > 0.0 && en1024_at8 < 0.0});
+    bench::print_claims(claims);
+    return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 5 reproduction: Tune V2's error and runtime improvement relative to
+// a single Tune V1 job, under varying system conditions — the tuning job
+// pinned to {1, 2, 4, 8} cores with {2, 3, 4} jobs sharing those cores.
+//
+// Paper shape: performance swings wildly with system conditions; only a few
+// configurations improve over the baseline, and some trade accuracy for
+// faster training — the motivation for NOT treating system parameters as
+// ordinary hyperparameters (§4).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/hpt/baselines.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+// Backend decorator: co-located jobs stretch every epoch by the CPU-sharing
+// slowdown (the paper pins the tuning job and background jobs to the same
+// logical cores).
+class ContendedBackend : public workload::Backend {
+public:
+    ContendedBackend(workload::Backend& inner, double slowdown)
+        : inner_(inner), slowdown_(slowdown) {}
+
+    std::unique_ptr<workload::TrialSession> start_trial(
+        const workload::Workload& workload, const workload::HyperParams& hyper) override {
+        class Session : public workload::TrialSession {
+        public:
+            Session(std::unique_ptr<workload::TrialSession> inner, double slowdown)
+                : inner_(std::move(inner)), slowdown_(slowdown) {}
+            workload::EpochResult run_epoch(const workload::SystemParams& system) override {
+                auto result = inner_->run_epoch(system);
+                result.duration_s *= slowdown_;
+                result.energy_j *= slowdown_;  // same power, longer window
+                return result;
+            }
+            std::size_t epochs_done() const override { return inner_->epochs_done(); }
+            const workload::Workload& workload() const override { return inner_->workload(); }
+            const workload::HyperParams& hyperparams() const override {
+                return inner_->hyperparams();
+            }
+
+        private:
+            std::unique_ptr<workload::TrialSession> inner_;
+            double slowdown_;
+        };
+        return std::make_unique<Session>(inner_.start_trial(workload, hyper), slowdown_);
+    }
+    std::string name() const override { return "contended-" + inner_.name(); }
+
+private:
+    workload::Backend& inner_;
+    double slowdown_;
+};
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 5", "Tune V2 characterization under cores x co-located jobs");
+
+    const auto& workload = workload::find_workload("lenet-mnist");
+
+    // Baseline: a single uncontended Tune V1 job.
+    sim::SimBackend base_backend({.seed = 50});
+    hpt::HptJobConfig base_job;
+    base_job.seed = 50;
+    const auto v1 = hpt::run_tune_v1(base_backend, workload, base_job);
+    const double base_error = 100.0 - v1.final_accuracy;
+    const double base_training = v1.training_time_s;
+
+    util::Table table({"cores", "jobs", "error improvement [%]", "runtime improvement [%]"});
+    util::CsvWriter csv("fig05_tune_characterization.csv",
+                        {"cores", "jobs", "error_improvement_pct", "runtime_improvement_pct"});
+    int improved_cells = 0, traded_cells = 0, total_cells = 0;
+    for (std::size_t cores : {1, 2, 4, 8}) {
+        for (std::size_t jobs : {2, 3, 4}) {
+            sim::SimBackend inner({.seed = 60 + cores * 10 + jobs});
+            ContendedBackend backend(inner, cluster::co_location_slowdown(jobs, cores));
+            hpt::HptJobConfig job;
+            job.seed = 60 + cores * 10 + jobs;
+            job.default_system = {.cores = cores, .memory_gb = 16};
+            const auto v2 = hpt::run_tune_v2(backend, workload, job);
+            const double error = 100.0 - v2.final_accuracy;
+            const double error_improvement = 100.0 * (base_error - error) / base_error;
+            const double runtime_improvement =
+                100.0 * (base_training - v2.training_time_s) / base_training;
+            table.add_row({std::to_string(cores), std::to_string(jobs),
+                           util::Table::num(error_improvement, 1),
+                           util::Table::num(runtime_improvement, 1)});
+            csv.add_row(std::vector<double>{static_cast<double>(cores),
+                                            static_cast<double>(jobs), error_improvement,
+                                            runtime_improvement});
+            ++total_cells;
+            if (error_improvement > 0 && runtime_improvement > 0) ++improved_cells;
+            if (error_improvement < 0 && runtime_improvement > 0) ++traded_cells;
+        }
+    }
+    std::cout << table.render();
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"Only a few system configurations improve on the baseline",
+                      "few cells positive on both axes",
+                      std::to_string(improved_cells) + "/" + std::to_string(total_cells) +
+                          " cells improved both",
+                      improved_cells < total_cells / 2});
+    claims.push_back({"Some configurations trade accuracy for faster training",
+                      "cells with worse error but better runtime",
+                      std::to_string(traded_cells) + " trading cells", traded_cells >= 1});
+    bench::print_claims(claims);
+    return 0;
+}

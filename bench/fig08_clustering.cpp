@@ -1,0 +1,98 @@
+// Figure 8 reproduction: k-means (k = 2) over epoch profiles groups the
+// Type-I (image) and Type-II (text) workloads into separate clusters — the
+// evidence that low-level hardware counters capture workload similarity
+// without seeing the user's model or dataset (§5.4, §5.5).
+//
+// Profiles are collected under the paper's training-instance sweep (§7.2):
+// memory {4, 8, 16, 32} GB x cores {4, 8, 16} x batch {32, 64, 512, 1024},
+// i.e. 48 configurations per workload, each profiled twice.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "pipetune/mlcore/similarity.hpp"
+#include "pipetune/perf/profiler.hpp"
+#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+int main() {
+    using namespace pipetune;
+    bench::print_header("Figure 8", "k-means clusters of workload profiles (k = 2)");
+
+    const std::vector<std::string> names{"lenet-mnist", "lenet-fashion", "cnn-news20",
+                                         "lstm-news20"};
+    sim::CostModel cost;
+    perf::Profiler profiler({}, 88);
+
+    std::vector<std::vector<double>> features;
+    std::vector<std::string> feature_workload;
+    for (const auto& name : names) {
+        const auto& workload = workload::find_workload(name);
+        for (std::size_t mem : {4, 8, 16, 32})
+            for (std::size_t cores : {4, 8, 16})
+                for (std::size_t batch : {32, 64, 512, 1024})
+                    for (int repeat = 0; repeat < 2; ++repeat) {
+                        workload::HyperParams hyper;
+                        hyper.batch_size = batch;
+                        const workload::SystemParams system{.cores = cores, .memory_gb = mem};
+                        const double duration = cost.epoch_seconds(workload, hyper, system);
+                        const auto profile = profiler.profile_epoch(
+                            sim::SimBackend::fingerprint(workload, hyper, system), duration, 0.0,
+                            1);
+                        features.push_back(perf::profile_features(profile));
+                        feature_workload.push_back(name);
+                    }
+    }
+
+    mlcore::KMeansSimilarity similarity(
+        {.k = 2, .max_iterations = 200, .tolerance = 1e-9, .seed = 8});
+    similarity.fit(features);
+
+    // Assignment histogram per workload.
+    std::map<std::string, std::array<std::size_t, 2>> histogram;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const auto match = similarity.match(features[i]);
+        ++histogram[feature_workload[i]][match->cluster % 2];
+    }
+
+    util::Table table({"workload", "type", "cluster 1", "cluster 2", "majority"});
+    util::CsvWriter csv("fig08_clustering.csv", {"workload", "type", "cluster1", "cluster2"});
+    std::map<std::string, std::size_t> majority;
+    for (const auto& name : names) {
+        const auto& workload = workload::find_workload(name);
+        const auto& counts = histogram[name];
+        majority[name] = counts[0] >= counts[1] ? 0 : 1;
+        table.add_row({name, to_string(workload.type), std::to_string(counts[0]),
+                       std::to_string(counts[1]),
+                       "cluster " + std::to_string(majority[name] + 1)});
+        csv.add_row({name, to_string(workload.type), std::to_string(counts[0]),
+                     std::to_string(counts[1])});
+    }
+    std::cout << table.render();
+
+    const bool type1_together = majority["lenet-mnist"] == majority["lenet-fashion"];
+    const bool type2_together = majority["cnn-news20"] == majority["lstm-news20"];
+    const bool types_separate = majority["lenet-mnist"] != majority["cnn-news20"];
+    // Purity: fraction of profiles in their workload's majority cluster.
+    std::size_t pure = 0, total = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const auto match = similarity.match(features[i]);
+        if (match->cluster % 2 == majority[feature_workload[i]]) ++pure;
+        ++total;
+    }
+    const double purity = static_cast<double>(pure) / static_cast<double>(total);
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"Type-I workloads share a cluster", "lenet-* together",
+                      type1_together ? "together" : "split", type1_together});
+    claims.push_back({"Type-II workloads share a cluster", "cnn/lstm-news20 together",
+                      type2_together ? "together" : "split", type2_together});
+    claims.push_back({"Type-I and Type-II land in different clusters", "separated",
+                      types_separate ? "separated" : "mixed", types_separate});
+    claims.push_back({"Clustering is clean (majority purity)", "most data fits its cluster",
+                      pipetune::bench::pct(purity), purity > 0.9});
+    bench::print_claims(claims);
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 9 reproduction: accuracy convergence over (virtual) wall-clock time
+// while tuning a CNN on News20 — PipeTune vs Tune V1 vs Tune V2.
+//
+// Paper shape: PipeTune converges to V1-level accuracy but much faster (on
+// average 1.5x vs V1 and 2x vs V2 to a given accuracy level, e.g. 60%).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+// First virtual time at which the running best accuracy crosses `level`.
+double time_to_accuracy(const std::vector<hpt::ConvergencePoint>& convergence, double level) {
+    for (const auto& point : convergence)
+        if (point.best_accuracy >= level) return point.time_s;
+    return -1.0;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 9", "Accuracy convergence over tuning time (CNN on News20)");
+
+    const auto& workload = workload::find_workload("cnn-news20");
+    sim::SimBackend backend({.seed = 90});
+    hpt::HptJobConfig job;
+    job.seed = 90;
+
+    const auto v1 = hpt::run_tune_v1(backend, workload, job);
+    const auto v2 = hpt::run_tune_v2(backend, workload, job);
+    core::GroundTruth warm = core::build_warm_ground_truth(backend, {workload});  // paper SS7.2
+    const auto pipetune = core::run_pipetune(backend, workload, job, {}, &warm);
+
+    // Print the three trajectories, sampled every few completions.
+    util::CsvWriter csv("fig09_convergence.csv", {"approach", "time_s", "best_accuracy"});
+    auto dump = [&](const char* name, const std::vector<hpt::ConvergencePoint>& convergence) {
+        for (const auto& point : convergence)
+            csv.add_row({std::string(name), util::Table::num(point.time_s, 1),
+                         util::Table::num(point.best_accuracy, 2)});
+    };
+    dump("pipetune", pipetune.baseline.tuning.convergence);
+    dump("tune_v1", v1.tuning.convergence);
+    dump("tune_v2", v2.tuning.convergence);
+
+    util::Table table({"accuracy level [%]", "PipeTune [s]", "Tune V1 [s]", "Tune V2 [s]",
+                       "V1/PT speedup", "V2/PT speedup"});
+    double speedup_v1_at60 = 0, speedup_v2_at60 = 0;
+    for (double level : {40.0, 50.0, 60.0, 70.0}) {
+        const double t_pt = time_to_accuracy(pipetune.baseline.tuning.convergence, level);
+        const double t_v1 = time_to_accuracy(v1.tuning.convergence, level);
+        const double t_v2 = time_to_accuracy(v2.tuning.convergence, level);
+        const double s1 = (t_pt > 0 && t_v1 > 0) ? t_v1 / t_pt : 0;
+        const double s2 = (t_pt > 0 && t_v2 > 0) ? t_v2 / t_pt : 0;
+        if (level == 60.0) {
+            speedup_v1_at60 = s1;
+            speedup_v2_at60 = s2;
+        }
+        auto fmt = [](double t) { return t < 0 ? std::string("never") : util::Table::num(t, 0); };
+        table.add_row({util::Table::num(level, 0), fmt(t_pt), fmt(t_v1), fmt(t_v2),
+                       util::Table::num(s1, 2) + "x", util::Table::num(s2, 2) + "x"});
+    }
+    std::cout << table.render();
+    std::cout << "\nFinal best accuracy: PipeTune "
+              << util::Table::num(pipetune.baseline.tuning.best_accuracy, 2) << "%, V1 "
+              << util::Table::num(v1.tuning.best_accuracy, 2) << "%, V2 "
+              << util::Table::num(v2.tuning.best_accuracy, 2) << "%\n";
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"PipeTune reaches 60% accuracy faster than V1", "~1.5x faster",
+                      util::Table::num(speedup_v1_at60, 2) + "x", speedup_v1_at60 > 1.0});
+    claims.push_back({"PipeTune reaches 60% accuracy faster than V2", "~2x faster",
+                      util::Table::num(speedup_v2_at60, 2) + "x", speedup_v2_at60 > 1.0});
+    claims.push_back({"PipeTune final accuracy comparable to V1", "on par",
+                      util::Table::num(pipetune.baseline.tuning.best_accuracy, 2) + " vs " +
+                          util::Table::num(v1.tuning.best_accuracy, 2),
+                      pipetune.baseline.tuning.best_accuracy >= v1.tuning.best_accuracy - 2.0});
+    bench::print_claims(claims);
+    return 0;
+}

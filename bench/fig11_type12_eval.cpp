@@ -1,0 +1,134 @@
+// Figure 11 reproduction: single-tenancy evaluation of Tune V1, Tune V2 and
+// PipeTune over the four Type-I/Type-II workloads — (a) model accuracy,
+// (b) training duration, (c) tuning duration, (d) tuning energy.
+// Also prints the Table 3 workload catalogue the sweep runs over.
+//
+// Paper shapes (§7.3): PipeTune accuracy on par with V1 while V2 drops (up to
+// 43%); PipeTune training time up to 1.7x faster than V1; tuning time at
+// least 18% below V1 while V2 is up to 18% above; tuning energy up to 29%
+// below V1 while V2 is up to 22% above.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+int main() {
+    using namespace pipetune;
+    bench::print_header("Figure 11",
+                        "Single-tenancy: accuracy / training / tuning / energy (Type-I & II)");
+
+    // Table 3 catalogue for the workloads under evaluation.
+    util::Table catalogue({"workload", "type", "datasize [MB]", "train files", "test files"});
+    for (const auto& workload : workload::catalogue())
+        if (!workload.is_kernel())
+            catalogue.add_row({workload.name, to_string(workload.type),
+                               util::Table::num(workload.datasize_mb, 0),
+                               std::to_string(workload.train_files),
+                               std::to_string(workload.test_files)});
+    std::cout << "Workloads (Table 3):\n" << catalogue.render() << "\n";
+
+    util::Table table({"workload", "approach", "accuracy [%]", "training [s]", "tuning [s]",
+                       "tuning energy [kJ]"});
+    util::CsvWriter csv("fig11_type12_eval.csv",
+                        {"workload", "approach", "accuracy", "training_s", "tuning_s",
+                         "tuning_energy_kj"});
+
+    struct Row {
+        double accuracy = 0, training = 0, tuning = 0, energy = 0;
+    };
+    std::map<std::string, std::map<std::string, Row>> results;
+
+    // Each (workload, approach) cell is the mean over kRepeats independent
+    // seeds — single HyperBand runs have noticeable makespan variance from
+    // slot packing.
+    constexpr int kRepeats = 3;
+    std::uint64_t seed = 1100;
+    for (const auto& workload : workload::catalogue()) {
+        if (workload.is_kernel()) continue;
+        std::map<std::string, Row> sums;
+        for (int repeat = 0; repeat < kRepeats; ++repeat) {
+            sim::SimBackend backend({.seed = seed});
+            hpt::HptJobConfig job;
+            job.seed = seed++;
+            const auto v1 = hpt::run_tune_v1(backend, workload, job);
+            const auto v2 = hpt::run_tune_v2(backend, workload, job);
+            core::GroundTruth warm = core::build_warm_ground_truth(backend, {workload});
+            const auto pipetune = core::run_pipetune(backend, workload, job, {}, &warm);
+            auto accumulate = [&](const char* approach, const hpt::BaselineResult& r) {
+                Row& row = sums[approach];
+                row.accuracy += r.final_accuracy / kRepeats;
+                row.training += r.training_time_s / kRepeats;
+                row.tuning += r.tuning.tuning_duration_s / kRepeats;
+                row.energy += r.tuning.tuning_energy_j / 1000.0 / kRepeats;
+            };
+            accumulate("tune_v1", v1);
+            accumulate("tune_v2", v2);
+            accumulate("pipetune", pipetune.baseline);
+        }
+        for (const char* approach : {"tune_v1", "tune_v2", "pipetune"}) {
+            const Row& row = sums[approach];
+            results[workload.name][approach] = row;
+            table.add_row({workload.name, approach, util::Table::num(row.accuracy, 1),
+                           util::Table::num(row.training, 0), util::Table::num(row.tuning, 0),
+                           util::Table::num(row.energy, 0)});
+            csv.add_row({workload.name, std::string(approach),
+                         util::Table::num(row.accuracy, 2), util::Table::num(row.training, 1),
+                         util::Table::num(row.tuning, 1), util::Table::num(row.energy, 2)});
+        }
+    }
+    std::cout << table.render();
+
+    // Aggregate shape checks across the four workloads.
+    int acc_on_par = 0, v2_acc_below = 0, pt_tuning_below = 0, v2_tuning_above = 0;
+    int pt_energy_below = 0, pt_energy_not_worse = 0, pt_training_not_worse = 0;
+    double worst_pt_tuning_reduction = 1.0, best_pt_tuning_reduction = 0.0;
+    double best_pt_energy_reduction = 0.0;
+    int workloads = 0;
+    for (const auto& [name, rows] : results) {
+        ++workloads;
+        const Row& v1 = rows.at("tune_v1");
+        const Row& v2 = rows.at("tune_v2");
+        const Row& pt = rows.at("pipetune");
+        if (pt.accuracy >= v1.accuracy - 2.0) ++acc_on_par;
+        if (v2.accuracy < v1.accuracy) ++v2_acc_below;
+        if (pt.tuning < v1.tuning) ++pt_tuning_below;
+        if (v2.tuning > v1.tuning) ++v2_tuning_above;
+        if (pt.energy < v1.energy) ++pt_energy_below;
+        if (pt.energy <= v1.energy * 1.02) ++pt_energy_not_worse;
+        if (pt.training <= v1.training * 1.05) ++pt_training_not_worse;
+        const double reduction = 1.0 - pt.tuning / v1.tuning;
+        worst_pt_tuning_reduction = std::min(worst_pt_tuning_reduction, reduction);
+        best_pt_tuning_reduction = std::max(best_pt_tuning_reduction, reduction);
+        best_pt_energy_reduction = std::max(best_pt_energy_reduction, 1.0 - pt.energy / v1.energy);
+    }
+
+    std::vector<bench::Claim> claims;
+    claims.push_back({"(a) PipeTune accuracy on par with V1 everywhere", "no degradation",
+                      std::to_string(acc_on_par) + "/" + std::to_string(workloads),
+                      acc_on_par == workloads});
+    claims.push_back({"(a) V2 accuracy below V1 (up to 43% in paper)", "lower on all",
+                      std::to_string(v2_acc_below) + "/" + std::to_string(workloads),
+                      v2_acc_below >= workloads - 1});
+    claims.push_back({"(b) PipeTune training time not worse than V1", "up to 1.7x faster",
+                      std::to_string(pt_training_not_worse) + "/" + std::to_string(workloads),
+                      pt_training_not_worse >= workloads - 1});
+    claims.push_back({"(c) PipeTune tuning below V1 on every workload", "-18..-23%",
+                      "best " + pipetune::bench::pct(best_pt_tuning_reduction) + ", worst " +
+                          pipetune::bench::pct(worst_pt_tuning_reduction),
+                      pt_tuning_below == workloads});
+    claims.push_back({"(c) V2 tuning above V1", "+ up to 18%",
+                      std::to_string(v2_tuning_above) + "/" + std::to_string(workloads),
+                      v2_tuning_above >= workloads - 1});
+    claims.push_back({"(d) PipeTune tuning energy reduced (never meaningfully worse)",
+                      "- up to 29%",
+                      std::to_string(pt_energy_below) + "/" + std::to_string(workloads) +
+                          " reduced, best " + pipetune::bench::pct(best_pt_energy_reduction),
+                      pt_energy_below >= workloads - 1 && pt_energy_not_worse == workloads &&
+                          best_pt_energy_reduction > 0.15});
+    bench::print_claims(claims);
+    return 0;
+}

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the substrates: tensor GEMM and conv,
+// one data-parallel training epoch, k-means fit, PMU measurement and the
+// analytic cost model. These quantify the constant factors behind the
+// simulation's instant turnaround and the real engine's epoch times.
+
+#include <benchmark/benchmark.h>
+
+#include "pipetune/data/synthetic.hpp"
+#include "pipetune/mlcore/kmeans.hpp"
+#include "pipetune/nn/models.hpp"
+#include "pipetune/nn/trainer.hpp"
+#include "pipetune/perf/counter_model.hpp"
+#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/tensor/ops.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+void BM_TensorMatmul(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(1);
+    const tensor::Tensor a = tensor::Tensor::uniform({n, n}, rng);
+    const tensor::Tensor b = tensor::Tensor::uniform({n, n}, rng);
+    for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+    util::Rng rng(2);
+    const tensor::Tensor input = tensor::Tensor::uniform({8, 1, 28, 28}, rng);
+    const tensor::Tensor kernel = tensor::Tensor::uniform({6, 1, 5, 5}, rng);
+    const tensor::Tensor bias({6});
+    for (auto _ : state) benchmark::DoNotOptimize(tensor::conv2d(input, kernel, bias));
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_LeNetEpoch(benchmark::State& state) {
+    const auto workers = static_cast<std::size_t>(state.range(0));
+    data::ImageDatasetConfig data_config;
+    data_config.classes = 4;
+    data_config.samples = 64;
+    data_config.image_size = 20;
+    data_config.seed = 3;
+    auto split = data::make_image_split(data_config, "bench", 16);
+    nn::ImageModelConfig model_config;
+    model_config.image_size = 20;
+    model_config.classes = 4;
+    model_config.seed = 3;
+    nn::TrainerConfig trainer_config;
+    trainer_config.batch_size = 16;
+    trainer_config.sgd.learning_rate = 0.05;
+    nn::Trainer trainer(nn::build_lenet5(model_config), *split.train, *split.test,
+                        trainer_config);
+    for (auto _ : state) benchmark::DoNotOptimize(trainer.run_epoch(workers));
+}
+BENCHMARK(BM_LeNetEpoch)->Arg(1)->Arg(2);
+
+void BM_KMeansFit(benchmark::State& state) {
+    util::Rng rng(4);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<double> row(58);
+        for (auto& v : row) v = rng.normal(i % 2 ? 5.0 : 0.0, 1.0);
+        rows.push_back(std::move(row));
+    }
+    for (auto _ : state) {
+        mlcore::KMeans kmeans({.k = 2, .max_iterations = 50, .tolerance = 1e-6, .seed = 1});
+        benchmark::DoNotOptimize(kmeans.fit(rows));
+    }
+}
+BENCHMARK(BM_KMeansFit);
+
+void BM_PmuMeasureEpoch(benchmark::State& state) {
+    perf::PmuSimulator pmu;
+    util::Rng rng(5);
+    const auto rates = perf::true_event_rates({.model_family = "lenet",
+                                               .dataset_family = "mnist",
+                                               .compute_scale = 1.0,
+                                               .memory_scale = 1.0,
+                                               .batch_size = 64,
+                                               .cores = 8});
+    for (auto _ : state) benchmark::DoNotOptimize(pmu.measure_epoch(rates, 60.0, rng));
+}
+BENCHMARK(BM_PmuMeasureEpoch);
+
+void BM_CostModelEpoch(benchmark::State& state) {
+    sim::CostModel cost;
+    const auto& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    hyper.batch_size = 128;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cost.epoch_seconds(workload, hyper, {.cores = 8, .memory_gb = 16}));
+}
+BENCHMARK(BM_CostModelEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table 2 reproduction: accuracy, training time and tuning time for the four
+// approaches (Arbitrary, Tune V1, Tune V2, PipeTune) on LeNet + MNIST.
+//
+// Paper values: Arbitrary 84.47% / 445s / -;  Tune V1 91.54% / 272s / 4575s;
+//               Tune V2 81.76% / 187s / 4817s;  PipeTune 92.70% / 188s / 3415s.
+// Expected shape: acc(PipeTune) ~ acc(V1) > acc(Arbitrary) > acc(V2);
+//                 train(PipeTune) ~ train(V2) < train(V1) < train(Arbitrary);
+//                 tune(PipeTune) < tune(V1) < tune(V2).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/csv.hpp"
+
+int main() {
+    using namespace pipetune;
+    bench::print_header("Table 2", "Accuracy / training / tuning time per approach (LeNet+MNIST)");
+
+    sim::SimBackend backend({.seed = 42});
+    const auto& workload = workload::find_workload("lenet-mnist");
+    hpt::HptJobConfig job;
+    job.seed = 42;
+
+    // PipeTune's initial similarity model comes from the paper's offline
+    // profiling campaign (§7.2) — the baselines need no such preparation.
+    core::GroundTruth warm = core::build_warm_ground_truth(backend, {workload});
+    core::ApproachComparison comparison;
+    comparison.arbitrary = hpt::run_arbitrary(backend, workload, job);
+    comparison.tune_v1 = hpt::run_tune_v1(backend, workload, job);
+    comparison.tune_v2 = hpt::run_tune_v2(backend, workload, job);
+    comparison.pipetune = core::run_pipetune(backend, workload, job, {}, &warm);
+
+    util::Table table({"Approach", "Accuracy [%]", "Training Time [s]", "Tuning Time [s]"});
+    auto row = [&](const std::string& name, const hpt::BaselineResult& r, bool tuned) {
+        table.add_row({name, util::Table::num(r.final_accuracy, 2),
+                       util::Table::num(r.training_time_s, 0),
+                       tuned ? util::Table::num(r.tuning.tuning_duration_s, 0) : "-"});
+    };
+    row("Arbitrary", comparison.arbitrary, false);
+    row("Tune V1", comparison.tune_v1, true);
+    row("Tune V2", comparison.tune_v2, true);
+    row("PipeTune", comparison.pipetune.baseline, true);
+    std::cout << table.render();
+    std::cout << "\nPipeTune internals: " << comparison.pipetune.ground_truth_hits
+              << " ground-truth hits, " << comparison.pipetune.probes_started
+              << " probes, store size " << comparison.pipetune.ground_truth_size << "\n";
+
+    util::CsvWriter csv("table02_approaches.csv",
+                        {"approach", "accuracy", "training_s", "tuning_s"});
+    csv.add_row({std::string("arbitrary"),
+                 util::Table::num(comparison.arbitrary.final_accuracy, 3),
+                 util::Table::num(comparison.arbitrary.training_time_s, 1), "0"});
+    csv.add_row({std::string("tune_v1"), util::Table::num(comparison.tune_v1.final_accuracy, 3),
+                 util::Table::num(comparison.tune_v1.training_time_s, 1),
+                 util::Table::num(comparison.tune_v1.tuning.tuning_duration_s, 1)});
+    csv.add_row({std::string("tune_v2"), util::Table::num(comparison.tune_v2.final_accuracy, 3),
+                 util::Table::num(comparison.tune_v2.training_time_s, 1),
+                 util::Table::num(comparison.tune_v2.tuning.tuning_duration_s, 1)});
+    csv.add_row({std::string("pipetune"),
+                 util::Table::num(comparison.pipetune.baseline.final_accuracy, 3),
+                 util::Table::num(comparison.pipetune.baseline.training_time_s, 1),
+                 util::Table::num(comparison.pipetune.baseline.tuning.tuning_duration_s, 1)});
+
+    const auto& arb = comparison.arbitrary;
+    const auto& v1 = comparison.tune_v1;
+    const auto& v2 = comparison.tune_v2;
+    const auto& pt = comparison.pipetune.baseline;
+    std::vector<bench::Claim> claims;
+    claims.push_back({"PipeTune accuracy on par with V1 (within 2 points)",
+                      "92.70 vs 91.54",
+                      util::Table::num(pt.final_accuracy, 2) + " vs " +
+                          util::Table::num(v1.final_accuracy, 2),
+                      pt.final_accuracy >= v1.final_accuracy - 2.0});
+    claims.push_back({"V2 accuracy below V1 (ratio objective trades accuracy)",
+                      "81.76 < 91.54",
+                      util::Table::num(v2.final_accuracy, 2) + " < " +
+                          util::Table::num(v1.final_accuracy, 2),
+                      v2.final_accuracy < v1.final_accuracy});
+    claims.push_back({"Arbitrary accuracy below tuned V1",
+                      "84.47 < 91.54",
+                      util::Table::num(arb.final_accuracy, 2) + " < " +
+                          util::Table::num(v1.final_accuracy, 2),
+                      arb.final_accuracy < v1.final_accuracy});
+    claims.push_back({"PipeTune training time ~ V2, both below V1",
+                      "188 ~ 187 < 272",
+                      util::Table::num(pt.training_time_s, 0) + " ~ " +
+                          util::Table::num(v2.training_time_s, 0) + " < " +
+                          util::Table::num(v1.training_time_s, 0),
+                      pt.training_time_s < v1.training_time_s &&
+                          v2.training_time_s < v1.training_time_s});
+    claims.push_back({"PipeTune tuning time below V1",
+                      "3415 < 4575 (-25%)",
+                      util::Table::num(pt.tuning.tuning_duration_s, 0) + " < " +
+                          util::Table::num(v1.tuning.tuning_duration_s, 0),
+                      pt.tuning.tuning_duration_s < v1.tuning.tuning_duration_s});
+    claims.push_back({"V2 tuning time above V1 (larger space, harder objective)",
+                      "4817 > 4575 (+5-18%)",
+                      util::Table::num(v2.tuning.tuning_duration_s, 0) + " > " +
+                          util::Table::num(v1.tuning.tuning_duration_s, 0),
+                      v2.tuning.tuning_duration_s > v1.tuning.tuning_duration_s});
+    bench::print_claims(claims);
+    return 0;
+}

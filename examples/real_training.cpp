@@ -1,0 +1,57 @@
+// The real substrate end-to-end: train the bundled from-scratch NN engine
+// (LeNet-5 on a synthetic MNIST-like dataset) under the PipeTune per-epoch
+// policy, on actual wall-clock time — no simulation. This is the path a
+// downstream user takes to attach PipeTune to their own training loop.
+//
+//   build/examples/real_training
+
+#include <iostream>
+
+#include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/sim/real_backend.hpp"
+#include "pipetune/util/table.hpp"
+
+int main() {
+    using namespace pipetune;
+
+    sim::RealBackendConfig config;
+    config.train_samples = 128;
+    config.test_samples = 48;
+    config.seed = 5;
+    sim::RealBackend backend(config);
+
+    const auto& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    hyper.batch_size = 64;
+    hyper.learning_rate = 0.05;
+    hyper.dropout = 0.1;
+    hyper.epochs = 10;
+
+    core::PipeTunePolicy policy;
+    auto session = backend.start_trial(workload, hyper);
+
+    std::cout << "Training LeNet-5 on a synthetic MNIST-like dataset (real SGD, "
+              << config.train_samples << " samples)...\n";
+    util::Table table({"epoch", "mode", "system", "loss", "accuracy [%]", "duration [ms]"});
+    std::vector<workload::EpochResult> history;
+    for (std::size_t epoch = 1; epoch <= hyper.epochs; ++epoch) {
+        const workload::SystemParams system = policy.choose(
+            /*trial_id=*/1, workload, hyper, epoch, history, workload::default_system_params());
+        auto result = session->run_epoch(system);
+        result.system = system;
+        const char* mode = epoch == 1                  ? "profiling"
+                           : policy.probes_started() > 0 && epoch <= 7 ? "probing"
+                                                       : "tuned";
+        table.add_row({std::to_string(epoch), mode, system.to_string(),
+                       util::Table::num(result.train_loss, 3),
+                       util::Table::num(result.accuracy, 1),
+                       util::Table::num(result.duration_s * 1000, 1)});
+        history.push_back(result);
+    }
+    policy.trial_finished(1, workload, hyper, history);
+    std::cout << table.render();
+    std::cout << "\nFinal accuracy " << util::Table::num(history.back().accuracy, 1)
+              << " % — the engine genuinely learns; PipeTune profiled epoch 1, probed system\n"
+              << "configurations one epoch at a time, then locked in the fastest.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+// Multi-tenant cluster simulation (paper §7.4): HPT jobs arrive randomly with
+// exponentially distributed interarrival times, are scheduled FIFO onto
+// cluster nodes, and the reported metric is average response time
+// (completion - arrival). A fraction of jobs is "unseen" (new workload
+// characteristics the ground truth has not profiled — 20% in the paper).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/rng.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::cluster {
+
+struct ClusterSpec {
+    std::size_t nodes = 4;  ///< the paper's Type-I/II testbed has 4 machines
+};
+
+struct ArrivalConfig {
+    double mean_interarrival_s = 2000.0;
+    std::size_t job_count = 20;
+    double unseen_fraction = 0.2;  ///< §7.4: "portion of overall unseen jobs corresponds to 20%"
+    std::uint64_t seed = 1;
+};
+
+/// One job instance in the arrival stream.
+struct ArrivedJob {
+    std::size_t index = 0;
+    workload::Workload workload;
+    double arrival_s = 0.0;
+    bool unseen = false;  ///< workload variant the ground truth has never profiled
+};
+
+/// Completion record for response-time accounting.
+struct JobRecord {
+    std::size_t index = 0;
+    std::string workload_name;
+    bool unseen = false;
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+    double completion_s = 0.0;
+
+    double response_time_s() const { return completion_s - arrival_s; }
+    double wait_time_s() const { return start_s - arrival_s; }
+};
+
+/// Poisson arrivals over a round-robin workload mix (§7.4: "within a given
+/// workload type, the workloads are chosen following a round-robin strategy").
+/// Unseen jobs get a perturbed dataset family so their hardware signature —
+/// and therefore their ground-truth cluster distance — genuinely differs.
+std::vector<ArrivedJob> generate_arrivals(const std::vector<workload::Workload>& mix,
+                                          const ArrivalConfig& config);
+
+/// FIFO scheduler: jobs start on the earliest-free node, in arrival order,
+/// each occupying one node exclusively for its makespan.
+class FifoClusterSim {
+public:
+    explicit FifoClusterSim(ClusterSpec spec);
+
+    /// Run the trace. `job_makespan` is invoked once per job, in start order,
+    /// and returns the job's duration in virtual seconds (this is where the
+    /// actual tuning pipeline executes, so earlier jobs warm the ground truth
+    /// before later ones query it).
+    std::vector<JobRecord> run(const std::vector<ArrivedJob>& jobs,
+                               const std::function<double(const ArrivedJob&)>& job_makespan);
+
+    const ClusterSpec& spec() const { return spec_; }
+
+private:
+    ClusterSpec spec_;
+};
+
+/// Mean response time of a trace.
+double average_response_time(const std::vector<JobRecord>& records);
+
+/// Aggregate queueing statistics of a completed trace.
+struct TraceStats {
+    double mean_response_s = 0.0;
+    double p95_response_s = 0.0;
+    double mean_wait_s = 0.0;
+    double makespan_s = 0.0;          ///< last completion time
+    double busy_node_seconds = 0.0;   ///< sum of job service times
+    /// busy_node_seconds / (nodes * makespan): how loaded the cluster ran.
+    double utilization = 0.0;
+};
+TraceStats summarize_trace(const std::vector<JobRecord>& records, std::size_t nodes);
+
+/// Co-location slowdown used by the Fig 5 characterization: `jobs` processes
+/// pinned to the same `cores` cores contend for CPU time; the slowdown is the
+/// oversubscription ratio (plus a small context-switch tax once contended).
+double co_location_slowdown(std::size_t jobs, std::size_t cores);
+
+}  // namespace pipetune::cluster

@@ -1,0 +1,36 @@
+#include "pipetune/core/experiment.hpp"
+
+namespace pipetune::core {
+
+PipeTuneJobResult run_pipetune(workload::Backend& backend, const workload::Workload& workload,
+                               const hpt::HptJobConfig& job_config,
+                               PipeTuneConfig pipetune_config,
+                               GroundTruth* shared_ground_truth) {
+    PipeTunePolicy policy(pipetune_config, shared_ground_truth);
+    PipeTuneJobResult result;
+    // Same search space and objective as Tune V1: PipeTune is "an extension
+    // of pure hyperparameter tuning" (§2) — the system dimension is handled
+    // by the policy, not the searcher.
+    result.baseline =
+        hpt::run_hyperband_job(backend, workload, hpt::hyperband_hyperparameter_space(),
+                               hpt::Objective::kAccuracy, job_config, &policy);
+    result.ground_truth_hits = policy.ground_truth_hits();
+    result.probes_started = policy.probes_started();
+    result.ground_truth_size = policy.ground_truth().size();
+    result.decisions = policy.decisions();
+    return result;
+}
+
+ApproachComparison compare_approaches(workload::Backend& backend,
+                                      const workload::Workload& workload,
+                                      const hpt::HptJobConfig& job_config,
+                                      PipeTuneConfig pipetune_config) {
+    ApproachComparison comparison;
+    comparison.arbitrary = hpt::run_arbitrary(backend, workload, job_config);
+    comparison.tune_v1 = hpt::run_tune_v1(backend, workload, job_config);
+    comparison.tune_v2 = hpt::run_tune_v2(backend, workload, job_config);
+    comparison.pipetune = run_pipetune(backend, workload, job_config, pipetune_config);
+    return comparison;
+}
+
+}  // namespace pipetune::core

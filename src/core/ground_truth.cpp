@@ -1,0 +1,124 @@
+#include "pipetune/core/ground_truth.hpp"
+
+#include <limits>
+
+#include "pipetune/util/stats.hpp"
+#include <stdexcept>
+
+namespace pipetune::core {
+
+GroundTruth::GroundTruth(GroundTruthConfig config)
+    : config_(config),
+      similarity_(mlcore::KMeansConfig{.k = config.k,
+                                       .max_iterations = 100,
+                                       .tolerance = 1e-6,
+                                       .seed = config.seed}) {
+    if (config.similarity_threshold < 0 || config.similarity_threshold > 1)
+        throw std::invalid_argument("GroundTruth: threshold must be in [0, 1]");
+    if (config.min_entries_for_model < config.k)
+        throw std::invalid_argument("GroundTruth: need at least k entries before modeling");
+    if (config.refit_interval == 0)
+        throw std::invalid_argument("GroundTruth: refit_interval must be > 0");
+}
+
+bool GroundTruth::model_ready() const {
+    return fitted_ && entries_.size() >= config_.min_entries_for_model;
+}
+
+void GroundTruth::refit() {
+    if (entries_.size() < config_.min_entries_for_model) return;
+    std::vector<std::vector<double>> features;
+    features.reserve(entries_.size());
+    for (const auto& entry : entries_) features.push_back(entry.features);
+    similarity_.fit(features);
+    fitted_ = true;
+    inserts_since_fit_ = 0;
+}
+
+void GroundTruth::record(const std::vector<double>& features,
+                         const workload::SystemParams& best, double metric) {
+    if (features.empty()) throw std::invalid_argument("GroundTruth::record: empty features");
+    if (!entries_.empty() && entries_.front().features.size() != features.size())
+        throw std::invalid_argument("GroundTruth::record: feature dimension mismatch");
+    entries_.push_back({features, best, metric});
+    if (++inserts_since_fit_ >= config_.refit_interval || !fitted_) refit();
+}
+
+std::optional<workload::SystemParams> GroundTruth::lookup(const std::vector<double>& features,
+                                                          double* score_out) const {
+    if (score_out != nullptr) *score_out = 0.0;
+    if (!model_ready()) return std::nullopt;
+    const auto match = similarity_.match(features);
+    if (!match) return std::nullopt;
+    if (score_out != nullptr) *score_out = match->score;
+    if (match->score < config_.similarity_threshold) return std::nullopt;
+
+    // Configuration of the most similar entry within the matched cluster.
+    // (Not the cluster's minimum-metric entry: raw metrics are incomparable
+    // across trials with different hyperparameters — a config probed on a
+    // fast large-batch trial always has the lowest epoch time, yet is exactly
+    // wrong for a small-batch query. The nearest profile shares the query's
+    // characteristics, batch effects included.)
+    const auto clusters = entry_clusters();
+    const GroundTruthEntry* nearest = nullptr;
+    double nearest_distance = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (clusters[i] != match->cluster) continue;
+        const double distance = util::euclidean(entries_[i].features, features);
+        if (distance < nearest_distance) {
+            nearest_distance = distance;
+            nearest = &entries_[i];
+        }
+    }
+    if (nearest == nullptr) return std::nullopt;  // empty cluster
+    return nearest->best_system;
+}
+
+std::vector<std::size_t> GroundTruth::entry_clusters() const {
+    std::vector<std::size_t> clusters(entries_.size(), 0);
+    if (!fitted_) return clusters;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto match = similarity_.match(entries_[i].features);
+        clusters[i] = match ? match->cluster : 0;
+    }
+    return clusters;
+}
+
+util::Json GroundTruth::to_json() const {
+    util::Json json;
+    util::Json list = util::Json::array();
+    for (const auto& entry : entries_) {
+        util::Json e;
+        e["features"] = util::Json::array_of(entry.features);
+        e["cores"] = entry.best_system.cores;
+        e["memory_gb"] = entry.best_system.memory_gb;
+        e["frequency_ghz"] = entry.best_system.frequency_ghz;
+        e["metric"] = entry.metric;
+        list.push_back(std::move(e));
+    }
+    json["entries"] = std::move(list);
+    return json;
+}
+
+GroundTruth GroundTruth::from_json(const util::Json& json, GroundTruthConfig config) {
+    GroundTruth gt(config);
+    for (const auto& e : json.at("entries").as_array()) {
+        workload::SystemParams system;
+        system.cores = static_cast<std::size_t>(e.at("cores").as_int());
+        system.memory_gb = static_cast<std::size_t>(e.at("memory_gb").as_int());
+        system.frequency_ghz =
+            e.get_number("frequency_ghz", workload::SystemParams::kBaseFrequencyGhz);
+        gt.entries_.push_back({e.at("features").as_double_vector(), system,
+                               e.get_number("metric", 0.0)});
+    }
+    gt.refit();
+    return gt;
+}
+
+void GroundTruth::save(const std::string& path) const { to_json().save_file(path); }
+
+GroundTruth GroundTruth::load(const std::string& path, GroundTruthConfig config) {
+    return from_json(util::Json::load_file(path), config);
+}
+
+}  // namespace pipetune::core

@@ -1,0 +1,42 @@
+#pragma once
+// End-to-end experiment drivers: run PipeTune as a complete HPT job and
+// compare it against the paper's baselines (the machinery behind Table 2 and
+// Figs 9-12).
+
+#include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/hpt/baselines.hpp"
+
+namespace pipetune::core {
+
+struct PipeTuneJobResult {
+    hpt::BaselineResult baseline;  ///< tuning + final-training costs
+    std::size_t ground_truth_hits = 0;
+    std::size_t probes_started = 0;
+    std::size_t ground_truth_size = 0;
+    /// Per-trial reuse/probe decisions, in resolution order (introspection;
+    /// printed by `pipetune tune --verbose`).
+    std::vector<PipeTunePolicy::Decision> decisions;
+};
+
+/// Run one PipeTune HPT job: HyperBand over the hyperparameter space
+/// (objective = accuracy, §5.1) with the PipeTune per-epoch system policy.
+/// Pass `shared_ground_truth` to warm-start from previous jobs (multi-tenancy
+/// §7.4); otherwise the job builds its ground truth from scratch.
+PipeTuneJobResult run_pipetune(workload::Backend& backend, const workload::Workload& workload,
+                               const hpt::HptJobConfig& job_config,
+                               PipeTuneConfig pipetune_config = {},
+                               GroundTruth* shared_ground_truth = nullptr);
+
+/// All four Table 2 rows for one workload on one backend.
+struct ApproachComparison {
+    hpt::BaselineResult arbitrary;
+    hpt::BaselineResult tune_v1;
+    hpt::BaselineResult tune_v2;
+    PipeTuneJobResult pipetune;
+};
+ApproachComparison compare_approaches(workload::Backend& backend,
+                                      const workload::Workload& workload,
+                                      const hpt::HptJobConfig& job_config,
+                                      PipeTuneConfig pipetune_config = {});
+
+}  // namespace pipetune::core

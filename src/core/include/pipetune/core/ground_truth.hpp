@@ -1,0 +1,74 @@
+#pragma once
+// Persistent ground-truth store (paper §5.4): profiles of completed jobs and
+// the system configurations found best for them. New jobs query it with
+// their early-epoch profile; a confident match short-circuits probing.
+//
+// Privacy (§5.5): entries carry only low-level counter features and system
+// configurations — never the user's model, dataset or hyperparameters.
+
+#include <optional>
+#include <vector>
+
+#include "pipetune/mlcore/similarity.hpp"
+#include "pipetune/util/json.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::core {
+
+struct GroundTruthEntry {
+    std::vector<double> features;  ///< profile feature vector (58 log-rates)
+    workload::SystemParams best_system;
+    double metric = 0.0;  ///< value of the optimization function under best_system
+};
+
+struct GroundTruthConfig {
+    std::size_t k = 2;  ///< paper partitions into k = 2 groups
+    /// Similarity score required to reuse a stored configuration; below it a
+    /// probing phase starts (§5.6). The score is a gaussian confidence of the
+    /// query's centroid distance against the model's per-sample inertia.
+    double similarity_threshold = 0.15;
+    std::size_t min_entries_for_model = 4;  ///< entries needed before matching
+    std::size_t refit_interval = 4;         ///< re-cluster every N inserts
+    std::uint64_t seed = 1;
+};
+
+class GroundTruth {
+public:
+    explicit GroundTruth(GroundTruthConfig config = {});
+
+    /// Known-best configuration for a similar profile, if the similarity
+    /// score clears the threshold. `score_out` (optional) receives the score
+    /// even on a miss.
+    std::optional<workload::SystemParams> lookup(const std::vector<double>& features,
+                                                 double* score_out = nullptr) const;
+
+    /// Store a (profile, best configuration) pair discovered by probing;
+    /// triggers re-clustering every `refit_interval` inserts.
+    void record(const std::vector<double>& features, const workload::SystemParams& best,
+                double metric);
+
+    std::size_t size() const { return entries_.size(); }
+    bool model_ready() const;
+    const GroundTruthConfig& config() const { return config_; }
+    const std::vector<GroundTruthEntry>& entries() const { return entries_; }
+
+    /// Cluster id of each stored entry under the current model (for Fig 8).
+    std::vector<std::size_t> entry_clusters() const;
+
+    // Persistence.
+    util::Json to_json() const;
+    static GroundTruth from_json(const util::Json& json, GroundTruthConfig config = {});
+    void save(const std::string& path) const;
+    static GroundTruth load(const std::string& path, GroundTruthConfig config = {});
+
+private:
+    void refit();
+
+    GroundTruthConfig config_;
+    std::vector<GroundTruthEntry> entries_;
+    mlcore::KMeansSimilarity similarity_;
+    std::size_t inserts_since_fit_ = 0;
+    bool fitted_ = false;
+};
+
+}  // namespace pipetune::core

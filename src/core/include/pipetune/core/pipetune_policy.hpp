@@ -1,0 +1,133 @@
+#pragma once
+// PipeTune's pipelined system-parameter tuner (paper §5.2, Algorithm 1),
+// realized as a per-epoch SystemTuningPolicy:
+//
+//   epochs 1..P         profile under the trial's default configuration
+//   epoch  P+1          similarity lookup against the ground truth
+//     hit  -> apply the known-best configuration for all remaining epochs
+//     miss -> probing: one configuration per epoch, staged per parameter —
+//             first each cores value (at the default memory), then each
+//             memory value (at the best cores found). This realizes the
+//             paper's O(n) search complexity "where n is the number of
+//             distinct system parameters considered" (§5.2) rather than the
+//             cores x memory cross-product. The best measured configuration
+//             is applied for the remaining epochs and recorded in the ground
+//             truth.
+//
+// All decision work is "pipelined" with training in the paper (asynchronous
+// tuneSystem); here it runs between epochs and its measured overhead is
+// charged explicitly via epoch_overhead_s so the §7.3 overhead claim is
+// testable.
+
+#include <map>
+#include <optional>
+
+#include "pipetune/core/ground_truth.hpp"
+#include "pipetune/hpt/policy.hpp"
+#include "pipetune/metricsdb/tsdb.hpp"
+#include "pipetune/perf/profiler.hpp"
+
+namespace pipetune::core {
+
+struct PipeTuneConfig {
+    std::size_t profiling_epochs = 1;  ///< "low-overhead profiling ... across the first couple of epochs" (§7.3)
+    /// Optimization function applied over probe measurements (§5.2: e.g.
+    /// shortest runtime, lowest energy consumption).
+    enum class ProbeObjective { kDuration, kEnergy } probe_objective = ProbeObjective::kDuration;
+    double profiling_overhead_fraction = 0.01;  ///< charged on profiled epochs
+    double probing_overhead_fraction = 0.005;   ///< charged on probe epochs
+    /// Also probe DVFS frequency steps (the extension parameter of §7.1.4):
+    /// adds one probe epoch per non-base step of workload::frequency_steps_ghz
+    /// at the best (cores, memory) found. Most useful with the kEnergy probe
+    /// objective — lower clocks trade runtime for power.
+    bool tune_frequency = false;
+    GroundTruthConfig ground_truth{};
+    /// Optional metrics sink (the paper's InfluxDB role, §6): every epoch the
+    /// policy observes is appended as `epoch_duration`, `epoch_energy` and
+    /// `epoch_accuracy` points tagged with trial/epoch/phase/system, queryable
+    /// and persistable via metricsdb::TimeSeriesDb. Not owned; may be null.
+    metricsdb::TimeSeriesDb* metrics = nullptr;
+};
+
+class PipeTunePolicy final : public hpt::SystemTuningPolicy {
+public:
+    /// `shared_ground_truth` (optional) lets multiple HPT jobs — the
+    /// multi-tenancy scenario — reuse one persistent store; when null the
+    /// policy owns a private one.
+    explicit PipeTunePolicy(PipeTuneConfig config = {},
+                            GroundTruth* shared_ground_truth = nullptr);
+
+    workload::SystemParams choose(std::uint64_t trial_id, const workload::Workload& workload,
+                                  const workload::HyperParams& hyper, std::size_t epoch,
+                                  const std::vector<workload::EpochResult>& history,
+                                  const workload::SystemParams& trial_default) override;
+
+    double epoch_overhead_s(std::uint64_t trial_id, std::size_t epoch,
+                            double epoch_duration_s) override;
+
+    void trial_finished(std::uint64_t trial_id, const workload::Workload& workload,
+                        const workload::HyperParams& hyper,
+                        const std::vector<workload::EpochResult>& history) override;
+
+    std::string name() const override { return "pipetune"; }
+
+    GroundTruth& ground_truth() { return owned_ ? *owned_ : *shared_; }
+    const GroundTruth& ground_truth() const { return owned_ ? *owned_ : *shared_; }
+
+    /// Counters for tests/benches: how trials resolved.
+    std::size_t ground_truth_hits() const { return hits_; }
+    std::size_t probes_started() const { return probes_; }
+
+    /// One entry per reuse/probe decision, for operator introspection
+    /// (`pipetune tune --verbose` prints these).
+    struct Decision {
+        std::uint64_t trial_id = 0;
+        double similarity_score = 0.0;
+        bool hit = false;
+        workload::SystemParams applied;  ///< reused config (hit) or later probe winner
+        bool applied_known = false;      ///< false while a probe is still running
+    };
+    const std::vector<Decision>& decisions() const { return decisions_; }
+
+private:
+    enum class Mode { kProfiling, kApplied, kProbing };
+
+    struct TrialPlan {
+        Mode mode = Mode::kProfiling;
+        std::optional<workload::SystemParams> applied;  ///< decided configuration
+        std::vector<double> features;                   ///< profile features (set once)
+        std::vector<workload::SystemParams> probe_sequence;  ///< staged probe schedule
+        std::size_t probe_cursor = 0;                   ///< next sequence index to try
+        std::size_t probe_first_epoch = 0;              ///< epoch the probe started at
+        bool memory_stage_planned = false;
+        bool frequency_stage_planned = false;
+        bool recorded = false;
+        std::size_t metrics_logged = 0;  ///< epochs already appended to the sink
+        std::size_t decision_index = 0;  ///< position in decisions_ (set on resolve)
+    };
+
+    /// Append any not-yet-logged epochs of `history` to the metrics sink.
+    void log_epochs(std::uint64_t trial_id, TrialPlan& plan,
+                    const std::vector<workload::EpochResult>& history);
+
+    /// Decide after profiling: lookup or start probing.
+    void resolve_after_profiling(std::uint64_t trial_id, TrialPlan& plan,
+                                 const std::vector<workload::EpochResult>& history);
+    /// Evaluate probe epochs and pick the winner.
+    workload::SystemParams best_probed(const TrialPlan& plan,
+                                       const std::vector<workload::EpochResult>& history,
+                                       double* metric_out) const;
+    static std::vector<double> features_of(const std::vector<workload::EpochResult>& history,
+                                           std::size_t profiling_epochs);
+
+    PipeTuneConfig config_;
+    std::unique_ptr<GroundTruth> owned_;
+    GroundTruth* shared_;
+    std::map<std::uint64_t, TrialPlan> plans_;
+    std::vector<Decision> decisions_;
+    std::size_t hits_ = 0;
+    std::size_t probes_ = 0;
+    std::uint64_t next_metric_time_ = 0;  ///< monotone pseudo-time for the sink
+};
+
+}  // namespace pipetune::core

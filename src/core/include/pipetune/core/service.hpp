@@ -1,0 +1,66 @@
+#pragma once
+// PipeTuneService — the deployment façade: what §5.2's middleware looks like
+// to a cluster operator. One service instance owns the persistent state of a
+// cluster (ground-truth store + metrics database, both auto-saved to a state
+// directory) and serves HPT jobs one after another, warm-starting each from
+// everything the cluster has learned so far.
+//
+//   core::PipeTuneService service(backend, {.state_dir = "/var/lib/pipetune"});
+//   auto result = service.submit(workload::find_workload("lenet-mnist"), {});
+//
+// The service is intentionally single-threaded per instance (jobs are FIFO in
+// the paper, §5.1); share nothing between instances except the state files.
+
+#include <optional>
+#include <string>
+
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/metricsdb/tsdb.hpp"
+
+namespace pipetune::core {
+
+struct ServiceConfig {
+    /// Directory for ground_truth.json and metrics.json; empty = in-memory
+    /// only (no persistence).
+    std::string state_dir;
+    PipeTuneConfig pipetune{};
+    /// Run the §7.2 offline profiling campaign on construction when the store
+    /// starts empty (skipped if a persisted store is found).
+    bool warm_start_on_first_use = false;
+    std::vector<workload::Workload> warm_start_workloads{};
+};
+
+class PipeTuneService {
+public:
+    /// Loads persisted state from `config.state_dir` when present; otherwise
+    /// starts cold (optionally running the warm-start campaign).
+    PipeTuneService(workload::Backend& backend, ServiceConfig config);
+
+    /// Run one HPT job and fold what it learned into the cluster state.
+    /// State files are rewritten after every job (crash-safe at job
+    /// granularity, like the paper's InfluxDB writes).
+    PipeTuneJobResult submit(const workload::Workload& workload,
+                             const hpt::HptJobConfig& job_config);
+
+    /// Cluster-lifetime counters.
+    std::size_t jobs_served() const { return jobs_served_; }
+    const GroundTruth& ground_truth() const { return ground_truth_; }
+    const metricsdb::TimeSeriesDb& metrics() const { return metrics_; }
+
+    /// Force a state flush (also happens after every submit()).
+    void persist() const;
+
+    /// Paths used for persistence (empty when running in-memory).
+    std::string ground_truth_path() const;
+    std::string metrics_path() const;
+
+private:
+    workload::Backend& backend_;
+    ServiceConfig config_;
+    GroundTruth ground_truth_;
+    metricsdb::TimeSeriesDb metrics_;
+    std::size_t jobs_served_ = 0;
+};
+
+}  // namespace pipetune::core

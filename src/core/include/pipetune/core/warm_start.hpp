@@ -1,0 +1,29 @@
+#pragma once
+// Initial ground-truth construction (paper §5.6 / §7.2): "The probing phase
+// profiles a given set of workloads in different system conditions, in order
+// to collect sufficient data for a warm start of the ground truth component."
+// The paper builds its initial similarity model from an offline campaign over
+// memory {4, 8, 16, 32} GB x cores {4, 8, 16} x batch {32, 64, 512, 1024}
+// before the evaluation; the evaluation benches replicate that.
+
+#include "pipetune/core/ground_truth.hpp"
+
+namespace pipetune::core {
+
+struct WarmStartConfig {
+    /// Batch sizes profiled per workload (paper §7.2).
+    std::vector<std::size_t> batch_sizes{32, 64, 512, 1024};
+    /// Repetitions per configuration ("we repeat this process twice", §7.2).
+    std::size_t repeats = 2;
+    GroundTruthConfig ground_truth{};
+    std::uint64_t seed = 1;
+};
+
+/// Run the offline probing campaign: for every (workload, batch) pair,
+/// profile one epoch under the default configuration, measure one epoch per
+/// grid configuration, and record the fastest into a fresh GroundTruth.
+GroundTruth build_warm_ground_truth(workload::Backend& backend,
+                                    const std::vector<workload::Workload>& workloads,
+                                    const WarmStartConfig& config = {});
+
+}  // namespace pipetune::core

@@ -1,0 +1,227 @@
+#include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/util/logging.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pipetune::core {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::Workload;
+
+PipeTunePolicy::PipeTunePolicy(PipeTuneConfig config, GroundTruth* shared_ground_truth)
+    : config_(config), shared_(shared_ground_truth) {
+    if (config.profiling_epochs == 0)
+        throw std::invalid_argument("PipeTunePolicy: need at least one profiling epoch");
+    if (shared_ == nullptr) owned_ = std::make_unique<GroundTruth>(config.ground_truth);
+    // Continue the sink's pseudo-time after what earlier jobs appended (the
+    // TSDB requires non-decreasing times within a series).
+    if (config_.metrics != nullptr)
+        next_metric_time_ = config_.metrics->count({.series = "epoch_duration"});
+}
+
+std::vector<double> PipeTunePolicy::features_of(const std::vector<EpochResult>& history,
+                                                std::size_t profiling_epochs) {
+    std::vector<perf::EpochProfile> profiles;
+    const std::size_t count = std::min(profiling_epochs, history.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        perf::EpochProfile profile;
+        profile.epoch = history[i].epoch;
+        profile.events = history[i].counters;
+        profile.duration_s = history[i].duration_s;
+        profile.energy_j = history[i].energy_j;
+        profiles.push_back(profile);
+    }
+    return perf::mean_features(profiles);
+}
+
+void PipeTunePolicy::resolve_after_profiling(std::uint64_t trial_id, TrialPlan& plan,
+                                             const std::vector<EpochResult>& history) {
+    plan.features = features_of(history, config_.profiling_epochs);
+    double score = 0.0;
+    const auto known = ground_truth().lookup(plan.features, &score);
+    PT_LOG_DEBUG("pipetune") << "ground-truth lookup: score=" << score
+                             << " store=" << ground_truth().size()
+                             << (known ? " HIT" : " MISS");
+    Decision decision;
+    decision.trial_id = trial_id;
+    decision.similarity_score = score;
+    if (known) {
+        // Algorithm 1, line 9-10: similarity within the confidence level —
+        // apply the known-best configuration, no sub-trials needed.
+        plan.mode = Mode::kApplied;
+        plan.applied = *known;
+        ++hits_;
+        decision.hit = true;
+        decision.applied = *known;
+        decision.applied_known = true;
+    } else {
+        // Line 11-15: probe each system configuration for one epoch.
+        plan.mode = Mode::kProbing;
+        plan.probe_cursor = 0;
+        ++probes_;
+    }
+    plan.decision_index = decisions_.size();
+    decisions_.push_back(decision);
+}
+
+SystemParams PipeTunePolicy::best_probed(const TrialPlan& plan,
+                                         const std::vector<EpochResult>& history,
+                                         double* metric_out) const {
+    // Probe epochs occupy history indices [probe_first_epoch-1, ...).
+    double best_metric = std::numeric_limits<double>::max();
+    SystemParams best = workload::default_system_params();
+    for (std::size_t i = plan.probe_first_epoch - 1; i < history.size(); ++i) {
+        const EpochResult& epoch = history[i];
+        const double metric = config_.probe_objective == PipeTuneConfig::ProbeObjective::kDuration
+                                  ? epoch.duration_s
+                                  : epoch.energy_j;
+        if (metric < best_metric) {
+            best_metric = metric;
+            best = epoch.system;
+        }
+    }
+    if (metric_out != nullptr) *metric_out = best_metric;
+    return best;
+}
+
+void PipeTunePolicy::log_epochs(std::uint64_t trial_id, TrialPlan& plan,
+                                const std::vector<EpochResult>& history) {
+    if (config_.metrics == nullptr) return;
+    const char* phase = plan.mode == Mode::kProfiling  ? "profiling"
+                        : plan.mode == Mode::kProbing  ? "probing"
+                                                       : "tuned";
+    for (; plan.metrics_logged < history.size(); ++plan.metrics_logged) {
+        const EpochResult& result = history[plan.metrics_logged];
+        const metricsdb::TagSet tags{{"trial", std::to_string(trial_id)},
+                                     {"epoch", std::to_string(result.epoch)},
+                                     {"phase", phase},
+                                     {"system", result.system.to_string()}};
+        const double t = static_cast<double>(next_metric_time_++);
+        config_.metrics->append("epoch_duration", t, result.duration_s, tags);
+        config_.metrics->append("epoch_energy", t, result.energy_j, tags);
+        config_.metrics->append("epoch_accuracy", t, result.accuracy, tags);
+    }
+}
+
+SystemParams PipeTunePolicy::choose(std::uint64_t trial_id, const Workload& /*workload*/,
+                                    const HyperParams& /*hyper*/, std::size_t epoch,
+                                    const std::vector<EpochResult>& history,
+                                    const SystemParams& trial_default) {
+    TrialPlan& plan = plans_[trial_id];
+    log_epochs(trial_id, plan, history);
+
+    // Epochs 1..P: profile under the trial default.
+    if (epoch <= config_.profiling_epochs) return trial_default;
+
+    // First post-profiling epoch: decide between reuse and probing.
+    if (plan.mode == Mode::kProfiling) {
+        resolve_after_profiling(trial_id, plan, history);
+        if (plan.mode == Mode::kProbing) plan.probe_first_epoch = epoch;
+    }
+
+    if (plan.mode == Mode::kApplied) return *plan.applied;
+
+    // Probing: one configuration per epoch (§5.2), staged per parameter so
+    // the search is O(#cores values + #memory values), not the cross-product.
+    if (plan.probe_sequence.empty()) {
+        for (std::size_t cores : {4, 8, 16})
+            plan.probe_sequence.push_back({.cores = cores,
+                                           .memory_gb = trial_default.memory_gb});
+    }
+    const std::size_t cores_stage = 3;
+    if (plan.probe_cursor >= cores_stage && !plan.memory_stage_planned) {
+        // Stage 2: sweep memory at the cores value stage 1 measured best,
+        // descending so memory starvation is met last and can cut the stage.
+        double dummy = 0.0;
+        const SystemParams stage1_best = best_probed(plan, history, &dummy);
+        for (std::size_t mem : {32, 16, 8, 4})
+            if (mem != trial_default.memory_gb)
+                plan.probe_sequence.push_back({.cores = stage1_best.cores, .memory_gb = mem});
+        plan.memory_stage_planned = true;
+    }
+    // Adaptive cut: memory only hurts below the working set, and duration is
+    // monotone in allocated memory — once a memory probe comes back clearly
+    // slower than the best measurement, smaller allocations can only be
+    // worse, so the remaining memory probes are skipped.
+    if (plan.memory_stage_planned && !plan.frequency_stage_planned &&
+        plan.probe_cursor > cores_stage && !history.empty()) {
+        double best_duration = std::numeric_limits<double>::max();
+        for (std::size_t i = plan.probe_first_epoch - 1; i + 1 < history.size(); ++i)
+            best_duration = std::min(best_duration, history[i].duration_s);
+        if (history.back().duration_s > 1.15 * best_duration)
+            plan.probe_cursor = plan.probe_sequence.size();
+    }
+    // Optional stage 3: DVFS steps at the best (cores, memory) so far.
+    if (config_.tune_frequency && plan.memory_stage_planned && !plan.frequency_stage_planned &&
+        plan.probe_cursor >= plan.probe_sequence.size()) {
+        double dummy = 0.0;
+        const SystemParams stage2_best = best_probed(plan, history, &dummy);
+        plan.probe_cursor = plan.probe_sequence.size();
+        for (const double ghz : workload::frequency_steps_ghz()) {
+            if (ghz == SystemParams::kBaseFrequencyGhz) continue;
+            SystemParams candidate = stage2_best;
+            candidate.frequency_ghz = ghz;
+            plan.probe_sequence.push_back(candidate);
+        }
+        plan.frequency_stage_planned = true;
+    }
+    if (plan.probe_cursor < plan.probe_sequence.size())
+        return plan.probe_sequence[plan.probe_cursor++];
+
+    double metric = 0.0;
+    const SystemParams winner = best_probed(plan, history, &metric);
+    if (!plan.recorded) {
+        ground_truth().record(plan.features, winner, metric);
+        plan.recorded = true;
+    }
+    plan.mode = Mode::kApplied;
+    plan.applied = winner;
+    if (plan.decision_index < decisions_.size()) {
+        decisions_[plan.decision_index].applied = winner;
+        decisions_[plan.decision_index].applied_known = true;
+    }
+    return winner;
+}
+
+double PipeTunePolicy::epoch_overhead_s(std::uint64_t trial_id, std::size_t epoch,
+                                        double epoch_duration_s) {
+    if (epoch <= config_.profiling_epochs)
+        return config_.profiling_overhead_fraction * epoch_duration_s;
+    const auto it = plans_.find(trial_id);
+    if (it != plans_.end() && it->second.mode == Mode::kProbing)
+        return config_.probing_overhead_fraction * epoch_duration_s;
+    return 0.0;
+}
+
+void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*workload*/,
+                                    const HyperParams& /*hyper*/,
+                                    const std::vector<EpochResult>& history) {
+    auto it = plans_.find(trial_id);
+    if (it == plans_.end()) return;
+    TrialPlan& plan = it->second;
+    log_epochs(trial_id, plan, history);
+    // A trial that ended mid-probe still contributes what it learned —
+    // provided it completed at least the full cores stage. Recording the
+    // "best" of a single probe epoch would enshrine whatever configuration
+    // happened to be first in the schedule.
+    const std::size_t probe_epochs_done =
+        plan.probe_first_epoch > 0 && history.size() + 1 >= plan.probe_first_epoch
+            ? history.size() + 1 - plan.probe_first_epoch
+            : 0;
+    if (plan.mode == Mode::kProbing && !plan.recorded && probe_epochs_done >= 3) {
+        double metric = 0.0;
+        const SystemParams winner = best_probed(plan, history, &metric);
+        ground_truth().record(plan.features, winner, metric);
+        plan.recorded = true;
+        if (plan.decision_index < decisions_.size()) {
+            decisions_[plan.decision_index].applied = winner;
+            decisions_[plan.decision_index].applied_known = true;
+        }
+    }
+    plans_.erase(it);
+}
+
+}  // namespace pipetune::core

@@ -1,0 +1,71 @@
+#include "pipetune/core/service.hpp"
+
+#include <filesystem>
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::core {
+
+namespace {
+bool file_exists(const std::string& path) {
+    std::error_code ec;
+    return !path.empty() && std::filesystem::exists(path, ec);
+}
+}  // namespace
+
+PipeTuneService::PipeTuneService(workload::Backend& backend, ServiceConfig config)
+    : backend_(backend), config_(std::move(config)), ground_truth_(config_.pipetune.ground_truth) {
+    if (!config_.state_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.state_dir, ec);
+        if (ec)
+            throw std::runtime_error("PipeTuneService: cannot create state dir '" +
+                                     config_.state_dir + "': " + ec.message());
+    }
+    if (file_exists(ground_truth_path())) {
+        ground_truth_ = GroundTruth::load(ground_truth_path(), config_.pipetune.ground_truth);
+        PT_LOG_INFO("service") << "loaded ground truth with " << ground_truth_.size()
+                               << " profiles from " << ground_truth_path();
+    } else if (config_.warm_start_on_first_use && !config_.warm_start_workloads.empty()) {
+        WarmStartConfig warm;
+        warm.ground_truth = config_.pipetune.ground_truth;
+        ground_truth_ = build_warm_ground_truth(backend_, config_.warm_start_workloads, warm);
+        PT_LOG_INFO("service") << "warm-start campaign recorded " << ground_truth_.size()
+                               << " profiles";
+    }
+    if (file_exists(metrics_path())) metrics_ = metricsdb::TimeSeriesDb::load(metrics_path());
+    persist();
+}
+
+std::string PipeTuneService::ground_truth_path() const {
+    return config_.state_dir.empty() ? std::string()
+                                     : config_.state_dir + "/ground_truth.json";
+}
+
+std::string PipeTuneService::metrics_path() const {
+    return config_.state_dir.empty() ? std::string() : config_.state_dir + "/metrics.json";
+}
+
+void PipeTuneService::persist() const {
+    if (config_.state_dir.empty()) return;
+    ground_truth_.save(ground_truth_path());
+    metrics_.save(metrics_path());
+}
+
+PipeTuneJobResult PipeTuneService::submit(const workload::Workload& workload,
+                                          const hpt::HptJobConfig& job_config) {
+    PipeTuneConfig config = config_.pipetune;
+    config.metrics = &metrics_;
+    const PipeTuneJobResult result =
+        run_pipetune(backend_, workload, job_config, config, &ground_truth_);
+    ++jobs_served_;
+    persist();
+    PT_LOG_INFO("service") << "job " << jobs_served_ << " (" << workload.name << "): accuracy "
+                           << result.baseline.final_accuracy << "%, tuning "
+                           << result.baseline.tuning.tuning_duration_s << "s, "
+                           << result.ground_truth_hits << " hits / " << result.probes_started
+                           << " probes";
+    return result;
+}
+
+}  // namespace pipetune::core

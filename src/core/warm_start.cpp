@@ -1,0 +1,51 @@
+#include "pipetune/core/warm_start.hpp"
+
+#include <limits>
+
+#include "pipetune/perf/profiler.hpp"
+
+namespace pipetune::core {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+
+GroundTruth build_warm_ground_truth(workload::Backend& backend,
+                                    const std::vector<workload::Workload>& workloads,
+                                    const WarmStartConfig& config) {
+    GroundTruth ground_truth(config.ground_truth);
+    for (const auto& workload : workloads) {
+        for (const std::size_t batch : config.batch_sizes) {
+            for (std::size_t repeat = 0; repeat < config.repeats; ++repeat) {
+                HyperParams hyper;
+                hyper.batch_size = batch;
+                auto session = backend.start_trial(workload, hyper);
+
+                // Profile under the cluster default — the same condition a
+                // live job's profiling epochs run under, so features match.
+                EpochResult profiled = session->run_epoch(workload::default_system_params());
+                perf::EpochProfile profile;
+                profile.epoch = profiled.epoch;
+                profile.events = profiled.counters;
+                profile.duration_s = profiled.duration_s;
+                profile.energy_j = profiled.energy_j;
+                const auto features = perf::profile_features(profile);
+
+                // One epoch per grid configuration; keep the fastest.
+                double best_duration = std::numeric_limits<double>::max();
+                SystemParams best = workload::default_system_params();
+                for (const auto& system : workload::system_param_grid()) {
+                    const EpochResult result = session->run_epoch(system);
+                    if (result.duration_s < best_duration) {
+                        best_duration = result.duration_s;
+                        best = system;
+                    }
+                }
+                ground_truth.record(features, best, best_duration);
+            }
+        }
+    }
+    return ground_truth;
+}
+
+}  // namespace pipetune::core

@@ -1,0 +1,105 @@
+#include "pipetune/data/csv_loader.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipetune::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, delimiter)) cells.push_back(cell);
+    if (!line.empty() && line.back() == delimiter) cells.emplace_back();
+    return cells;
+}
+
+double parse_number(const std::string& cell, std::size_t row, std::size_t column) {
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(cell, &consumed);
+        // Allow trailing whitespace only.
+        for (std::size_t i = consumed; i < cell.size(); ++i)
+            if (!std::isspace(static_cast<unsigned char>(cell[i])))
+                throw std::invalid_argument("trailing characters");
+        return value;
+    } catch (const std::exception&) {
+        throw std::runtime_error("CSV: non-numeric cell '" + cell + "' at row " +
+                                 std::to_string(row) + ", column " + std::to_string(column));
+    }
+}
+
+}  // namespace
+
+std::unique_ptr<InMemoryDataset> parse_csv_dataset(const std::string& text,
+                                                   const std::string& name,
+                                                   const CsvLoadOptions& options) {
+    std::istringstream stream(text);
+    std::string line;
+    std::vector<Tensor> samples;
+    std::vector<std::size_t> labels;
+    std::size_t expected_columns = 0;
+    std::size_t row_index = 0;
+    std::size_t max_label = 0;
+    bool skipped_header = !options.has_header;
+
+    while (std::getline(stream, line)) {
+        ++row_index;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        if (!skipped_header) {
+            skipped_header = true;
+            continue;
+        }
+        const auto cells = split_line(line, options.delimiter);
+        if (cells.size() < 2)
+            throw std::runtime_error("CSV: row " + std::to_string(row_index) +
+                                     " needs at least one feature and a label");
+        if (expected_columns == 0) expected_columns = cells.size();
+        if (cells.size() != expected_columns)
+            throw std::runtime_error("CSV: ragged row " + std::to_string(row_index) + " (" +
+                                     std::to_string(cells.size()) + " cells, expected " +
+                                     std::to_string(expected_columns) + ")");
+
+        const int raw_label_col = options.label_column < 0
+                                      ? static_cast<int>(cells.size()) + options.label_column
+                                      : options.label_column;
+        if (raw_label_col < 0 || raw_label_col >= static_cast<int>(cells.size()))
+            throw std::runtime_error("CSV: label column out of range");
+        const auto label_col = static_cast<std::size_t>(raw_label_col);
+
+        const double label_value = parse_number(cells[label_col], row_index, label_col);
+        if (label_value < 0 || label_value != std::floor(label_value))
+            throw std::runtime_error("CSV: label at row " + std::to_string(row_index) +
+                                     " must be a non-negative integer");
+        const auto label = static_cast<std::size_t>(label_value);
+        max_label = std::max(max_label, label);
+
+        Tensor features({cells.size() - 1});
+        std::size_t f = 0;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c == label_col) continue;
+            features(f++) = static_cast<float>(parse_number(cells[c], row_index, c));
+        }
+        samples.push_back(std::move(features));
+        labels.push_back(label);
+    }
+    if (samples.empty()) throw std::runtime_error("CSV: no data rows in '" + name + "'");
+    return std::make_unique<InMemoryDataset>(name, std::move(samples), std::move(labels),
+                                             max_label + 1);
+}
+
+std::unique_ptr<InMemoryDataset> load_csv_dataset(const std::string& path,
+                                                  const CsvLoadOptions& options) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("CSV: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_csv_dataset(buffer.str(), path, options);
+}
+
+}  // namespace pipetune::data

@@ -1,0 +1,112 @@
+#include "pipetune/data/dataset.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipetune::data {
+
+InMemoryDataset::InMemoryDataset(std::string name, std::vector<Tensor> samples,
+                                 std::vector<std::size_t> labels, std::size_t num_classes)
+    : name_(std::move(name)),
+      samples_(std::move(samples)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+    if (samples_.empty()) throw std::invalid_argument("InMemoryDataset: no samples");
+    if (samples_.size() != labels_.size())
+        throw std::invalid_argument("InMemoryDataset: sample/label count mismatch");
+    if (num_classes_ == 0) throw std::invalid_argument("InMemoryDataset: zero classes");
+    const auto& shape = samples_.front().shape();
+    for (const auto& s : samples_)
+        if (s.shape() != shape)
+            throw std::invalid_argument("InMemoryDataset: inconsistent feature shapes");
+    for (std::size_t l : labels_)
+        if (l >= num_classes_)
+            throw std::invalid_argument("InMemoryDataset: label out of range");
+}
+
+const Tensor& InMemoryDataset::features(std::size_t index) const {
+    if (index >= samples_.size()) throw std::out_of_range("InMemoryDataset::features");
+    return samples_[index];
+}
+
+std::size_t InMemoryDataset::label(std::size_t index) const {
+    if (index >= labels_.size()) throw std::out_of_range("InMemoryDataset::label");
+    return labels_[index];
+}
+
+tensor::Shape InMemoryDataset::feature_shape() const { return samples_.front().shape(); }
+
+Batch stack_batch(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+    if (indices.empty()) throw std::invalid_argument("stack_batch: empty index list");
+    const auto sample_shape = dataset.feature_shape();
+    tensor::Shape batch_shape;
+    batch_shape.push_back(indices.size());
+    for (std::size_t d : sample_shape) batch_shape.push_back(d);
+    Batch batch{Tensor(batch_shape), {}};
+    batch.labels.reserve(indices.size());
+    const std::size_t stride = tensor::shape_numel(sample_shape);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const Tensor& sample = dataset.features(indices[i]);
+        std::copy(sample.data(), sample.data() + stride, batch.features.data() + i * stride);
+        batch.labels.push_back(dataset.label(indices[i]));
+    }
+    return batch;
+}
+
+SplitDatasets split_dataset(const Dataset& dataset, double train_fraction,
+                            std::uint64_t seed) {
+    if (train_fraction <= 0.0 || train_fraction >= 1.0)
+        throw std::invalid_argument("split_dataset: train_fraction must be in (0, 1)");
+    std::vector<std::size_t> order(dataset.size());
+    std::iota(order.begin(), order.end(), 0);
+    util::Rng rng(seed);
+    rng.shuffle(order);
+    const auto cut = static_cast<std::size_t>(
+        std::llround(train_fraction * static_cast<double>(dataset.size())));
+    if (cut == 0 || cut == dataset.size())
+        throw std::invalid_argument("split_dataset: a split side would be empty");
+
+    auto take = [&](std::size_t begin, std::size_t end, const std::string& suffix) {
+        std::vector<Tensor> features;
+        std::vector<std::size_t> labels;
+        features.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            features.push_back(dataset.features(order[i]));
+            labels.push_back(dataset.label(order[i]));
+        }
+        return std::make_unique<InMemoryDataset>(dataset.name() + suffix, std::move(features),
+                                                 std::move(labels), dataset.num_classes());
+    };
+    return {take(0, cut, "-train"), take(cut, dataset.size(), "-test")};
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::size_t batch_size, util::Rng& rng,
+                             bool shuffle)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng), shuffle_(shuffle) {
+    if (batch_size == 0) throw std::invalid_argument("BatchIterator: batch_size must be > 0");
+    order_.resize(dataset.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    reset();
+}
+
+void BatchIterator::reset() {
+    cursor_ = 0;
+    if (shuffle_) rng_.shuffle(order_);
+}
+
+std::size_t BatchIterator::batches_per_epoch() const {
+    return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool BatchIterator::next(Batch& out) {
+    if (cursor_ >= order_.size()) return false;
+    const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+    std::vector<std::size_t> indices(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                     order_.begin() + static_cast<std::ptrdiff_t>(end));
+    cursor_ = end;
+    out = stack_batch(dataset_, indices);
+    return true;
+}
+
+}  // namespace pipetune::data

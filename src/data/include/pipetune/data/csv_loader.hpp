@@ -1,0 +1,35 @@
+#pragma once
+// CSV dataset loader — the adoption path for users with their own tabular
+// data. Each row is one sample: numeric feature columns plus one integer
+// label column. Returns the same InMemoryDataset the synthetic generators
+// produce, so everything downstream (Trainer, RealBackend, tuners) works
+// unchanged.
+
+#include <memory>
+#include <string>
+
+#include "pipetune/data/dataset.hpp"
+
+namespace pipetune::data {
+
+struct CsvLoadOptions {
+    bool has_header = true;
+    /// Column index holding the class label; negative counts from the end
+    /// (-1 = last column).
+    int label_column = -1;
+    char delimiter = ',';
+};
+
+/// Load a dataset from a CSV file. Throws std::runtime_error on I/O or parse
+/// problems (non-numeric cell, ragged rows, label out of range, empty file).
+/// The number of classes is max(label) + 1; labels must be non-negative
+/// integers.
+std::unique_ptr<InMemoryDataset> load_csv_dataset(const std::string& path,
+                                                  const CsvLoadOptions& options = {});
+
+/// Parse from text (used by load_csv_dataset and directly testable).
+std::unique_ptr<InMemoryDataset> parse_csv_dataset(const std::string& text,
+                                                   const std::string& name,
+                                                   const CsvLoadOptions& options = {});
+
+}  // namespace pipetune::data

@@ -1,0 +1,88 @@
+#pragma once
+// Dataset abstraction and minibatching for the NN engine. A workload in the
+// paper is a (model, dataset) pair (§3.3); datasets here are in-memory and
+// synthetic (offline substitutes for MNIST / Fashion-MNIST / News20, see
+// DESIGN.md §2).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipetune/tensor/tensor.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::data {
+
+using tensor::Tensor;
+
+class Dataset {
+public:
+    virtual ~Dataset() = default;
+    virtual std::size_t size() const = 0;
+    /// Feature tensor of one sample (no batch dimension).
+    virtual const Tensor& features(std::size_t index) const = 0;
+    virtual std::size_t label(std::size_t index) const = 0;
+    virtual tensor::Shape feature_shape() const = 0;
+    virtual std::size_t num_classes() const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Concrete dataset backed by vectors; the generators below produce these.
+class InMemoryDataset : public Dataset {
+public:
+    InMemoryDataset(std::string name, std::vector<Tensor> samples,
+                    std::vector<std::size_t> labels, std::size_t num_classes);
+
+    std::size_t size() const override { return samples_.size(); }
+    const Tensor& features(std::size_t index) const override;
+    std::size_t label(std::size_t index) const override;
+    tensor::Shape feature_shape() const override;
+    std::size_t num_classes() const override { return num_classes_; }
+    std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::vector<Tensor> samples_;
+    std::vector<std::size_t> labels_;
+    std::size_t num_classes_;
+};
+
+/// Stack samples at `indices` into one batch tensor (batch-major) plus labels.
+struct Batch {
+    Tensor features;                  ///< (batch, ...feature dims)
+    std::vector<std::size_t> labels;  ///< batch labels
+};
+Batch stack_batch(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+/// Random train/test partition of any dataset (used with load_csv_dataset to
+/// bring user data into the Trainer/Backend pipeline). `train_fraction` in
+/// (0, 1); both halves are non-empty or the call throws.
+struct SplitDatasets {
+    std::unique_ptr<InMemoryDataset> train;
+    std::unique_ptr<InMemoryDataset> test;
+};
+SplitDatasets split_dataset(const Dataset& dataset, double train_fraction, std::uint64_t seed);
+
+/// Shuffled minibatch iterator over a dataset; one pass = one epoch. The last
+/// partial batch is kept (paper epochs cover the full dataset).
+class BatchIterator {
+public:
+    BatchIterator(const Dataset& dataset, std::size_t batch_size, util::Rng& rng,
+                  bool shuffle = true);
+
+    /// False when the epoch is exhausted.
+    bool next(Batch& out);
+    void reset();
+    std::size_t batches_per_epoch() const;
+
+private:
+    const Dataset& dataset_;
+    std::size_t batch_size_;
+    util::Rng& rng_;
+    bool shuffle_;
+    std::vector<std::size_t> order_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace pipetune::data

@@ -1,0 +1,107 @@
+#pragma once
+// Type-III workloads: re-implementations of the Rodinia-style iterative
+// kernels the paper evaluates on a single node (Jacobi, BFS, spk-means,
+// Fig 12/14). Each kernel exposes the same epoch-iterative contract the DNN
+// trainer does — run one iteration, report a convergence score in [0, 100] —
+// so the tuning stack treats them uniformly. Iterations are parallelizable
+// across a worker count, mirroring the kernels' multicore behaviour.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pipetune::data {
+
+class IterativeKernel {
+public:
+    virtual ~IterativeKernel() = default;
+
+    /// Execute one iteration (one "epoch" at the tuning layer) using
+    /// `workers` parallel workers.
+    virtual void run_iteration(std::size_t workers) = 0;
+
+    /// Convergence score in [0, 100]; analogous to model accuracy.
+    virtual double score() const = 0;
+
+    virtual bool converged() const = 0;
+    virtual std::size_t iterations_done() const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// 2-D Jacobi solver for the Poisson problem on a square grid with fixed
+/// boundary values; score tracks residual reduction.
+class JacobiKernel : public IterativeKernel {
+public:
+    JacobiKernel(std::size_t grid_size, std::uint64_t seed);
+
+    void run_iteration(std::size_t workers) override;
+    double score() const override;
+    bool converged() const override;
+    std::size_t iterations_done() const override { return iterations_; }
+    std::string name() const override { return "jacobi"; }
+
+    double residual() const { return last_residual_; }
+
+private:
+    double compute_residual() const;
+
+    std::size_t n_;
+    std::vector<double> grid_, next_;
+    double initial_residual_;
+    double last_residual_;
+    std::size_t iterations_ = 0;
+};
+
+/// Level-synchronous BFS over a random graph; one iteration expands one
+/// frontier level. Score is the fraction of reachable nodes visited.
+class BfsKernel : public IterativeKernel {
+public:
+    BfsKernel(std::size_t nodes, std::size_t avg_degree, std::uint64_t seed);
+
+    void run_iteration(std::size_t workers) override;
+    double score() const override;
+    bool converged() const override { return frontier_.empty(); }
+    std::size_t iterations_done() const override { return iterations_; }
+    std::string name() const override { return "bfs"; }
+
+    std::size_t visited_count() const { return visited_count_; }
+
+private:
+    std::vector<std::vector<std::uint32_t>> adjacency_;
+    std::vector<bool> visited_;
+    std::vector<std::uint32_t> frontier_;
+    std::size_t visited_count_ = 0;
+    std::size_t iterations_ = 0;
+};
+
+/// Lloyd k-means over synthetic gaussian clusters ("spk-means" in the paper
+/// runs k-means on Spark; here one iteration = one assign+update sweep).
+/// Score is the relative inertia improvement over the initial assignment.
+class SpKMeansKernel : public IterativeKernel {
+public:
+    SpKMeansKernel(std::size_t points, std::size_t dims, std::size_t k, std::uint64_t seed);
+
+    void run_iteration(std::size_t workers) override;
+    double score() const override;
+    bool converged() const override { return converged_; }
+    std::size_t iterations_done() const override { return iterations_; }
+    std::string name() const override { return "spkmeans"; }
+
+    double inertia() const { return last_inertia_; }
+
+private:
+    std::size_t dims_, k_;
+    std::vector<double> points_;     ///< row-major (points, dims)
+    std::vector<double> centroids_;  ///< row-major (k, dims)
+    std::vector<std::size_t> assignment_;
+    double initial_inertia_ = 0.0;
+    double last_inertia_ = 0.0;
+    bool converged_ = false;
+    std::size_t iterations_ = 0;
+};
+
+/// Factory by paper workload name: "jacobi", "bfs", "spkmeans".
+std::unique_ptr<IterativeKernel> make_kernel(const std::string& kernel_name, std::uint64_t seed);
+
+}  // namespace pipetune::data

@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic dataset generators — offline substitutes for the paper's MNIST,
+// Fashion-MNIST and News20 datasets (Table 3). Each generator is
+// deterministic in its seed and produces learnably separable classes: class
+// prototypes plus per-sample noise, so real SGD training converges and
+// learning curves have the expected shape (accuracy rises with epochs,
+// degrades with oversized batch, etc.).
+
+#include <memory>
+
+#include "pipetune/data/dataset.hpp"
+
+namespace pipetune::data {
+
+enum class ImageStyle {
+    kDigits,   ///< smooth gaussian-blob prototypes (MNIST-like)
+    kFashion,  ///< blockier textured prototypes (Fashion-MNIST-like)
+};
+
+struct ImageDatasetConfig {
+    std::size_t classes = 10;
+    std::size_t samples = 512;
+    std::size_t image_size = 28;
+    ImageStyle style = ImageStyle::kDigits;
+    double noise = 0.15;  ///< per-pixel gaussian noise std
+    std::uint64_t seed = 1;
+};
+
+/// Grayscale image dataset with shape (1, size, size) per sample, pixel
+/// values in [0, 1].
+std::unique_ptr<InMemoryDataset> make_image_dataset(const ImageDatasetConfig& config,
+                                                    const std::string& name);
+
+struct TextDatasetConfig {
+    std::size_t classes = 20;
+    std::size_t samples = 512;
+    std::size_t vocab_size = 2000;
+    std::size_t seq_len = 32;
+    /// Probability a token is drawn from the class-specific topic vocabulary
+    /// rather than the shared background distribution.
+    double topic_strength = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/// Token-sequence dataset (News20-like): each sample is (seq_len,) token ids
+/// stored as floats, drawn from a Zipfian background mixed with a per-class
+/// topic vocabulary.
+std::unique_ptr<InMemoryDataset> make_text_dataset(const TextDatasetConfig& config,
+                                                   const std::string& name);
+
+/// Convenience: train/test split of the same distribution (different seeds).
+struct TrainTestPair {
+    std::unique_ptr<InMemoryDataset> train;
+    std::unique_ptr<InMemoryDataset> test;
+};
+TrainTestPair make_image_split(ImageDatasetConfig config, const std::string& name,
+                               std::size_t test_samples);
+TrainTestPair make_text_split(TextDatasetConfig config, const std::string& name,
+                              std::size_t test_samples);
+
+}  // namespace pipetune::data

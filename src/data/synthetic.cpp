@@ -1,0 +1,184 @@
+#include "pipetune/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::data {
+
+namespace {
+
+// Smooth blob prototype: sum of a few random gaussians on the image plane.
+Tensor digit_prototype(std::size_t size, util::Rng& rng) {
+    Tensor proto({1, size, size});
+    const int blobs = static_cast<int>(rng.uniform_int(2, 4));
+    for (int b = 0; b < blobs; ++b) {
+        const double cx = rng.uniform(0.2, 0.8) * static_cast<double>(size);
+        const double cy = rng.uniform(0.2, 0.8) * static_cast<double>(size);
+        const double sigma = rng.uniform(0.08, 0.2) * static_cast<double>(size);
+        const double amp = rng.uniform(0.6, 1.0);
+        for (std::size_t y = 0; y < size; ++y)
+            for (std::size_t x = 0; x < size; ++x) {
+                const double dx = static_cast<double>(x) - cx;
+                const double dy = static_cast<double>(y) - cy;
+                proto(0, y, x) += static_cast<float>(
+                    amp * std::exp(-(dx * dx + dy * dy) / (2 * sigma * sigma)));
+            }
+    }
+    return proto;
+}
+
+// Blocky prototype: random axis-aligned rectangles plus stripes, echoing the
+// garment silhouettes of Fashion-MNIST.
+Tensor fashion_prototype(std::size_t size, util::Rng& rng) {
+    Tensor proto({1, size, size});
+    const int rects = static_cast<int>(rng.uniform_int(2, 3));
+    for (int r = 0; r < rects; ++r) {
+        const auto x0 = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(size / 2)));
+        const auto y0 = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(size / 2)));
+        const auto w = static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(size / 4),
+                                                                static_cast<std::int64_t>(size / 2)));
+        const auto h = static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(size / 4),
+                                                                static_cast<std::int64_t>(size / 2)));
+        const auto amp = static_cast<float>(rng.uniform(0.5, 1.0));
+        for (std::size_t y = y0; y < std::min(y0 + h, size); ++y)
+            for (std::size_t x = x0; x < std::min(x0 + w, size); ++x) proto(0, y, x) += amp;
+    }
+    const std::size_t stripe = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    for (std::size_t y = 0; y < size; ++y)
+        if (y % stripe == 0)
+            for (std::size_t x = 0; x < size; ++x) proto(0, y, x) *= 0.7f;
+    return proto;
+}
+
+void clamp01(Tensor& t) {
+    t.apply([](float v) { return std::clamp(v, 0.0f, 1.0f); });
+}
+
+}  // namespace
+
+std::unique_ptr<InMemoryDataset> make_image_dataset(const ImageDatasetConfig& config,
+                                                    const std::string& name) {
+    if (config.classes == 0 || config.samples == 0 || config.image_size == 0)
+        throw std::invalid_argument("make_image_dataset: zero-sized configuration");
+    util::Rng rng(config.seed);
+    std::vector<Tensor> prototypes;
+    prototypes.reserve(config.classes);
+    for (std::size_t c = 0; c < config.classes; ++c)
+        prototypes.push_back(config.style == ImageStyle::kDigits
+                                 ? digit_prototype(config.image_size, rng)
+                                 : fashion_prototype(config.image_size, rng));
+
+    std::vector<Tensor> samples;
+    std::vector<std::size_t> labels;
+    samples.reserve(config.samples);
+    labels.reserve(config.samples);
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        const std::size_t cls = i % config.classes;  // balanced classes
+        Tensor sample = prototypes[cls];
+        for (std::size_t k = 0; k < sample.numel(); ++k)
+            sample[k] += static_cast<float>(rng.normal(0.0, config.noise));
+        clamp01(sample);
+        samples.push_back(std::move(sample));
+        labels.push_back(cls);
+    }
+    return std::make_unique<InMemoryDataset>(name, std::move(samples), std::move(labels),
+                                             config.classes);
+}
+
+std::unique_ptr<InMemoryDataset> make_text_dataset(const TextDatasetConfig& config,
+                                                   const std::string& name) {
+    if (config.classes == 0 || config.samples == 0 || config.vocab_size < config.classes * 4)
+        throw std::invalid_argument("make_text_dataset: vocabulary too small for class topics");
+    if (config.topic_strength < 0 || config.topic_strength > 1)
+        throw std::invalid_argument("make_text_dataset: topic_strength must be in [0, 1]");
+    util::Rng rng(config.seed);
+
+    // Zipfian background over the whole vocabulary.
+    std::vector<double> background(config.vocab_size);
+    for (std::size_t v = 0; v < config.vocab_size; ++v)
+        background[v] = 1.0 / static_cast<double>(v + 1);
+
+    // Disjoint per-class topic vocabularies (a handful of characteristic
+    // tokens each, like newsgroup jargon).
+    const std::size_t topic_words = std::max<std::size_t>(4, config.vocab_size / (config.classes * 8));
+    std::vector<std::vector<std::size_t>> topics(config.classes);
+    std::size_t next_token = config.vocab_size / 2;  // topics live in the rarer half
+    for (std::size_t c = 0; c < config.classes; ++c) {
+        for (std::size_t w = 0; w < topic_words; ++w)
+            topics[c].push_back((next_token + w) % config.vocab_size);
+        next_token += topic_words;
+    }
+
+    std::vector<Tensor> samples;
+    std::vector<std::size_t> labels;
+    samples.reserve(config.samples);
+    labels.reserve(config.samples);
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        const std::size_t cls = i % config.classes;
+        Tensor sample({config.seq_len});
+        for (std::size_t t = 0; t < config.seq_len; ++t) {
+            std::size_t token;
+            if (rng.bernoulli(config.topic_strength)) {
+                token = topics[cls][rng.index(topics[cls].size())];
+            } else {
+                token = rng.weighted_index(background);
+            }
+            sample(t) = static_cast<float>(token);
+        }
+        samples.push_back(std::move(sample));
+        labels.push_back(cls);
+    }
+    return std::make_unique<InMemoryDataset>(name, std::move(samples), std::move(labels),
+                                             config.classes);
+}
+
+TrainTestPair make_image_split(ImageDatasetConfig config, const std::string& name,
+                               std::size_t test_samples) {
+    TrainTestPair pair;
+    // Same prototypes require the same seed: generate train+test as one run
+    // (prototypes are drawn first, then per-sample noise in index order), and
+    // slice off the tail as the test set.
+    pair.train = make_image_dataset(config, name + "-train");
+    auto full = make_image_dataset(
+        [&] {
+            ImageDatasetConfig combined = config;
+            combined.samples = config.samples + test_samples;
+            return combined;
+        }(),
+        name);
+    std::vector<Tensor> test_feats;
+    std::vector<std::size_t> test_labels;
+    for (std::size_t i = config.samples; i < config.samples + test_samples; ++i) {
+        test_feats.push_back(full->features(i));
+        test_labels.push_back(full->label(i));
+    }
+    pair.test = std::make_unique<InMemoryDataset>(name + "-test", std::move(test_feats),
+                                                  std::move(test_labels), config.classes);
+    return pair;
+}
+
+TrainTestPair make_text_split(TextDatasetConfig config, const std::string& name,
+                              std::size_t test_samples) {
+    TrainTestPair pair;
+    TextDatasetConfig combined = config;
+    combined.samples = config.samples + test_samples;
+    auto full = make_text_dataset(combined, name);
+    std::vector<Tensor> train_feats, test_feats;
+    std::vector<std::size_t> train_labels, test_labels;
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        train_feats.push_back(full->features(i));
+        train_labels.push_back(full->label(i));
+    }
+    for (std::size_t i = config.samples; i < combined.samples; ++i) {
+        test_feats.push_back(full->features(i));
+        test_labels.push_back(full->label(i));
+    }
+    pair.train = std::make_unique<InMemoryDataset>(name + "-train", std::move(train_feats),
+                                                   std::move(train_labels), config.classes);
+    pair.test = std::make_unique<InMemoryDataset>(name + "-test", std::move(test_feats),
+                                                  std::move(test_labels), config.classes);
+    return pair;
+}
+
+}  // namespace pipetune::data

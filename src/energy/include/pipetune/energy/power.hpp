@@ -1,0 +1,79 @@
+#pragma once
+// Cluster power/energy substrate.
+//
+// The paper measures power with a LINDY iPower Control PDU sampled up to
+// every second at 1 W resolution and 1.5% precision, and estimates energy as
+// the trapezoidal integral of those samples (§3.2, §7.1.1). We reproduce the
+// pipeline: an analytic node power model (idle + dynamic per-core power with
+// cubic frequency scaling), a PDU that quantizes and perturbs 1 Hz samples,
+// and trapezoidal integration of the sampled series.
+
+#include <cstdint>
+#include <vector>
+
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::energy {
+
+struct PowerModelConfig {
+    /// Node baseline. The paper's Type-I/II machines are quad-socket Xeons;
+    /// their platform idle dominates, which is why shorter runtimes translate
+    /// into energy savings even at higher core counts (Fig 3c).
+    double idle_watts = 120.0;
+    double per_core_watts = 7.0;       ///< dynamic power of one busy core at base frequency
+    double memory_watts_per_gb = 0.35; ///< DRAM refresh/activity per allocated GB
+    double base_frequency_ghz = 2.4;
+};
+
+/// Analytic node power draw.
+class PowerModel {
+public:
+    explicit PowerModel(PowerModelConfig config = {});
+
+    /// Instantaneous draw with `active_cores` cores busy at `utilization`
+    /// (0..1 each), `mem_gb` allocated, running at `frequency_ghz`.
+    /// Dynamic power scales ~f^3 (DVFS), memory linearly.
+    double power_watts(std::size_t active_cores, double utilization, double mem_gb,
+                       double frequency_ghz) const;
+    double power_watts(std::size_t active_cores, double utilization, double mem_gb) const;
+
+    const PowerModelConfig& config() const { return config_; }
+
+private:
+    PowerModelConfig config_;
+};
+
+struct PduConfig {
+    double sample_interval_s = 1.0;  ///< "up to every second"
+    double resolution_watts = 1.0;   ///< "resolution of 1 W"
+    double precision = 0.015;        ///< "1.5% precision"
+};
+
+/// Simulated power distribution unit: samples a power trace at 1 Hz with
+/// quantization and gaussian precision error, then integrates trapezoidally.
+class Pdu {
+public:
+    explicit Pdu(PduConfig config = {}, std::uint64_t seed = 1);
+
+    struct Sample {
+        double t;
+        double watts;
+    };
+
+    /// Sample a constant-power interval; returns the recorded series.
+    std::vector<Sample> sample_interval(double power_watts, double duration_s);
+
+    /// Trapezoidal energy (joules) of a recorded series.
+    static double integrate(const std::vector<Sample>& samples);
+
+    /// Convenience: sample + integrate a constant-power interval in one call.
+    double measure_energy(double power_watts, double duration_s);
+
+    const PduConfig& config() const { return config_; }
+
+private:
+    PduConfig config_;
+    util::Rng rng_;
+};
+
+}  // namespace pipetune::energy

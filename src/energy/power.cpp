@@ -1,0 +1,71 @@
+#include "pipetune/energy/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::energy {
+
+PowerModel::PowerModel(PowerModelConfig config) : config_(config) {
+    if (config.idle_watts < 0 || config.per_core_watts < 0 || config.memory_watts_per_gb < 0 ||
+        config.base_frequency_ghz <= 0)
+        throw std::invalid_argument("PowerModel: invalid configuration");
+}
+
+double PowerModel::power_watts(std::size_t active_cores, double utilization, double mem_gb,
+                               double frequency_ghz) const {
+    if (utilization < 0 || utilization > 1)
+        throw std::invalid_argument("PowerModel: utilization must be in [0, 1]");
+    if (mem_gb < 0) throw std::invalid_argument("PowerModel: negative memory");
+    if (frequency_ghz <= 0) throw std::invalid_argument("PowerModel: frequency must be > 0");
+    const double freq_ratio = frequency_ghz / config_.base_frequency_ghz;
+    const double dynamic = config_.per_core_watts * static_cast<double>(active_cores) *
+                           utilization * freq_ratio * freq_ratio * freq_ratio;
+    return config_.idle_watts + dynamic + config_.memory_watts_per_gb * mem_gb;
+}
+
+double PowerModel::power_watts(std::size_t active_cores, double utilization, double mem_gb) const {
+    return power_watts(active_cores, utilization, mem_gb, config_.base_frequency_ghz);
+}
+
+Pdu::Pdu(PduConfig config, std::uint64_t seed) : config_(config), rng_(seed) {
+    if (config.sample_interval_s <= 0 || config.resolution_watts <= 0 || config.precision < 0)
+        throw std::invalid_argument("Pdu: invalid configuration");
+}
+
+std::vector<Pdu::Sample> Pdu::sample_interval(double power_watts, double duration_s) {
+    if (power_watts < 0) throw std::invalid_argument("Pdu: negative power");
+    if (duration_s <= 0) throw std::invalid_argument("Pdu: duration must be > 0");
+    std::vector<Sample> samples;
+    // Sample at t = 0, interval, 2*interval, ..., duration (endpoint included
+    // so short intervals still produce an integrable pair).
+    for (double t = 0.0;; t += config_.sample_interval_s) {
+        const bool last = t >= duration_s;
+        const double at = last ? duration_s : t;
+        const double noisy = power_watts * (1.0 + rng_.normal(0.0, config_.precision));
+        const double quantized =
+            std::max(0.0, std::round(noisy / config_.resolution_watts) * config_.resolution_watts);
+        samples.push_back({at, quantized});
+        if (last) break;
+    }
+    return samples;
+}
+
+double Pdu::integrate(const std::vector<Sample>& samples) {
+    std::vector<double> t, w;
+    t.reserve(samples.size());
+    w.reserve(samples.size());
+    for (const auto& sample : samples) {
+        t.push_back(sample.t);
+        w.push_back(sample.watts);
+    }
+    return util::trapezoid(t, w);
+}
+
+double Pdu::measure_energy(double power_watts, double duration_s) {
+    return integrate(sample_interval(power_watts, duration_s));
+}
+
+}  // namespace pipetune::energy

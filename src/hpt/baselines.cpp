@@ -1,0 +1,77 @@
+#include "pipetune/hpt/baselines.hpp"
+
+namespace pipetune::hpt {
+
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::Workload;
+
+BaselineResult run_hyperband_job(workload::Backend& backend, const Workload& workload,
+                                 const ParamSpace& space, Objective objective,
+                                 const HptJobConfig& config, SystemTuningPolicy* policy,
+                                 double cohort_scale) {
+    RunnerConfig runner_config;
+    runner_config.parallel_slots = config.parallel_slots;
+    runner_config.objective = objective;
+    runner_config.default_system = config.default_system;
+
+    TuningJobRunner runner(backend, workload, runner_config, policy);
+    HyperBand searcher(space, config.hyperband_resource, config.hyperband_eta, config.seed,
+                       cohort_scale);
+
+    BaselineResult result;
+    result.tuning = runner.run(searcher);
+    result.best_hyper = result.tuning.best_hyperparams;
+    result.best_hyper.epochs = config.final_epochs;
+    // V2's winning point carries its searched system parameters; V1's (and
+    // PipeTune's) points do not, so the default applies — PipeTune's policy
+    // then overrides per epoch.
+    result.final_system = to_systemparams(result.tuning.best_point, config.default_system);
+    const auto final_run = runner.run_final_training(result.best_hyper, result.final_system);
+    result.training_time_s = final_run.duration_s;
+    result.training_energy_j = final_run.energy_j;
+    result.final_accuracy = final_run.accuracy;
+    return result;
+}
+
+BaselineResult run_tune_v1(workload::Backend& backend, const Workload& workload,
+                           const HptJobConfig& config) {
+    return run_hyperband_job(backend, workload, hyperband_hyperparameter_space(),
+                             Objective::kAccuracy, config);
+}
+
+BaselineResult run_tune_v2(workload::Backend& backend, const Workload& workload,
+                           const HptJobConfig& config) {
+    return run_hyperband_job(backend, workload, combined_space(), Objective::kAccuracyPerTime,
+                             config, nullptr, config.v2_cohort_scale);
+}
+
+BaselineResult run_arbitrary(workload::Backend& backend, const Workload& workload,
+                             const HptJobConfig& config) {
+    // A plausible hand-pick: mid-size batch, no dropout, slightly hot
+    // learning rate — the kind of guess §4 shows "lead[s] to both worse
+    // accuracy and training time".
+    HyperParams hyper;
+    hyper.batch_size = 64;
+    hyper.dropout = 0.0;
+    hyper.embedding_dim = 100;
+    hyper.learning_rate = 0.08;
+    hyper.epochs = config.final_epochs;
+
+    RunnerConfig runner_config;
+    runner_config.default_system = config.default_system;
+    TuningJobRunner runner(backend, workload, runner_config);
+
+    BaselineResult result;
+    result.best_hyper = hyper;
+    result.final_system = config.default_system;
+    const auto final_run = runner.run_final_training(hyper, config.default_system);
+    result.training_time_s = final_run.duration_s;
+    result.training_energy_j = final_run.energy_j;
+    result.final_accuracy = final_run.accuracy;
+    result.tuning.best_accuracy = final_run.accuracy;
+    result.tuning.best_hyperparams = hyper;
+    return result;
+}
+
+}  // namespace pipetune::hpt

@@ -1,0 +1,55 @@
+#pragma once
+// Median stopping rule — the early-stop technique behind HyperDrive's POP
+// scheduler, which the paper lists among the industry tuning systems
+// PipeTune composes with (§2: "combines probabilistic model-based
+// classification with dynamic scheduling and early stop techniques").
+//
+// Trials train in fixed-size intervals. After each interval, a trial whose
+// best accuracy falls below the median best-accuracy of all trials at the
+// same progress is stopped; survivors continue to the full budget. Compared
+// to HyperBand this makes no bracket commitments — any number of trials can
+// survive — which suits objective landscapes where early performance is
+// predictive.
+
+#include "pipetune/hpt/searcher.hpp"
+
+namespace pipetune::hpt {
+
+class MedianStoppingSearch : public Searcher {
+public:
+    /// `num_trials` random configurations, each trained up to `total_epochs`
+    /// in chunks of `interval_epochs`, pruned against the median after every
+    /// chunk. `grace_intervals` chunks run before pruning starts.
+    MedianStoppingSearch(ParamSpace space, std::size_t num_trials, std::size_t total_epochs,
+                         std::size_t interval_epochs, std::uint64_t seed,
+                         std::size_t grace_intervals = 1);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "median-stopping"; }
+
+    /// Trials pruned so far (for tests/benches).
+    std::size_t stopped_trials() const { return stopped_; }
+
+private:
+    struct Member {
+        std::uint64_t config_id = 0;
+        ParamPoint point;
+        std::size_t epochs_done = 0;
+        double best_score = 0.0;
+        bool stopped = false;
+    };
+
+    ParamSpace space_;
+    std::size_t num_trials_;
+    std::size_t total_epochs_;
+    std::size_t interval_;
+    util::Rng rng_;
+    std::size_t grace_intervals_;
+    std::vector<Member> members_;
+    bool started_ = false;
+    std::size_t intervals_completed_ = 0;
+    std::size_t stopped_ = 0;
+};
+
+}  // namespace pipetune::hpt

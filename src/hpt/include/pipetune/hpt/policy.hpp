@@ -1,0 +1,66 @@
+#pragma once
+// System-parameter policy: decides, before every epoch of every trial, which
+// system configuration that epoch runs under.
+//
+// This is the seam PipeTune plugs into (paper §5.2: "within each trial, a
+// collection of sub-trials is executed ... varying the system configuration
+// on the epoch level"):
+//   * Tune V1  -> FixedSystemPolicy(default cluster configuration)
+//   * Tune V2  -> FixedSystemPolicy(the trial's searched system parameters)
+//   * PipeTune -> core::PipeTunePolicy (profile, match ground truth, probe)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::hpt {
+
+class SystemTuningPolicy {
+public:
+    virtual ~SystemTuningPolicy() = default;
+
+    /// System configuration for `epoch` (1-based, about to run) of the trial
+    /// identified by `trial_id` (stable across continuations). `history`
+    /// holds this trial's completed epochs; `trial_default` is the
+    /// configuration the trial would use absent any policy (V1's cluster
+    /// default, or V2's searched values).
+    virtual workload::SystemParams choose(std::uint64_t trial_id,
+                                          const workload::Workload& workload,
+                                          const workload::HyperParams& hyper, std::size_t epoch,
+                                          const std::vector<workload::EpochResult>& history,
+                                          const workload::SystemParams& trial_default) = 0;
+
+    /// Extra virtual seconds the policy's own work adds to this epoch
+    /// (profiling overhead, §7.3). Charged by the runner so overhead claims
+    /// are measurable.
+    virtual double epoch_overhead_s(std::uint64_t /*trial_id*/, std::size_t /*epoch*/,
+                                    double /*epoch_duration_s*/) {
+        return 0.0;
+    }
+
+    /// Notification that a trial completed (PipeTune stores ground truth here).
+    virtual void trial_finished(std::uint64_t /*trial_id*/,
+                                const workload::Workload& /*workload*/,
+                                const workload::HyperParams& /*hyper*/,
+                                const std::vector<workload::EpochResult>& /*history*/) {}
+
+    virtual std::string name() const = 0;
+};
+
+/// Run every epoch under the trial's default configuration.
+class FixedSystemPolicy final : public SystemTuningPolicy {
+public:
+    FixedSystemPolicy() = default;
+
+    workload::SystemParams choose(std::uint64_t, const workload::Workload&,
+                                  const workload::HyperParams&, std::size_t,
+                                  const std::vector<workload::EpochResult>&,
+                                  const workload::SystemParams& trial_default) override {
+        return trial_default;
+    }
+    std::string name() const override { return "fixed"; }
+};
+
+}  // namespace pipetune::hpt

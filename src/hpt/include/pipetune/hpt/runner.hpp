@@ -1,0 +1,97 @@
+#pragma once
+// Tuning-job runner: executes a Searcher's waves of trial requests against a
+// Backend, schedules trials onto parallel cluster slots on a virtual clock,
+// applies a SystemTuningPolicy per epoch, and accounts tuning duration,
+// energy and convergence series (the raw material of Figs 9-14 and Table 2).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "pipetune/hpt/policy.hpp"
+#include "pipetune/hpt/searcher.hpp"
+
+namespace pipetune::hpt {
+
+/// What the search maximizes (paper §5.1): accuracy only, or accuracy with
+/// minimum training time (Tune V2's ratio objective, §4).
+enum class Objective { kAccuracy, kAccuracyPerTime };
+
+/// Scalar score for ranking trial outcomes under an objective. Duration is
+/// the trial's full (virtual) training time in seconds.
+double objective_score(Objective objective, double accuracy, double duration_s);
+
+struct RunnerConfig {
+    std::size_t parallel_slots = 4;  ///< concurrently running trials (cluster nodes)
+    Objective objective = Objective::kAccuracy;
+    workload::SystemParams default_system = workload::default_system_params();
+};
+
+/// One completed trial-continuation, stamped with its virtual completion
+/// time; the sequence over a run is the convergence trajectory (Figs 9, 10).
+struct ConvergencePoint {
+    double time_s = 0.0;            ///< virtual wall-clock at completion
+    double accuracy = 0.0;          ///< accuracy of this trial at completion
+    double best_accuracy = 0.0;     ///< best accuracy of any trial so far
+    double trial_duration_s = 0.0;  ///< this trial's cumulative training time
+};
+
+struct TuningResult {
+    ParamPoint best_point;
+    workload::HyperParams best_hyperparams;
+    workload::SystemParams best_system;  ///< system config of the winning trial's last epoch
+    double best_score = 0.0;
+    double best_accuracy = 0.0;
+    double tuning_duration_s = 0.0;  ///< virtual makespan of the whole HPT job
+    double tuning_energy_j = 0.0;    ///< summed epoch energies incl. overheads
+    std::size_t trials = 0;          ///< distinct configurations executed
+    std::size_t epochs = 0;          ///< total epochs executed
+    std::vector<ConvergencePoint> convergence;
+};
+
+class TuningJobRunner {
+public:
+    /// `policy` may be null (falls back to FixedSystemPolicy). The backend
+    /// and policy must outlive the runner.
+    TuningJobRunner(workload::Backend& backend, const workload::Workload& workload,
+                    RunnerConfig config, SystemTuningPolicy* policy = nullptr);
+
+    /// Drive the searcher to completion.
+    TuningResult run(Searcher& searcher);
+
+    /// Costs and quality of training the final model with the winning
+    /// configuration (Table 2's "Accuracy" and "Training Time" columns).
+    struct FinalTraining {
+        double duration_s = 0.0;
+        double energy_j = 0.0;
+        double accuracy = 0.0;  ///< accuracy after the last epoch
+    };
+
+    /// Train a final model with the given hyperparameters under the runner's
+    /// policy.
+    FinalTraining run_final_training(const workload::HyperParams& hyper,
+                                     const workload::SystemParams& system_default);
+
+    const RunnerConfig& config() const { return config_; }
+
+private:
+    struct LiveTrial {
+        std::unique_ptr<workload::TrialSession> session;
+        std::vector<workload::EpochResult> history;
+        double total_duration_s = 0.0;
+        workload::SystemParams last_system;
+    };
+
+    /// Execute one request (possibly resuming); returns the outcome.
+    TrialOutcome execute(const TrialRequest& request);
+
+    workload::Backend& backend_;
+    workload::Workload workload_;
+    RunnerConfig config_;
+    FixedSystemPolicy fallback_policy_;
+    SystemTuningPolicy* policy_;
+    std::map<std::uint64_t, LiveTrial> live_;
+    std::uint64_t final_training_counter_ = 0;
+};
+
+}  // namespace pipetune::hpt

@@ -1,0 +1,56 @@
+#pragma once
+// Search-algorithm interface. PipeTune is agnostic to the trial scheduler
+// (paper Fig 7 lists grid search, genetic optimization, random search,
+// bayesian gradient optimization and hyperband); each algorithm implements
+// this wave-synchronous protocol:
+//
+//   while (auto wave = searcher.next_wave(); !wave.empty())
+//       run each request (resuming earlier sessions), report outcomes
+//
+// Requests address trials by config_id so budget-based algorithms (HyperBand,
+// PBT) can *continue* a previously started trial instead of restarting it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipetune/hpt/space.hpp"
+
+namespace pipetune::hpt {
+
+struct TrialRequest {
+    std::uint64_t config_id = 0;  ///< stable identity across continuations
+    ParamPoint point;
+    std::size_t target_epochs = 0;  ///< run until the trial has done this many
+};
+
+struct TrialOutcome {
+    std::uint64_t config_id = 0;
+    ParamPoint point;
+    std::size_t epochs_done = 0;
+    double last_accuracy = 0.0;    ///< accuracy after the final epoch run
+    double best_accuracy = 0.0;    ///< best accuracy seen over the whole trial
+    double duration_s = 0.0;       ///< virtual seconds spent in this continuation
+    double total_duration_s = 0.0; ///< whole-trial virtual seconds so far
+    double energy_j = 0.0;         ///< energy of this continuation
+    /// Scalar the searcher maximizes; computed by the runner from its
+    /// objective (accuracy for V1/PipeTune, accuracy/duration for V2).
+    double score = 0.0;
+};
+
+class Searcher {
+public:
+    virtual ~Searcher() = default;
+
+    /// Next synchronized wave of trial (continuation) requests; an empty wave
+    /// means the search is finished.
+    virtual std::vector<TrialRequest> next_wave() = 0;
+
+    /// Report one completed request of the current wave. The runner reports
+    /// every request of a wave before asking for the next.
+    virtual void report(const TrialOutcome& outcome) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+}  // namespace pipetune::hpt

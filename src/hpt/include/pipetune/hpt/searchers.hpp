@@ -1,0 +1,183 @@
+#pragma once
+// The search algorithms PipeTune supports (paper Fig 7): grid, random,
+// HyperBand, TPE-style bayesian, genetic, and population-based training.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "pipetune/hpt/searcher.hpp"
+
+namespace pipetune::hpt {
+
+/// Exhaustive cartesian grid, one wave. Continuous dims contribute
+/// `points_per_dim` values. Each trial runs its own "epochs" value (or
+/// `default_epochs` when the space has no epochs dimension).
+class GridSearch : public Searcher {
+public:
+    GridSearch(ParamSpace space, std::size_t points_per_dim, std::size_t default_epochs = 10);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "grid"; }
+
+private:
+    ParamSpace space_;
+    std::size_t points_per_dim_;
+    std::size_t default_epochs_;
+    bool emitted_ = false;
+};
+
+/// Uniform random sampling, one wave of `num_trials`.
+class RandomSearch : public Searcher {
+public:
+    RandomSearch(ParamSpace space, std::size_t num_trials, std::size_t default_epochs,
+                 std::uint64_t seed);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "random"; }
+
+private:
+    ParamSpace space_;
+    std::size_t num_trials_;
+    std::size_t default_epochs_;
+    util::Rng rng_;
+    bool emitted_ = false;
+};
+
+/// HyperBand (Li et al., JMLR'17): brackets of successive halving over the
+/// epoch budget. `max_resource` R is the maximum epochs any configuration
+/// receives; eta is the halving factor. The searcher continues surviving
+/// configurations rather than restarting them.
+class HyperBand : public Searcher {
+public:
+    /// `cohort_scale` multiplies each bracket's initial cohort size; > 1 gives
+    /// proportionally more samples to larger search spaces (Tune V2).
+    HyperBand(ParamSpace space, std::size_t max_resource, std::size_t eta, std::uint64_t seed,
+              double cohort_scale = 1.0);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "hyperband"; }
+
+    struct Rung {
+        std::size_t bracket = 0;
+        std::size_t round = 0;
+        std::size_t configs = 0;
+        std::size_t epochs = 0;
+    };
+    /// The bracket/rung schedule (exposed for tests).
+    const std::vector<Rung>& schedule() const { return schedule_; }
+
+private:
+    void plan();
+
+    ParamSpace space_;
+    std::size_t max_resource_;
+    std::size_t eta_;
+    double cohort_scale_;
+    util::Rng rng_;
+    std::vector<Rung> schedule_;
+    std::size_t next_rung_ = 0;
+    std::uint64_t next_config_id_ = 1;
+
+    struct Member {
+        std::uint64_t config_id;
+        ParamPoint point;
+        double score = 0.0;
+    };
+    std::vector<Member> current_;   ///< survivors entering the pending rung
+    std::vector<TrialOutcome> wave_outcomes_;
+};
+
+/// Tree-structured Parzen Estimator flavoured bayesian search: after a random
+/// warm-up, candidates are scored by the ratio of "good" vs "bad" kernel
+/// densities per dimension and the best of `candidates_per_step` is run.
+class TpeSearch : public Searcher {
+public:
+    TpeSearch(ParamSpace space, std::size_t num_trials, std::size_t default_epochs,
+              std::uint64_t seed, std::size_t warmup = 5, std::size_t candidates_per_step = 24,
+              double good_fraction = 0.25);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "tpe"; }
+
+private:
+    double density(const std::vector<ParamPoint>& observations, const ParamPoint& candidate) const;
+    ParamPoint propose();
+
+    ParamSpace space_;
+    std::size_t num_trials_;
+    std::size_t default_epochs_;
+    util::Rng rng_;
+    std::size_t warmup_;
+    std::size_t candidates_;
+    double good_fraction_;
+    std::size_t issued_ = 0;
+    std::uint64_t next_config_id_ = 1;
+    std::vector<std::pair<ParamPoint, double>> history_;  ///< (point, score)
+};
+
+/// Generational genetic search: tournament selection, uniform crossover,
+/// per-dimension mutation.
+class GeneticSearch : public Searcher {
+public:
+    GeneticSearch(ParamSpace space, std::size_t population, std::size_t generations,
+                  std::size_t default_epochs, std::uint64_t seed, double mutation_rate = 0.2);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "genetic"; }
+
+private:
+    ParamPoint crossover_mutate(const ParamPoint& a, const ParamPoint& b);
+
+    ParamSpace space_;
+    std::size_t population_;
+    std::size_t generations_;
+    std::size_t default_epochs_;
+    util::Rng rng_;
+    double mutation_rate_;
+    std::size_t generation_ = 0;
+    std::uint64_t next_config_id_ = 1;
+    std::vector<std::pair<ParamPoint, double>> scored_;  ///< last generation results
+};
+
+/// Population-based training (Jaderberg et al.): a fixed population trains in
+/// intervals; after each interval the bottom quantile clones the top
+/// quantile's configuration with perturbation and training continues.
+class PbtSearch : public Searcher {
+public:
+    PbtSearch(ParamSpace space, std::size_t population, std::size_t total_epochs,
+              std::size_t interval_epochs, std::uint64_t seed, double quantile = 0.25);
+
+    std::vector<TrialRequest> next_wave() override;
+    void report(const TrialOutcome& outcome) override;
+    std::string name() const override { return "pbt"; }
+
+private:
+    ParamPoint perturb(const ParamPoint& point);
+
+    ParamSpace space_;
+    std::size_t population_;
+    std::size_t total_epochs_;
+    std::size_t interval_;
+    util::Rng rng_;
+    double quantile_;
+    std::size_t epochs_assigned_ = 0;
+    std::uint64_t next_config_id_ = 1;
+
+    struct Member {
+        std::uint64_t config_id;
+        ParamPoint point;
+        double score = 0.0;
+        std::size_t epochs_done = 0;
+    };
+    std::vector<Member> population_members_;
+    bool started_ = false;
+};
+
+}  // namespace pipetune::hpt

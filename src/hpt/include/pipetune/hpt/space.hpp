@@ -1,0 +1,72 @@
+#pragma once
+// Parameter search spaces. A ParamPoint is a named assignment of doubles,
+// convertible to the strongly typed HyperParams / SystemParams; keeping the
+// search generic lets Tune V2 fold system parameters into the same space the
+// hyperparameters live in (paper §4) and lets Fig 1 sweep "number of tuned
+// parameters" from 1 to 6.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/rng.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::hpt {
+
+using ParamPoint = std::map<std::string, double>;
+
+struct ParamDomain {
+    enum class Kind { kDiscrete, kContinuous, kLogContinuous };
+    std::string name;
+    Kind kind = Kind::kDiscrete;
+    std::vector<double> values;  ///< discrete choices (Kind::kDiscrete)
+    double lo = 0.0, hi = 0.0;   ///< bounds (continuous kinds)
+
+    double sample(util::Rng& rng) const;
+    /// Representative grid values (discrete: all; continuous: n spaced points).
+    std::vector<double> grid_values(std::size_t n) const;
+    /// Clamp/snap an arbitrary value into the domain.
+    double clamp(double value) const;
+};
+
+class ParamSpace {
+public:
+    ParamSpace& add_discrete(std::string name, std::vector<double> values);
+    ParamSpace& add_continuous(std::string name, double lo, double hi, bool log_scale = false);
+
+    ParamPoint sample(util::Rng& rng) const;
+    /// Full cartesian grid; continuous dimensions contribute `per_dim` points.
+    std::vector<ParamPoint> grid(std::size_t per_dim) const;
+
+    const std::vector<ParamDomain>& domains() const { return domains_; }
+    const ParamDomain& domain(const std::string& name) const;
+    bool has(const std::string& name) const;
+    std::size_t size() const { return domains_.size(); }
+
+    /// Subspace of the first `n` dimensions (Fig 1's parameter-count sweep).
+    ParamSpace prefix(std::size_t n) const;
+
+private:
+    std::vector<ParamDomain> domains_;
+};
+
+/// The paper's five hyperparameters with their §7.1.3 ranges. Batch size and
+/// epochs are discrete; dropout, embedding and learning rate continuous
+/// (learning rate log-scaled).
+ParamSpace hyperparameter_space();
+/// Hyperparameters minus epochs — HyperBand treats epochs as the resource.
+ParamSpace hyperband_hyperparameter_space();
+/// System parameters as search dimensions (what Tune V2 appends).
+ParamSpace system_parameter_space();
+/// hyperparameters + system parameters (Tune V2's full space).
+ParamSpace combined_space();
+
+/// Conversions (missing names keep the default's value).
+workload::HyperParams to_hyperparams(const ParamPoint& point,
+                                     workload::HyperParams defaults = {});
+workload::SystemParams to_systemparams(const ParamPoint& point,
+                                       workload::SystemParams defaults);
+std::string point_to_string(const ParamPoint& point);
+
+}  // namespace pipetune::hpt

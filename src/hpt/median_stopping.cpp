@@ -1,0 +1,66 @@
+#include "pipetune/hpt/median_stopping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::hpt {
+
+MedianStoppingSearch::MedianStoppingSearch(ParamSpace space, std::size_t num_trials,
+                                           std::size_t total_epochs, std::size_t interval_epochs,
+                                           std::uint64_t seed, std::size_t grace_intervals)
+    : space_(std::move(space)),
+      num_trials_(num_trials),
+      total_epochs_(total_epochs),
+      interval_(interval_epochs),
+      rng_(seed),
+      grace_intervals_(grace_intervals) {
+    if (num_trials < 2 || total_epochs == 0 || interval_epochs == 0)
+        throw std::invalid_argument("MedianStoppingSearch: invalid sizes");
+}
+
+std::vector<TrialRequest> MedianStoppingSearch::next_wave() {
+    if (!started_) {
+        started_ = true;
+        for (std::size_t i = 0; i < num_trials_; ++i)
+            members_.push_back({i + 1, space_.sample(rng_), 0, 0.0, false});
+    } else {
+        ++intervals_completed_;
+        if (intervals_completed_ >= grace_intervals_) {
+            // Prune: any running trial strictly below the median best score
+            // of all trials (running or stopped) is cut.
+            std::vector<double> scores;
+            for (const auto& member : members_) scores.push_back(member.best_score);
+            const double median = util::median(scores);
+            for (auto& member : members_) {
+                if (member.stopped || member.epochs_done >= total_epochs_) continue;
+                if (member.best_score < median) {
+                    member.stopped = true;
+                    ++stopped_;
+                }
+            }
+        }
+    }
+
+    std::vector<TrialRequest> wave;
+    for (const auto& member : members_) {
+        if (member.stopped || member.epochs_done >= total_epochs_) continue;
+        TrialRequest request;
+        request.config_id = member.config_id;
+        request.point = member.point;
+        request.target_epochs = std::min(total_epochs_, member.epochs_done + interval_);
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void MedianStoppingSearch::report(const TrialOutcome& outcome) {
+    for (auto& member : members_)
+        if (member.config_id == outcome.config_id) {
+            member.epochs_done = outcome.epochs_done;
+            member.best_score = std::max(member.best_score, outcome.score);
+        }
+}
+
+}  // namespace pipetune::hpt

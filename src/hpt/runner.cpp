@@ -1,0 +1,155 @@
+#include "pipetune/hpt/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pipetune::hpt {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+
+double objective_score(Objective objective, double accuracy, double duration_s) {
+    switch (objective) {
+        case Objective::kAccuracy:
+            return accuracy;
+        case Objective::kAccuracyPerTime:
+            // Accuracy points per kilosecond of training; the scaling keeps
+            // the score in a readable range without affecting the argmax.
+            return accuracy / std::max(duration_s, 1e-6) * 1000.0;
+    }
+    throw std::logic_error("objective_score: bad objective");
+}
+
+TuningJobRunner::TuningJobRunner(workload::Backend& backend, const workload::Workload& workload,
+                                 RunnerConfig config, SystemTuningPolicy* policy)
+    : backend_(backend),
+      workload_(workload),
+      config_(config),
+      policy_(policy != nullptr ? policy : &fallback_policy_) {
+    if (config.parallel_slots == 0)
+        throw std::invalid_argument("TuningJobRunner: parallel_slots must be > 0");
+}
+
+TrialOutcome TuningJobRunner::execute(const TrialRequest& request) {
+    auto [it, inserted] = live_.try_emplace(request.config_id);
+    LiveTrial& trial = it->second;
+    const HyperParams hyper = to_hyperparams(request.point);
+    // Tune V2 folds system parameters into the search point; V1/PipeTune
+    // points carry none and fall back to the cluster default.
+    const SystemParams trial_default = to_systemparams(request.point, config_.default_system);
+    if (inserted) {
+        trial.session = backend_.start_trial(workload_, hyper);
+        trial.last_system = trial_default;
+    }
+
+    TrialOutcome outcome;
+    outcome.config_id = request.config_id;
+    outcome.point = request.point;
+    while (trial.session->epochs_done() < request.target_epochs) {
+        const std::size_t next_epoch = trial.session->epochs_done() + 1;
+        const SystemParams system = policy_->choose(request.config_id, workload_, hyper,
+                                                    next_epoch, trial.history, trial_default);
+        EpochResult result = trial.session->run_epoch(system);
+        result.system = system;
+        const double overhead =
+            policy_->epoch_overhead_s(request.config_id, result.epoch, result.duration_s);
+        result.duration_s += overhead;
+        trial.total_duration_s += result.duration_s;
+        outcome.duration_s += result.duration_s;
+        outcome.energy_j += result.energy_j;
+        trial.history.push_back(result);
+        trial.last_system = system;
+    }
+    outcome.epochs_done = trial.session->epochs_done();
+    outcome.total_duration_s = trial.total_duration_s;
+    if (!trial.history.empty()) outcome.last_accuracy = trial.history.back().accuracy;
+    for (const auto& epoch : trial.history)
+        outcome.best_accuracy = std::max(outcome.best_accuracy, epoch.accuracy);
+    outcome.score =
+        objective_score(config_.objective, outcome.best_accuracy, outcome.total_duration_s);
+    return outcome;
+}
+
+TuningResult TuningJobRunner::run(Searcher& searcher) {
+    TuningResult result;
+    std::vector<double> slot_time(config_.parallel_slots, 0.0);
+    double clock = 0.0;
+
+    while (true) {
+        const std::vector<TrialRequest> wave = searcher.next_wave();
+        if (wave.empty()) break;
+        for (const auto& request : wave) {
+            // Greedy list scheduling: next request goes to the earliest-free
+            // slot; its trial's epochs run there sequentially.
+            auto slot = std::min_element(slot_time.begin(), slot_time.end());
+            const bool is_new = live_.find(request.config_id) == live_.end();
+            TrialOutcome outcome = execute(request);
+            *slot += outcome.duration_s;
+            result.tuning_energy_j += outcome.energy_j;
+            result.epochs += outcome.epochs_done;  // adjusted below to count increments
+            if (is_new) ++result.trials;
+
+            ConvergencePoint point;
+            point.time_s = *slot;
+            point.accuracy = outcome.last_accuracy;
+            point.best_accuracy = std::max(
+                outcome.best_accuracy,
+                result.convergence.empty() ? 0.0 : result.convergence.back().best_accuracy);
+            point.trial_duration_s = outcome.total_duration_s;
+            result.convergence.push_back(point);
+
+            if (outcome.score > result.best_score || result.convergence.size() == 1) {
+                result.best_score = outcome.score;
+                result.best_accuracy = outcome.best_accuracy;
+                result.best_point = outcome.point;
+                result.best_hyperparams = to_hyperparams(outcome.point);
+                result.best_system = live_.at(request.config_id).last_system;
+            }
+            searcher.report(outcome);
+        }
+        // Wave barrier: the searcher only plans the next wave once every
+        // request of this one finished (successive-halving semantics).
+        clock = *std::max_element(slot_time.begin(), slot_time.end());
+        std::fill(slot_time.begin(), slot_time.end(), clock);
+    }
+
+    // `epochs` accumulated cumulative counts for continued trials; recompute
+    // exactly from the live sessions.
+    result.epochs = 0;
+    for (const auto& [id, trial] : live_) result.epochs += trial.history.size();
+    result.tuning_duration_s = clock;
+
+    // Notify the policy (ground-truth persistence happens here).
+    for (const auto& [id, trial] : live_) {
+        const HyperParams hyper = trial.session->hyperparams();
+        policy_->trial_finished(id, workload_, hyper, trial.history);
+    }
+    live_.clear();
+    return result;
+}
+
+TuningJobRunner::FinalTraining TuningJobRunner::run_final_training(
+    const HyperParams& hyper, const SystemParams& system_default) {
+    auto session = backend_.start_trial(workload_, hyper);
+    std::vector<EpochResult> history;
+    FinalTraining out;
+    // Final-training runs use a reserved trial id outside the searcher range.
+    const std::uint64_t kFinalTrainingId = ~0ULL - (final_training_counter_++);
+    for (std::size_t epoch = 1; epoch <= hyper.epochs; ++epoch) {
+        const SystemParams system =
+            policy_->choose(kFinalTrainingId, workload_, hyper, epoch, history, system_default);
+        EpochResult result = session->run_epoch(system);
+        result.system = system;
+        result.duration_s +=
+            policy_->epoch_overhead_s(kFinalTrainingId, result.epoch, result.duration_s);
+        out.duration_s += result.duration_s;
+        out.energy_j += result.energy_j;
+        out.accuracy = result.accuracy;
+        history.push_back(result);
+    }
+    policy_->trial_finished(kFinalTrainingId, workload_, hyper, history);
+    return out;
+}
+
+}  // namespace pipetune::hpt

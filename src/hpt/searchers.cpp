@@ -1,0 +1,398 @@
+#include "pipetune/hpt/searchers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::hpt {
+
+namespace {
+std::size_t epochs_of(const ParamPoint& point, std::size_t fallback) {
+    auto it = point.find("epochs");
+    if (it == point.end()) return fallback;
+    return static_cast<std::size_t>(std::llround(it->second));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- GridSearch
+
+GridSearch::GridSearch(ParamSpace space, std::size_t points_per_dim, std::size_t default_epochs)
+    : space_(std::move(space)), points_per_dim_(points_per_dim), default_epochs_(default_epochs) {
+    if (points_per_dim == 0 || default_epochs == 0)
+        throw std::invalid_argument("GridSearch: zero-sized configuration");
+}
+
+std::vector<TrialRequest> GridSearch::next_wave() {
+    if (emitted_) return {};
+    emitted_ = true;
+    std::vector<TrialRequest> wave;
+    std::uint64_t id = 1;
+    for (auto& point : space_.grid(points_per_dim_)) {
+        TrialRequest request;
+        request.config_id = id++;
+        request.target_epochs = epochs_of(point, default_epochs_);
+        request.point = std::move(point);
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void GridSearch::report(const TrialOutcome&) {}
+
+// -------------------------------------------------------------- RandomSearch
+
+RandomSearch::RandomSearch(ParamSpace space, std::size_t num_trials, std::size_t default_epochs,
+                           std::uint64_t seed)
+    : space_(std::move(space)),
+      num_trials_(num_trials),
+      default_epochs_(default_epochs),
+      rng_(seed) {
+    if (num_trials == 0 || default_epochs == 0)
+        throw std::invalid_argument("RandomSearch: zero-sized configuration");
+}
+
+std::vector<TrialRequest> RandomSearch::next_wave() {
+    if (emitted_) return {};
+    emitted_ = true;
+    std::vector<TrialRequest> wave;
+    for (std::size_t i = 0; i < num_trials_; ++i) {
+        TrialRequest request;
+        request.config_id = i + 1;
+        request.point = space_.sample(rng_);
+        request.target_epochs = epochs_of(request.point, default_epochs_);
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void RandomSearch::report(const TrialOutcome&) {}
+
+// ----------------------------------------------------------------- HyperBand
+
+HyperBand::HyperBand(ParamSpace space, std::size_t max_resource, std::size_t eta,
+                     std::uint64_t seed, double cohort_scale)
+    : space_(std::move(space)),
+      max_resource_(max_resource),
+      eta_(eta),
+      cohort_scale_(cohort_scale),
+      rng_(seed) {
+    if (max_resource == 0 || eta < 2)
+        throw std::invalid_argument("HyperBand: need max_resource > 0 and eta >= 2");
+    if (cohort_scale <= 0) throw std::invalid_argument("HyperBand: cohort_scale must be > 0");
+    plan();
+}
+
+void HyperBand::plan() {
+    const double R = static_cast<double>(max_resource_);
+    const double eta = static_cast<double>(eta_);
+    const auto s_max = static_cast<std::size_t>(std::floor(std::log(R) / std::log(eta)));
+    const double budget = static_cast<double>(s_max + 1) * R;
+    for (std::size_t s = s_max + 1; s-- > 0;) {
+        const double n0 = std::ceil(cohort_scale_ * budget / R *
+                                    std::pow(eta, static_cast<double>(s)) /
+                                    static_cast<double>(s + 1));
+        for (std::size_t i = 0; i <= s; ++i) {
+            Rung rung;
+            rung.bracket = s;
+            rung.round = i;
+            rung.configs = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::floor(n0 * std::pow(eta, -static_cast<double>(i)))));
+            rung.epochs = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::round(
+                       R * std::pow(eta, -static_cast<double>(s) + static_cast<double>(i)))));
+            schedule_.push_back(rung);
+        }
+    }
+}
+
+std::vector<TrialRequest> HyperBand::next_wave() {
+    // Fold the completed wave's outcomes into the survivor set.
+    if (!wave_outcomes_.empty()) {
+        for (auto& member : current_)
+            for (const auto& outcome : wave_outcomes_)
+                if (outcome.config_id == member.config_id) member.score = outcome.score;
+        wave_outcomes_.clear();
+    }
+    if (next_rung_ >= schedule_.size()) return {};
+    const Rung& rung = schedule_[next_rung_++];
+
+    if (rung.round == 0) {
+        // New bracket: sample a fresh cohort.
+        current_.clear();
+        for (std::size_t i = 0; i < rung.configs; ++i)
+            current_.push_back({next_config_id_++, space_.sample(rng_), 0.0});
+    } else {
+        // Successive halving: keep the top `rung.configs` by score.
+        std::sort(current_.begin(), current_.end(),
+                  [](const Member& a, const Member& b) { return a.score > b.score; });
+        if (current_.size() > rung.configs) current_.resize(rung.configs);
+    }
+
+    std::vector<TrialRequest> wave;
+    wave.reserve(current_.size());
+    for (const auto& member : current_) {
+        TrialRequest request;
+        request.config_id = member.config_id;
+        request.point = member.point;
+        request.target_epochs = rung.epochs;  // cumulative resource
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void HyperBand::report(const TrialOutcome& outcome) { wave_outcomes_.push_back(outcome); }
+
+// ----------------------------------------------------------------- TpeSearch
+
+TpeSearch::TpeSearch(ParamSpace space, std::size_t num_trials, std::size_t default_epochs,
+                     std::uint64_t seed, std::size_t warmup, std::size_t candidates_per_step,
+                     double good_fraction)
+    : space_(std::move(space)),
+      num_trials_(num_trials),
+      default_epochs_(default_epochs),
+      rng_(seed),
+      warmup_(warmup),
+      candidates_(candidates_per_step),
+      good_fraction_(good_fraction) {
+    if (num_trials == 0 || candidates_per_step == 0 || good_fraction <= 0 || good_fraction >= 1)
+        throw std::invalid_argument("TpeSearch: invalid configuration");
+}
+
+double TpeSearch::density(const std::vector<ParamPoint>& observations,
+                          const ParamPoint& candidate) const {
+    if (observations.empty()) return 1e-12;
+    double log_density = 0.0;
+    for (const auto& domain : space_.domains()) {
+        const double x = candidate.at(domain.name);
+        if (domain.kind == ParamDomain::Kind::kDiscrete) {
+            std::size_t matches = 0;
+            for (const auto& obs : observations)
+                if (std::fabs(obs.at(domain.name) - x) < 1e-9) ++matches;
+            // Laplace-smoothed categorical likelihood.
+            log_density += std::log(
+                (static_cast<double>(matches) + 1.0) /
+                (static_cast<double>(observations.size()) + static_cast<double>(domain.values.size())));
+        } else {
+            const bool log_scale = domain.kind == ParamDomain::Kind::kLogContinuous;
+            const double lo = log_scale ? std::log(domain.lo) : domain.lo;
+            const double hi = log_scale ? std::log(domain.hi) : domain.hi;
+            const double bandwidth = std::max(1e-9, (hi - lo) / 4.0);
+            const double xv = log_scale ? std::log(x) : x;
+            double kde = 0.0;
+            for (const auto& obs : observations) {
+                const double ov = log_scale ? std::log(obs.at(domain.name)) : obs.at(domain.name);
+                const double z = (xv - ov) / bandwidth;
+                kde += std::exp(-0.5 * z * z);
+            }
+            log_density += std::log(std::max(kde / static_cast<double>(observations.size()), 1e-12));
+        }
+    }
+    return log_density;  // comparisons only; log-space avoids underflow
+}
+
+ParamPoint TpeSearch::propose() {
+    if (history_.size() < warmup_) return space_.sample(rng_);
+    auto sorted = history_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const std::size_t good_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(good_fraction_ * static_cast<double>(sorted.size()))));
+    std::vector<ParamPoint> good, bad;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        (i < good_count ? good : bad).push_back(sorted[i].first);
+    if (bad.empty()) bad.push_back(sorted.back().first);
+
+    ParamPoint best_candidate = space_.sample(rng_);
+    double best_ratio = -1e300;
+    for (std::size_t c = 0; c < candidates_; ++c) {
+        // Half the candidates perturb a good observation, half explore.
+        ParamPoint candidate;
+        if (rng_.bernoulli(0.5)) {
+            const ParamPoint& base = good[rng_.index(good.size())];
+            candidate = base;
+            for (const auto& domain : space_.domains()) {
+                if (domain.kind == ParamDomain::Kind::kDiscrete) {
+                    if (rng_.bernoulli(0.3)) candidate[domain.name] = domain.sample(rng_);
+                } else {
+                    const double span = (domain.hi - domain.lo) * 0.15;
+                    candidate[domain.name] =
+                        domain.clamp(base.at(domain.name) + rng_.normal(0.0, span));
+                }
+            }
+        } else {
+            candidate = space_.sample(rng_);
+        }
+        const double ratio = density(good, candidate) - density(bad, candidate);
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            best_candidate = candidate;
+        }
+    }
+    return best_candidate;
+}
+
+std::vector<TrialRequest> TpeSearch::next_wave() {
+    if (issued_ >= num_trials_) return {};
+    ++issued_;
+    TrialRequest request;
+    request.config_id = next_config_id_++;
+    request.point = propose();
+    request.target_epochs = epochs_of(request.point, default_epochs_);
+    return {request};
+}
+
+void TpeSearch::report(const TrialOutcome& outcome) {
+    history_.emplace_back(outcome.point, outcome.score);
+}
+
+// ------------------------------------------------------------- GeneticSearch
+
+GeneticSearch::GeneticSearch(ParamSpace space, std::size_t population, std::size_t generations,
+                             std::size_t default_epochs, std::uint64_t seed, double mutation_rate)
+    : space_(std::move(space)),
+      population_(population),
+      generations_(generations),
+      default_epochs_(default_epochs),
+      rng_(seed),
+      mutation_rate_(mutation_rate) {
+    if (population < 2 || generations == 0)
+        throw std::invalid_argument("GeneticSearch: need population >= 2 and generations > 0");
+    if (mutation_rate < 0 || mutation_rate > 1)
+        throw std::invalid_argument("GeneticSearch: mutation_rate must be in [0, 1]");
+}
+
+ParamPoint GeneticSearch::crossover_mutate(const ParamPoint& a, const ParamPoint& b) {
+    ParamPoint child;
+    for (const auto& domain : space_.domains()) {
+        child[domain.name] = rng_.bernoulli(0.5) ? a.at(domain.name) : b.at(domain.name);
+        if (rng_.bernoulli(mutation_rate_)) child[domain.name] = domain.sample(rng_);
+    }
+    return child;
+}
+
+std::vector<TrialRequest> GeneticSearch::next_wave() {
+    if (generation_ >= generations_) return {};
+    std::vector<ParamPoint> cohort;
+    if (generation_ == 0) {
+        for (std::size_t i = 0; i < population_; ++i) cohort.push_back(space_.sample(rng_));
+    } else {
+        if (scored_.size() < 2)
+            throw std::logic_error("GeneticSearch: generation finished without reports");
+        std::sort(scored_.begin(), scored_.end(),
+                  [](const auto& a, const auto& b) { return a.second > b.second; });
+        cohort.push_back(scored_.front().first);  // elitism
+        auto tournament = [&]() -> const ParamPoint& {
+            const auto& a = scored_[rng_.index(scored_.size())];
+            const auto& b = scored_[rng_.index(scored_.size())];
+            return a.second >= b.second ? a.first : b.first;
+        };
+        while (cohort.size() < population_) cohort.push_back(crossover_mutate(tournament(), tournament()));
+        scored_.clear();
+    }
+    ++generation_;
+    std::vector<TrialRequest> wave;
+    for (auto& point : cohort) {
+        TrialRequest request;
+        request.config_id = next_config_id_++;
+        request.target_epochs = epochs_of(point, default_epochs_);
+        request.point = std::move(point);
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void GeneticSearch::report(const TrialOutcome& outcome) {
+    scored_.emplace_back(outcome.point, outcome.score);
+}
+
+// ----------------------------------------------------------------- PbtSearch
+
+PbtSearch::PbtSearch(ParamSpace space, std::size_t population, std::size_t total_epochs,
+                     std::size_t interval_epochs, std::uint64_t seed, double quantile)
+    : space_(std::move(space)),
+      population_(population),
+      total_epochs_(total_epochs),
+      interval_(interval_epochs),
+      rng_(seed),
+      quantile_(quantile) {
+    if (population < 2 || total_epochs == 0 || interval_epochs == 0)
+        throw std::invalid_argument("PbtSearch: invalid sizes");
+    if (quantile <= 0 || quantile >= 0.5)
+        throw std::invalid_argument("PbtSearch: quantile must be in (0, 0.5)");
+}
+
+ParamPoint PbtSearch::perturb(const ParamPoint& point) {
+    ParamPoint out = point;
+    for (const auto& domain : space_.domains()) {
+        if (domain.kind == ParamDomain::Kind::kDiscrete) {
+            // Hop to an adjacent choice.
+            const auto& values = domain.values;
+            std::size_t index = 0;
+            for (std::size_t i = 0; i < values.size(); ++i)
+                if (std::fabs(values[i] - point.at(domain.name)) < 1e-9) index = i;
+            if (rng_.bernoulli(0.5) && index + 1 < values.size()) ++index;
+            else if (index > 0) --index;
+            out[domain.name] = values[index];
+        } else {
+            const double factor = rng_.bernoulli(0.5) ? 0.8 : 1.25;
+            out[domain.name] = domain.clamp(point.at(domain.name) * factor);
+        }
+    }
+    return out;
+}
+
+std::vector<TrialRequest> PbtSearch::next_wave() {
+    if (!started_) {
+        started_ = true;
+        for (std::size_t i = 0; i < population_; ++i)
+            population_members_.push_back({next_config_id_++, space_.sample(rng_), 0.0, 0});
+    } else {
+        const bool everyone_done = std::all_of(
+            population_members_.begin(), population_members_.end(),
+            [&](const Member& m) { return m.epochs_done >= total_epochs_; });
+        if (everyone_done) return {};
+        // Exploit/explore, but only while the leader is still training —
+        // replacements reset a member's progress, so continuing to exploit
+        // after the leader finishes would never converge. NOTE: unlike
+        // canonical PBT, replaced members restart training from scratch (the
+        // Backend contract ties learned state to a fixed hyperparameter
+        // configuration); they inherit the winner's configuration, not its
+        // weights.
+        std::sort(population_members_.begin(), population_members_.end(),
+                  [](const Member& a, const Member& b) { return a.score > b.score; });
+        const bool leader_done = population_members_.front().epochs_done >= total_epochs_;
+        if (!leader_done) {
+            const std::size_t cut = std::max<std::size_t>(
+                1,
+                static_cast<std::size_t>(std::floor(quantile_ * static_cast<double>(population_))));
+            for (std::size_t loser = population_members_.size() - cut;
+                 loser < population_members_.size(); ++loser) {
+                const Member& winner =
+                    population_members_[loser - (population_members_.size() - cut)];
+                population_members_[loser] =
+                    Member{next_config_id_++, perturb(winner.point), 0.0, 0};
+            }
+        }
+    }
+
+    std::vector<TrialRequest> wave;
+    for (auto& member : population_members_) {
+        if (member.epochs_done >= total_epochs_) continue;
+        TrialRequest request;
+        request.config_id = member.config_id;
+        request.point = member.point;
+        request.target_epochs = std::min(total_epochs_, member.epochs_done + interval_);
+        wave.push_back(std::move(request));
+    }
+    return wave;
+}
+
+void PbtSearch::report(const TrialOutcome& outcome) {
+    for (auto& member : population_members_)
+        if (member.config_id == outcome.config_id) {
+            member.score = outcome.score;
+            member.epochs_done = outcome.epochs_done;
+        }
+}
+
+}  // namespace pipetune::hpt

@@ -1,0 +1,189 @@
+#include "pipetune/hpt/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipetune::hpt {
+
+double ParamDomain::sample(util::Rng& rng) const {
+    switch (kind) {
+        case Kind::kDiscrete: return values[rng.index(values.size())];
+        case Kind::kContinuous: return rng.uniform(lo, hi);
+        case Kind::kLogContinuous: return rng.log_uniform(lo, hi);
+    }
+    throw std::logic_error("ParamDomain::sample: bad kind");
+}
+
+std::vector<double> ParamDomain::grid_values(std::size_t n) const {
+    if (kind == Kind::kDiscrete) return values;
+    if (n == 0) throw std::invalid_argument("ParamDomain::grid_values: n must be > 0");
+    std::vector<double> out;
+    out.reserve(n);
+    if (n == 1) {
+        out.push_back(kind == Kind::kLogContinuous ? std::sqrt(lo * hi) : 0.5 * (lo + hi));
+        return out;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+        if (kind == Kind::kLogContinuous)
+            out.push_back(std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo))));
+        else
+            out.push_back(lo + t * (hi - lo));
+    }
+    return out;
+}
+
+double ParamDomain::clamp(double value) const {
+    if (kind == Kind::kDiscrete) {
+        double best = values.front();
+        for (double v : values)
+            if (std::fabs(v - value) < std::fabs(best - value)) best = v;
+        return best;
+    }
+    return std::clamp(value, lo, hi);
+}
+
+ParamSpace& ParamSpace::add_discrete(std::string name, std::vector<double> values) {
+    if (values.empty()) throw std::invalid_argument("ParamSpace: empty discrete domain");
+    if (has(name)) throw std::invalid_argument("ParamSpace: duplicate dimension '" + name + "'");
+    ParamDomain domain;
+    domain.name = std::move(name);
+    domain.kind = ParamDomain::Kind::kDiscrete;
+    domain.values = std::move(values);
+    domains_.push_back(std::move(domain));
+    return *this;
+}
+
+ParamSpace& ParamSpace::add_continuous(std::string name, double lo, double hi, bool log_scale) {
+    if (hi < lo) throw std::invalid_argument("ParamSpace: hi < lo");
+    if (log_scale && lo <= 0) throw std::invalid_argument("ParamSpace: log domain needs lo > 0");
+    if (has(name)) throw std::invalid_argument("ParamSpace: duplicate dimension '" + name + "'");
+    ParamDomain domain;
+    domain.name = std::move(name);
+    domain.kind = log_scale ? ParamDomain::Kind::kLogContinuous : ParamDomain::Kind::kContinuous;
+    domain.lo = lo;
+    domain.hi = hi;
+    domains_.push_back(std::move(domain));
+    return *this;
+}
+
+ParamPoint ParamSpace::sample(util::Rng& rng) const {
+    ParamPoint point;
+    for (const auto& domain : domains_) point[domain.name] = domain.sample(rng);
+    return point;
+}
+
+std::vector<ParamPoint> ParamSpace::grid(std::size_t per_dim) const {
+    std::vector<ParamPoint> points{ParamPoint{}};
+    for (const auto& domain : domains_) {
+        const auto values = domain.grid_values(per_dim);
+        std::vector<ParamPoint> expanded;
+        expanded.reserve(points.size() * values.size());
+        for (const auto& base : points)
+            for (double v : values) {
+                ParamPoint point = base;
+                point[domain.name] = v;
+                expanded.push_back(std::move(point));
+            }
+        points = std::move(expanded);
+    }
+    return points;
+}
+
+const ParamDomain& ParamSpace::domain(const std::string& name) const {
+    for (const auto& d : domains_)
+        if (d.name == name) return d;
+    throw std::invalid_argument("ParamSpace::domain: unknown dimension '" + name + "'");
+}
+
+bool ParamSpace::has(const std::string& name) const {
+    for (const auto& d : domains_)
+        if (d.name == name) return true;
+    return false;
+}
+
+ParamSpace ParamSpace::prefix(std::size_t n) const {
+    if (n > domains_.size()) throw std::invalid_argument("ParamSpace::prefix: n too large");
+    ParamSpace out;
+    out.domains_.assign(domains_.begin(), domains_.begin() + static_cast<std::ptrdiff_t>(n));
+    return out;
+}
+
+ParamSpace hyperparameter_space() {
+    ParamSpace space;
+    space.add_discrete("batch_size", {32, 64, 128, 256, 512, 1024});
+    space.add_continuous("dropout", 0.0, 0.5);
+    space.add_continuous("embedding_dim", 50, 300);
+    space.add_continuous("learning_rate", 0.001, 0.1, /*log_scale=*/true);
+    space.add_discrete("epochs", {10, 20, 50, 100});
+    return space;
+}
+
+ParamSpace hyperband_hyperparameter_space() {
+    ParamSpace space;
+    space.add_discrete("batch_size", {32, 64, 128, 256, 512, 1024});
+    space.add_continuous("dropout", 0.0, 0.5);
+    space.add_continuous("embedding_dim", 50, 300);
+    space.add_continuous("learning_rate", 0.001, 0.1, /*log_scale=*/true);
+    return space;
+}
+
+ParamSpace system_parameter_space() {
+    ParamSpace space;
+    space.add_discrete("cores", {4, 8, 16});
+    space.add_discrete("memory_gb", {4, 8, 16, 32});
+    return space;
+}
+
+ParamSpace combined_space() {
+    ParamSpace space = hyperband_hyperparameter_space();
+    space.add_discrete("cores", {4, 8, 16});
+    space.add_discrete("memory_gb", {4, 8, 16, 32});
+    return space;
+}
+
+namespace {
+double get_or(const ParamPoint& point, const std::string& name, double fallback) {
+    auto it = point.find(name);
+    return it == point.end() ? fallback : it->second;
+}
+}  // namespace
+
+workload::HyperParams to_hyperparams(const ParamPoint& point, workload::HyperParams defaults) {
+    workload::HyperParams hp = defaults;
+    hp.batch_size = static_cast<std::size_t>(
+        std::llround(get_or(point, "batch_size", static_cast<double>(defaults.batch_size))));
+    hp.dropout = get_or(point, "dropout", defaults.dropout);
+    hp.embedding_dim = static_cast<std::size_t>(
+        std::llround(get_or(point, "embedding_dim", static_cast<double>(defaults.embedding_dim))));
+    hp.learning_rate = get_or(point, "learning_rate", defaults.learning_rate);
+    hp.epochs = static_cast<std::size_t>(
+        std::llround(get_or(point, "epochs", static_cast<double>(defaults.epochs))));
+    return hp;
+}
+
+workload::SystemParams to_systemparams(const ParamPoint& point, workload::SystemParams defaults) {
+    workload::SystemParams sp = defaults;
+    sp.cores = static_cast<std::size_t>(
+        std::llround(get_or(point, "cores", static_cast<double>(defaults.cores))));
+    sp.memory_gb = static_cast<std::size_t>(
+        std::llround(get_or(point, "memory_gb", static_cast<double>(defaults.memory_gb))));
+    return sp;
+}
+
+std::string point_to_string(const ParamPoint& point) {
+    std::ostringstream out;
+    out << "{";
+    bool first = true;
+    for (const auto& [name, value] : point) {
+        if (!first) out << ", ";
+        first = false;
+        out << name << "=" << value;
+    }
+    out << "}";
+    return out.str();
+}
+
+}  // namespace pipetune::hpt

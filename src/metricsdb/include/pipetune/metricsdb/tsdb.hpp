@@ -1,0 +1,62 @@
+#pragma once
+// Influx-lite time-series store. The paper persists profiling samples in
+// InfluxDB (v1.7.4) and queries them when tuning and re-clustering (§6); this
+// module covers the surface PipeTune actually uses: append points with tags,
+// filter by series/tags/time-range, aggregate per epoch, persist as JSON.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+
+namespace pipetune::metricsdb {
+
+using TagSet = std::map<std::string, std::string>;
+
+struct Point {
+    double time = 0.0;  ///< seconds on the experiment clock
+    double value = 0.0;
+    TagSet tags;
+};
+
+struct Query {
+    std::string series{};                ///< required measurement name
+    TagSet tags{};                       ///< all listed tags must match
+    std::optional<double> from{};        ///< inclusive lower time bound
+    std::optional<double> to{};          ///< inclusive upper time bound
+};
+
+class TimeSeriesDb {
+public:
+    TimeSeriesDb() = default;
+
+    /// Append one point to a measurement series.
+    void append(const std::string& series, Point point);
+    void append(const std::string& series, double time, double value, TagSet tags = {});
+
+    /// All points matching a query, in insertion (time) order.
+    std::vector<Point> select(const Query& query) const;
+
+    /// Mean of matching values; nullopt when nothing matches.
+    std::optional<double> mean(const Query& query) const;
+    std::optional<double> last(const Query& query) const;
+    std::size_t count(const Query& query) const;
+
+    std::vector<std::string> series_names() const;
+    std::size_t total_points() const;
+    void clear();
+
+    /// Persistence (JSON document with every series and point).
+    util::Json to_json() const;
+    static TimeSeriesDb from_json(const util::Json& json);
+    void save(const std::string& path) const;
+    static TimeSeriesDb load(const std::string& path);
+
+private:
+    static bool tags_match(const TagSet& point_tags, const TagSet& filter);
+    std::map<std::string, std::vector<Point>> series_;
+};
+
+}  // namespace pipetune::metricsdb

@@ -1,0 +1,117 @@
+#include "pipetune/metricsdb/tsdb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::metricsdb {
+
+void TimeSeriesDb::append(const std::string& series, Point point) {
+    if (series.empty()) throw std::invalid_argument("TimeSeriesDb::append: empty series name");
+    if (!std::isfinite(point.time) || !std::isfinite(point.value))
+        throw std::invalid_argument(
+            "TimeSeriesDb::append: non-finite time/value would not survive persistence");
+    auto& points = series_[series];
+    if (!points.empty() && point.time < points.back().time)
+        throw std::invalid_argument("TimeSeriesDb::append: time must be non-decreasing within '" +
+                                    series + "'");
+    points.push_back(std::move(point));
+}
+
+void TimeSeriesDb::append(const std::string& series, double time, double value, TagSet tags) {
+    append(series, Point{time, value, std::move(tags)});
+}
+
+bool TimeSeriesDb::tags_match(const TagSet& point_tags, const TagSet& filter) {
+    for (const auto& [key, value] : filter) {
+        auto it = point_tags.find(key);
+        if (it == point_tags.end() || it->second != value) return false;
+    }
+    return true;
+}
+
+std::vector<Point> TimeSeriesDb::select(const Query& query) const {
+    std::vector<Point> out;
+    auto it = series_.find(query.series);
+    if (it == series_.end()) return out;
+    for (const auto& point : it->second) {
+        if (query.from && point.time < *query.from) continue;
+        if (query.to && point.time > *query.to) continue;
+        if (!tags_match(point.tags, query.tags)) continue;
+        out.push_back(point);
+    }
+    return out;
+}
+
+std::optional<double> TimeSeriesDb::mean(const Query& query) const {
+    const auto points = select(query);
+    if (points.empty()) return std::nullopt;
+    double acc = 0.0;
+    for (const auto& point : points) acc += point.value;
+    return acc / static_cast<double>(points.size());
+}
+
+std::optional<double> TimeSeriesDb::last(const Query& query) const {
+    const auto points = select(query);
+    if (points.empty()) return std::nullopt;
+    return points.back().value;
+}
+
+std::size_t TimeSeriesDb::count(const Query& query) const { return select(query).size(); }
+
+std::vector<std::string> TimeSeriesDb::series_names() const {
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto& [name, _] : series_) names.push_back(name);
+    return names;
+}
+
+std::size_t TimeSeriesDb::total_points() const {
+    std::size_t n = 0;
+    for (const auto& [_, points] : series_) n += points.size();
+    return n;
+}
+
+void TimeSeriesDb::clear() { series_.clear(); }
+
+util::Json TimeSeriesDb::to_json() const {
+    util::Json json = util::Json::object();
+    for (const auto& [name, points] : series_) {
+        util::Json list = util::Json::array();
+        for (const auto& point : points) {
+            util::Json p;
+            p["t"] = point.time;
+            p["v"] = point.value;
+            if (!point.tags.empty()) {
+                util::Json tags = util::Json::object();
+                for (const auto& [k, v] : point.tags) tags[k] = v;
+                p["tags"] = std::move(tags);
+            }
+            list.push_back(std::move(p));
+        }
+        json[name] = std::move(list);
+    }
+    return json;
+}
+
+TimeSeriesDb TimeSeriesDb::from_json(const util::Json& json) {
+    TimeSeriesDb db;
+    for (const auto& [name, list] : json.as_object()) {
+        for (const auto& p : list.as_array()) {
+            Point point;
+            point.time = p.at("t").as_number();
+            point.value = p.at("v").as_number();
+            if (p.contains("tags"))
+                for (const auto& [k, v] : p.at("tags").as_object()) point.tags[k] = v.as_string();
+            db.series_[name].push_back(std::move(point));
+        }
+    }
+    return db;
+}
+
+void TimeSeriesDb::save(const std::string& path) const { to_json().save_file(path); }
+
+TimeSeriesDb TimeSeriesDb::load(const std::string& path) {
+    return from_json(util::Json::load_file(path));
+}
+
+}  // namespace pipetune::metricsdb

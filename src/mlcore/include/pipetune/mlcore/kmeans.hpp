@@ -1,0 +1,69 @@
+#pragma once
+// k-means clustering — the similarity function of PipeTune's ground-truth
+// phase (§5.4). The paper uses scikit-learn's battle-tested implementation
+// with k = 2; this is the C++ substitute: k-means++ seeding, Lloyd
+// iterations, inertia, and the distance-vs-inertia confidence test PipeTune
+// uses to decide between reusing a known configuration and probing (§5.6).
+
+#include <cstdint>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::mlcore {
+
+struct KMeansConfig {
+    std::size_t k = 2;
+    std::size_t max_iterations = 100;
+    double tolerance = 1e-6;  ///< stop when centroid shift falls below this
+    std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+    std::vector<std::vector<double>> centroids;
+    std::vector<std::size_t> assignments;
+    double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+    std::size_t iterations = 0;
+};
+
+class KMeans {
+public:
+    explicit KMeans(KMeansConfig config = {});
+
+    /// Fit on row vectors (all the same dimension, at least k rows).
+    KMeansResult fit(const std::vector<std::vector<double>>& rows);
+
+    /// Nearest centroid of a fitted model.
+    std::size_t predict(const std::vector<double>& row) const;
+    /// Euclidean distance to the nearest centroid.
+    double distance_to_nearest(const std::vector<double>& row) const;
+
+    bool fitted() const { return !centroids_.empty(); }
+    const std::vector<std::vector<double>>& centroids() const { return centroids_; }
+    double inertia() const { return inertia_; }
+    std::size_t sample_count() const { return sample_count_; }
+
+    /// Mean squared distance of training points to their centroid; the scale
+    /// against which new points' distances are judged (paper: "the distance
+    /// is compared against the model's inertia").
+    double mean_inertia_per_sample() const;
+
+    /// 90th-percentile distance of training points to their assigned
+    /// centroid — the cluster "radius" the similarity confidence is measured
+    /// against. 0 until fitted.
+    double radius() const { return radius_; }
+
+    /// Serialization for the persistent ground-truth store.
+    util::Json to_json() const;
+    static KMeans from_json(const util::Json& json);
+
+private:
+    KMeansConfig config_;
+    std::vector<std::vector<double>> centroids_;
+    double inertia_ = 0.0;
+    double radius_ = 0.0;
+    std::size_t sample_count_ = 0;
+};
+
+}  // namespace pipetune::mlcore

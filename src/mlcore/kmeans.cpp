@@ -1,0 +1,180 @@
+#include "pipetune/mlcore/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::mlcore {
+
+namespace {
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+        const double delta = a[d] - b[d];
+        acc += delta * delta;
+    }
+    return acc;
+}
+}  // namespace
+
+KMeans::KMeans(KMeansConfig config) : config_(config) {
+    if (config.k == 0) throw std::invalid_argument("KMeans: k must be > 0");
+    if (config.max_iterations == 0) throw std::invalid_argument("KMeans: max_iterations must be > 0");
+}
+
+KMeansResult KMeans::fit(const std::vector<std::vector<double>>& rows) {
+    if (rows.size() < config_.k)
+        throw std::invalid_argument("KMeans::fit: fewer rows than clusters");
+    const std::size_t dims = rows.front().size();
+    for (const auto& row : rows)
+        if (row.size() != dims) throw std::invalid_argument("KMeans::fit: ragged rows");
+
+    util::Rng rng(config_.seed);
+
+    // k-means++ seeding: first centre uniform, subsequent centres proportional
+    // to squared distance from the nearest chosen centre.
+    centroids_.clear();
+    centroids_.push_back(rows[rng.index(rows.size())]);
+    std::vector<double> nearest_sq(rows.size(), std::numeric_limits<double>::max());
+    while (centroids_.size() < config_.k) {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            nearest_sq[i] = std::min(nearest_sq[i], squared_distance(rows[i], centroids_.back()));
+        centroids_.push_back(rows[rng.weighted_index(nearest_sq)]);
+    }
+
+    KMeansResult result;
+    result.assignments.assign(rows.size(), 0);
+    for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+        // Assignment step.
+        result.inertia = 0.0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < centroids_.size(); ++c) {
+                const double d = squared_distance(rows[i], centroids_[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            result.assignments[i] = best_c;
+            result.inertia += best;
+        }
+        // Update step.
+        std::vector<std::vector<double>> sums(config_.k, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(config_.k, 0);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            ++counts[result.assignments[i]];
+            for (std::size_t d = 0; d < dims; ++d) sums[result.assignments[i]][d] += rows[i][d];
+        }
+        double shift = 0.0;
+        for (std::size_t c = 0; c < config_.k; ++c) {
+            if (counts[c] == 0) {
+                // Empty cluster: reseed at the farthest point (standard fix).
+                std::size_t far_i = 0;
+                double far_d = -1.0;
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    const double d = squared_distance(rows[i], centroids_[result.assignments[i]]);
+                    if (d > far_d) {
+                        far_d = d;
+                        far_i = i;
+                    }
+                }
+                centroids_[c] = rows[far_i];
+                shift += far_d;
+                continue;
+            }
+            std::vector<double> updated(dims);
+            for (std::size_t d = 0; d < dims; ++d)
+                updated[d] = sums[c][d] / static_cast<double>(counts[c]);
+            shift += squared_distance(updated, centroids_[c]);
+            centroids_[c] = std::move(updated);
+        }
+        result.iterations = iter + 1;
+        if (shift < config_.tolerance) break;
+    }
+
+    // Final inertia and point distances under the converged centroids.
+    result.inertia = 0.0;
+    std::vector<double> distances(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < centroids_.size(); ++c) {
+            const double d = squared_distance(rows[i], centroids_[c]);
+            if (d < best) {
+                best = d;
+                best_c = c;
+            }
+        }
+        result.assignments[i] = best_c;
+        result.inertia += best;
+        distances[i] = std::sqrt(best);
+    }
+    result.centroids = centroids_;
+    inertia_ = result.inertia;
+    radius_ = util::percentile(distances, 90.0);
+    sample_count_ = rows.size();
+    return result;
+}
+
+std::size_t KMeans::predict(const std::vector<double>& row) const {
+    if (!fitted()) throw std::runtime_error("KMeans::predict before fit");
+    if (row.size() != centroids_.front().size())
+        throw std::invalid_argument("KMeans::predict: dimension mismatch");
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        const double d = squared_distance(row, centroids_[c]);
+        if (d < best) {
+            best = d;
+            best_c = c;
+        }
+    }
+    return best_c;
+}
+
+double KMeans::distance_to_nearest(const std::vector<double>& row) const {
+    if (!fitted()) throw std::runtime_error("KMeans::distance_to_nearest before fit");
+    if (row.size() != centroids_.front().size())
+        throw std::invalid_argument("KMeans::distance_to_nearest: dimension mismatch");
+    double best = std::numeric_limits<double>::max();
+    for (const auto& centroid : centroids_)
+        best = std::min(best, squared_distance(row, centroid));
+    return std::sqrt(best);
+}
+
+double KMeans::mean_inertia_per_sample() const {
+    if (sample_count_ == 0) return 0.0;
+    return inertia_ / static_cast<double>(sample_count_);
+}
+
+util::Json KMeans::to_json() const {
+    util::Json json;
+    json["k"] = config_.k;
+    json["seed"] = config_.seed;
+    json["inertia"] = inertia_;
+    json["radius"] = radius_;
+    json["samples"] = sample_count_;
+    util::Json centroid_list = util::Json::array();
+    for (const auto& centroid : centroids_) centroid_list.push_back(util::Json::array_of(centroid));
+    json["centroids"] = std::move(centroid_list);
+    return json;
+}
+
+KMeans KMeans::from_json(const util::Json& json) {
+    KMeansConfig config;
+    config.k = static_cast<std::size_t>(json.at("k").as_int());
+    config.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+    KMeans model(config);
+    for (const auto& centroid : json.at("centroids").as_array())
+        model.centroids_.push_back(centroid.as_double_vector());
+    model.inertia_ = json.get_number("inertia", 0.0);
+    model.radius_ = json.get_number("radius", 0.0);
+    model.sample_count_ = static_cast<std::size_t>(json.get_number("samples", 0));
+    return model;
+}
+
+}  // namespace pipetune::mlcore

@@ -1,0 +1,120 @@
+#include "pipetune/nn/basic_layers.hpp"
+
+#include <stdexcept>
+
+#include "pipetune/tensor/ops.hpp"
+
+namespace pipetune::nn {
+
+using tensor::Shape;
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::xavier({out_features, in_features}, rng, in_features, out_features)),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+    if (in_features == 0 || out_features == 0)
+        throw std::invalid_argument("Dense: feature counts must be > 0");
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 2 || input.dim(1) != in_)
+        throw std::invalid_argument("Dense::forward: expected (batch, " + std::to_string(in_) +
+                                    "), got " + tensor::shape_to_string(input.shape()));
+    cached_input_ = input;
+    Tensor out = tensor::matmul_transposed_b(input, weight_);  // (batch, out)
+    const std::size_t batch = out.dim(0);
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t j = 0; j < out_; ++j) out(i, j) += bias_[j];
+    return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+    const std::size_t batch = grad_output.dim(0);
+    if (grad_output.rank() != 2 || grad_output.dim(1) != out_ || cached_input_.empty())
+        throw std::invalid_argument("Dense::backward: bad grad shape or forward not called");
+    // dW += dY^T X ; db += colsum(dY) ; dX = dY W
+    grad_weight_ += tensor::matmul_transposed_a(grad_output, cached_input_);
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t j = 0; j < out_; ++j) grad_bias_[j] += grad_output(i, j);
+    return tensor::matmul(grad_output, weight_);
+}
+
+std::unique_ptr<Layer> Dense::clone() const { return std::make_unique<Dense>(*this); }
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+    cached_input_ = input;
+    return tensor::relu(input);
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    return tensor::relu_backward(grad_output, cached_input_);
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+    cached_output_ = tensor::tanh_act(input);
+    return cached_output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+    return tensor::tanh_backward(grad_output, cached_output_);
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+    cached_output_ = tensor::sigmoid(input);
+    return cached_output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+    return tensor::sigmoid_backward(grad_output, cached_output_);
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() < 2) throw std::invalid_argument("Flatten: input must have a batch dim");
+    cached_shape_ = input.shape();
+    const std::size_t batch = input.dim(0);
+    return input.reshaped({batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    return grad_output.reshaped(cached_shape_);
+}
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), seed_(seed), rng_(seed) {
+    if (rate < 0.0 || rate >= 1.0)
+        throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+    if (!training || rate_ == 0.0) {
+        mask_ = Tensor();
+        return input;
+    }
+    mask_ = Tensor(input.shape());
+    const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+        const bool keep = !rng_.bernoulli(rate_);
+        mask_[i] = keep ? keep_scale : 0.0f;
+        out[i] *= mask_[i];
+    }
+    return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+    if (mask_.empty()) return grad_output;  // eval-mode forward
+    Tensor grad = grad_output;
+    grad *= mask_;
+    return grad;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+    // Replicas fork deterministically from the layer's seed so parallel
+    // workers draw independent masks while whole runs stay reproducible.
+    auto copy = std::make_unique<Dropout>(rate_, seed_ ^ 0x9e3779b97f4a7c15ULL);
+    return copy;
+}
+
+}  // namespace pipetune::nn

@@ -1,0 +1,101 @@
+#include "pipetune/nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_({features}, std::vector<float>(features, 1.0f)),
+      beta_({features}),
+      grad_gamma_({features}),
+      grad_beta_({features}),
+      running_mean_({features}),
+      running_var_({features}, std::vector<float>(features, 1.0f)) {
+    if (features == 0) throw std::invalid_argument("BatchNorm1d: features must be > 0");
+    if (momentum <= 0 || momentum > 1)
+        throw std::invalid_argument("BatchNorm1d: momentum must be in (0, 1]");
+    if (epsilon <= 0) throw std::invalid_argument("BatchNorm1d: epsilon must be > 0");
+}
+
+Tensor BatchNorm1d::forward(const Tensor& input, bool training) {
+    if (input.rank() != 2 || input.dim(1) != features_)
+        throw std::invalid_argument("BatchNorm1d: expected (batch, " +
+                                    std::to_string(features_) + ")");
+    const std::size_t batch = input.dim(0);
+    cached_batch_ = batch;
+
+    Tensor mean({features_});
+    Tensor variance({features_});
+    if (training) {
+        if (batch < 2)
+            throw std::invalid_argument("BatchNorm1d: training needs batch size >= 2");
+        for (std::size_t j = 0; j < features_; ++j) {
+            float m = 0.0f;
+            for (std::size_t i = 0; i < batch; ++i) m += input(i, j);
+            m /= static_cast<float>(batch);
+            float v = 0.0f;
+            for (std::size_t i = 0; i < batch; ++i) {
+                const float d = input(i, j) - m;
+                v += d * d;
+            }
+            v /= static_cast<float>(batch);  // biased, as in training-mode BN
+            mean[j] = m;
+            variance[j] = v;
+            // Exponential running estimates for eval mode.
+            const auto mom = static_cast<float>(momentum_);
+            running_mean_[j] = (1.0f - mom) * running_mean_[j] + mom * m;
+            running_var_[j] = (1.0f - mom) * running_var_[j] + mom * v;
+        }
+    } else {
+        mean = running_mean_;
+        variance = running_var_;
+    }
+
+    cached_inv_std_ = Tensor({features_});
+    for (std::size_t j = 0; j < features_; ++j)
+        cached_inv_std_[j] = 1.0f / std::sqrt(variance[j] + static_cast<float>(epsilon_));
+
+    cached_x_hat_ = Tensor({batch, features_});
+    Tensor out({batch, features_});
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t j = 0; j < features_; ++j) {
+            const float x_hat = (input(i, j) - mean[j]) * cached_inv_std_[j];
+            cached_x_hat_(i, j) = x_hat;
+            out(i, j) = gamma_[j] * x_hat + beta_[j];
+        }
+    return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_output) {
+    const std::size_t batch = cached_batch_;
+    if (batch == 0) throw std::runtime_error("BatchNorm1d::backward before forward");
+    if (grad_output.shape() != tensor::Shape{batch, features_})
+        throw std::invalid_argument("BatchNorm1d::backward: grad shape mismatch");
+
+    Tensor grad_in({batch, features_});
+    const auto n = static_cast<float>(batch);
+    for (std::size_t j = 0; j < features_; ++j) {
+        float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+        for (std::size_t i = 0; i < batch; ++i) {
+            sum_dy += grad_output(i, j);
+            sum_dy_xhat += grad_output(i, j) * cached_x_hat_(i, j);
+        }
+        grad_beta_[j] += sum_dy;
+        grad_gamma_[j] += sum_dy_xhat;
+        // Standard BN input gradient (batch statistics participate):
+        // dx = gamma*inv_std/n * (n*dy - sum(dy) - x_hat*sum(dy*x_hat))
+        const float scale = gamma_[j] * cached_inv_std_[j] / n;
+        for (std::size_t i = 0; i < batch; ++i)
+            grad_in(i, j) = scale * (n * grad_output(i, j) - sum_dy -
+                                     cached_x_hat_(i, j) * sum_dy_xhat);
+    }
+    return grad_in;
+}
+
+std::unique_ptr<Layer> BatchNorm1d::clone() const { return std::make_unique<BatchNorm1d>(*this); }
+
+}  // namespace pipetune::nn

@@ -1,0 +1,100 @@
+#pragma once
+// Dense (fully connected), activation, flatten and dropout layers.
+
+#include "pipetune/nn/layer.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::nn {
+
+/// Fully connected layer: y = x W^T + b, x is (batch, in), W is (out, in).
+class Dense : public Layer {
+public:
+    Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+    std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+    std::string name() const override { return "Dense"; }
+    std::unique_ptr<Layer> clone() const override;
+
+    std::size_t in_features() const { return in_; }
+    std::size_t out_features() const { return out_; }
+
+private:
+    std::size_t in_, out_;
+    Tensor weight_, bias_;
+    Tensor grad_weight_, grad_bias_;
+    Tensor cached_input_;
+};
+
+/// ReLU activation.
+class ReLU : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "ReLU"; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(); }
+
+private:
+    Tensor cached_input_;
+};
+
+/// Tanh activation (LeNet's classical nonlinearity).
+class Tanh : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Tanh"; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(); }
+
+private:
+    Tensor cached_output_;
+};
+
+/// Sigmoid activation.
+class Sigmoid : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Sigmoid"; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<Sigmoid>(); }
+
+private:
+    Tensor cached_output_;
+};
+
+/// Flatten (batch, ...) -> (batch, features).
+class Flatten : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Flatten"; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<Flatten>(); }
+
+private:
+    tensor::Shape cached_shape_;
+};
+
+/// Inverted dropout: at train time, zero each activation with probability
+/// `rate` and scale survivors by 1/(1-rate); identity at eval time.
+/// rate is one of the paper's five tuned hyperparameters (range 0.0-0.5).
+class Dropout : public Layer {
+public:
+    Dropout(double rate, std::uint64_t seed);
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Dropout"; }
+    std::unique_ptr<Layer> clone() const override;
+
+    double rate() const { return rate_; }
+
+private:
+    double rate_;
+    std::uint64_t seed_;
+    util::Rng rng_;
+    Tensor mask_;
+};
+
+}  // namespace pipetune::nn

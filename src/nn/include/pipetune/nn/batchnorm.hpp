@@ -1,0 +1,44 @@
+#pragma once
+// 1-D batch normalization over (batch, features) activations: train mode
+// normalizes with batch statistics and maintains running estimates; eval mode
+// uses the running estimates. Learnable affine (gamma, beta).
+//
+// Data-parallel note: running statistics are per-replica buffers, not
+// parameters — the trainer's synchronous gradient aggregation keeps gamma and
+// beta consistent, while each replica's running stats drift independently
+// (the master model's stats, used for evaluation, are updated by the
+// single-worker path or stay at their initial values under sharded training).
+
+#include "pipetune/nn/layer.hpp"
+
+namespace pipetune::nn {
+
+class BatchNorm1d : public Layer {
+public:
+    BatchNorm1d(std::size_t features, double momentum = 0.1, double epsilon = 1e-5);
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+    std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
+    std::string name() const override { return "BatchNorm1d"; }
+    std::unique_ptr<Layer> clone() const override;
+
+    const Tensor& running_mean() const { return running_mean_; }
+    const Tensor& running_var() const { return running_var_; }
+
+private:
+    std::size_t features_;
+    double momentum_;
+    double epsilon_;
+    Tensor gamma_, beta_;
+    Tensor grad_gamma_, grad_beta_;
+    Tensor running_mean_, running_var_;
+
+    // Forward caches for backward.
+    Tensor cached_x_hat_;     ///< normalized activations
+    Tensor cached_inv_std_;   ///< 1/sqrt(var + eps) per feature
+    std::size_t cached_batch_ = 0;
+};
+
+}  // namespace pipetune::nn

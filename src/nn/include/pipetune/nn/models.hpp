@@ -1,0 +1,41 @@
+#pragma once
+// Model zoo: the three DNN architectures evaluated in the paper (Table 3) —
+// LeNet-5 (Type-I image jobs), a TextCNN and an LSTM classifier (Type-II text
+// jobs). Each builder consumes the tuned hyperparameters that shape the
+// architecture (dropout rate, embedding dimensions).
+
+#include <cstdint>
+
+#include "pipetune/nn/sequential.hpp"
+
+namespace pipetune::nn {
+
+struct ImageModelConfig {
+    std::size_t image_size = 28;   ///< square grayscale input
+    std::size_t classes = 10;
+    double dropout = 0.0;          ///< paper hyperparameter, range [0.0, 0.5]
+    std::uint64_t seed = 1;
+};
+
+struct TextModelConfig {
+    std::size_t vocab_size = 2000;
+    std::size_t seq_len = 32;
+    std::size_t classes = 20;
+    std::size_t embedding_dim = 50;  ///< paper hyperparameter, range [50, 300]
+    double dropout = 0.0;            ///< paper hyperparameter, range [0.0, 0.5]
+    std::size_t conv_filters = 32;   ///< TextCNN only
+    std::size_t conv_kernel = 3;     ///< TextCNN only (tokens per window)
+    std::size_t lstm_hidden = 32;    ///< LSTM only
+    std::uint64_t seed = 1;
+};
+
+/// LeNet-5: conv(6,5x5)-tanh-pool - conv(16,5x5)-tanh-pool - fc120 - fc84 - fc10.
+Sequential build_lenet5(const ImageModelConfig& config);
+
+/// TextCNN: embedding - conv over (kernel, embed) - relu - max-over-time - fc.
+Sequential build_textcnn(const TextModelConfig& config);
+
+/// LSTM classifier: embedding - lstm - dropout - fc.
+Sequential build_lstm_classifier(const TextModelConfig& config);
+
+}  // namespace pipetune::nn

@@ -1,0 +1,81 @@
+#pragma once
+// Optimizers for the NN engine. SGD with momentum is the paper's backbone
+// (§1: "the backbone of popular training algorithms for DNN is stochastic
+// gradient descent"); Adam is provided for downstream users of the engine.
+// Both consume the gradients accumulated in a Sequential and zero them after
+// the update.
+
+#include <memory>
+#include <vector>
+
+#include "pipetune/nn/sequential.hpp"
+
+namespace pipetune::nn {
+
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+    /// Apply one update using the model's accumulated gradients, then zero them.
+    virtual void step() = 0;
+    virtual double learning_rate() const = 0;
+    virtual void set_learning_rate(double lr) = 0;
+};
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`
+/// (no-op when already within, or when max_norm <= 0). Returns the
+/// pre-clipping norm.
+double clip_gradients(Sequential& model, double max_norm);
+
+struct SgdConfig {
+    double learning_rate = 0.01;  ///< paper hyperparameter, range [0.001, 0.1]
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+    /// Global L2 gradient-norm ceiling; 0 disables clipping. Guards the
+    /// recurrent models against exploding gradients.
+    double max_grad_norm = 0.0;
+};
+
+class SgdOptimizer : public Optimizer {
+public:
+    SgdOptimizer(Sequential& model, SgdConfig config);
+
+    void step() override;
+    double learning_rate() const override { return config_.learning_rate; }
+    void set_learning_rate(double lr) override { config_.learning_rate = lr; }
+    const SgdConfig& config() const { return config_; }
+
+private:
+    Sequential& model_;
+    SgdConfig config_;
+    std::vector<Tensor> velocity_;
+};
+
+struct AdamConfig {
+    double learning_rate = 0.001;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+    double max_grad_norm = 0.0;  ///< 0 disables clipping
+};
+
+/// Adam (Kingma & Ba, 2015) with bias-corrected first/second moments.
+class AdamOptimizer : public Optimizer {
+public:
+    AdamOptimizer(Sequential& model, AdamConfig config);
+
+    void step() override;
+    double learning_rate() const override { return config_.learning_rate; }
+    void set_learning_rate(double lr) override { config_.learning_rate = lr; }
+    const AdamConfig& config() const { return config_; }
+    std::size_t steps_taken() const { return steps_; }
+
+private:
+    Sequential& model_;
+    AdamConfig config_;
+    std::vector<Tensor> first_moment_;
+    std::vector<Tensor> second_moment_;
+    std::size_t steps_ = 0;
+};
+
+}  // namespace pipetune::nn

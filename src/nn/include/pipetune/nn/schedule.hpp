@@ -1,0 +1,77 @@
+#pragma once
+// Learning-rate schedules for the NN engine. The paper treats the (initial)
+// learning rate as a tuned hyperparameter; schedules decay it over epochs —
+// a standard training refinement downstream users expect from the engine.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "pipetune/nn/optimizer.hpp"
+
+namespace pipetune::nn {
+
+class LrSchedule {
+public:
+    virtual ~LrSchedule() = default;
+    /// Learning rate to use for `epoch` (1-based).
+    virtual double rate_at(std::size_t epoch) const = 0;
+    virtual std::string name() const = 0;
+
+    /// Apply this schedule's rate for `epoch` to an optimizer.
+    void apply(Optimizer& optimizer, std::size_t epoch) const {
+        optimizer.set_learning_rate(rate_at(epoch));
+    }
+};
+
+/// Constant rate (the paper's setting: hyperparameters "do not change" after
+/// training starts).
+class ConstantLr final : public LrSchedule {
+public:
+    explicit ConstantLr(double rate);
+    double rate_at(std::size_t epoch) const override;
+    std::string name() const override { return "constant"; }
+
+private:
+    double rate_;
+};
+
+/// Step decay: rate * gamma^floor((epoch-1)/step_epochs).
+class StepDecayLr final : public LrSchedule {
+public:
+    StepDecayLr(double initial_rate, double gamma, std::size_t step_epochs);
+    double rate_at(std::size_t epoch) const override;
+    std::string name() const override { return "step-decay"; }
+
+private:
+    double initial_;
+    double gamma_;
+    std::size_t step_;
+};
+
+/// Cosine annealing from the initial rate to `min_rate` over `total_epochs`.
+class CosineLr final : public LrSchedule {
+public:
+    CosineLr(double initial_rate, double min_rate, std::size_t total_epochs);
+    double rate_at(std::size_t epoch) const override;
+    std::string name() const override { return "cosine"; }
+
+private:
+    double initial_;
+    double min_;
+    std::size_t total_;
+};
+
+/// Linear warmup for `warmup_epochs`, then delegate to an inner schedule.
+class WarmupLr final : public LrSchedule {
+public:
+    WarmupLr(std::size_t warmup_epochs, std::shared_ptr<const LrSchedule> inner);
+    double rate_at(std::size_t epoch) const override;
+    std::string name() const override { return "warmup"; }
+
+private:
+    std::size_t warmup_;
+    std::shared_ptr<const LrSchedule> inner_;
+};
+
+}  // namespace pipetune::nn

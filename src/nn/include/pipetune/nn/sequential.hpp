@@ -1,0 +1,51 @@
+#pragma once
+// Sequential container: a stack of layers trained end-to-end with softmax
+// cross-entropy on top.
+
+#include <memory>
+#include <vector>
+
+#include "pipetune/nn/layer.hpp"
+
+namespace pipetune::nn {
+
+class Sequential {
+public:
+    Sequential() = default;
+    Sequential(const Sequential& other);
+    Sequential& operator=(const Sequential& other);
+    Sequential(Sequential&&) = default;
+    Sequential& operator=(Sequential&&) = default;
+
+    /// Append a layer; returns *this for chaining.
+    Sequential& add(std::unique_ptr<Layer> layer);
+
+    template <typename L, typename... Args>
+    Sequential& emplace(Args&&... args) {
+        return add(std::make_unique<L>(std::forward<Args>(args)...));
+    }
+
+    /// Forward through all layers; returns logits.
+    Tensor forward(const Tensor& input, bool training);
+
+    /// Backward from dL/d(logits) through all layers; accumulates grads.
+    void backward(const Tensor& grad_logits);
+
+    /// Flattened parameter/gradient views over all layers.
+    std::vector<Tensor*> params();
+    std::vector<Tensor*> grads();
+    void zero_grad();
+    std::size_t param_count();
+
+    /// Copy parameter values from another structurally identical model.
+    /// Used by the data-parallel trainer to refresh worker replicas.
+    void copy_params_from(const Sequential& source);
+
+    std::size_t layer_count() const { return layers_.size(); }
+    Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace pipetune::nn

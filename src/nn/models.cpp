@@ -1,0 +1,64 @@
+#include "pipetune/nn/models.hpp"
+
+#include <stdexcept>
+
+#include "pipetune/nn/basic_layers.hpp"
+#include "pipetune/nn/conv_layers.hpp"
+#include "pipetune/nn/recurrent.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::nn {
+
+Sequential build_lenet5(const ImageModelConfig& config) {
+    if (config.image_size < 16)
+        throw std::invalid_argument("build_lenet5: image_size must be >= 16 for two 5x5 convs");
+    util::Rng rng(config.seed);
+    Sequential model;
+    model.emplace<Conv2D>(1, 6, 5, rng);
+    model.emplace<Tanh>();
+    model.emplace<MaxPool2D>(2);
+    model.emplace<Conv2D>(6, 16, 5, rng);
+    model.emplace<Tanh>();
+    model.emplace<MaxPool2D>(2);
+    model.emplace<Flatten>();
+    const std::size_t after_conv1 = (config.image_size - 4) / 2;    // pool floor
+    const std::size_t after_conv2 = (after_conv1 - 4) / 2;
+    const std::size_t flat = 16 * after_conv2 * after_conv2;
+    model.emplace<Dense>(flat, 120, rng);
+    model.emplace<Tanh>();
+    if (config.dropout > 0.0) model.emplace<Dropout>(config.dropout, config.seed * 31 + 7);
+    model.emplace<Dense>(120, 84, rng);
+    model.emplace<Tanh>();
+    model.emplace<Dense>(84, config.classes, rng);
+    return model;
+}
+
+Sequential build_textcnn(const TextModelConfig& config) {
+    if (config.seq_len < config.conv_kernel)
+        throw std::invalid_argument("build_textcnn: seq_len must be >= conv_kernel");
+    util::Rng rng(config.seed);
+    Sequential model;
+    model.emplace<Embedding>(config.vocab_size, config.embedding_dim, rng);
+    model.emplace<ExpandToNCHW>();
+    // Kernel spans the full embedding width -> output width 1, then
+    // max-over-time collapses the sequence dimension.
+    model.emplace<Conv2D>(1, config.conv_filters, config.conv_kernel, config.embedding_dim, rng);
+    model.emplace<ReLU>();
+    model.emplace<GlobalMaxPoolH>();
+    model.emplace<Flatten>();
+    if (config.dropout > 0.0) model.emplace<Dropout>(config.dropout, config.seed * 17 + 3);
+    model.emplace<Dense>(config.conv_filters, config.classes, rng);
+    return model;
+}
+
+Sequential build_lstm_classifier(const TextModelConfig& config) {
+    util::Rng rng(config.seed);
+    Sequential model;
+    model.emplace<Embedding>(config.vocab_size, config.embedding_dim, rng);
+    model.emplace<Lstm>(config.embedding_dim, config.lstm_hidden, rng);
+    if (config.dropout > 0.0) model.emplace<Dropout>(config.dropout, config.seed * 13 + 5);
+    model.emplace<Dense>(config.lstm_hidden, config.classes, rng);
+    return model;
+}
+
+}  // namespace pipetune::nn

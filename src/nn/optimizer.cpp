@@ -1,0 +1,100 @@
+#include "pipetune/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::nn {
+
+double clip_gradients(Sequential& model, double max_norm) {
+    double squared = 0.0;
+    for (Tensor* g : model.grads()) squared += g->squared_norm();
+    const double norm = std::sqrt(squared);
+    if (max_norm > 0 && norm > max_norm) {
+        const auto scale = static_cast<float>(max_norm / norm);
+        for (Tensor* g : model.grads()) *g *= scale;
+    }
+    return norm;
+}
+
+SgdOptimizer::SgdOptimizer(Sequential& model, SgdConfig config)
+    : model_(model), config_(config) {
+    if (config.learning_rate <= 0)
+        throw std::invalid_argument("SgdOptimizer: learning rate must be > 0");
+    if (config.momentum < 0 || config.momentum >= 1)
+        throw std::invalid_argument("SgdOptimizer: momentum must be in [0, 1)");
+    if (config.weight_decay < 0)
+        throw std::invalid_argument("SgdOptimizer: weight decay must be >= 0");
+    for (Tensor* p : model.params()) velocity_.emplace_back(p->shape());
+}
+
+void SgdOptimizer::step() {
+    clip_gradients(model_, config_.max_grad_norm);
+    auto params = model_.params();
+    auto grads = model_.grads();
+    if (params.size() != velocity_.size())
+        throw std::runtime_error("SgdOptimizer: model structure changed after construction");
+    const auto lr = static_cast<float>(config_.learning_rate);
+    const auto mu = static_cast<float>(config_.momentum);
+    const auto wd = static_cast<float>(config_.weight_decay);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor& w = *params[i];
+        Tensor& g = *grads[i];
+        Tensor& v = velocity_[i];
+        for (std::size_t k = 0; k < w.numel(); ++k) {
+            const float grad = g[k] + wd * w[k];
+            v[k] = mu * v[k] - lr * grad;
+            w[k] += v[k];
+        }
+        g.fill(0.0f);
+    }
+}
+
+AdamOptimizer::AdamOptimizer(Sequential& model, AdamConfig config)
+    : model_(model), config_(config) {
+    if (config.learning_rate <= 0)
+        throw std::invalid_argument("AdamOptimizer: learning rate must be > 0");
+    if (config.beta1 < 0 || config.beta1 >= 1 || config.beta2 < 0 || config.beta2 >= 1)
+        throw std::invalid_argument("AdamOptimizer: betas must be in [0, 1)");
+    if (config.epsilon <= 0)
+        throw std::invalid_argument("AdamOptimizer: epsilon must be > 0");
+    if (config.weight_decay < 0)
+        throw std::invalid_argument("AdamOptimizer: weight decay must be >= 0");
+    for (Tensor* p : model.params()) {
+        first_moment_.emplace_back(p->shape());
+        second_moment_.emplace_back(p->shape());
+    }
+}
+
+void AdamOptimizer::step() {
+    clip_gradients(model_, config_.max_grad_norm);
+    auto params = model_.params();
+    auto grads = model_.grads();
+    if (params.size() != first_moment_.size())
+        throw std::runtime_error("AdamOptimizer: model structure changed after construction");
+    ++steps_;
+    const auto lr = static_cast<float>(config_.learning_rate);
+    const auto b1 = static_cast<float>(config_.beta1);
+    const auto b2 = static_cast<float>(config_.beta2);
+    const auto eps = static_cast<float>(config_.epsilon);
+    const auto wd = static_cast<float>(config_.weight_decay);
+    const auto t = static_cast<float>(steps_);
+    const float bias1 = 1.0f - std::pow(b1, t);
+    const float bias2 = 1.0f - std::pow(b2, t);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        Tensor& w = *params[i];
+        Tensor& g = *grads[i];
+        Tensor& m = first_moment_[i];
+        Tensor& v = second_moment_[i];
+        for (std::size_t k = 0; k < w.numel(); ++k) {
+            const float grad = g[k] + wd * w[k];
+            m[k] = b1 * m[k] + (1.0f - b1) * grad;
+            v[k] = b2 * v[k] + (1.0f - b2) * grad * grad;
+            const float m_hat = m[k] / bias1;
+            const float v_hat = v[k] / bias2;
+            w[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        }
+        g.fill(0.0f);
+    }
+}
+
+}  // namespace pipetune::nn

@@ -1,0 +1,180 @@
+#include "pipetune/nn/recurrent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pipetune/tensor/ops.hpp"
+
+namespace pipetune::nn {
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim, util::Rng& rng)
+    : vocab_(vocab_size),
+      dim_(dim),
+      table_(Tensor::normal({vocab_size, dim}, rng, 0.0f, 0.1f)),
+      grad_table_({vocab_size, dim}) {
+    if (vocab_size == 0 || dim == 0)
+        throw std::invalid_argument("Embedding: vocab and dim must be > 0");
+}
+
+Tensor Embedding::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 2)
+        throw std::invalid_argument("Embedding::forward: expected (batch, seq)");
+    cached_input_ = input;
+    const std::size_t batch = input.dim(0), seq = input.dim(1);
+    Tensor out({batch, seq, dim_});
+    for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t t = 0; t < seq; ++t) {
+            const auto token = static_cast<std::size_t>(input(b, t));
+            if (token >= vocab_)
+                throw std::invalid_argument("Embedding::forward: token id out of vocabulary");
+            const float* row = table_.data() + token * dim_;
+            float* dst = out.data() + (b * seq + t) * dim_;
+            for (std::size_t d = 0; d < dim_; ++d) dst[d] = row[d];
+        }
+    return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+    if (cached_input_.empty()) throw std::runtime_error("Embedding::backward before forward");
+    const std::size_t batch = cached_input_.dim(0), seq = cached_input_.dim(1);
+    if (grad_output.shape() != tensor::Shape{batch, seq, dim_})
+        throw std::invalid_argument("Embedding::backward: grad shape mismatch");
+    for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t t = 0; t < seq; ++t) {
+            const auto token = static_cast<std::size_t>(cached_input_(b, t));
+            float* grow = grad_table_.data() + token * dim_;
+            const float* src = grad_output.data() + (b * seq + t) * dim_;
+            for (std::size_t d = 0; d < dim_; ++d) grow[d] += src[d];
+        }
+    // Token ids are not differentiable; return a zero gradient of input shape
+    // so Sequential can keep chaining (embedding is always the first layer).
+    return Tensor(cached_input_.shape());
+}
+
+std::unique_ptr<Layer> Embedding::clone() const { return std::make_unique<Embedding>(*this); }
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, util::Rng& rng)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      w_input_(Tensor::xavier({4 * hidden_dim, input_dim}, rng, input_dim, hidden_dim)),
+      w_recur_(Tensor::xavier({4 * hidden_dim, hidden_dim}, rng, hidden_dim, hidden_dim)),
+      bias_({4 * hidden_dim}),
+      grad_w_input_({4 * hidden_dim, input_dim}),
+      grad_w_recur_({4 * hidden_dim, hidden_dim}),
+      grad_bias_({4 * hidden_dim}) {
+    if (input_dim == 0 || hidden_dim == 0)
+        throw std::invalid_argument("Lstm: dimensions must be > 0");
+    // Standard trick: bias the forget gate open so gradients flow early on.
+    for (std::size_t i = hidden_; i < 2 * hidden_; ++i) bias_[i] = 1.0f;
+}
+
+namespace {
+inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Tensor Lstm::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 3 || input.dim(2) != input_)
+        throw std::invalid_argument("Lstm::forward: expected (batch, seq, " +
+                                    std::to_string(input_) + ")");
+    const std::size_t batch = input.dim(0), seq = input.dim(1);
+    cached_batch_ = batch;
+    steps_.clear();
+    steps_.reserve(seq);
+
+    Tensor h({batch, hidden_});
+    Tensor c({batch, hidden_});
+    for (std::size_t t = 0; t < seq; ++t) {
+        StepCache step;
+        step.x = Tensor({batch, input_});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t d = 0; d < input_; ++d) step.x(b, d) = input(b, t, d);
+
+        // pre = x W^T + h U^T + b : (batch, 4H)
+        Tensor pre = tensor::matmul_transposed_b(step.x, w_input_);
+        pre += tensor::matmul_transposed_b(h, w_recur_);
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 4 * hidden_; ++j) pre(b, j) += bias_[j];
+
+        step.gates = Tensor({batch, 4 * hidden_});
+        Tensor c_next({batch, hidden_});
+        Tensor h_next({batch, hidden_});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                const float gi = sigmoid_scalar(pre(b, j));
+                const float gf = sigmoid_scalar(pre(b, hidden_ + j));
+                const float gg = std::tanh(pre(b, 2 * hidden_ + j));
+                const float go = sigmoid_scalar(pre(b, 3 * hidden_ + j));
+                step.gates(b, j) = gi;
+                step.gates(b, hidden_ + j) = gf;
+                step.gates(b, 2 * hidden_ + j) = gg;
+                step.gates(b, 3 * hidden_ + j) = go;
+                c_next(b, j) = gf * c(b, j) + gi * gg;
+                h_next(b, j) = go * std::tanh(c_next(b, j));
+            }
+        step.c = c_next;
+        step.h = h_next;
+        steps_.push_back(std::move(step));
+        h = std::move(h_next);
+        c = std::move(c_next);
+    }
+    return h;
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+    if (steps_.empty()) throw std::runtime_error("Lstm::backward before forward");
+    const std::size_t batch = cached_batch_, seq = steps_.size();
+    if (grad_output.shape() != tensor::Shape{batch, hidden_})
+        throw std::invalid_argument("Lstm::backward: grad shape mismatch");
+
+    Tensor grad_input({batch, seq, input_});
+    Tensor dh = grad_output;        // dL/dh_t flowing backward
+    Tensor dc({batch, hidden_});    // dL/dc_t flowing backward
+
+    for (std::size_t ti = seq; ti-- > 0;) {
+        const StepCache& step = steps_[ti];
+        // c_{t-1} and h_{t-1}
+        const Tensor* c_prev = ti > 0 ? &steps_[ti - 1].c : nullptr;
+        const Tensor* h_prev = ti > 0 ? &steps_[ti - 1].h : nullptr;
+
+        Tensor d_pre({batch, 4 * hidden_});
+        Tensor dc_prev({batch, hidden_});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                const float gi = step.gates(b, j);
+                const float gf = step.gates(b, hidden_ + j);
+                const float gg = step.gates(b, 2 * hidden_ + j);
+                const float go = step.gates(b, 3 * hidden_ + j);
+                const float tanh_c = std::tanh(step.c(b, j));
+                const float cp = c_prev ? (*c_prev)(b, j) : 0.0f;
+
+                const float dh_bj = dh(b, j);
+                const float dc_total = dc(b, j) + dh_bj * go * (1.0f - tanh_c * tanh_c);
+
+                d_pre(b, j) = dc_total * gg * gi * (1.0f - gi);                     // input gate
+                d_pre(b, hidden_ + j) = dc_total * cp * gf * (1.0f - gf);           // forget gate
+                d_pre(b, 2 * hidden_ + j) = dc_total * gi * (1.0f - gg * gg);       // candidate
+                d_pre(b, 3 * hidden_ + j) = dh_bj * tanh_c * go * (1.0f - go);      // output gate
+                dc_prev(b, j) = dc_total * gf;
+            }
+
+        // Parameter gradients.
+        grad_w_input_ += tensor::matmul_transposed_a(d_pre, step.x);
+        if (h_prev) grad_w_recur_ += tensor::matmul_transposed_a(d_pre, *h_prev);
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 4 * hidden_; ++j) grad_bias_[j] += d_pre(b, j);
+
+        // Input gradient for this timestep.
+        Tensor dx = tensor::matmul(d_pre, w_input_);  // (batch, D)
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t d = 0; d < input_; ++d) grad_input(b, ti, d) = dx(b, d);
+
+        // Recurrent gradient for the previous hidden state.
+        dh = tensor::matmul(d_pre, w_recur_);  // (batch, H)
+        dc = std::move(dc_prev);
+    }
+    return grad_input;
+}
+
+std::unique_ptr<Layer> Lstm::clone() const { return std::make_unique<Lstm>(*this); }
+
+}  // namespace pipetune::nn

@@ -1,0 +1,65 @@
+#include "pipetune/nn/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::nn {
+
+namespace {
+void require_positive_rate(double rate, const char* what) {
+    if (rate <= 0) throw std::invalid_argument(std::string(what) + ": rate must be > 0");
+}
+void require_epoch(std::size_t epoch) {
+    if (epoch == 0) throw std::invalid_argument("LrSchedule: epoch is 1-based");
+}
+}  // namespace
+
+ConstantLr::ConstantLr(double rate) : rate_(rate) { require_positive_rate(rate, "ConstantLr"); }
+
+double ConstantLr::rate_at(std::size_t epoch) const {
+    require_epoch(epoch);
+    return rate_;
+}
+
+StepDecayLr::StepDecayLr(double initial_rate, double gamma, std::size_t step_epochs)
+    : initial_(initial_rate), gamma_(gamma), step_(step_epochs) {
+    require_positive_rate(initial_rate, "StepDecayLr");
+    if (gamma <= 0 || gamma > 1) throw std::invalid_argument("StepDecayLr: gamma must be in (0, 1]");
+    if (step_epochs == 0) throw std::invalid_argument("StepDecayLr: step_epochs must be > 0");
+}
+
+double StepDecayLr::rate_at(std::size_t epoch) const {
+    require_epoch(epoch);
+    const auto steps = static_cast<double>((epoch - 1) / step_);
+    return initial_ * std::pow(gamma_, steps);
+}
+
+CosineLr::CosineLr(double initial_rate, double min_rate, std::size_t total_epochs)
+    : initial_(initial_rate), min_(min_rate), total_(total_epochs) {
+    require_positive_rate(initial_rate, "CosineLr");
+    if (min_rate < 0 || min_rate > initial_rate)
+        throw std::invalid_argument("CosineLr: need 0 <= min_rate <= initial_rate");
+    if (total_epochs == 0) throw std::invalid_argument("CosineLr: total_epochs must be > 0");
+}
+
+double CosineLr::rate_at(std::size_t epoch) const {
+    require_epoch(epoch);
+    if (epoch >= total_) return min_;
+    const double progress = static_cast<double>(epoch - 1) / static_cast<double>(total_ - 1);
+    return min_ + 0.5 * (initial_ - min_) * (1.0 + std::cos(M_PI * progress));
+}
+
+WarmupLr::WarmupLr(std::size_t warmup_epochs, std::shared_ptr<const LrSchedule> inner)
+    : warmup_(warmup_epochs), inner_(std::move(inner)) {
+    if (warmup_epochs == 0) throw std::invalid_argument("WarmupLr: warmup_epochs must be > 0");
+    if (!inner_) throw std::invalid_argument("WarmupLr: inner schedule required");
+}
+
+double WarmupLr::rate_at(std::size_t epoch) const {
+    require_epoch(epoch);
+    const double target = inner_->rate_at(std::max(epoch, warmup_ + 1));
+    if (epoch > warmup_) return inner_->rate_at(epoch);
+    return target * static_cast<double>(epoch) / static_cast<double>(warmup_ + 1);
+}
+
+}  // namespace pipetune::nn

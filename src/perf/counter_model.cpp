@@ -1,0 +1,132 @@
+#include "pipetune/perf/counter_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::perf {
+
+namespace {
+
+// Stable string hash (FNV-1a) so fingerprints are portable across runs.
+std::uint64_t fnv1a(const std::string& text) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// Deterministic pseudo-random factor in [lo, hi] keyed by (seed, index).
+double keyed_factor(std::uint64_t seed, std::size_t index, double lo, double hi) {
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    const std::uint64_t bits = util::splitmix64(state);
+    const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * unit;
+}
+
+double base_rate(EventClass event_class) {
+    switch (event_class) {
+        case EventClass::kCycles: return 2.4e9;      // ~CPU frequency
+        case EventClass::kInstr: return 1.8e9;       // IPC < 1 relative to cycles
+        case EventClass::kCacheHot: return 4.0e8;
+        case EventClass::kCacheMiss: return 3.0e6;
+        case EventClass::kTlb: return 1.2e7;
+        case EventClass::kRareEvent: return 5.0e1;
+        case EventClass::kMsr: return 2.4e9;
+        case EventClass::kNode: return 8.0e5;
+    }
+    return 1.0;
+}
+
+}  // namespace
+
+EventVector true_event_rates(const WorkloadFingerprint& fingerprint) {
+    if (fingerprint.compute_scale <= 0 || fingerprint.memory_scale <= 0)
+        throw std::invalid_argument("true_event_rates: scales must be positive");
+    if (fingerprint.batch_size == 0 || fingerprint.cores == 0)
+        throw std::invalid_argument("true_event_rates: batch and cores must be > 0");
+
+    const std::uint64_t model_seed = fnv1a("model:" + fingerprint.model_family);
+    const std::uint64_t data_seed = fnv1a("data:" + fingerprint.dataset_family);
+
+    EventVector rates{};
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+        const EventClass cls = event_class(e);
+        double rate = base_rate(cls);
+
+        // Model identity dominates compute-flavoured events; dataset identity
+        // dominates memory-flavoured ones. This split is what lets k-means
+        // cluster by model on some axes and by dataset on others (Fig 8).
+        const bool compute_flavoured = cls == EventClass::kCycles || cls == EventClass::kInstr ||
+                                       cls == EventClass::kMsr;
+        const double model_weight = compute_flavoured ? 1.0 : 0.35;
+        const double data_weight = compute_flavoured ? 0.35 : 1.0;
+        rate *= std::pow(keyed_factor(model_seed, e, 0.5, 2.0), model_weight);
+        rate *= std::pow(keyed_factor(data_seed, e, 0.5, 2.0), data_weight);
+
+        // Arithmetic intensity scales instruction-side events; memory traffic
+        // scales cache/TLB/node events.
+        if (compute_flavoured) {
+            rate *= 0.5 + 0.5 * fingerprint.compute_scale;
+        } else {
+            rate *= 0.5 + 0.5 * fingerprint.memory_scale;
+        }
+
+        // Bigger batches improve locality: miss-type rates drop slowly with
+        // batch size; hot traffic is nearly batch-independent.
+        if (cls == EventClass::kCacheMiss || cls == EventClass::kNode || cls == EventClass::kTlb)
+            rate *= 1.0 + 1.0 / std::sqrt(static_cast<double>(fingerprint.batch_size));
+
+        // More cores -> more aggregate traffic but also more coherence misses.
+        const double core_factor = static_cast<double>(fingerprint.cores);
+        if (cls == EventClass::kCacheMiss || cls == EventClass::kNode) {
+            rate *= std::pow(core_factor, 1.15);
+        } else if (cls != EventClass::kRareEvent) {
+            rate *= core_factor;
+        }
+        rates[e] = rate;
+    }
+    return rates;
+}
+
+PmuSimulator::PmuSimulator(PmuConfig config) : config_(config) {
+    if (config.generic_counters == 0)
+        throw std::invalid_argument("PmuSimulator: need at least one generic counter");
+    if (config.sampling_noise < 0)
+        throw std::invalid_argument("PmuSimulator: negative noise");
+}
+
+double PmuSimulator::multiplex_fraction() const {
+    const std::size_t fixed = fixed_counter_events().size();
+    const std::size_t multiplexed_events = kEventCount - fixed;
+    return std::min(1.0, static_cast<double>(config_.generic_counters) /
+                             static_cast<double>(multiplexed_events));
+}
+
+EventVector PmuSimulator::measure_epoch(const EventVector& true_rates, double duration_s,
+                                        util::Rng& rng) const {
+    if (duration_s <= 0) throw std::invalid_argument("measure_epoch: duration must be > 0");
+    const auto& fixed = fixed_counter_events();
+    const double fraction = multiplex_fraction();
+
+    EventVector observed{};
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+        const bool is_fixed = std::find(fixed.begin(), fixed.end(), e) != fixed.end();
+        const double time_running = is_fixed ? duration_s : duration_s * fraction;
+        // Raw count accumulated while the event owned a counter, with per-read
+        // noise. Sub-sampling error shrinks with observation time like
+        // 1/sqrt(t): short multiplexed windows are noisier.
+        const double relative_noise =
+            config_.sampling_noise / std::sqrt(std::max(time_running, 1e-3));
+        const double raw = true_rates[e] * time_running *
+                           std::max(0.0, 1.0 + rng.normal(0.0, relative_noise));
+        // perf's rescale: final = raw * time_enabled / time_running.
+        const double final_count = raw * (duration_s / time_running);
+        observed[e] = final_count / duration_s;  // store as events/second
+    }
+    return observed;
+}
+
+}  // namespace pipetune::perf

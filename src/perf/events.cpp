@@ -1,0 +1,107 @@
+#include "pipetune/perf/events.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pipetune::perf {
+
+const std::array<std::string_view, kEventCount>& event_names() {
+    static const std::array<std::string_view, kEventCount> kNames = {
+        "L1-dcache-load-misses",
+        "L1-dcache-loads",
+        "L1-dcache-stores",
+        "L1-icache-load-misses",
+        "LLC-load-misses",
+        "LLC-loads",
+        "LLC-store-misses",
+        "LLC-stores",
+        "branch-load-misses",
+        "branch-loads",
+        "branch-misses",
+        "branches",
+        "bus-cycles",
+        "cache-misses",
+        "cache-references",
+        "cpu-cycles",
+        "cpu/branch-instructions/",
+        "cpu/branch-misses/",
+        "cpu/bus-cycles/",
+        "cpu/cache-misses/",
+        "cpu/cache-references/",
+        "cpu/cpu-cycles/",
+        "cpu/cycles-ct/",
+        "cpu/cycles-t/",
+        "cpu/el-abort/",
+        "cpu/el-capacity/",
+        "cpu/el-commit/",
+        "cpu/el-conflict/",
+        "cpu/el-start/",
+        "cpu/instructions/",
+        "cpu/mem-loads/",
+        "cpu/mem-stores/",
+        "cpu/topdown-fetch-bubbles/",
+        "cpu/topdown-recovery-bubbles/",
+        "cpu/topdown-slots-issued/",
+        "cpu/topdown-slots-retired/",
+        "cpu/topdown-total-slots/",
+        "cpu/tx-abort/",
+        "cpu/tx-capacity/",
+        "cpu/tx-commit/",
+        "cpu/tx-conflict/",
+        "cpu/tx-start/",
+        "dTLB-load-misses",
+        "dTLB-loads",
+        "dTLB-store-misses",
+        "dTLB-stores",
+        "iTLB-load-misses",
+        "iTLB-loads",
+        "instructions",
+        "msr/aperf/",
+        "msr/mperf/",
+        "msr/pperf/",
+        "msr/smi/",
+        "msr/tsc/",
+        "node-load-misses",
+        "node-loads",
+        "node-store-misses",
+        "node-stores",
+    };
+    return kNames;
+}
+
+std::size_t event_index(std::string_view name) {
+    const auto& names = event_names();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name) return i;
+    throw std::invalid_argument("event_index: unknown event '" + std::string(name) + "'");
+}
+
+EventClass event_class(std::size_t index) {
+    const std::string_view name = event_names().at(index);
+    const bool is_cpu_alias = name.substr(0, 4) == "cpu/";
+    if (name.find("msr/") == 0) return EventClass::kMsr;
+    if (name.find("node-") == 0) return EventClass::kNode;
+    if (name.find("tx-") != std::string_view::npos || name.find("el-") != std::string_view::npos ||
+        name.find("smi") != std::string_view::npos)
+        return EventClass::kRareEvent;
+    if (name.find("cycles") != std::string_view::npos || name.find("bubbles") != std::string_view::npos ||
+        name.find("slots") != std::string_view::npos)
+        return EventClass::kCycles;
+    if (name.find("instructions") != std::string_view::npos) return EventClass::kInstr;
+    if (name.find("TLB") != std::string_view::npos || name.find("tlb") != std::string_view::npos)
+        return EventClass::kTlb;
+    if (name.find("miss") != std::string_view::npos) return EventClass::kCacheMiss;
+    (void)is_cpu_alias;
+    return EventClass::kCacheHot;
+}
+
+const std::array<std::size_t, 3>& fixed_counter_events() {
+    static const std::array<std::size_t, 3> kFixed = {
+        event_index("instructions"),
+        event_index("cpu-cycles"),
+        event_index("bus-cycles"),
+    };
+    return kFixed;
+}
+
+}  // namespace pipetune::perf

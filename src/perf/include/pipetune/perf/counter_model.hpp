@@ -1,0 +1,70 @@
+#pragma once
+// Synthetic PMU: generates per-epoch hardware-event profiles for a workload
+// under given system conditions, reproducing the two properties the paper's
+// profiling phase depends on (§5.3, Fig 2, Fig 8):
+//
+//  1. *Stability* — the same (workload, configuration) yields nearly the same
+//     event vector every epoch ("certain events repeat throughout the epochs
+//     with the same occurrence", Fig 2);
+//  2. *Discriminability* — different workloads yield distant vectors, with
+//     model identity and dataset identity each contributing a consistent
+//     component, so k-means over profiles recovers workload types (Fig 8).
+//
+// The model also reproduces perf's counter-multiplexing artifact: with only
+// 2 generic + 3 fixed counters, each non-fixed event is measured for a
+// fraction of the epoch and rescaled by time_enabled/time_running (§5.3),
+// which adds estimation noise inversely proportional to that fraction.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "pipetune/perf/events.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::perf {
+
+using EventVector = std::array<double, kEventCount>;
+
+/// What the signature model needs to know about a running trial.
+struct WorkloadFingerprint {
+    std::string model_family;    ///< e.g. "lenet", "cnn", "lstm", "jacobi"
+    std::string dataset_family;  ///< e.g. "mnist", "fashion", "news20", "rodinia"
+    double compute_scale = 1.0;  ///< relative arithmetic intensity (model size)
+    double memory_scale = 1.0;   ///< relative memory traffic (dataset/batch size)
+    std::size_t batch_size = 32;
+    std::size_t cores = 4;
+};
+
+/// Deterministic per-second event rates for a workload fingerprint. The same
+/// fingerprint always produces the same rates (stability); distinct model or
+/// dataset families perturb disjoint projections of the vector
+/// (discriminability).
+EventVector true_event_rates(const WorkloadFingerprint& fingerprint);
+
+struct PmuConfig {
+    std::size_t generic_counters = 2;  ///< paper §5.3
+    std::size_t fixed_counters = 3;    ///< paper §5.3
+    double sampling_noise = 0.01;      ///< relative read noise per measurement
+};
+
+/// Simulates one epoch of perf sampling at 1 Hz with counter multiplexing.
+class PmuSimulator {
+public:
+    explicit PmuSimulator(PmuConfig config = {});
+
+    /// Average events/second observed over an epoch of `duration_s` seconds,
+    /// including the multiplexing rescale final = raw * enabled / running.
+    EventVector measure_epoch(const EventVector& true_rates, double duration_s,
+                              util::Rng& rng) const;
+
+    /// Fraction of wall time each non-fixed event is actually counted.
+    double multiplex_fraction() const;
+
+    const PmuConfig& config() const { return config_; }
+
+private:
+    PmuConfig config_;
+};
+
+}  // namespace pipetune::perf

@@ -1,0 +1,42 @@
+#pragma once
+// The 58 hardware performance-counter events PipeTune profiles (paper Fig 2).
+// The list is transcribed verbatim from the paper's heatmap y-axis: PMU
+// events, msr counters and node-level events as exposed by Linux perf
+// (v4.15.18) on the authors' x86 testbed.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace pipetune::perf {
+
+inline constexpr std::size_t kEventCount = 58;
+
+/// Event names in the paper's (alphabetical) order.
+const std::array<std::string_view, kEventCount>& event_names();
+
+/// Index of an event name; throws std::invalid_argument if unknown.
+std::size_t event_index(std::string_view name);
+
+/// Rough magnitude class of each event, used by the signature model to give
+/// events realistic absolute scales (the paper's heatmap buckets span
+/// <1e2 .. >1e8 events per epoch).
+enum class EventClass {
+    kCycles,     ///< cycle-granularity counters (~1e9/s scale)
+    kInstr,      ///< instruction/uop counters
+    kCacheHot,   ///< frequent cache/branch traffic (loads, stores, branches)
+    kCacheMiss,  ///< miss counters, orders of magnitude rarer
+    kTlb,        ///< TLB traffic
+    kRareEvent,  ///< transactional/abort/SMI counters, near zero
+    kMsr,        ///< msr pseudo-counters (aperf/mperf/tsc)
+    kNode,       ///< NUMA node-level traffic
+};
+
+EventClass event_class(std::size_t index);
+
+/// Indices of the events pinned to fixed counters in the PMU model
+/// (instructions, cpu-cycles, bus-cycles) — common Intel processors have
+/// "only 2 generic and 3 fixed counters" (paper §5.3).
+const std::array<std::size_t, 3>& fixed_counter_events();
+
+}  // namespace pipetune::perf

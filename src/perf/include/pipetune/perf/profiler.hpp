@@ -1,0 +1,54 @@
+#pragma once
+// Epoch-granularity profiler: the component PipeTune runs alongside the first
+// epochs of every trial (§5.3). It samples the (simulated) PMU, stores the
+// per-epoch averages, and exposes the feature vector the ground-truth
+// similarity function consumes.
+
+#include <vector>
+
+#include "pipetune/perf/counter_model.hpp"
+
+namespace pipetune::perf {
+
+/// One epoch's worth of averaged low-level metrics.
+struct EpochProfile {
+    std::size_t epoch = 0;     ///< 1-based epoch index within the trial
+    EventVector events{};      ///< observed events/second, averaged over the epoch
+    double duration_s = 0.0;
+    double energy_j = 0.0;
+};
+
+/// Similarity feature vector: log10(1 + rate) per event. Event rates span
+/// ~8 decades (Fig 2's heatmap buckets), so clustering on raw rates would be
+/// dominated by cycle counters; log-compression puts all events on comparable
+/// footing before the Standardizer in mlcore takes over.
+std::vector<double> profile_features(const EpochProfile& profile);
+
+/// Element-wise mean of several profiles' feature vectors (the paper stores
+/// "the average of results during each epoch's time window" and feeds the
+/// first couple of epochs to the similarity function).
+std::vector<double> mean_features(const std::vector<EpochProfile>& profiles);
+
+class Profiler {
+public:
+    explicit Profiler(PmuConfig config = {}, std::uint64_t seed = 1);
+
+    /// Profile one epoch of the given workload; appends to history.
+    EpochProfile profile_epoch(const WorkloadFingerprint& fingerprint, double duration_s,
+                               double energy_j, std::size_t epoch);
+
+    const std::vector<EpochProfile>& history() const { return history_; }
+    void clear() { history_.clear(); }
+
+    /// Relative wall-clock overhead the profiler adds to a profiled epoch.
+    /// Charged explicitly by the tuners so the §7.3 overhead claim is
+    /// testable rather than hidden.
+    static constexpr double kOverheadFraction = 0.01;
+
+private:
+    PmuSimulator pmu_;
+    util::Rng rng_;
+    std::vector<EpochProfile> history_;
+};
+
+}  // namespace pipetune::perf

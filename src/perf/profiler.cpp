@@ -1,0 +1,48 @@
+#include "pipetune/perf/profiler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::perf {
+
+std::vector<double> profile_features(const EpochProfile& profile) {
+    std::vector<double> features(kEventCount);
+    double mean = 0.0;
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+        features[e] = std::log10(1.0 + std::max(0.0, profile.events[e]));
+        mean += features[e];
+    }
+    // Row-centre: subtract the profile's mean log-rate. A bigger allocation
+    // (more cores) multiplies nearly every event uniformly, which would make
+    // k-means cluster by allocation instead of by workload; centring keeps
+    // the event *mix* — the workload's identity — and discards the scale.
+    mean /= static_cast<double>(kEventCount);
+    for (double& f : features) f -= mean;
+    return features;
+}
+
+std::vector<double> mean_features(const std::vector<EpochProfile>& profiles) {
+    if (profiles.empty()) throw std::invalid_argument("mean_features: no profiles");
+    std::vector<double> acc(kEventCount, 0.0);
+    for (const auto& profile : profiles) {
+        const auto features = profile_features(profile);
+        for (std::size_t e = 0; e < kEventCount; ++e) acc[e] += features[e];
+    }
+    for (double& v : acc) v /= static_cast<double>(profiles.size());
+    return acc;
+}
+
+Profiler::Profiler(PmuConfig config, std::uint64_t seed) : pmu_(config), rng_(seed) {}
+
+EpochProfile Profiler::profile_epoch(const WorkloadFingerprint& fingerprint, double duration_s,
+                                     double energy_j, std::size_t epoch) {
+    EpochProfile profile;
+    profile.epoch = epoch;
+    profile.duration_s = duration_s;
+    profile.energy_j = energy_j;
+    profile.events = pmu_.measure_epoch(true_event_rates(fingerprint), duration_s, rng_);
+    history_.push_back(profile);
+    return profile;
+}
+
+}  // namespace pipetune::perf

@@ -1,0 +1,80 @@
+#include "pipetune/sim/accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::sim {
+
+using workload::HyperParams;
+using workload::Workload;
+
+AccuracyModel::AccuracyModel(AccuracyModelConfig config) : config_(config) {
+    if (config.lr_tolerance_log <= 0 || config.batch_rate_exponent < 0 ||
+        config.accuracy_noise < 0)
+        throw std::invalid_argument("AccuracyModel: invalid configuration");
+}
+
+double AccuracyModel::lr_quality(const Workload& workload, const HyperParams& hyper) const {
+    if (hyper.learning_rate <= 0)
+        throw std::invalid_argument("AccuracyModel: learning rate must be > 0");
+    if (workload.is_kernel()) return 1.0;  // kernels have no learning rate
+    const double delta = std::log(hyper.learning_rate) - std::log(workload.learning_rate_optimum);
+    return std::exp(-delta * delta / (2 * config_.lr_tolerance_log * config_.lr_tolerance_log));
+}
+
+double AccuracyModel::effective_ceiling(const Workload& workload,
+                                        const HyperParams& hyper) const {
+    double ceiling = workload.accuracy_ceiling;
+    if (!workload.is_kernel()) {
+        // Oversized batches reduce gradient stochasticity (Fig 3a).
+        ceiling -= config_.batch_ceiling_penalty *
+                   std::log2(static_cast<double>(hyper.batch_size) / 32.0);
+        // Dropout sweet spot: none overfits, too much underfits.
+        const double d = hyper.dropout - config_.dropout_optimum;
+        ceiling += 2.0 - config_.dropout_curvature * d * d;
+        // A badly mis-set learning rate cannot reach the full ceiling at all
+        // (large swings / premature plateau).
+        ceiling -= 6.0 * (1.0 - lr_quality(workload, hyper));
+    }
+    if (workload.is_text()) {
+        const double richness =
+            1.0 - std::exp(-(static_cast<double>(hyper.embedding_dim) - 50.0) / 100.0);
+        ceiling += config_.embedding_bonus * std::max(0.0, richness);
+    }
+    return std::clamp(ceiling, 1.0, 100.0);
+}
+
+double AccuracyModel::progress_rate(const Workload& workload, const HyperParams& hyper) const {
+    double rate = workload.convergence_rate;
+    if (!workload.is_kernel()) {
+        // Smaller batches take more SGD steps per epoch.
+        rate *= std::pow(32.0 / static_cast<double>(hyper.batch_size),
+                         config_.batch_rate_exponent);
+        rate *= 0.25 + 0.75 * lr_quality(workload, hyper);
+    }
+    return rate;
+}
+
+double AccuracyModel::accuracy_at(const Workload& workload, const HyperParams& hyper,
+                                  std::size_t epoch, util::Rng* rng) const {
+    if (epoch == 0) throw std::invalid_argument("AccuracyModel: epoch is 1-based");
+    const double ceiling = effective_ceiling(workload, hyper);
+    const double rate = progress_rate(workload, hyper);
+    double accuracy = ceiling * (1.0 - std::exp(-rate * static_cast<double>(epoch)));
+    if (rng != nullptr) accuracy += rng->normal(0.0, config_.accuracy_noise);
+    return std::clamp(accuracy, 0.0, 100.0);
+}
+
+double AccuracyModel::loss_at(const Workload& workload, const HyperParams& hyper,
+                              std::size_t epoch, util::Rng* rng) const {
+    if (epoch == 0) throw std::invalid_argument("AccuracyModel: epoch is 1-based");
+    const double classes = workload.is_text() ? 20.0 : 10.0;
+    const double rate = progress_rate(workload, hyper);
+    const double floor = 0.05 + 0.5 * (1.0 - effective_ceiling(workload, hyper) / 100.0);
+    double loss = floor + (std::log(classes) - floor) * std::exp(-rate * static_cast<double>(epoch));
+    if (rng != nullptr) loss *= std::max(0.5, 1.0 + rng->normal(0.0, 0.03));
+    return loss;
+}
+
+}  // namespace pipetune::sim

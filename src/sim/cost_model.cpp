@@ -1,0 +1,107 @@
+#include "pipetune/sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::sim {
+
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::Workload;
+
+CostModel::CostModel(CostModelConfig config) : config_(config) {
+    if (config.epoch_fixed_s < 0 || config.seconds_per_sample <= 0 ||
+        config.parallel_exponent <= 0 || config.parallel_exponent > 1 ||
+        config.sync_fixed_s < 0 || config.sync_per_core_s < 0 ||
+        config.memory_pressure_weight < 0 || config.duration_noise < 0)
+        throw std::invalid_argument("CostModel: invalid configuration");
+}
+
+double CostModel::hyper_compute_factor(const Workload& workload, const HyperParams& hyper) {
+    double factor = 1.0;
+    if (workload.is_text()) {
+        // Embedding dimensions scale matmul widths; [50, 300] maps to [1, 1.5].
+        factor *= 1.0 + 0.5 * (static_cast<double>(hyper.embedding_dim) - 50.0) / 250.0;
+    }
+    // Dropout adds a mask pass; marginal.
+    factor *= 1.0 + 0.05 * hyper.dropout;
+    return factor;
+}
+
+double CostModel::compute_seconds(const Workload& workload, const HyperParams& hyper,
+                                  const SystemParams& system) const {
+    const double samples = static_cast<double>(workload.train_files);
+    const double per_sample = config_.seconds_per_sample * workload.compute_scale *
+                              hyper_compute_factor(workload, hyper);
+    // Scalability is a property of the computation: regular stencils scale
+    // near-linearly, irregular traversals (BFS) poorly. The workload's
+    // exponent overrides the generic default when set.
+    const double exponent =
+        workload.parallel_exponent > 0 ? workload.parallel_exponent : config_.parallel_exponent;
+    const double speedup = std::pow(static_cast<double>(system.cores), exponent);
+    // DVFS: arithmetic throughput scales with clock; sync/IO terms do not.
+    const double frequency_ratio =
+        system.frequency_ghz / workload::SystemParams::kBaseFrequencyGhz;
+    return samples * per_sample / (speedup * frequency_ratio);
+}
+
+double CostModel::sync_seconds(const Workload& workload, const HyperParams& hyper,
+                               const SystemParams& system) const {
+    const double updates = std::ceil(static_cast<double>(workload.train_files) /
+                                     static_cast<double>(hyper.batch_size));
+    // Type-III kernels are single-process (no Spark task waves); their sync
+    // cost is an order of magnitude smaller.
+    const double kernel_discount = workload.is_kernel() ? 0.1 : 1.0;
+    return updates * kernel_discount *
+           (config_.sync_fixed_s + config_.sync_per_core_s * static_cast<double>(system.cores));
+}
+
+double CostModel::working_set_gb(const Workload& workload, const HyperParams& hyper) const {
+    // Base model/runtime footprint plus activation memory that grows with the
+    // batch; scaled by the workload's memory intensity.
+    const double batch_gb = 6.0 * static_cast<double>(hyper.batch_size) / 1024.0;
+    return workload.memory_scale * (2.0 + batch_gb);
+}
+
+double CostModel::memory_penalty(const Workload& workload, const HyperParams& hyper,
+                                 const SystemParams& system) const {
+    const double ws = working_set_gb(workload, hyper);
+    const double mem = static_cast<double>(system.memory_gb);
+    if (mem >= ws) return 1.0;
+    return 1.0 + config_.memory_pressure_weight * (ws / mem - 1.0);
+}
+
+double CostModel::epoch_seconds(const Workload& workload, const HyperParams& hyper,
+                                const SystemParams& system, util::Rng* rng) const {
+    if (hyper.batch_size == 0) throw std::invalid_argument("CostModel: batch_size must be > 0");
+    if (system.cores == 0 || system.memory_gb == 0)
+        throw std::invalid_argument("CostModel: cores and memory must be > 0");
+    if (system.frequency_ghz <= 0)
+        throw std::invalid_argument("CostModel: frequency must be > 0");
+    // Per-epoch fixed cost (data loading, evaluation pass, scheduling) scales
+    // with the dataset size; Type-III kernels pay a small flat per-iteration
+    // floor instead.
+    const double fixed =
+        workload.is_kernel()
+            ? 0.3
+            : std::max(1.0, config_.epoch_fixed_s *
+                                static_cast<double>(workload.train_files) / 60000.0);
+    double seconds = (fixed + compute_seconds(workload, hyper, system) +
+                      sync_seconds(workload, hyper, system)) *
+                     memory_penalty(workload, hyper, system);
+    if (rng != nullptr)
+        seconds *= std::max(0.5, 1.0 + rng->normal(0.0, config_.duration_noise));
+    return seconds;
+}
+
+double CostModel::compute_utilization(const Workload& workload, const HyperParams& hyper,
+                                      const SystemParams& system) const {
+    const double compute = compute_seconds(workload, hyper, system);
+    const double sync = sync_seconds(workload, hyper, system);
+    if (compute + sync <= 0) return 0.0;
+    // Cores idle during sync; attribute a small residual utilization to it.
+    return std::clamp((compute + 0.2 * sync) / (compute + sync), 0.0, 1.0);
+}
+
+}  // namespace pipetune::sim

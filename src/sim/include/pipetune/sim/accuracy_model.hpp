@@ -1,0 +1,61 @@
+#pragma once
+// Learning-curve (accuracy) model for the simulation backend.
+//
+// Accuracy after epoch e follows a saturating curve toward a hyperparameter-
+// dependent ceiling:
+//   acc(e) = ceiling(hp) * (1 - exp(-rate(hp) * e)) + noise
+// where
+//   * rate grows with updates/epoch (smaller batches converge in fewer
+//     epochs) and with learning-rate quality (log-gaussian around the
+//     workload's optimum — too small is slow, too large swings);
+//   * ceiling is reduced by oversized batches (stochasticity loss, Fig 3a),
+//     shaped by dropout (regularization sweet spot) and, for text models,
+//     raised by richer embeddings (paper §7.1.3).
+//
+// The model is deterministic given (workload, hyperparams, epoch, trial
+// seed), so whole experiments are reproducible.
+
+#include "pipetune/util/rng.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::sim {
+
+struct AccuracyModelConfig {
+    double lr_tolerance_log = 1.1;      ///< sigma of log(lr) quality gaussian (~3x band)
+    double batch_rate_exponent = 0.25;  ///< convergence speed ~ (32/batch)^x
+    double batch_ceiling_penalty = 0.9; ///< ceiling points lost per log2(batch/32)
+    double dropout_optimum = 0.2;
+    double dropout_curvature = 20.0;    ///< ceiling bonus = 2 - curv*(d-opt)^2
+    double embedding_bonus = 3.0;       ///< max ceiling points from embeddings
+    double accuracy_noise = 0.4;        ///< per-epoch measurement noise [points]
+};
+
+class AccuracyModel {
+public:
+    explicit AccuracyModel(AccuracyModelConfig config = {});
+
+    /// Ceiling [%] the configuration converges to.
+    double effective_ceiling(const workload::Workload& workload,
+                             const workload::HyperParams& hyper) const;
+
+    /// Per-epoch progress rate of the saturating curve.
+    double progress_rate(const workload::Workload& workload,
+                         const workload::HyperParams& hyper) const;
+
+    /// Validation accuracy [%] after `epoch` (1-based) epochs.
+    double accuracy_at(const workload::Workload& workload, const workload::HyperParams& hyper,
+                       std::size_t epoch, util::Rng* rng = nullptr) const;
+
+    /// Matching training loss (cross-entropy-shaped decay).
+    double loss_at(const workload::Workload& workload, const workload::HyperParams& hyper,
+                   std::size_t epoch, util::Rng* rng = nullptr) const;
+
+    const AccuracyModelConfig& config() const { return config_; }
+
+private:
+    double lr_quality(const workload::Workload& workload,
+                      const workload::HyperParams& hyper) const;
+    AccuracyModelConfig config_;
+};
+
+}  // namespace pipetune::sim

@@ -1,0 +1,74 @@
+#pragma once
+// Epoch-duration cost model for the calibrated simulation backend.
+//
+// Model (synchronous minibatch SGD on BigDL/Spark, paper §3.2):
+//   updates/epoch   U = ceil(N / batch)
+//   compute/epoch   C = N * c_w / cores^p          (data-parallel work)
+//   sync/epoch      S = U * (s0 + s1 * cores)      (per-update aggregation +
+//                                                   scheduling, grows with
+//                                                   worker count — the Spark
+//                                                   overhead Drizzle targets)
+//   memory penalty  if mem < working set: multiply by 1 + w*(ws/mem - 1)
+//
+// The S term is what makes extra cores *hurt* small batches (many updates,
+// each paying a larger sync) while they help large batches — the crossover of
+// Fig 3b. Constants are calibrated against the real engine's scaling in
+// tests/integration/calibration_test.cpp.
+
+#include "pipetune/util/rng.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::sim {
+
+struct CostModelConfig {
+    double epoch_fixed_s = 15.0;        ///< per-epoch setup/eval/data-load floor
+    double seconds_per_sample = 2e-4;   ///< per-sample fwd+bwd at compute_scale 1, one core
+    double parallel_exponent = 0.88;    ///< cores^p effective speedup
+    double sync_fixed_s = 0.002;        ///< per-update fixed scheduling cost
+    double sync_per_core_s = 0.003;     ///< per-update per-worker aggregation cost
+    double memory_pressure_weight = 0.8;
+    double duration_noise = 0.02;       ///< lognormal-ish relative jitter
+};
+
+class CostModel {
+public:
+    explicit CostModel(CostModelConfig config = {});
+
+    /// Expected wall-clock seconds of one epoch. Pass rng = nullptr for the
+    /// deterministic expectation (used by tests and the bench baselines).
+    double epoch_seconds(const workload::Workload& workload, const workload::HyperParams& hyper,
+                         const workload::SystemParams& system, util::Rng* rng = nullptr) const;
+
+    /// Working set in GB (grows with batch size and the workload's
+    /// memory_scale); the memory system parameter matters when it exceeds
+    /// the allocation.
+    double working_set_gb(const workload::Workload& workload,
+                          const workload::HyperParams& hyper) const;
+
+    /// Fraction of the epoch spent in parallel compute (vs sync) — feeds the
+    /// power model's utilization input.
+    double compute_utilization(const workload::Workload& workload,
+                               const workload::HyperParams& hyper,
+                               const workload::SystemParams& system) const;
+
+    /// Arithmetic work multiplier from hyperparameters (text models grow with
+    /// embedding dimensions).
+    static double hyper_compute_factor(const workload::Workload& workload,
+                                       const workload::HyperParams& hyper);
+
+    const CostModelConfig& config() const { return config_; }
+
+private:
+    double compute_seconds(const workload::Workload& workload,
+                           const workload::HyperParams& hyper,
+                           const workload::SystemParams& system) const;
+    double sync_seconds(const workload::Workload& workload, const workload::HyperParams& hyper,
+                        const workload::SystemParams& system) const;
+    double memory_penalty(const workload::Workload& workload,
+                          const workload::HyperParams& hyper,
+                          const workload::SystemParams& system) const;
+
+    CostModelConfig config_;
+};
+
+}  // namespace pipetune::sim

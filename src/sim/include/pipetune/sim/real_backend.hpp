@@ -1,0 +1,52 @@
+#pragma once
+// Real-engine backend: the Backend contract implemented by actually training
+// the from-scratch NN engine (src/nn) on synthetic datasets, or actually
+// running the Type-III kernels. Epoch durations are wall-clock measured;
+// energy and PMU counters come from the same analytic models as the simulator
+// (no PDU or perf access in this environment — DESIGN.md §2).
+//
+// Dataset/model sizes are scaled down so an epoch takes milliseconds; the
+// backend exists to (a) prove the full tuning stack runs end-to-end on real
+// training and (b) calibrate the simulator's scaling behaviour in tests.
+
+#include <memory>
+
+#include "pipetune/energy/power.hpp"
+#include "pipetune/perf/counter_model.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::sim {
+
+struct RealBackendConfig {
+    /// Scale factor on dataset sizes (1.0 = the small defaults below).
+    std::size_t train_samples = 192;
+    std::size_t test_samples = 64;
+    std::size_t image_size = 20;
+    std::size_t text_vocab = 400;
+    std::size_t text_seq_len = 16;
+    std::size_t text_classes = 6;
+    std::size_t image_classes = 6;
+    /// Cap on actual worker threads (the host may have fewer cores than the
+    /// simulated cluster nodes).
+    std::size_t max_workers = 4;
+    perf::PmuConfig pmu{};
+    energy::PowerModelConfig power{};
+    std::uint64_t seed = 1;
+};
+
+class RealBackend : public workload::Backend {
+public:
+    explicit RealBackend(RealBackendConfig config = {});
+    ~RealBackend() override;
+
+    std::unique_ptr<workload::TrialSession> start_trial(
+        const workload::Workload& workload, const workload::HyperParams& hyper) override;
+
+    std::string name() const override { return "real"; }
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pipetune::sim

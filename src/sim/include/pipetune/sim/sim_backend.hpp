@@ -1,0 +1,53 @@
+#pragma once
+// Calibrated simulation backend: implements the Backend/TrialSession contract
+// on top of the analytic cost, accuracy, PMU and power models, producing
+// virtual durations. All figure/table benches run on this backend so the full
+// evaluation regenerates in seconds on one core (see DESIGN.md §2 for why the
+// substitution preserves the paper's shapes).
+
+#include <memory>
+
+#include "pipetune/energy/power.hpp"
+#include "pipetune/perf/counter_model.hpp"
+#include "pipetune/sim/accuracy_model.hpp"
+#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::sim {
+
+struct SimBackendConfig {
+    CostModelConfig cost{};
+    AccuracyModelConfig accuracy{};
+    perf::PmuConfig pmu{};
+    energy::PowerModelConfig power{};
+    energy::PduConfig pdu{};
+    std::uint64_t seed = 1;
+};
+
+class SimBackend : public workload::Backend {
+public:
+    explicit SimBackend(SimBackendConfig config = {});
+
+    std::unique_ptr<workload::TrialSession> start_trial(
+        const workload::Workload& workload, const workload::HyperParams& hyper) override;
+
+    std::string name() const override { return "sim"; }
+
+    const CostModel& cost_model() const { return cost_; }
+    const AccuracyModel& accuracy_model() const { return accuracy_; }
+    const energy::PowerModel& power_model() const { return power_; }
+
+    /// Deterministic fingerprint used for PMU signature generation.
+    static perf::WorkloadFingerprint fingerprint(const workload::Workload& workload,
+                                                 const workload::HyperParams& hyper,
+                                                 const workload::SystemParams& system);
+
+private:
+    SimBackendConfig config_;
+    CostModel cost_;
+    AccuracyModel accuracy_;
+    energy::PowerModel power_;
+    util::Rng trial_seed_source_;
+};
+
+}  // namespace pipetune::sim

@@ -1,0 +1,204 @@
+#include "pipetune/sim/real_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "pipetune/data/kernels.hpp"
+#include "pipetune/data/synthetic.hpp"
+#include "pipetune/nn/models.hpp"
+#include "pipetune/nn/trainer.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::sim {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::TrialSession;
+using workload::Workload;
+
+struct RealBackend::Impl {
+    RealBackendConfig config;
+    energy::PowerModel power;
+    util::Rng seed_source;
+
+    Impl(RealBackendConfig cfg) : config(cfg), power(cfg.power), seed_source(cfg.seed) {}
+};
+
+namespace {
+
+double elapsed_seconds(const std::chrono::steady_clock::time_point& start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Trial over the real NN trainer.
+class RealDnnSession : public TrialSession {
+public:
+    RealDnnSession(const Workload& workload, HyperParams hyper, const RealBackendConfig& config,
+                   const energy::PowerModel& power, std::uint64_t seed)
+        : workload_(workload),
+          hyper_(hyper),
+          config_(config),
+          power_(power),
+          pmu_(config.pmu),
+          rng_(seed) {
+        // Datasets: MNIST-like vs Fashion-like vs News20-like per workload.
+        if (workload.is_text()) {
+            data::TextDatasetConfig text;
+            text.classes = config.text_classes;
+            text.samples = config.train_samples;
+            text.vocab_size = config.text_vocab;
+            text.seq_len = config.text_seq_len;
+            text.topic_strength = 0.7;
+            text.seed = seed ^ 0xa5a5;
+            auto pair = data::make_text_split(text, workload.dataset_family, config.test_samples);
+            train_ = std::move(pair.train);
+            test_ = std::move(pair.test);
+
+            nn::TextModelConfig model_config;
+            model_config.vocab_size = config.text_vocab;
+            model_config.seq_len = config.text_seq_len;
+            model_config.classes = config.text_classes;
+            // The paper's embedding range [50, 300] is scaled into a regime a
+            // milliseconds-sized model can afford.
+            model_config.embedding_dim = std::max<std::size_t>(8, hyper.embedding_dim / 10);
+            model_config.dropout = hyper.dropout;
+            model_config.seed = seed;
+            nn::Sequential model = workload.model_family == "cnn"
+                                       ? nn::build_textcnn(model_config)
+                                       : nn::build_lstm_classifier(model_config);
+            make_trainer(std::move(model), seed);
+        } else if (workload.model_family == "lenet") {
+            data::ImageDatasetConfig image;
+            image.classes = config.image_classes;
+            image.samples = config.train_samples;
+            image.image_size = config.image_size;
+            image.style = workload.dataset_family == "fashion" ? data::ImageStyle::kFashion
+                                                               : data::ImageStyle::kDigits;
+            image.seed = seed ^ 0x5a5a;
+            auto pair = data::make_image_split(image, workload.dataset_family, config.test_samples);
+            train_ = std::move(pair.train);
+            test_ = std::move(pair.test);
+
+            nn::ImageModelConfig model_config;
+            model_config.image_size = config.image_size;
+            model_config.classes = config.image_classes;
+            model_config.dropout = hyper.dropout;
+            model_config.seed = seed;
+            make_trainer(nn::build_lenet5(model_config), seed);
+        } else {
+            throw std::invalid_argument("RealDnnSession: not a DNN workload: " + workload.name);
+        }
+    }
+
+    EpochResult run_epoch(const SystemParams& system) override {
+        const std::size_t workers = std::clamp<std::size_t>(system.cores, 1, config_.max_workers);
+        const auto start = std::chrono::steady_clock::now();
+        const nn::EpochStats stats = trainer_->run_epoch(workers);
+        const double duration = std::max(1e-6, elapsed_seconds(start));
+
+        EpochResult result;
+        result.epoch = stats.epoch;
+        result.train_loss = stats.train_loss;
+        result.accuracy = stats.test_accuracy;
+        result.duration_s = duration;
+        const double watts = power_.power_watts(system.cores, 0.9,
+                                                static_cast<double>(system.memory_gb));
+        result.energy_j = watts * duration;
+        result.counters = pmu_.measure_epoch(
+            perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)), duration,
+            rng_);
+        return result;
+    }
+
+    std::size_t epochs_done() const override { return trainer_->epochs_done(); }
+    const Workload& workload() const override { return workload_; }
+    const HyperParams& hyperparams() const override { return hyper_; }
+
+private:
+    void make_trainer(nn::Sequential model, std::uint64_t seed) {
+        nn::TrainerConfig trainer_config;
+        trainer_config.batch_size = std::max<std::size_t>(4, hyper_.batch_size / 8);
+        trainer_config.sgd.learning_rate = hyper_.learning_rate;
+        trainer_config.sgd.momentum = 0.9;
+        trainer_config.seed = seed;
+        trainer_ = std::make_unique<nn::Trainer>(std::move(model), *train_, *test_,
+                                                 trainer_config);
+    }
+
+    Workload workload_;
+    HyperParams hyper_;
+    RealBackendConfig config_;
+    const energy::PowerModel& power_;
+    perf::PmuSimulator pmu_;
+    util::Rng rng_;
+    std::unique_ptr<data::InMemoryDataset> train_;
+    std::unique_ptr<data::InMemoryDataset> test_;
+    std::unique_ptr<nn::Trainer> trainer_;
+};
+
+/// Trial over a Type-III iterative kernel.
+class RealKernelSession : public TrialSession {
+public:
+    RealKernelSession(const Workload& workload, HyperParams hyper,
+                      const RealBackendConfig& config, const energy::PowerModel& power,
+                      std::uint64_t seed)
+        : workload_(workload),
+          hyper_(hyper),
+          config_(config),
+          power_(power),
+          pmu_(config.pmu),
+          rng_(seed),
+          kernel_(data::make_kernel(workload.model_family, seed)) {}
+
+    EpochResult run_epoch(const SystemParams& system) override {
+        const std::size_t workers = std::clamp<std::size_t>(system.cores, 1, config_.max_workers);
+        const auto start = std::chrono::steady_clock::now();
+        kernel_->run_iteration(workers);
+        const double duration = std::max(1e-6, elapsed_seconds(start));
+
+        EpochResult result;
+        result.epoch = ++epochs_;
+        result.accuracy = kernel_->score();
+        result.train_loss = 1.0 - result.accuracy / 100.0;
+        result.duration_s = duration;
+        const double watts = power_.power_watts(system.cores, 0.95,
+                                                static_cast<double>(system.memory_gb));
+        result.energy_j = watts * duration;
+        result.counters = pmu_.measure_epoch(
+            perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)), duration,
+            rng_);
+        return result;
+    }
+
+    std::size_t epochs_done() const override { return epochs_; }
+    const Workload& workload() const override { return workload_; }
+    const HyperParams& hyperparams() const override { return hyper_; }
+
+private:
+    Workload workload_;
+    HyperParams hyper_;
+    RealBackendConfig config_;
+    const energy::PowerModel& power_;
+    perf::PmuSimulator pmu_;
+    util::Rng rng_;
+    std::unique_ptr<data::IterativeKernel> kernel_;
+    std::size_t epochs_ = 0;
+};
+
+}  // namespace
+
+RealBackend::RealBackend(RealBackendConfig config) : impl_(std::make_unique<Impl>(config)) {}
+RealBackend::~RealBackend() = default;
+
+std::unique_ptr<TrialSession> RealBackend::start_trial(const Workload& workload,
+                                                       const HyperParams& hyper) {
+    const std::uint64_t seed = impl_->seed_source.next_u64();
+    if (workload.is_kernel())
+        return std::make_unique<RealKernelSession>(workload, hyper, impl_->config, impl_->power,
+                                                   seed);
+    return std::make_unique<RealDnnSession>(workload, hyper, impl_->config, impl_->power, seed);
+}
+
+}  // namespace pipetune::sim

@@ -1,0 +1,89 @@
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::sim {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::TrialSession;
+using workload::Workload;
+
+namespace {
+
+class SimTrialSession : public TrialSession {
+public:
+    SimTrialSession(const Workload& workload, HyperParams hyper, const SimBackend& backend,
+                    const SimBackendConfig& config, std::uint64_t seed)
+        : workload_(workload),
+          hyper_(hyper),
+          backend_(backend),
+          pmu_(config.pmu),
+          pdu_(config.pdu, seed ^ 0x5851f42d4c957f2dULL),
+          rng_(seed) {}
+
+    EpochResult run_epoch(const SystemParams& system) override {
+        const std::size_t epoch = ++epochs_done_;
+        EpochResult result;
+        result.epoch = epoch;
+        result.duration_s =
+            backend_.cost_model().epoch_seconds(workload_, hyper_, system, &rng_);
+        result.accuracy =
+            backend_.accuracy_model().accuracy_at(workload_, hyper_, epoch, &rng_);
+        result.train_loss = backend_.accuracy_model().loss_at(workload_, hyper_, epoch, &rng_);
+
+        const double utilization =
+            backend_.cost_model().compute_utilization(workload_, hyper_, system);
+        const double watts = backend_.power_model().power_watts(
+            system.cores, utilization, static_cast<double>(system.memory_gb),
+            system.frequency_ghz);
+        result.energy_j = pdu_.measure_energy(watts, result.duration_s);
+
+        result.counters = pmu_.measure_epoch(
+            perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)),
+            result.duration_s, rng_);
+        return result;
+    }
+
+    std::size_t epochs_done() const override { return epochs_done_; }
+    const Workload& workload() const override { return workload_; }
+    const HyperParams& hyperparams() const override { return hyper_; }
+
+private:
+    Workload workload_;
+    HyperParams hyper_;
+    const SimBackend& backend_;
+    perf::PmuSimulator pmu_;
+    energy::Pdu pdu_;
+    util::Rng rng_;
+    std::size_t epochs_done_ = 0;
+};
+
+}  // namespace
+
+SimBackend::SimBackend(SimBackendConfig config)
+    : config_(config),
+      cost_(config.cost),
+      accuracy_(config.accuracy),
+      power_(config.power),
+      trial_seed_source_(config.seed) {}
+
+perf::WorkloadFingerprint SimBackend::fingerprint(const Workload& workload,
+                                                  const HyperParams& hyper,
+                                                  const SystemParams& system) {
+    return perf::WorkloadFingerprint{
+        .model_family = workload.model_family,
+        .dataset_family = workload.dataset_family,
+        .compute_scale = workload.compute_scale * CostModel::hyper_compute_factor(workload, hyper),
+        .memory_scale = workload.memory_scale,
+        .batch_size = hyper.batch_size,
+        .cores = system.cores,
+    };
+}
+
+std::unique_ptr<TrialSession> SimBackend::start_trial(const Workload& workload,
+                                                      const HyperParams& hyper) {
+    return std::make_unique<SimTrialSession>(workload, hyper, *this, config_,
+                                             trial_seed_source_.next_u64());
+}
+
+}  // namespace pipetune::sim

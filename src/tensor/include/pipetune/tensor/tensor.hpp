@@ -1,0 +1,122 @@
+#pragma once
+// Dense row-major float tensor. This is the numeric substrate of the NN
+// engine (src/nn). It intentionally supports exactly what minibatch SGD on
+// LeNet-5 / TextCNN / LSTM needs: contiguous storage, shape algebra,
+// elementwise kernels and a blocked GEMM, all on CPU.
+//
+// Error handling: shape violations throw std::invalid_argument — they are
+// programming errors at the layer-construction level and must not be silent.
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+std::size_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+public:
+    Tensor() = default;
+    explicit Tensor(Shape shape, float fill = 0.0f);
+    Tensor(Shape shape, std::vector<float> data);
+
+    static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+    static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+    static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+    /// Uniform in [lo, hi).
+    static Tensor uniform(Shape shape, util::Rng& rng, float lo = -1.0f, float hi = 1.0f);
+    /// Gaussian with the given std.
+    static Tensor normal(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+    /// Glorot/Xavier uniform init for a layer with the given fan-in/out.
+    static Tensor xavier(Shape shape, util::Rng& rng, std::size_t fan_in, std::size_t fan_out);
+
+    const Shape& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t numel() const { return data_.size(); }
+    std::size_t dim(std::size_t axis) const;
+    bool empty() const { return data_.empty(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::vector<float>& storage() { return data_; }
+    const std::vector<float>& storage() const { return data_; }
+
+    float& operator[](std::size_t flat_index) { return data_[flat_index]; }
+    float operator[](std::size_t flat_index) const { return data_[flat_index]; }
+
+    /// Multi-dimensional accessors (bounds unchecked in release, checked via at()).
+    float& operator()(std::size_t i);
+    float& operator()(std::size_t i, std::size_t j);
+    float& operator()(std::size_t i, std::size_t j, std::size_t k);
+    float& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+    float operator()(std::size_t i) const;
+    float operator()(std::size_t i, std::size_t j) const;
+    float operator()(std::size_t i, std::size_t j, std::size_t k) const;
+    float operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+    /// Bounds-checked flat access.
+    float& at(std::size_t flat_index);
+    float at(std::size_t flat_index) const;
+
+    /// Reshape to a compatible shape (same numel); returns a copy with the new
+    /// shape (storage is shared by value semantics: the copy is O(n) but the
+    /// engine reshapes small activation tensors only).
+    Tensor reshaped(Shape new_shape) const;
+    /// In-place reshape.
+    void reshape(Shape new_shape);
+
+    void fill(float value);
+    /// Elementwise in-place map.
+    void apply(const std::function<float(float)>& fn);
+
+    // In-place arithmetic (shapes must match exactly for tensor operands).
+    Tensor& operator+=(const Tensor& other);
+    Tensor& operator-=(const Tensor& other);
+    Tensor& operator*=(const Tensor& other);
+    Tensor& operator+=(float scalar);
+    Tensor& operator*=(float scalar);
+
+    /// this += alpha * other (axpy); the gradient-accumulation primitive.
+    void add_scaled(const Tensor& other, float alpha);
+
+    float sum() const;
+    float max() const;
+    float min() const;
+    float mean() const;
+    /// Squared L2 norm (used by gradient-norm tests).
+    float squared_norm() const;
+    /// Index of the maximum element.
+    std::size_t argmax() const;
+
+private:
+    void check_same_shape(const Tensor& other, const char* op) const;
+
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+// Value-returning arithmetic.
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, float scalar);
+Tensor operator*(float scalar, Tensor rhs);
+
+/// C = A(BxM) @ B(MxN); 2-D only, blocked for cache friendliness.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A @ B^T without materializing the transpose.
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b);
+/// C = A^T @ B without materializing the transpose.
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b);
+/// 2-D transpose.
+Tensor transpose(const Tensor& a);
+
+}  // namespace pipetune::tensor

@@ -1,0 +1,285 @@
+#include "pipetune/tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::tensor {
+
+Tensor relu(const Tensor& x) {
+    Tensor y = x;
+    y.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    return y;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& x) {
+    if (grad_out.shape() != x.shape())
+        throw std::invalid_argument("relu_backward: shape mismatch");
+    Tensor grad = grad_out;
+    for (std::size_t i = 0; i < grad.numel(); ++i)
+        if (x[i] <= 0.0f) grad[i] = 0.0f;
+    return grad;
+}
+
+Tensor sigmoid(const Tensor& x) {
+    Tensor y = x;
+    y.apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+    return y;
+}
+
+Tensor sigmoid_backward(const Tensor& grad_out, const Tensor& y) {
+    if (grad_out.shape() != y.shape())
+        throw std::invalid_argument("sigmoid_backward: shape mismatch");
+    Tensor grad = grad_out;
+    for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= y[i] * (1.0f - y[i]);
+    return grad;
+}
+
+Tensor tanh_act(const Tensor& x) {
+    Tensor y = x;
+    y.apply([](float v) { return std::tanh(v); });
+    return y;
+}
+
+Tensor tanh_backward(const Tensor& grad_out, const Tensor& y) {
+    if (grad_out.shape() != y.shape())
+        throw std::invalid_argument("tanh_backward: shape mismatch");
+    Tensor grad = grad_out;
+    for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= 1.0f - y[i] * y[i];
+    return grad;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+    if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: expected rank-2");
+    const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+    Tensor probs({batch, classes});
+    for (std::size_t i = 0; i < batch; ++i) {
+        float row_max = logits(i, 0);
+        for (std::size_t c = 1; c < classes; ++c) row_max = std::max(row_max, logits(i, c));
+        float total = 0.0f;
+        for (std::size_t c = 0; c < classes; ++c) {
+            const float e = std::exp(logits(i, c) - row_max);
+            probs(i, c) = e;
+            total += e;
+        }
+        for (std::size_t c = 0; c < classes; ++c) probs(i, c) /= total;
+    }
+    return probs;
+}
+
+float cross_entropy(const Tensor& probs, const std::vector<std::size_t>& labels) {
+    if (probs.rank() != 2) throw std::invalid_argument("cross_entropy: expected rank-2");
+    if (labels.size() != probs.dim(0))
+        throw std::invalid_argument("cross_entropy: label count mismatch");
+    constexpr float kEpsilon = 1e-9f;
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] >= probs.dim(1))
+            throw std::invalid_argument("cross_entropy: label out of range");
+        loss -= std::log(probs(i, labels[i]) + kEpsilon);
+    }
+    return loss / static_cast<float>(labels.size());
+}
+
+Tensor softmax_cross_entropy_grad(const Tensor& probs, const std::vector<std::size_t>& labels) {
+    if (labels.size() != probs.dim(0))
+        throw std::invalid_argument("softmax_cross_entropy_grad: label count mismatch");
+    Tensor grad = probs;
+    const float inv_batch = 1.0f / static_cast<float>(probs.dim(0));
+    for (std::size_t i = 0; i < labels.size(); ++i) grad(i, labels[i]) -= 1.0f;
+    grad *= inv_batch;
+    return grad;
+}
+
+namespace {
+void require_conv_shapes(const Tensor& input, const Tensor& kernel) {
+    if (input.rank() != 4 || kernel.rank() != 4)
+        throw std::invalid_argument("conv2d: input and kernel must be rank-4 (NCHW / FCKhKw)");
+    if (input.dim(1) != kernel.dim(1))
+        throw std::invalid_argument("conv2d: channel mismatch");
+    if (kernel.dim(2) > input.dim(2) || kernel.dim(3) > input.dim(3))
+        throw std::invalid_argument("conv2d: kernel larger than input");
+}
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& kernel, const Tensor& bias) {
+    require_conv_shapes(input, kernel);
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t f = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+    if (bias.numel() != f) throw std::invalid_argument("conv2d: bias size mismatch");
+    const std::size_t oh = h - kh + 1, ow = w - kw + 1;
+    Tensor out({n, f, oh, ow});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t fo = 0; fo < f; ++fo) {
+            const float bv = bias[fo];
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float acc = bv;
+                    for (std::size_t ci = 0; ci < c; ++ci)
+                        for (std::size_t ky = 0; ky < kh; ++ky) {
+                            const float* in_row = input.data() +
+                                ((b * c + ci) * h + (y + ky)) * w + x;
+                            const float* k_row = kernel.data() +
+                                ((fo * c + ci) * kh + ky) * kw;
+                            for (std::size_t kx = 0; kx < kw; ++kx)
+                                acc += in_row[kx] * k_row[kx];
+                        }
+                    out(b, fo, y, x) = acc;
+                }
+        }
+    return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& kernel, const Tensor& grad_out) {
+    require_conv_shapes(input, kernel);
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t f = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+    const std::size_t oh = h - kh + 1, ow = w - kw + 1;
+    if (grad_out.shape() != Shape{n, f, oh, ow})
+        throw std::invalid_argument("conv2d_backward: grad_out shape mismatch");
+
+    Conv2dGrads grads{Tensor({n, c, h, w}), Tensor({f, c, kh, kw}), Tensor({f})};
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t fo = 0; fo < f; ++fo)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    const float g = grad_out(b, fo, y, x);
+                    if (g == 0.0f) continue;
+                    grads.grad_bias[fo] += g;
+                    for (std::size_t ci = 0; ci < c; ++ci)
+                        for (std::size_t ky = 0; ky < kh; ++ky) {
+                            const float* in_row = input.data() +
+                                ((b * c + ci) * h + (y + ky)) * w + x;
+                            float* gin_row = grads.grad_input.data() +
+                                ((b * c + ci) * h + (y + ky)) * w + x;
+                            const float* k_row = kernel.data() + ((fo * c + ci) * kh + ky) * kw;
+                            float* gk_row = grads.grad_kernel.data() + ((fo * c + ci) * kh + ky) * kw;
+                            for (std::size_t kx = 0; kx < kw; ++kx) {
+                                gk_row[kx] += g * in_row[kx];
+                                gin_row[kx] += g * k_row[kx];
+                            }
+                        }
+                }
+    return grads;
+}
+
+Tensor maxpool2d(const Tensor& input, std::size_t window) {
+    if (input.rank() != 4) throw std::invalid_argument("maxpool2d: input must be rank-4");
+    if (window == 0) throw std::invalid_argument("maxpool2d: window must be > 0");
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = h / window, ow = w / window;
+    if (oh == 0 || ow == 0) throw std::invalid_argument("maxpool2d: window larger than input");
+    Tensor out({n, c, oh, ow});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float best = input(b, ci, y * window, x * window);
+                    for (std::size_t dy = 0; dy < window; ++dy)
+                        for (std::size_t dx = 0; dx < window; ++dx)
+                            best = std::max(best, input(b, ci, y * window + dy, x * window + dx));
+                    out(b, ci, y, x) = best;
+                }
+    return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& input, const Tensor& grad_out, std::size_t window) {
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = h / window, ow = w / window;
+    if (grad_out.shape() != Shape{n, c, oh, ow})
+        throw std::invalid_argument("maxpool2d_backward: grad_out shape mismatch");
+    Tensor grad_in({n, c, h, w});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    std::size_t best_y = y * window, best_x = x * window;
+                    float best = input(b, ci, best_y, best_x);
+                    for (std::size_t dy = 0; dy < window; ++dy)
+                        for (std::size_t dx = 0; dx < window; ++dx) {
+                            const float v = input(b, ci, y * window + dy, x * window + dx);
+                            if (v > best) {
+                                best = v;
+                                best_y = y * window + dy;
+                                best_x = x * window + dx;
+                            }
+                        }
+                    grad_in(b, ci, best_y, best_x) += grad_out(b, ci, y, x);
+                }
+    return grad_in;
+}
+
+Tensor avgpool2d(const Tensor& input, std::size_t window) {
+    if (input.rank() != 4) throw std::invalid_argument("avgpool2d: input must be rank-4");
+    if (window == 0) throw std::invalid_argument("avgpool2d: window must be > 0");
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = h / window, ow = w / window;
+    if (oh == 0 || ow == 0) throw std::invalid_argument("avgpool2d: window larger than input");
+    const float inv = 1.0f / static_cast<float>(window * window);
+    Tensor out({n, c, oh, ow});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float acc = 0.0f;
+                    for (std::size_t dy = 0; dy < window; ++dy)
+                        for (std::size_t dx = 0; dx < window; ++dx)
+                            acc += input(b, ci, y * window + dy, x * window + dx);
+                    out(b, ci, y, x) = acc * inv;
+                }
+    return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& input, const Tensor& grad_out, std::size_t window) {
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = h / window, ow = w / window;
+    if (grad_out.shape() != Shape{n, c, oh, ow})
+        throw std::invalid_argument("avgpool2d_backward: grad_out shape mismatch");
+    const float inv = 1.0f / static_cast<float>(window * window);
+    Tensor grad_in({n, c, h, w});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    const float g = grad_out(b, ci, y, x) * inv;
+                    for (std::size_t dy = 0; dy < window; ++dy)
+                        for (std::size_t dx = 0; dx < window; ++dx)
+                            grad_in(b, ci, y * window + dy, x * window + dx) += g;
+                }
+    return grad_in;
+}
+
+Tensor global_maxpool_h(const Tensor& input) {
+    if (input.rank() != 4) throw std::invalid_argument("global_maxpool_h: input must be rank-4");
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    Tensor out({n, c, 1, w});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t x = 0; x < w; ++x) {
+                float best = input(b, ci, 0, x);
+                for (std::size_t y = 1; y < h; ++y) best = std::max(best, input(b, ci, y, x));
+                out(b, ci, 0, x) = best;
+            }
+    return out;
+}
+
+Tensor global_maxpool_h_backward(const Tensor& input, const Tensor& grad_out) {
+    const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    if (grad_out.shape() != Shape{n, c, 1, w})
+        throw std::invalid_argument("global_maxpool_h_backward: grad_out shape mismatch");
+    Tensor grad_in({n, c, h, w});
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t ci = 0; ci < c; ++ci)
+            for (std::size_t x = 0; x < w; ++x) {
+                std::size_t best_y = 0;
+                float best = input(b, ci, 0, x);
+                for (std::size_t y = 1; y < h; ++y)
+                    if (input(b, ci, y, x) > best) {
+                        best = input(b, ci, y, x);
+                        best_y = y;
+                    }
+                grad_in(b, ci, best_y, x) += grad_out(b, ci, 0, x);
+            }
+    return grad_in;
+}
+
+}  // namespace pipetune::tensor

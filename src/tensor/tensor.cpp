@@ -1,0 +1,285 @@
+#include "pipetune/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace pipetune::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+    std::size_t n = 1;
+    for (std::size_t d : shape) n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i) out << ", ";
+        out << shape[i];
+    }
+    out << "]";
+    return out.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+    if (shape_numel(shape_) != data_.size())
+        throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                    " does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+    Tensor t(std::move(shape));
+    for (auto& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor Tensor::normal(Shape shape, util::Rng& rng, float mean, float stddev) {
+    Tensor t(std::move(shape));
+    for (auto& x : t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+}
+
+Tensor Tensor::xavier(Shape shape, util::Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+    const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return uniform(std::move(shape), rng, -limit, limit);
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+    if (axis >= shape_.size())
+        throw std::invalid_argument("Tensor::dim: axis " + std::to_string(axis) +
+                                    " out of range for shape " + shape_to_string(shape_));
+    return shape_[axis];
+}
+
+namespace {
+inline void require_rank(const Shape& shape, std::size_t rank, const char* what) {
+    if (shape.size() != rank)
+        throw std::invalid_argument(std::string(what) + ": rank mismatch, shape is " +
+                                    shape_to_string(shape));
+}
+}  // namespace
+
+float& Tensor::operator()(std::size_t i) {
+    require_rank(shape_, 1, "Tensor(i)");
+    return data_[i];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j) {
+    require_rank(shape_, 2, "Tensor(i,j)");
+    return data_[i * shape_[1] + j];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) {
+    require_rank(shape_, 3, "Tensor(i,j,k)");
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    require_rank(shape_, 4, "Tensor(i,j,k,l)");
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+float Tensor::operator()(std::size_t i) const { return const_cast<Tensor&>(*this)(i); }
+float Tensor::operator()(std::size_t i, std::size_t j) const {
+    return const_cast<Tensor&>(*this)(i, j);
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return const_cast<Tensor&>(*this)(i, j, k);
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return const_cast<Tensor&>(*this)(i, j, k, l);
+}
+
+float& Tensor::at(std::size_t flat_index) {
+    if (flat_index >= data_.size()) throw std::out_of_range("Tensor::at: index out of range");
+    return data_[flat_index];
+}
+float Tensor::at(std::size_t flat_index) const { return const_cast<Tensor&>(*this).at(flat_index); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    Tensor copy = *this;
+    copy.reshape(std::move(new_shape));
+    return copy;
+}
+
+void Tensor::reshape(Shape new_shape) {
+    if (shape_numel(new_shape) != data_.size())
+        throw std::invalid_argument("Tensor::reshape: numel mismatch, " +
+                                    shape_to_string(shape_) + " -> " + shape_to_string(new_shape));
+    shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::apply(const std::function<float(float)>& fn) {
+    for (auto& x : data_) x = fn(x);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+    if (shape_ != other.shape_)
+        throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                    shape_to_string(shape_) + " vs " + shape_to_string(other.shape_));
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+    check_same_shape(other, "Tensor+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+    check_same_shape(other, "Tensor-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+    check_same_shape(other, "Tensor*=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+    return *this;
+}
+
+Tensor& Tensor::operator+=(float scalar) {
+    for (auto& x : data_) x += scalar;
+    return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+    for (auto& x : data_) x *= scalar;
+    return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+    check_same_shape(other, "Tensor::add_scaled");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::max() const {
+    if (data_.empty()) throw std::runtime_error("Tensor::max: empty tensor");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+    if (data_.empty()) throw std::runtime_error("Tensor::min: empty tensor");
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::mean() const {
+    if (data_.empty()) return 0.0f;
+    return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::squared_norm() const {
+    float acc = 0.0f;
+    for (float x : data_) acc += x * x;
+    return acc;
+}
+
+std::size_t Tensor::argmax() const {
+    if (data_.empty()) throw std::runtime_error("Tensor::argmax: empty tensor");
+    return static_cast<std::size_t>(
+        std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+Tensor operator*(Tensor lhs, const Tensor& rhs) { return lhs *= rhs; }
+Tensor operator*(Tensor lhs, float scalar) { return lhs *= scalar; }
+Tensor operator*(float scalar, Tensor rhs) { return rhs *= scalar; }
+
+namespace {
+constexpr std::size_t kBlock = 64;
+
+void require_matmul_shapes(const Tensor& a, const Tensor& b, std::size_t a_cols,
+                           std::size_t b_rows, const char* op) {
+    if (a.rank() != 2 || b.rank() != 2)
+        throw std::invalid_argument(std::string(op) + ": operands must be rank-2");
+    if (a_cols != b_rows)
+        throw std::invalid_argument(std::string(op) + ": inner dimension mismatch " +
+                                    shape_to_string(a.shape()) + " x " + shape_to_string(b.shape()));
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    require_matmul_shapes(a, b, a.rank() == 2 ? a.dim(1) : 0, b.rank() == 2 ? b.dim(0) : 0,
+                          "matmul");
+    const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
+    Tensor c({rows, cols});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i0 = 0; i0 < rows; i0 += kBlock)
+        for (std::size_t k0 = 0; k0 < inner; k0 += kBlock)
+            for (std::size_t j0 = 0; j0 < cols; j0 += kBlock) {
+                const std::size_t imax = std::min(i0 + kBlock, rows);
+                const std::size_t kmax = std::min(k0 + kBlock, inner);
+                const std::size_t jmax = std::min(j0 + kBlock, cols);
+                for (std::size_t i = i0; i < imax; ++i)
+                    for (std::size_t k = k0; k < kmax; ++k) {
+                        const float av = pa[i * inner + k];
+                        const float* brow = pb + k * cols;
+                        float* crow = pc + i * cols;
+                        for (std::size_t j = j0; j < jmax; ++j) crow[j] += av * brow[j];
+                    }
+            }
+    return c;
+}
+
+Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
+    // c[i][j] = sum_k a[i][k] * b[j][k]
+    require_matmul_shapes(a, b, a.rank() == 2 ? a.dim(1) : 0, b.rank() == 2 ? b.dim(1) : 0,
+                          "matmul_transposed_b");
+    const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(0);
+    Tensor c({rows, cols});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j) {
+            const float* arow = pa + i * inner;
+            const float* brow = pb + j * inner;
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * brow[k];
+            pc[i * cols + j] = acc;
+        }
+    return c;
+}
+
+Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
+    // c[i][j] = sum_k a[k][i] * b[k][j]
+    require_matmul_shapes(a, b, a.rank() == 2 ? a.dim(0) : 0, b.rank() == 2 ? b.dim(0) : 0,
+                          "matmul_transposed_a");
+    const std::size_t rows = a.dim(1), inner = a.dim(0), cols = b.dim(1);
+    Tensor c({rows, cols});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t k = 0; k < inner; ++k) {
+        const float* arow = pa + k * rows;
+        const float* brow = pb + k * cols;
+        for (std::size_t i = 0; i < rows; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = pc + i * cols;
+            for (std::size_t j = 0; j < cols; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor transpose(const Tensor& a) {
+    if (a.rank() != 2) throw std::invalid_argument("transpose: operand must be rank-2");
+    const std::size_t rows = a.dim(0), cols = a.dim(1);
+    Tensor t({cols, rows});
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j) t(j, i) = a(i, j);
+    return t;
+}
+
+}  // namespace pipetune::tensor

@@ -1,0 +1,80 @@
+#include "pipetune/util/args.hpp"
+
+#include <stdexcept>
+
+namespace pipetune::util {
+
+Args Args::parse(int argc, const char* const* argv) {
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+    return parse(tokens);
+}
+
+Args Args::parse(const std::vector<std::string>& tokens) {
+    Args args;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.rfind("--", 0) == 0) {
+            const std::string body = token.substr(2);
+            if (body.empty()) throw std::invalid_argument("Args: empty option name");
+            const auto eq = body.find('=');
+            if (eq != std::string::npos) {
+                args.options_[body.substr(0, eq)] = body.substr(eq + 1);
+            } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+                args.options_[body] = tokens[++i];
+            } else {
+                args.options_[body] = "";  // bare flag
+            }
+        } else if (args.command_.empty()) {
+            args.command_ = token;
+        } else {
+            args.positionals_.push_back(token);
+        }
+    }
+    return args;
+}
+
+bool Args::has(const std::string& key) const {
+    queried_[key] = true;
+    return options_.count(key) > 0;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+    queried_[key] = true;
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) return std::nullopt;
+    return it->second;
+}
+
+std::string Args::get_or(const std::string& key, const std::string& fallback) const {
+    const auto value = get(key);
+    return value ? *value : fallback;
+}
+
+double Args::get_number_or(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    if (!value) return fallback;
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(*value, &consumed);
+        if (consumed != value->size()) throw std::invalid_argument("trailing characters");
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("Args: --" + key + " expects a number, got '" + *value + "'");
+    }
+}
+
+std::uint64_t Args::get_uint_or(const std::string& key, std::uint64_t fallback) const {
+    const double parsed = get_number_or(key, static_cast<double>(fallback));
+    if (parsed < 0) throw std::invalid_argument("Args: --" + key + " must be non-negative");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::vector<std::string> Args::unused_keys() const {
+    std::vector<std::string> unused;
+    for (const auto& [key, _] : options_)
+        if (!queried_.count(key)) unused.push_back(key);
+    return unused;
+}
+
+}  // namespace pipetune::util

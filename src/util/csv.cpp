@@ -1,0 +1,52 @@
+#include "pipetune/util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pipetune::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), columns_(header.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    add_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_)
+        throw std::runtime_error("CsvWriter: row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream ss;
+        ss << v;
+        text.push_back(ss.str());
+    }
+    add_row(text);
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace pipetune::util

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal command-line argument parser for the bundled tools: one positional
+// command followed by --key=value / --key value options and --flag switches.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipetune::util {
+
+class Args {
+public:
+    /// Parse argv (excluding argv[0]); throws std::invalid_argument on
+    /// malformed input (an option without a name).
+    static Args parse(int argc, const char* const* argv);
+    static Args parse(const std::vector<std::string>& tokens);
+
+    /// First positional token ("" when absent).
+    const std::string& command() const { return command_; }
+    /// Positional tokens after the command.
+    const std::vector<std::string>& positionals() const { return positionals_; }
+
+    bool has(const std::string& key) const;
+    /// Value of --key; empty optional when absent or used as a bare flag.
+    std::optional<std::string> get(const std::string& key) const;
+    std::string get_or(const std::string& key, const std::string& fallback) const;
+    double get_number_or(const std::string& key, double fallback) const;
+    std::uint64_t get_uint_or(const std::string& key, std::uint64_t fallback) const;
+    bool get_flag(const std::string& key) const { return has(key); }
+
+    /// Keys that were provided but never queried — typo detection for tools.
+    std::vector<std::string> unused_keys() const;
+
+private:
+    std::string command_;
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> options_;  ///< "" for bare flags
+    mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace pipetune::util

@@ -1,0 +1,32 @@
+#pragma once
+// CSV writer used by the benches to dump raw series next to the printed
+// tables, so figures can be re-plotted outside the harness.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pipetune::util {
+
+class CsvWriter {
+public:
+    /// Opens (truncates) the file and writes the header row.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    void add_row(const std::vector<std::string>& cells);
+    void add_row(const std::vector<double>& cells);
+
+    /// Flush and close; also invoked by the destructor.
+    void close();
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+private:
+    static std::string escape(const std::string& cell);
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+}  // namespace pipetune::util

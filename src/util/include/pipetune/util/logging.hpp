@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Thread-safe, writes to stderr, globally filterable.
+// Kept deliberately tiny: the library's observable outputs are the metrics DB
+// and bench tables, not logs; logging exists for debugging runs.
+
+#include <sstream>
+#include <string>
+
+namespace pipetune::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log record (already formatted body).
+void log(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: LogLine(kInfo, "hpt") << "trial " << id << " done";
+class LogLine {
+public:
+    LogLine(LogLevel level, std::string component)
+        : level_(level), component_(std::move(component)) {}
+    ~LogLine();
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream stream_;
+};
+
+#define PT_LOG_DEBUG(component) ::pipetune::util::LogLine(::pipetune::util::LogLevel::kDebug, component)
+#define PT_LOG_INFO(component) ::pipetune::util::LogLine(::pipetune::util::LogLevel::kInfo, component)
+#define PT_LOG_WARN(component) ::pipetune::util::LogLine(::pipetune::util::LogLevel::kWarn, component)
+#define PT_LOG_ERROR(component) ::pipetune::util::LogLine(::pipetune::util::LogLevel::kError, component)
+
+}  // namespace pipetune::util

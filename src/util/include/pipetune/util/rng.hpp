@@ -1,0 +1,78 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of the library (synthetic datasets, search
+// algorithms, the cluster simulator, measurement-noise models) draw from
+// pipetune::util::Rng so that a fixed seed yields a bit-identical run.
+// The generator is xoshiro256** seeded via SplitMix64, which has good
+// statistical quality and is trivially portable (no libstdc++ distribution
+// dependence: we implement the distributions ourselves so results do not
+// change across standard libraries).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pipetune::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic, seedable random generator (xoshiro256**).
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next_u64(); }
+
+    /// Uniform double in [0, 1).
+    double uniform();
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+    /// Standard normal via Box-Muller (cached pair).
+    double normal();
+    /// Normal with given mean / stddev.
+    double normal(double mean, double stddev);
+    /// Exponential with given rate (lambda).
+    double exponential(double rate);
+    /// log-uniform in [lo, hi], lo > 0.
+    double log_uniform(double lo, double hi);
+    /// Bernoulli trial.
+    bool bernoulli(double p);
+    /// Index in [0, n) with uniform probability. n must be > 0.
+    std::size_t index(std::size_t n);
+    /// Index drawn from unnormalized non-negative weights. Falls back to
+    /// uniform if all weights are zero.
+    std::size_t weighted_index(const std::vector<double>& weights);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        if (v.empty()) return;
+        for (std::size_t i = v.size() - 1; i > 0; --i) {
+            const std::size_t j = index(i + 1);
+            using std::swap;
+            swap(v[i], v[j]);
+        }
+    }
+
+    /// Fork a statistically independent child generator; used to give each
+    /// trial / node / worker its own stream while staying deterministic.
+    Rng fork();
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    bool has_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+}  // namespace pipetune::util

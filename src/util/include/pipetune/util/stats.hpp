@@ -1,0 +1,85 @@
+#pragma once
+// Small statistics toolbox shared by the profiling, energy and evaluation
+// code: summary statistics, percentiles, trapezoidal integration (the paper's
+// energy estimator, §3.2), online accumulators and z-score standardization.
+
+#include <cstddef>
+#include <vector>
+
+namespace pipetune::util {
+
+double mean(const std::vector<double>& v);
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+double sum(const std::vector<double>& v);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+double median(const std::vector<double>& v);
+
+/// Trapezoidal integral of irregularly sampled (t, y) points.
+/// This mirrors how the paper integrates 1 Hz PDU power samples into energy.
+double trapezoid(const std::vector<double>& t, const std::vector<double>& y);
+
+/// Pearson correlation; returns 0 when either side has zero variance.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance between equal-length vectors.
+double euclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;  ///< sample variance
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    void merge(const RunningStats& other);
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Exponential moving average with configurable smoothing factor.
+class Ema {
+public:
+    explicit Ema(double alpha) : alpha_(alpha) {}
+    double update(double x);
+    double value() const { return value_; }
+    bool initialized() const { return initialized_; }
+
+private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+/// Z-score standardizer fit on a matrix of row vectors: (x - mean) / std per
+/// column. Constant columns pass through centred (std treated as 1) so k-means
+/// on profiles never divides by zero.
+class Standardizer {
+public:
+    void fit(const std::vector<std::vector<double>>& rows);
+    std::vector<double> transform(const std::vector<double>& row) const;
+    std::vector<std::vector<double>> transform(const std::vector<std::vector<double>>& rows) const;
+    bool fitted() const { return !means_.empty(); }
+    const std::vector<double>& means() const { return means_; }
+    const std::vector<double>& stds() const { return stds_; }
+
+private:
+    std::vector<double> means_;
+    std::vector<double> stds_;
+};
+
+}  // namespace pipetune::util

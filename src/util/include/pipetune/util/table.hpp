@@ -1,0 +1,34 @@
+#pragma once
+// ASCII table rendering for the benchmark harness. Every figure/table bench
+// prints its series as aligned tables (the closest terminal analogue to the
+// paper's plots), so alignment lives in one place.
+
+#include <string>
+#include <vector>
+
+namespace pipetune::util {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a row; it may be shorter than the header (padded with "").
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with fixed precision.
+    static std::string num(double value, int precision = 2);
+
+    /// Render with column alignment and a header separator.
+    std::string render() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a titled section banner around bench output.
+std::string section(const std::string& title);
+
+}  // namespace pipetune::util

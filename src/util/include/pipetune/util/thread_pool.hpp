@@ -1,0 +1,56 @@
+#pragma once
+// Fixed-size thread pool used by the data-parallel trainer (nn::Trainer splits
+// each minibatch across N workers and synchronizes gradients, which is the
+// mechanism behind the paper's cores-vs-batch-size interaction, Fig 3b) and by
+// parallel trial execution in the HPT runner.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pipetune::util {
+
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Submit a task; returns a future for its result.
+    template <typename F>
+    auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+        using Result = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+        std::future<Result> future = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+            tasks_.emplace([packaged] { (*packaged)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+    /// Exceptions from tasks propagate (first one rethrown).
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace pipetune::util

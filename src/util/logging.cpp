@@ -1,0 +1,36 @@
+#include "pipetune/util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace pipetune::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO ";
+        case LogLevel::kWarn: return "WARN ";
+        case LogLevel::kError: return "ERROR";
+        default: return "?????";
+    }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log(LogLevel level, const std::string& component, const std::string& message) {
+    if (static_cast<int>(level) < g_level.load()) return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::cerr << "[" << level_name(level) << "][" << component << "] " << message << "\n";
+}
+
+LogLine::~LogLine() { log(level_, component_, stream_.str()); }
+
+}  // namespace pipetune::util

@@ -1,0 +1,108 @@
+#include "pipetune/util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pipetune::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~0ULL - (~0ULL % span);
+    std::uint64_t x = next_u64();
+    while (x >= limit) x = next_u64();
+    return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) {
+    if (rate <= 0) throw std::invalid_argument("exponential: rate must be > 0");
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::log_uniform(double lo, double hi) {
+    if (lo <= 0 || hi < lo) throw std::invalid_argument("log_uniform: need 0 < lo <= hi");
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("index: n must be > 0");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+    if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0) throw std::invalid_argument("weighted_index: negative weight");
+        total += w;
+    }
+    if (total <= 0.0) return index(weights.size());
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0) return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace pipetune::util

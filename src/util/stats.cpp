@@ -1,0 +1,173 @@
+#include "pipetune/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pipetune::util {
+
+double mean(const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+    if (v.size() < 2) return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_of(const std::vector<double>& v) {
+    if (v.empty()) throw std::invalid_argument("min_of: empty vector");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+    if (v.empty()) throw std::invalid_argument("max_of: empty vector");
+    return *std::max_element(v.begin(), v.end());
+}
+
+double sum(const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double percentile(std::vector<double> v, double p) {
+    if (v.empty()) throw std::invalid_argument("percentile: empty vector");
+    if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of [0,100]");
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1) return v[0];
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double median(const std::vector<double>& v) { return percentile(v, 50.0); }
+
+double trapezoid(const std::vector<double>& t, const std::vector<double>& y) {
+    if (t.size() != y.size()) throw std::invalid_argument("trapezoid: size mismatch");
+    if (t.size() < 2) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        const double dt = t[i] - t[i - 1];
+        if (dt < 0) throw std::invalid_argument("trapezoid: time not monotonic");
+        acc += 0.5 * (y[i] + y[i - 1]) * dt;
+    }
+    return acc;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("pearson: size mismatch");
+    if (a.size() < 2) return 0.0;
+    const double ma = mean(a), mb = mean(b);
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma) * (a[i] - ma);
+        db += (b[i] - mb) * (b[i] - mb);
+    }
+    if (da == 0.0 || db == 0.0) return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("euclidean: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    mean_ = (n * mean_ + m * other.mean_) / (n + m);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Ema::update(double x) {
+    if (!initialized_) {
+        value_ = x;
+        initialized_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+void Standardizer::fit(const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) throw std::invalid_argument("Standardizer::fit: no rows");
+    const std::size_t dims = rows.front().size();
+    means_.assign(dims, 0.0);
+    stds_.assign(dims, 0.0);
+    for (const auto& row : rows) {
+        if (row.size() != dims) throw std::invalid_argument("Standardizer::fit: ragged rows");
+        for (std::size_t d = 0; d < dims; ++d) means_[d] += row[d];
+    }
+    for (double& m : means_) m /= static_cast<double>(rows.size());
+    for (const auto& row : rows)
+        for (std::size_t d = 0; d < dims; ++d) {
+            const double delta = row[d] - means_[d];
+            stds_[d] += delta * delta;
+        }
+    for (double& s : stds_) {
+        s = std::sqrt(s / static_cast<double>(rows.size()));
+        if (s < 1e-12) s = 1.0;  // constant column: centre only
+    }
+}
+
+std::vector<double> Standardizer::transform(const std::vector<double>& row) const {
+    if (row.size() != means_.size())
+        throw std::invalid_argument("Standardizer::transform: dimension mismatch");
+    std::vector<double> out(row.size());
+    for (std::size_t d = 0; d < row.size(); ++d) out[d] = (row[d] - means_[d]) / stds_[d];
+    return out;
+}
+
+std::vector<std::vector<double>> Standardizer::transform(
+    const std::vector<std::vector<double>>& rows) const {
+    std::vector<std::vector<double>> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) out.push_back(transform(row));
+    return out;
+}
+
+}  // namespace pipetune::util

@@ -1,0 +1,51 @@
+#include "pipetune/util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pipetune::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string>& cells, std::ostringstream& out) {
+        out << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : std::string();
+            out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    render_row(headers_, out);
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) out << std::string(widths[c] + 2, '-') << "|";
+    out << "\n";
+    for (const auto& row : rows_) render_row(row, out);
+    return out.str();
+}
+
+std::string section(const std::string& title) {
+    const std::string bar(title.size() + 8, '=');
+    return bar + "\n==  " + title + "  ==\n" + bar + "\n";
+}
+
+}  // namespace pipetune::util

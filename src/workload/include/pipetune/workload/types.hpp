@@ -1,0 +1,128 @@
+#pragma once
+// Shared vocabulary of the tuning stack: workloads (paper §3.3, Table 3),
+// the five tuned hyperparameters (§7.1.3), the system parameters (§7.1.4),
+// per-epoch results, and the Backend/TrialSession abstraction every tuner
+// (Tune V1, Tune V2, PipeTune) drives. Both the real NN engine and the
+// calibrated simulator implement Backend, so tuners are substrate-agnostic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipetune/perf/counter_model.hpp"
+
+namespace pipetune::workload {
+
+/// Paper §5.1: Type-I = same model, different datasets; Type-II = different
+/// models, same dataset; Type-III = short-epoch non-DNN kernels (§7.1.2).
+enum class WorkloadType { kType1, kType2, kType3 };
+
+std::string to_string(WorkloadType type);
+
+/// A workload is a (model, dataset) pair plus the scale facts the substrate
+/// models need (Table 3 carries datasize and file counts; the *_scale and
+/// learning-curve fields parameterize the calibrated simulator).
+struct Workload {
+    std::string name;            ///< e.g. "lenet-mnist"
+    std::string model_family;    ///< "lenet" | "cnn" | "lstm" | "jacobi" | "spkmeans" | "bfs"
+    std::string dataset_family;  ///< "mnist" | "fashion" | "news20" | "rodinia"
+    WorkloadType type = WorkloadType::kType1;
+
+    // Table 3 facts.
+    double datasize_mb = 0.0;
+    std::size_t train_files = 0;
+    std::size_t test_files = 0;
+
+    // Substrate scale knobs (relative to LeNet/MNIST = 1.0).
+    double compute_scale = 1.0;  ///< arithmetic work per sample
+    double memory_scale = 1.0;   ///< working-set pressure
+    /// Parallel scalability exponent (speedup ~ cores^p): near 1 for
+    /// regular stencils, low for irregular graph traversal.
+    double parallel_exponent = 0.88;
+
+    // Learning-curve shape for the simulator's accuracy model.
+    double accuracy_ceiling = 95.0;  ///< best achievable accuracy [%]
+    double learning_rate_optimum = 0.02;  ///< lr with fastest convergence
+    double convergence_rate = 0.15;  ///< per-effective-epoch progress
+
+    bool is_text() const { return model_family == "cnn" || model_family == "lstm"; }
+    bool is_kernel() const { return type == WorkloadType::kType3; }
+};
+
+/// The 7 evaluated workloads (Table 3).
+const std::vector<Workload>& catalogue();
+const Workload& find_workload(const std::string& name);
+std::vector<Workload> workloads_of_type(WorkloadType type);
+
+/// The five tuned hyperparameters with the paper's ranges (§7.1.3).
+struct HyperParams {
+    std::size_t batch_size = 32;     ///< [32, 1024]
+    double dropout = 0.0;            ///< [0.0, 0.5]
+    std::size_t embedding_dim = 50;  ///< [50, 300] (text models only)
+    double learning_rate = 0.01;     ///< [0.001, 0.1]
+    std::size_t epochs = 10;         ///< [10, 100]
+
+    std::string to_string() const;
+};
+
+/// System parameters: the tunable resources (§7.1.4). The evaluation uses
+/// cores in [4, 16] and memory in [4, 32] GB. CPU frequency (DVFS) is the
+/// extension parameter the paper names ("the same mechanisms can be applied
+/// to any other parameter of interest (e.g., CPU frequency, CPU voltage)");
+/// it defaults to the base clock and is only probed when a policy opts in.
+struct SystemParams {
+    std::size_t cores = 4;
+    std::size_t memory_gb = 4;
+    double frequency_ghz = kBaseFrequencyGhz;
+
+    static constexpr double kBaseFrequencyGhz = 2.4;
+
+    bool operator==(const SystemParams&) const = default;
+    std::string to_string() const;
+};
+
+/// DVFS steps available for probing (base clock first).
+const std::vector<double>& frequency_steps_ghz();
+
+/// Default configuration every Tune V1 trial runs with (the paper's V1 runs
+/// "all trials with the same default system parameters").
+SystemParams default_system_params();
+/// The probing grid: cores x memory combinations (§7.2 lists cores
+/// {4, 8, 16} and memory {4, 8, 16, 32} GB).
+const std::vector<SystemParams>& system_param_grid();
+
+/// Everything a tuner observes about one epoch of one trial.
+struct EpochResult {
+    std::size_t epoch = 0;        ///< 1-based
+    double train_loss = 0.0;
+    double accuracy = 0.0;        ///< validation accuracy (or kernel score) [0, 100]
+    double duration_s = 0.0;      ///< wall-clock (virtual) seconds
+    double energy_j = 0.0;        ///< node energy for the epoch
+    perf::EventVector counters{}; ///< observed PMU rates (events/s)
+    SystemParams system;          ///< configuration this epoch ran under
+};
+
+/// One training trial in progress: a fixed hyperparameter configuration whose
+/// epochs execute one at a time, each under a (possibly different) system
+/// configuration — exactly the hook PipeTune's pipelined sub-trials need.
+class TrialSession {
+public:
+    virtual ~TrialSession() = default;
+    virtual EpochResult run_epoch(const SystemParams& system) = 0;
+    virtual std::size_t epochs_done() const = 0;
+    virtual const Workload& workload() const = 0;
+    virtual const HyperParams& hyperparams() const = 0;
+};
+
+/// Substrate factory. Implementations: sim::SimBackend (calibrated analytic
+/// models on virtual time) and sim::RealBackend (the actual NN engine).
+class Backend {
+public:
+    virtual ~Backend() = default;
+    virtual std::unique_ptr<TrialSession> start_trial(const Workload& workload,
+                                                      const HyperParams& hyper) = 0;
+    virtual std::string name() const = 0;
+};
+
+}  // namespace pipetune::workload

@@ -1,0 +1,178 @@
+#include "pipetune/workload/types.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pipetune::workload {
+
+std::string to_string(WorkloadType type) {
+    switch (type) {
+        case WorkloadType::kType1: return "Type-I";
+        case WorkloadType::kType2: return "Type-II";
+        case WorkloadType::kType3: return "Type-III";
+    }
+    return "?";
+}
+
+const std::vector<Workload>& catalogue() {
+    // Table 3 of the paper, with substrate scale knobs calibrated relative to
+    // LeNet/MNIST. Accuracy ceilings echo the magnitudes in Fig 11/12:
+    // image models reach the 90s, text models the 80s, kernels converge to
+    // their score ceiling quickly.
+    static const std::vector<Workload> kCatalogue = {
+        {
+            .name = "lenet-mnist",
+            .model_family = "lenet",
+            .dataset_family = "mnist",
+            .type = WorkloadType::kType1,
+            .datasize_mb = 12,
+            .train_files = 60000,
+            .test_files = 10000,
+            .compute_scale = 1.0,
+            .memory_scale = 1.0,
+            .parallel_exponent = 0.88,
+            .accuracy_ceiling = 97.0,
+            .learning_rate_optimum = 0.02,
+            .convergence_rate = 0.16,
+        },
+        {
+            .name = "lenet-fashion",
+            .model_family = "lenet",
+            .dataset_family = "fashion",
+            .type = WorkloadType::kType1,
+            .datasize_mb = 31,
+            .train_files = 60000,
+            .test_files = 10000,
+            .compute_scale = 1.0,
+            .memory_scale = 1.6,
+            .parallel_exponent = 0.88,
+            .accuracy_ceiling = 89.0,
+            .learning_rate_optimum = 0.015,
+            .convergence_rate = 0.13,
+        },
+        {
+            .name = "cnn-news20",
+            .model_family = "cnn",
+            .dataset_family = "news20",
+            .type = WorkloadType::kType2,
+            .datasize_mb = 15,
+            .train_files = 11307,
+            .test_files = 7538,
+            .compute_scale = 5.0,
+            .memory_scale = 1.2,
+            .parallel_exponent = 0.9,
+            .accuracy_ceiling = 84.0,
+            .learning_rate_optimum = 0.01,
+            .convergence_rate = 0.12,
+        },
+        {
+            .name = "lstm-news20",
+            .model_family = "lstm",
+            .dataset_family = "news20",
+            .type = WorkloadType::kType2,
+            .datasize_mb = 15,
+            .train_files = 11307,
+            .test_files = 7538,
+            .compute_scale = 8.0,
+            .memory_scale = 1.3,
+            .parallel_exponent = 0.7,
+            .accuracy_ceiling = 80.0,
+            .learning_rate_optimum = 0.008,
+            .convergence_rate = 0.10,
+        },
+        {
+            .name = "jacobi-rodinia",
+            .model_family = "jacobi",
+            .dataset_family = "rodinia",
+            .type = WorkloadType::kType3,
+            .datasize_mb = 26,
+            .train_files = 1650,
+            .test_files = 7538,
+            .compute_scale = 10.0,
+            .memory_scale = 0.8,
+            .parallel_exponent = 0.95,
+            .accuracy_ceiling = 72.0,
+            .learning_rate_optimum = 0.02,
+            .convergence_rate = 0.5,
+        },
+        {
+            .name = "spkmeans-rodinia",
+            .model_family = "spkmeans",
+            .dataset_family = "rodinia",
+            .type = WorkloadType::kType3,
+            .datasize_mb = 26,
+            .train_files = 1650,
+            .test_files = 7538,
+            .compute_scale = 8.0,
+            .memory_scale = 1.0,
+            .parallel_exponent = 0.9,
+            .accuracy_ceiling = 68.0,
+            .learning_rate_optimum = 0.02,
+            .convergence_rate = 0.6,
+        },
+        {
+            .name = "bfs-rodinia",
+            .model_family = "bfs",
+            .dataset_family = "rodinia",
+            .type = WorkloadType::kType3,
+            .datasize_mb = 26,
+            .train_files = 1650,
+            .test_files = 7538,
+            .compute_scale = 6.0,
+            .memory_scale = 1.4,
+            .parallel_exponent = 0.55,
+            .accuracy_ceiling = 75.0,
+            .learning_rate_optimum = 0.02,
+            .convergence_rate = 0.7,
+        },
+    };
+    return kCatalogue;
+}
+
+const Workload& find_workload(const std::string& name) {
+    for (const auto& workload : catalogue())
+        if (workload.name == name) return workload;
+    throw std::invalid_argument("find_workload: unknown workload '" + name + "'");
+}
+
+std::vector<Workload> workloads_of_type(WorkloadType type) {
+    std::vector<Workload> out;
+    for (const auto& workload : catalogue())
+        if (workload.type == type) out.push_back(workload);
+    return out;
+}
+
+std::string HyperParams::to_string() const {
+    std::ostringstream out;
+    out << "{batch=" << batch_size << ", dropout=" << dropout << ", embed=" << embedding_dim
+        << ", lr=" << learning_rate << ", epochs=" << epochs << "}";
+    return out.str();
+}
+
+std::string SystemParams::to_string() const {
+    std::ostringstream out;
+    out << "{cores=" << cores << ", mem=" << memory_gb << "GB";
+    if (frequency_ghz != kBaseFrequencyGhz) out << ", freq=" << frequency_ghz << "GHz";
+    out << "}";
+    return out.str();
+}
+
+const std::vector<double>& frequency_steps_ghz() {
+    static const std::vector<double> kSteps{SystemParams::kBaseFrequencyGhz, 1.8, 1.2};
+    return kSteps;
+}
+
+SystemParams default_system_params() { return {.cores = 8, .memory_gb = 16}; }
+
+const std::vector<SystemParams>& system_param_grid() {
+    static const std::vector<SystemParams> kGrid = [] {
+        std::vector<SystemParams> grid;
+        for (std::size_t cores : {4, 8, 16})
+            for (std::size_t mem : {4, 8, 16, 32})
+                grid.push_back({.cores = cores, .memory_gb = mem});
+        return grid;
+    }();
+    return kGrid;
+}
+
+}  // namespace pipetune::workload

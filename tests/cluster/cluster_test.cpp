@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/cluster/cluster_sim.hpp"
+
+namespace pipetune::cluster {
+namespace {
+
+std::vector<workload::Workload> type1_mix() {
+    return workload::workloads_of_type(workload::WorkloadType::kType1);
+}
+
+TEST(Arrivals, PoissonInterarrivalsHaveRequestedMean) {
+    ArrivalConfig config;
+    config.mean_interarrival_s = 500.0;
+    config.job_count = 2000;
+    config.seed = 1;
+    const auto jobs = generate_arrivals(type1_mix(), config);
+    ASSERT_EQ(jobs.size(), 2000u);
+    double total_gap = jobs.front().arrival_s;
+    for (std::size_t i = 1; i < jobs.size(); ++i)
+        total_gap += jobs[i].arrival_s - jobs[i - 1].arrival_s;
+    EXPECT_NEAR(total_gap / 2000.0, 500.0, 30.0);
+}
+
+TEST(Arrivals, RoundRobinOverMix) {
+    ArrivalConfig config;
+    config.job_count = 6;
+    config.unseen_fraction = 0.0;
+    const auto jobs = generate_arrivals(type1_mix(), config);
+    EXPECT_EQ(jobs[0].workload.name, jobs[2].workload.name);
+    EXPECT_EQ(jobs[1].workload.name, jobs[3].workload.name);
+    EXPECT_NE(jobs[0].workload.name, jobs[1].workload.name);
+}
+
+TEST(Arrivals, UnseenFractionApproximatelyHonored) {
+    ArrivalConfig config;
+    config.job_count = 3000;
+    config.unseen_fraction = 0.2;
+    config.seed = 2;
+    const auto jobs = generate_arrivals(type1_mix(), config);
+    std::size_t unseen = 0;
+    for (const auto& job : jobs)
+        if (job.unseen) ++unseen;
+    EXPECT_NEAR(static_cast<double>(unseen) / 3000.0, 0.2, 0.02);
+}
+
+TEST(Arrivals, UnseenJobsHavePerturbedIdentity) {
+    ArrivalConfig config;
+    config.job_count = 50;
+    config.unseen_fraction = 1.0;
+    const auto jobs = generate_arrivals(type1_mix(), config);
+    for (const auto& job : jobs) {
+        EXPECT_TRUE(job.unseen);
+        EXPECT_NE(job.workload.name.find("-unseen"), std::string::npos);
+        EXPECT_NE(job.workload.dataset_family, "mnist");
+        EXPECT_NE(job.workload.dataset_family, "fashion");
+    }
+}
+
+TEST(Arrivals, ValidatesConfig) {
+    ArrivalConfig bad;
+    bad.mean_interarrival_s = 0;
+    EXPECT_THROW(generate_arrivals(type1_mix(), bad), std::invalid_argument);
+    ArrivalConfig bad2;
+    bad2.unseen_fraction = 1.5;
+    EXPECT_THROW(generate_arrivals(type1_mix(), bad2), std::invalid_argument);
+    EXPECT_THROW(generate_arrivals({}, ArrivalConfig{}), std::invalid_argument);
+}
+
+TEST(FifoSim, SingleNodeSerializesJobs) {
+    FifoClusterSim sim({.nodes = 1});
+    std::vector<ArrivedJob> jobs(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        jobs[i].index = i;
+        jobs[i].arrival_s = 0.0;
+        jobs[i].workload = type1_mix()[0];
+    }
+    const auto records = sim.run(jobs, [](const ArrivedJob&) { return 100.0; });
+    EXPECT_DOUBLE_EQ(records[0].start_s, 0.0);
+    EXPECT_DOUBLE_EQ(records[1].start_s, 100.0);
+    EXPECT_DOUBLE_EQ(records[2].start_s, 200.0);
+    EXPECT_DOUBLE_EQ(records[2].response_time_s(), 300.0);
+}
+
+TEST(FifoSim, MultipleNodesRunInParallel) {
+    FifoClusterSim sim({.nodes = 3});
+    std::vector<ArrivedJob> jobs(3);
+    for (std::size_t i = 0; i < 3; ++i) jobs[i].arrival_s = 0.0;
+    const auto records = sim.run(jobs, [](const ArrivedJob&) { return 100.0; });
+    for (const auto& record : records) EXPECT_DOUBLE_EQ(record.response_time_s(), 100.0);
+}
+
+TEST(FifoSim, JobsNeverStartBeforeArrival) {
+    FifoClusterSim sim({.nodes = 4});
+    std::vector<ArrivedJob> jobs(2);
+    jobs[0].arrival_s = 0.0;
+    jobs[1].arrival_s = 500.0;
+    const auto records = sim.run(jobs, [](const ArrivedJob&) { return 10.0; });
+    EXPECT_DOUBLE_EQ(records[1].start_s, 500.0);
+    EXPECT_DOUBLE_EQ(records[1].wait_time_s(), 0.0);
+}
+
+TEST(FifoSim, FifoOrderRespectedEvenWhenLaterJobIsShorter) {
+    FifoClusterSim sim({.nodes = 1});
+    std::vector<ArrivedJob> jobs(2);
+    jobs[0].index = 0;
+    jobs[0].arrival_s = 0.0;
+    jobs[1].index = 1;
+    jobs[1].arrival_s = 1.0;
+    const auto records = sim.run(
+        jobs, [](const ArrivedJob& job) { return job.index == 0 ? 1000.0 : 1.0; });
+    // Job 1 waits for job 0 despite being tiny (strict FIFO).
+    EXPECT_DOUBLE_EQ(records[1].start_s, 1000.0);
+}
+
+TEST(FifoSim, ShorterMakespansReduceAverageResponseTime) {
+    FifoClusterSim sim({.nodes = 2});
+    ArrivalConfig config;
+    config.mean_interarrival_s = 50.0;
+    config.job_count = 40;
+    config.seed = 3;
+    const auto jobs = generate_arrivals(type1_mix(), config);
+    const auto slow = sim.run(jobs, [](const ArrivedJob&) { return 200.0; });
+    const auto fast = sim.run(jobs, [](const ArrivedJob&) { return 100.0; });
+    EXPECT_LT(average_response_time(fast), average_response_time(slow));
+    // Queueing amplifies the gain beyond the makespan ratio under load.
+    EXPECT_LT(average_response_time(fast) / average_response_time(slow), 0.6);
+}
+
+TEST(FifoSim, ValidatesSpec) {
+    EXPECT_THROW(FifoClusterSim({.nodes = 0}), std::invalid_argument);
+    EXPECT_THROW(average_response_time({}), std::invalid_argument);
+}
+
+TEST(CoLocation, SlowdownGrowsWithJobs) {
+    EXPECT_DOUBLE_EQ(co_location_slowdown(1, 4), 1.0);
+    EXPECT_GT(co_location_slowdown(2, 4), 2.0);
+    EXPECT_GT(co_location_slowdown(4, 4), co_location_slowdown(2, 4));
+    EXPECT_THROW(co_location_slowdown(0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::cluster

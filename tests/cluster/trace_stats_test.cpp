@@ -1,0 +1,87 @@
+// Tests for the trace statistics helper and TSDB input validation
+// (failure-injection-flavoured edge cases).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/metricsdb/tsdb.hpp"
+
+namespace pipetune::cluster {
+namespace {
+
+JobRecord record(double arrival, double start, double completion) {
+    JobRecord r;
+    r.arrival_s = arrival;
+    r.start_s = start;
+    r.completion_s = completion;
+    return r;
+}
+
+TEST(TraceStats, SingleJobFullUtilizationOnOneNode) {
+    const std::vector<JobRecord> trace{record(0, 0, 100)};
+    const auto stats = summarize_trace(trace, 1);
+    EXPECT_DOUBLE_EQ(stats.mean_response_s, 100.0);
+    EXPECT_DOUBLE_EQ(stats.p95_response_s, 100.0);
+    EXPECT_DOUBLE_EQ(stats.mean_wait_s, 0.0);
+    EXPECT_DOUBLE_EQ(stats.makespan_s, 100.0);
+    EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+}
+
+TEST(TraceStats, UtilizationAccountsForIdleNodes) {
+    // One 100 s job on a 4-node cluster: 25% utilization.
+    const std::vector<JobRecord> trace{record(0, 0, 100)};
+    EXPECT_DOUBLE_EQ(summarize_trace(trace, 4).utilization, 0.25);
+}
+
+TEST(TraceStats, WaitTimesSeparateQueueingFromService) {
+    const std::vector<JobRecord> trace{record(0, 0, 100), record(10, 100, 150)};
+    const auto stats = summarize_trace(trace, 1);
+    EXPECT_DOUBLE_EQ(stats.mean_wait_s, (0.0 + 90.0) / 2);
+    EXPECT_DOUBLE_EQ(stats.mean_response_s, (100.0 + 140.0) / 2);
+    EXPECT_DOUBLE_EQ(stats.busy_node_seconds, 150.0);
+    EXPECT_DOUBLE_EQ(stats.makespan_s, 150.0);
+}
+
+TEST(TraceStats, P95CapturesTail) {
+    std::vector<JobRecord> trace;
+    for (int i = 0; i < 19; ++i) trace.push_back(record(0, 0, 10));
+    trace.push_back(record(0, 0, 1000));  // one straggler
+    const auto stats = summarize_trace(trace, 4);
+    EXPECT_GT(stats.p95_response_s, stats.mean_response_s);
+}
+
+TEST(TraceStats, Validates) {
+    EXPECT_THROW(summarize_trace({}, 4), std::invalid_argument);
+    EXPECT_THROW(summarize_trace({record(0, 0, 1)}, 0), std::invalid_argument);
+}
+
+TEST(TraceStats, ConsistentWithSimulatedTrace) {
+    FifoClusterSim sim({.nodes = 2});
+    ArrivalConfig config;
+    config.mean_interarrival_s = 60.0;
+    config.job_count = 30;
+    config.seed = 9;
+    const auto jobs = generate_arrivals(
+        workload::workloads_of_type(workload::WorkloadType::kType1), config);
+    const auto records = sim.run(jobs, [](const ArrivedJob&) { return 90.0; });
+    const auto stats = summarize_trace(records, 2);
+    EXPECT_DOUBLE_EQ(stats.mean_response_s, average_response_time(records));
+    EXPECT_GT(stats.utilization, 0.3);
+    EXPECT_LE(stats.utilization, 1.0);
+    // Conservation: busy time equals jobs x service time.
+    EXPECT_NEAR(stats.busy_node_seconds, 30 * 90.0, 1e-9);
+}
+
+TEST(TsdbValidation, RejectsNonFinitePoints) {
+    metricsdb::TimeSeriesDb db;
+    EXPECT_THROW(db.append("s", 0.0, std::nan("")), std::invalid_argument);
+    EXPECT_THROW(db.append("s", std::numeric_limits<double>::infinity(), 1.0),
+                 std::invalid_argument);
+    db.append("s", 0.0, 1.0);
+    EXPECT_EQ(db.total_points(), 1u);
+}
+
+}  // namespace
+}  // namespace pipetune::cluster

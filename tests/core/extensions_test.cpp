@@ -1,0 +1,211 @@
+// Tests for the extension features: DVFS frequency probing (§7.1.4's "any
+// other parameter of interest"), the metricsdb sink (§6's InfluxDB role) and
+// energy-objective probing.
+
+#include <gtest/gtest.h>
+
+#include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::core {
+namespace {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+
+const workload::Workload& lenet() { return workload::find_workload("lenet-mnist"); }
+
+HyperParams base_hp() {
+    HyperParams hp;
+    hp.batch_size = 128;
+    hp.learning_rate = 0.02;
+    hp.epochs = 30;
+    return hp;
+}
+
+std::vector<EpochResult> drive(PipeTunePolicy& policy, workload::Backend& backend,
+                               const HyperParams& hp, std::size_t epochs, std::uint64_t id,
+                               std::vector<SystemParams>* chosen = nullptr) {
+    auto session = backend.start_trial(lenet(), hp);
+    std::vector<EpochResult> history;
+    for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+        const SystemParams system = policy.choose(id, lenet(), hp, epoch, history,
+                                                  workload::default_system_params());
+        if (chosen != nullptr) chosen->push_back(system);
+        auto result = session->run_epoch(system);
+        result.system = system;
+        history.push_back(result);
+    }
+    policy.trial_finished(id, lenet(), hp, history);
+    return history;
+}
+
+TEST(Frequency, DefaultSystemParamsRunAtBaseClock) {
+    SystemParams params;
+    EXPECT_DOUBLE_EQ(params.frequency_ghz, SystemParams::kBaseFrequencyGhz);
+    // Frequency does not appear in to_string at the base clock (stable
+    // formatting for the common case).
+    EXPECT_EQ(params.to_string().find("freq"), std::string::npos);
+    params.frequency_ghz = 1.2;
+    EXPECT_NE(params.to_string().find("freq=1.2GHz"), std::string::npos);
+}
+
+TEST(Frequency, StepsStartAtBaseClock) {
+    const auto& steps = workload::frequency_steps_ghz();
+    ASSERT_GE(steps.size(), 2u);
+    EXPECT_DOUBLE_EQ(steps.front(), SystemParams::kBaseFrequencyGhz);
+    for (double ghz : steps) EXPECT_GT(ghz, 0.0);
+}
+
+TEST(Frequency, LowerClockSlowsComputeButNotSync) {
+    sim::CostModel cost;
+    HyperParams hp = base_hp();
+    SystemParams fast{.cores = 8, .memory_gb = 16};
+    SystemParams slow = fast;
+    slow.frequency_ghz = 1.2;
+    EXPECT_GT(cost.epoch_seconds(lenet(), hp, slow), cost.epoch_seconds(lenet(), hp, fast));
+    // The slowdown is bounded by the compute share (< 2x even at half clock,
+    // because sync and fixed costs are clock-independent).
+    EXPECT_LT(cost.epoch_seconds(lenet(), hp, slow),
+              2.0 * cost.epoch_seconds(lenet(), hp, fast));
+    SystemParams bad = fast;
+    bad.frequency_ghz = 0.0;
+    EXPECT_THROW(cost.epoch_seconds(lenet(), hp, bad), std::invalid_argument);
+}
+
+TEST(Frequency, LowerClockCanSaveEnergyInTheBackend) {
+    // With cubic dynamic power, halving the clock costs < 2x time but saves
+    // ~8x dynamic power — on compute-heavy configs energy per epoch drops.
+    sim::SimBackend backend({.seed = 1});
+    HyperParams hp = base_hp();
+    hp.batch_size = 1024;  // compute-dominated
+    auto session = backend.start_trial(lenet(), hp);
+    SystemParams base{.cores = 16, .memory_gb = 32};
+    SystemParams slow = base;
+    slow.frequency_ghz = 1.2;
+    const auto fast_epoch = session->run_epoch(base);
+    const auto slow_epoch = session->run_epoch(slow);
+    EXPECT_GT(slow_epoch.duration_s, fast_epoch.duration_s);
+    const double fast_watts = fast_epoch.energy_j / fast_epoch.duration_s;
+    const double slow_watts = slow_epoch.energy_j / slow_epoch.duration_s;
+    EXPECT_LT(slow_watts, fast_watts);
+}
+
+TEST(Frequency, ProbeStageAddsDvfsCandidatesWhenEnabled) {
+    sim::SimBackend backend({.seed = 2});
+    PipeTuneConfig config;
+    config.tune_frequency = true;
+    PipeTunePolicy policy(config);
+    std::vector<SystemParams> chosen;
+    drive(policy, backend, base_hp(), 16, 1, &chosen);
+    bool saw_non_base_frequency = false;
+    for (const auto& system : chosen)
+        if (system.frequency_ghz != SystemParams::kBaseFrequencyGhz)
+            saw_non_base_frequency = true;
+    EXPECT_TRUE(saw_non_base_frequency);
+}
+
+TEST(Frequency, DisabledByDefault) {
+    sim::SimBackend backend({.seed = 3});
+    PipeTunePolicy policy;
+    std::vector<SystemParams> chosen;
+    drive(policy, backend, base_hp(), 16, 1, &chosen);
+    for (const auto& system : chosen)
+        EXPECT_DOUBLE_EQ(system.frequency_ghz, SystemParams::kBaseFrequencyGhz);
+}
+
+TEST(Frequency, EnergyObjectivePrefersLowerClockThanDurationObjective) {
+    auto final_frequency = [&](PipeTuneConfig::ProbeObjective objective) {
+        sim::SimBackend backend({.seed = 4});
+        PipeTuneConfig config;
+        config.tune_frequency = true;
+        config.probe_objective = objective;
+        PipeTunePolicy policy(config);
+        HyperParams hp = base_hp();
+        hp.batch_size = 1024;
+        std::vector<SystemParams> chosen;
+        drive(policy, backend, hp, 20, 1, &chosen);
+        return chosen.back().frequency_ghz;
+    };
+    const double duration_choice = final_frequency(PipeTuneConfig::ProbeObjective::kDuration);
+    const double energy_choice = final_frequency(PipeTuneConfig::ProbeObjective::kEnergy);
+    EXPECT_LE(energy_choice, duration_choice);
+    // Duration objective never picks a sub-base clock (strictly slower).
+    EXPECT_DOUBLE_EQ(duration_choice, workload::SystemParams::kBaseFrequencyGhz);
+}
+
+TEST(Frequency, GroundTruthPersistsFrequency) {
+    GroundTruth gt;
+    SystemParams tuned{.cores = 8, .memory_gb = 16};
+    tuned.frequency_ghz = 1.8;
+    for (int i = 0; i < 5; ++i) gt.record({1.0, 2.0, double(i) * 0.01}, tuned, 1.0);
+    const GroundTruth restored = GroundTruth::from_json(gt.to_json());
+    ASSERT_EQ(restored.entries().size(), 5u);
+    EXPECT_DOUBLE_EQ(restored.entries()[0].best_system.frequency_ghz, 1.8);
+}
+
+TEST(MetricsSink, EpochsAreRecordedWithTags) {
+    sim::SimBackend backend({.seed = 5});
+    metricsdb::TimeSeriesDb metrics;
+    PipeTuneConfig config;
+    config.metrics = &metrics;
+    PipeTunePolicy policy(config);
+    drive(policy, backend, base_hp(), 10, 1);
+    // All 10 epochs recorded in each of the three series.
+    EXPECT_EQ(metrics.count({.series = "epoch_duration"}), 10u);
+    EXPECT_EQ(metrics.count({.series = "epoch_energy"}), 10u);
+    EXPECT_EQ(metrics.count({.series = "epoch_accuracy"}), 10u);
+    // Tags allow slicing by trial and phase.
+    EXPECT_EQ(metrics.count({.series = "epoch_duration", .tags = {{"trial", "1"}}}), 10u);
+    EXPECT_GE(metrics.count({.series = "epoch_duration", .tags = {{"phase", "probing"}}}), 3u);
+}
+
+TEST(MetricsSink, MultipleTrialsShareTheSink) {
+    sim::SimBackend backend({.seed = 6});
+    metricsdb::TimeSeriesDb metrics;
+    PipeTuneConfig config;
+    config.metrics = &metrics;
+    PipeTunePolicy policy(config);
+    drive(policy, backend, base_hp(), 5, 1);
+    drive(policy, backend, base_hp(), 5, 2);
+    EXPECT_EQ(metrics.count({.series = "epoch_duration"}), 10u);
+    EXPECT_EQ(metrics.count({.series = "epoch_duration", .tags = {{"trial", "2"}}}), 5u);
+}
+
+TEST(DecisionLog, RecordsOneEntryPerResolvedTrial) {
+    sim::SimBackend backend({.seed = 8});
+    PipeTunePolicy policy;
+    drive(policy, backend, base_hp(), 12, 1);   // probes
+    drive(policy, backend, base_hp(), 12, 2);   // probes (store still small)
+    ASSERT_EQ(policy.decisions().size(), 2u);
+    EXPECT_EQ(policy.decisions()[0].trial_id, 1u);
+    EXPECT_FALSE(policy.decisions()[0].hit);
+    // Completed probes back-fill the winning configuration.
+    EXPECT_TRUE(policy.decisions()[0].applied_known);
+}
+
+TEST(DecisionLog, HitsCarryScoreAndReusedConfig) {
+    sim::SimBackend backend({.seed = 9});
+    PipeTunePolicy policy;
+    for (std::uint64_t trial = 1; trial <= 6; ++trial)
+        drive(policy, backend, base_hp(), 12, trial);
+    std::vector<SystemParams> chosen;
+    drive(policy, backend, base_hp(), 12, 99, &chosen);
+    const auto& last = policy.decisions().back();
+    EXPECT_EQ(last.trial_id, 99u);
+    ASSERT_TRUE(last.hit);
+    EXPECT_GT(last.similarity_score, 0.0);
+    EXPECT_TRUE(last.applied_known);
+    EXPECT_EQ(last.applied, chosen.back());
+}
+
+TEST(MetricsSink, NullSinkIsIgnored) {
+    sim::SimBackend backend({.seed = 7});
+    PipeTunePolicy policy;  // no sink configured
+    EXPECT_NO_THROW(drive(policy, backend, base_hp(), 5, 1));
+}
+
+}  // namespace
+}  // namespace pipetune::core

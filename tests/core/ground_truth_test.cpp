@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pipetune/core/ground_truth.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::core {
+namespace {
+
+// Feature vectors drawn from two synthetic workload families.
+std::vector<double> family_vector(int family, util::Rng& rng) {
+    std::vector<double> v(8);
+    const double base = family == 0 ? 2.0 : 7.0;
+    for (auto& x : v) x = base + rng.normal(0.0, 0.2);
+    return v;
+}
+
+TEST(GroundTruth, EmptyStoreNeverMatches) {
+    GroundTruth gt;
+    double score = 1.0;
+    EXPECT_FALSE(gt.lookup({1, 2, 3}, &score).has_value());
+    EXPECT_DOUBLE_EQ(score, 0.0);
+    EXPECT_FALSE(gt.model_ready());
+}
+
+TEST(GroundTruth, MatchesAfterEnoughEntries) {
+    GroundTruth gt;
+    util::Rng rng(1);
+    for (int i = 0; i < 6; ++i)
+        gt.record(family_vector(0, rng), {.cores = 16, .memory_gb = 32}, 10.0);
+    EXPECT_TRUE(gt.model_ready());
+    double score = 0.0;
+    const auto hit = gt.lookup(family_vector(0, rng), &score);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->cores, 16u);
+    EXPECT_GT(score, gt.config().similarity_threshold);
+}
+
+TEST(GroundTruth, RejectsDissimilarProfiles) {
+    GroundTruth gt;
+    util::Rng rng(2);
+    for (int i = 0; i < 6; ++i)
+        gt.record(family_vector(0, rng), {.cores = 16, .memory_gb = 32}, 10.0);
+    // A wildly different profile must miss (unseen workload -> probing).
+    std::vector<double> alien(8, 1000.0);
+    double score = 1.0;
+    EXPECT_FALSE(gt.lookup(alien, &score).has_value());
+    EXPECT_LT(score, gt.config().similarity_threshold);
+}
+
+TEST(GroundTruth, ReturnsBestMetricEntryOfMatchedCluster) {
+    GroundTruth gt({.k = 2,
+                    .similarity_threshold = 0.15,
+                    .min_entries_for_model = 4,
+                    .refit_interval = 1,
+                    .seed = 1});
+    util::Rng rng(3);
+    // Family 0: two configs, one clearly better (lower metric).
+    gt.record(family_vector(0, rng), {.cores = 4, .memory_gb = 8}, 50.0);
+    gt.record(family_vector(0, rng), {.cores = 16, .memory_gb = 32}, 10.0);
+    gt.record(family_vector(1, rng), {.cores = 8, .memory_gb = 16}, 5.0);
+    gt.record(family_vector(1, rng), {.cores = 8, .memory_gb = 16}, 6.0);
+    const auto hit = gt.lookup(family_vector(0, rng));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->cores, 16u);  // the 10.0-metric entry, not the 50.0 one
+}
+
+TEST(GroundTruth, ClustersSeparateFamilies) {
+    GroundTruth gt({.k = 2,
+                    .similarity_threshold = 0.15,
+                    .min_entries_for_model = 4,
+                    .refit_interval = 2,
+                    .seed = 2});
+    util::Rng rng(4);
+    for (int i = 0; i < 5; ++i) gt.record(family_vector(0, rng), {.cores = 4, .memory_gb = 8}, 1.0);
+    for (int i = 0; i < 5; ++i) gt.record(family_vector(1, rng), {.cores = 16, .memory_gb = 32}, 1.0);
+    const auto clusters = gt.entry_clusters();
+    ASSERT_EQ(clusters.size(), 10u);
+    for (int i = 1; i < 5; ++i) EXPECT_EQ(clusters[i], clusters[0]);
+    for (int i = 6; i < 10; ++i) EXPECT_EQ(clusters[i], clusters[5]);
+    EXPECT_NE(clusters[0], clusters[5]);
+}
+
+TEST(GroundTruth, PerClusterConfigsAreIsolated) {
+    GroundTruth gt({.k = 2,
+                    .similarity_threshold = 0.15,
+                    .min_entries_for_model = 4,
+                    .refit_interval = 2,
+                    .seed = 3});
+    util::Rng rng(5);
+    for (int i = 0; i < 5; ++i) gt.record(family_vector(0, rng), {.cores = 4, .memory_gb = 8}, 1.0);
+    for (int i = 0; i < 5; ++i) gt.record(family_vector(1, rng), {.cores = 16, .memory_gb = 32}, 0.5);
+    const auto hit0 = gt.lookup(family_vector(0, rng));
+    const auto hit1 = gt.lookup(family_vector(1, rng));
+    ASSERT_TRUE(hit0 && hit1);
+    EXPECT_EQ(hit0->cores, 4u);   // family 0's best, despite family 1's lower metric
+    EXPECT_EQ(hit1->cores, 16u);
+}
+
+TEST(GroundTruth, ValidatesRecordInputs) {
+    GroundTruth gt;
+    EXPECT_THROW(gt.record({}, {.cores = 4, .memory_gb = 8}, 1.0), std::invalid_argument);
+    gt.record({1, 2}, {.cores = 4, .memory_gb = 8}, 1.0);
+    EXPECT_THROW(gt.record({1, 2, 3}, {.cores = 4, .memory_gb = 8}, 1.0), std::invalid_argument);
+}
+
+TEST(GroundTruth, ValidatesConfig) {
+    EXPECT_THROW(GroundTruth({.k = 2, .similarity_threshold = 2.0, .min_entries_for_model = 4,
+                              .refit_interval = 4, .seed = 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(GroundTruth({.k = 4, .similarity_threshold = 0.5, .min_entries_for_model = 2,
+                              .refit_interval = 4, .seed = 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(GroundTruth({.k = 2, .similarity_threshold = 0.5, .min_entries_for_model = 4,
+                              .refit_interval = 0, .seed = 1}),
+                 std::invalid_argument);
+}
+
+TEST(GroundTruth, JsonRoundTripPreservesLookups) {
+    GroundTruth gt;
+    util::Rng rng(6);
+    for (int i = 0; i < 6; ++i)
+        gt.record(family_vector(0, rng), {.cores = 16, .memory_gb = 32}, 1.0);
+    const GroundTruth restored = GroundTruth::from_json(gt.to_json());
+    EXPECT_EQ(restored.size(), 6u);
+    EXPECT_TRUE(restored.model_ready());
+    const auto hit = restored.lookup(family_vector(0, rng));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->cores, 16u);
+}
+
+TEST(GroundTruth, FileRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_gt_test.json";
+    GroundTruth gt;
+    util::Rng rng(7);
+    for (int i = 0; i < 5; ++i)
+        gt.record(family_vector(1, rng), {.cores = 8, .memory_gb = 16}, 2.0);
+    gt.save(path.string());
+    const GroundTruth restored = GroundTruth::load(path.string());
+    EXPECT_EQ(restored.size(), 5u);
+    std::filesystem::remove(path);
+}
+
+TEST(GroundTruth, RefitIntervalControlsReclustering) {
+    // With a large refit interval, entries accumulate without refitting until
+    // the interval elapses; lookups still work off the last fitted model.
+    GroundTruth gt({.k = 2,
+                    .similarity_threshold = 0.15,
+                    .min_entries_for_model = 4,
+                    .refit_interval = 100,
+                    .seed = 4});
+    util::Rng rng(8);
+    for (int i = 0; i < 4; ++i) gt.record(family_vector(0, rng), {.cores = 4, .memory_gb = 8}, 1.0);
+    EXPECT_TRUE(gt.model_ready());  // first fit happens as soon as possible
+    for (int i = 0; i < 10; ++i) gt.record(family_vector(0, rng), {.cores = 4, .memory_gb = 8}, 1.0);
+    EXPECT_EQ(gt.size(), 14u);
+}
+
+}  // namespace
+}  // namespace pipetune::core

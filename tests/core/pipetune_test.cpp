@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::core {
+namespace {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+
+const workload::Workload& lenet() { return workload::find_workload("lenet-mnist"); }
+
+HyperParams hp_with_batch(std::size_t batch) {
+    HyperParams hp;
+    hp.batch_size = batch;
+    hp.learning_rate = 0.02;
+    hp.epochs = 30;
+    return hp;
+}
+
+// Drives the policy through a trial by hand, like the runner would.
+std::vector<EpochResult> drive_trial(PipeTunePolicy& policy, workload::Backend& backend,
+                                     const workload::Workload& workload, const HyperParams& hp,
+                                     std::size_t epochs, std::uint64_t trial_id,
+                                     std::vector<SystemParams>* chosen = nullptr) {
+    auto session = backend.start_trial(workload, hp);
+    std::vector<EpochResult> history;
+    const SystemParams trial_default = workload::default_system_params();
+    for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+        const SystemParams system =
+            policy.choose(trial_id, workload, hp, epoch, history, trial_default);
+        if (chosen != nullptr) chosen->push_back(system);
+        auto result = session->run_epoch(system);
+        result.system = system;
+        history.push_back(result);
+    }
+    policy.trial_finished(trial_id, workload, hp, history);
+    return history;
+}
+
+TEST(PipeTunePolicy, ProfilesUnderDefaultThenProbes) {
+    sim::SimBackend backend({.seed = 1});
+    PipeTunePolicy policy;
+    std::vector<SystemParams> chosen;
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, 1, &chosen);
+    // The first epoch profiles at the default (profiling_epochs = 1).
+    EXPECT_EQ(chosen[0], workload::default_system_params());
+    // Cold store: epoch 2 starts probing with a cores sweep at default memory.
+    EXPECT_EQ(policy.probes_started(), 1u);
+    EXPECT_EQ(policy.ground_truth_hits(), 0u);
+    EXPECT_EQ(chosen[1].memory_gb, workload::default_system_params().memory_gb);
+    EXPECT_EQ(chosen[2].memory_gb, workload::default_system_params().memory_gb);
+    EXPECT_EQ(chosen[3].memory_gb, workload::default_system_params().memory_gb);
+    // Cores stage covers {4, 8, 16}.
+    std::set<std::size_t> probed_cores{chosen[1].cores, chosen[2].cores, chosen[3].cores};
+    EXPECT_EQ(probed_cores, (std::set<std::size_t>{4, 8, 16}));
+}
+
+TEST(PipeTunePolicy, ProbeIsStagedOanNotCrossProduct) {
+    sim::SimBackend backend({.seed = 2});
+    PipeTunePolicy policy;
+    std::vector<SystemParams> chosen;
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 20, 1, &chosen);
+    // Probe epochs: 3 cores values + 3 extra memory values = 6 (O(n), §5.2),
+    // then the winner repeats for every remaining epoch.
+    const SystemParams winner = chosen.back();
+    for (std::size_t e = 7; e < chosen.size(); ++e) EXPECT_EQ(chosen[e], winner);
+}
+
+TEST(PipeTunePolicy, RecordsProbeResultInGroundTruth) {
+    sim::SimBackend backend({.seed = 3});
+    PipeTunePolicy policy;
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, 1);
+    EXPECT_EQ(policy.ground_truth().size(), 1u);
+}
+
+TEST(PipeTunePolicy, TrialEndingMidProbeStillRecords) {
+    sim::SimBackend backend({.seed = 4});
+    PipeTunePolicy policy;
+    // 5 epochs: 2 profiling + 3 probe epochs, probe incomplete at finish.
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 5, 1);
+    EXPECT_EQ(policy.ground_truth().size(), 1u);
+}
+
+TEST(PipeTunePolicy, WarmStoreHitsSkipProbing) {
+    sim::SimBackend backend({.seed = 5});
+    PipeTunePolicy policy;
+    // Warm up with several probed trials of the same workload.
+    for (std::uint64_t trial = 1; trial <= 8; ++trial)
+        drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, trial);
+    const std::size_t probes_before = policy.probes_started();
+    std::vector<SystemParams> chosen;
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, 99, &chosen);
+    EXPECT_EQ(policy.probes_started(), probes_before);  // no new probe
+    EXPECT_GE(policy.ground_truth_hits(), 1u);
+    // Post-decision epochs immediately use the reused configuration.
+    for (std::size_t e = 2; e < chosen.size(); ++e) EXPECT_EQ(chosen[e], chosen[1]);
+}
+
+TEST(PipeTunePolicy, SharedGroundTruthWarmStartsAcrossJobs) {
+    sim::SimBackend backend({.seed = 6});
+    GroundTruth shared;
+    {
+        PipeTunePolicy first_job({}, &shared);
+        for (std::uint64_t trial = 1; trial <= 6; ++trial)
+            drive_trial(first_job, backend, lenet(), hp_with_batch(64), 12, trial);
+    }
+    EXPECT_GE(shared.size(), 4u);  // later warm-up trials hit and stop recording
+    PipeTunePolicy second_job({}, &shared);
+    drive_trial(second_job, backend, lenet(), hp_with_batch(64), 12, 1);
+    EXPECT_EQ(second_job.ground_truth_hits(), 1u);
+    EXPECT_EQ(second_job.probes_started(), 0u);
+}
+
+TEST(PipeTunePolicy, UnseenWorkloadMissesWarmStore) {
+    sim::SimBackend backend({.seed = 7});
+    GroundTruth shared;
+    PipeTunePolicy warm({}, &shared);
+    for (std::uint64_t trial = 1; trial <= 6; ++trial)
+        drive_trial(warm, backend, lenet(), hp_with_batch(64), 12, trial);
+    // A workload with a different signature must probe, not reuse.
+    workload::Workload unseen = lenet();
+    unseen.name = "lenet-unseen";
+    unseen.dataset_family = "mystery";
+    PipeTunePolicy probe_job({}, &shared);
+    drive_trial(probe_job, backend, unseen, hp_with_batch(64), 12, 1);
+    EXPECT_EQ(probe_job.ground_truth_hits(), 0u);
+    EXPECT_EQ(probe_job.probes_started(), 1u);
+}
+
+TEST(PipeTunePolicy, OverheadChargedOnlyWhileProfilingOrProbing) {
+    sim::SimBackend backend({.seed = 8});
+    PipeTuneConfig config;
+    PipeTunePolicy policy(config);
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, 1);
+    // Fresh trial: profiling epochs carry overhead.
+    EXPECT_GT(policy.epoch_overhead_s(2, 1, 100.0), 0.0);  // epoch 1 profiled
+    EXPECT_DOUBLE_EQ(policy.epoch_overhead_s(2, 1, 100.0),
+                     config.profiling_overhead_fraction * 100.0);
+    // Trial 1 is finished (plan erased): no overhead for later epochs.
+    EXPECT_DOUBLE_EQ(policy.epoch_overhead_s(1, 10, 100.0), 0.0);
+}
+
+TEST(PipeTunePolicy, ShortTrialsNeverLeaveProfiling) {
+    sim::SimBackend backend({.seed = 9});
+    PipeTunePolicy policy;
+    std::vector<SystemParams> chosen;
+    drive_trial(policy, backend, lenet(), hp_with_batch(64), 1, 1, &chosen);
+    EXPECT_EQ(policy.probes_started(), 0u);
+    EXPECT_EQ(policy.ground_truth().size(), 0u);
+    for (const auto& system : chosen) EXPECT_EQ(system, workload::default_system_params());
+}
+
+TEST(PipeTunePolicy, ProbeObjectiveEnergySelectsByEnergy) {
+    sim::SimBackend backend({.seed = 10});
+    PipeTuneConfig config;
+    config.probe_objective = PipeTuneConfig::ProbeObjective::kEnergy;
+    PipeTunePolicy policy(config);
+    std::vector<SystemParams> chosen;
+    const auto history = drive_trial(policy, backend, lenet(), hp_with_batch(64), 12, 1, &chosen);
+    // The applied config must be the probe epoch with the lowest energy.
+    double best_energy = 1e300;
+    SystemParams best{};
+    for (std::size_t e = 1; e < 7; ++e)
+        if (history[e].energy_j < best_energy) {
+            best_energy = history[e].energy_j;
+            best = history[e].system;
+        }
+    EXPECT_EQ(chosen.back(), best);
+}
+
+TEST(PipeTunePolicy, ValidatesConfig) {
+    PipeTuneConfig config;
+    config.profiling_epochs = 0;
+    EXPECT_THROW(PipeTunePolicy{config}, std::invalid_argument);
+}
+
+TEST(Experiment, RunPipeTuneProducesCoherentResult) {
+    sim::SimBackend backend({.seed = 11});
+    hpt::HptJobConfig job;
+    job.seed = 11;
+    const auto result = run_pipetune(backend, lenet(), job);
+    EXPECT_GT(result.baseline.final_accuracy, 80.0);
+    EXPECT_GT(result.baseline.tuning.tuning_duration_s, 0.0);
+    EXPECT_GT(result.probes_started, 0u);
+    // Probes that ended before completing the cores stage record nothing.
+    EXPECT_LE(result.ground_truth_size, result.probes_started);
+    EXPECT_GT(result.ground_truth_size, 0u);
+}
+
+TEST(Experiment, PipeTuneBeatsV1TuningTime) {
+    sim::SimBackend backend({.seed = 12});
+    hpt::HptJobConfig job;
+    job.seed = 12;
+    const auto v1 = hpt::run_tune_v1(backend, lenet(), job);
+    const auto pipetune = run_pipetune(backend, lenet(), job);
+    EXPECT_LT(pipetune.baseline.tuning.tuning_duration_s, v1.tuning.tuning_duration_s);
+    EXPECT_GT(pipetune.baseline.final_accuracy, v1.final_accuracy - 3.0);
+}
+
+}  // namespace
+}  // namespace pipetune::core

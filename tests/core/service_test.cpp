@@ -1,0 +1,108 @@
+// Tests for the PipeTuneService deployment façade.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pipetune/core/service.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+hpt::HptJobConfig quick_job(std::uint64_t seed) {
+    hpt::HptJobConfig job;
+    job.seed = seed;
+    return job;
+}
+
+struct TempDir {
+    fs::path path;
+    TempDir() : path(fs::temp_directory_path() / ("pt_service_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(Service, InMemoryServiceServesJobs) {
+    sim::SimBackend backend({.seed = 1});
+    PipeTuneService service(backend, {});  // no state dir
+    const auto result = service.submit(workload::find_workload("lenet-mnist"), quick_job(1));
+    EXPECT_GT(result.baseline.final_accuracy, 80.0);
+    EXPECT_EQ(service.jobs_served(), 1u);
+    EXPECT_GT(service.ground_truth().size(), 0u);
+    EXPECT_GT(service.metrics().total_points(), 0u);
+    EXPECT_TRUE(service.ground_truth_path().empty());
+}
+
+TEST(Service, LaterJobsReuseEarlierLearning) {
+    sim::SimBackend backend({.seed = 2});
+    PipeTuneService service(backend, {});
+    const auto first = service.submit(workload::find_workload("lenet-mnist"), quick_job(2));
+    const auto second = service.submit(workload::find_workload("lenet-mnist"), quick_job(3));
+    EXPECT_GT(first.probes_started, 0u);
+    EXPECT_LT(second.probes_started, first.probes_started);
+    EXPECT_GT(second.ground_truth_hits, 0u);
+}
+
+TEST(Service, StatePersistsAcrossServiceInstances) {
+    TempDir dir;
+    sim::SimBackend backend({.seed = 3});
+    std::size_t first_probes = 0;
+    {
+        PipeTuneService service(backend, {.state_dir = dir.path.string()});
+        first_probes =
+            service.submit(workload::find_workload("cnn-news20"), quick_job(4)).probes_started;
+        EXPECT_TRUE(fs::exists(service.ground_truth_path()));
+        EXPECT_TRUE(fs::exists(service.metrics_path()));
+    }
+    // "Restart" the middleware: a new instance picks the state up from disk.
+    PipeTuneService restarted(backend, {.state_dir = dir.path.string()});
+    EXPECT_GT(restarted.ground_truth().size(), 0u);
+    EXPECT_GT(restarted.metrics().total_points(), 0u);
+    const auto result =
+        restarted.submit(workload::find_workload("cnn-news20"), quick_job(5));
+    EXPECT_LT(result.probes_started, first_probes);
+}
+
+TEST(Service, WarmStartCampaignRunsWhenStoreIsCold) {
+    sim::SimBackend backend({.seed = 4});
+    ServiceConfig config;
+    config.warm_start_on_first_use = true;
+    config.warm_start_workloads = {workload::find_workload("lenet-mnist")};
+    PipeTuneService service(backend, config);
+    EXPECT_GT(service.ground_truth().size(), 0u);
+    const auto result = service.submit(workload::find_workload("lenet-mnist"), quick_job(6));
+    EXPECT_GT(result.ground_truth_hits, 0u);
+}
+
+TEST(Service, PersistedStoreSkipsWarmStart) {
+    TempDir dir;
+    sim::SimBackend backend({.seed = 5});
+    std::size_t persisted_size = 0;
+    {
+        PipeTuneService service(backend, {.state_dir = dir.path.string()});
+        service.submit(workload::find_workload("lenet-mnist"), quick_job(7));
+        persisted_size = service.ground_truth().size();
+    }
+    ServiceConfig config;
+    config.state_dir = dir.path.string();
+    config.warm_start_on_first_use = true;  // must be ignored: store exists
+    config.warm_start_workloads = workload::workloads_of_type(workload::WorkloadType::kType1);
+    PipeTuneService service(backend, config);
+    EXPECT_EQ(service.ground_truth().size(), persisted_size);
+}
+
+TEST(Service, MetricsAccumulateAcrossJobs) {
+    sim::SimBackend backend({.seed = 6});
+    PipeTuneService service(backend, {});
+    service.submit(workload::find_workload("jacobi-rodinia"), quick_job(8));
+    const auto after_first = service.metrics().total_points();
+    service.submit(workload::find_workload("bfs-rodinia"), quick_job(9));
+    EXPECT_GT(service.metrics().total_points(), after_first);
+}
+
+}  // namespace
+}  // namespace pipetune::core

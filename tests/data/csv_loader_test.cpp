@@ -1,0 +1,84 @@
+// Tests for the CSV dataset loader.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pipetune/data/csv_loader.hpp"
+
+namespace pipetune::data {
+namespace {
+
+TEST(CsvLoader, ParsesHeaderedCsvWithTrailingLabel) {
+    const std::string text =
+        "f1,f2,label\n"
+        "1.0,2.0,0\n"
+        "3.5,-1.0,1\n"
+        "0.0,0.5,1\n";
+    const auto dataset = parse_csv_dataset(text, "test");
+    EXPECT_EQ(dataset->size(), 3u);
+    EXPECT_EQ(dataset->num_classes(), 2u);
+    EXPECT_EQ(dataset->feature_shape(), (tensor::Shape{2}));
+    EXPECT_FLOAT_EQ(dataset->features(1)(0), 3.5f);
+    EXPECT_FLOAT_EQ(dataset->features(1)(1), -1.0f);
+    EXPECT_EQ(dataset->label(2), 1u);
+}
+
+TEST(CsvLoader, LabelColumnCanBeAnywhere) {
+    CsvLoadOptions options;
+    options.has_header = false;
+    options.label_column = 0;
+    const auto dataset = parse_csv_dataset("2,1.5,2.5\n0,0.5,0.25\n", "test", options);
+    EXPECT_EQ(dataset->num_classes(), 3u);
+    EXPECT_EQ(dataset->label(0), 2u);
+    EXPECT_FLOAT_EQ(dataset->features(0)(0), 1.5f);
+}
+
+TEST(CsvLoader, HandlesCrlfAndBlankLines) {
+    const auto dataset =
+        parse_csv_dataset("a,b\r\n1,0\r\n\r\n2,1\r\n", "test", {.has_header = true});
+    EXPECT_EQ(dataset->size(), 2u);
+}
+
+TEST(CsvLoader, CustomDelimiter) {
+    CsvLoadOptions options;
+    options.has_header = false;
+    options.delimiter = ';';
+    const auto dataset = parse_csv_dataset("1;2;0\n3;4;1\n", "test", options);
+    EXPECT_EQ(dataset->size(), 2u);
+    EXPECT_FLOAT_EQ(dataset->features(1)(1), 4.0f);
+}
+
+TEST(CsvLoader, RejectsMalformedInput) {
+    const CsvLoadOptions no_header{.has_header = false, .label_column = -1, .delimiter = ','};
+    EXPECT_THROW(parse_csv_dataset("", "x"), std::runtime_error);              // empty
+    EXPECT_THROW(parse_csv_dataset("h\n1\n", "x"), std::runtime_error);        // 1 column
+    EXPECT_THROW(parse_csv_dataset("1,2,0\n1,2\n", "x", no_header),            // ragged
+                 std::runtime_error);
+    EXPECT_THROW(parse_csv_dataset("1,abc,0\n", "x", no_header),               // non-numeric
+                 std::runtime_error);
+    EXPECT_THROW(parse_csv_dataset("1,2,-1\n", "x", no_header),                // negative label
+                 std::runtime_error);
+    EXPECT_THROW(parse_csv_dataset("1,2,0.5\n", "x", no_header),               // fractional label
+                 std::runtime_error);
+    CsvLoadOptions bad_column = no_header;
+    bad_column.label_column = 7;
+    EXPECT_THROW(parse_csv_dataset("1,2,0\n", "x", bad_column), std::runtime_error);
+}
+
+TEST(CsvLoader, LoadsFromDisk) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_csv_dataset.csv";
+    {
+        std::ofstream out(path);
+        out << "x,y,label\n0.1,0.2,0\n0.8,0.9,1\n";
+    }
+    const auto dataset = load_csv_dataset(path.string());
+    EXPECT_EQ(dataset->size(), 2u);
+    EXPECT_EQ(dataset->name(), path.string());
+    std::filesystem::remove(path);
+    EXPECT_THROW(load_csv_dataset(path.string()), std::runtime_error);  // gone
+}
+
+}  // namespace
+}  // namespace pipetune::data

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipetune/data/dataset.hpp"
+#include "pipetune/data/synthetic.hpp"
+
+namespace pipetune::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+InMemoryDataset tiny_dataset() {
+    std::vector<Tensor> samples;
+    std::vector<std::size_t> labels;
+    for (std::size_t i = 0; i < 10; ++i) {
+        samples.emplace_back(Shape{3}, std::vector<float>{float(i), float(i) + 1, float(i) + 2});
+        labels.push_back(i % 2);
+    }
+    return InMemoryDataset("tiny", std::move(samples), std::move(labels), 2);
+}
+
+TEST(InMemoryDataset, BasicAccessors) {
+    auto ds = tiny_dataset();
+    EXPECT_EQ(ds.size(), 10u);
+    EXPECT_EQ(ds.num_classes(), 2u);
+    EXPECT_EQ(ds.feature_shape(), (Shape{3}));
+    EXPECT_EQ(ds.label(3), 1u);
+    EXPECT_FLOAT_EQ(ds.features(4)(0), 4.0f);
+    EXPECT_EQ(ds.name(), "tiny");
+}
+
+TEST(InMemoryDataset, ValidatesConstruction) {
+    EXPECT_THROW(InMemoryDataset("x", {}, {}, 2), std::invalid_argument);
+    std::vector<Tensor> s{Tensor({2})};
+    EXPECT_THROW(InMemoryDataset("x", s, {0, 1}, 2), std::invalid_argument);
+    EXPECT_THROW(InMemoryDataset("x", s, {5}, 2), std::invalid_argument);
+    std::vector<Tensor> ragged{Tensor({2}), Tensor({3})};
+    EXPECT_THROW(InMemoryDataset("x", ragged, {0, 0}, 2), std::invalid_argument);
+}
+
+TEST(InMemoryDataset, OutOfRangeAccessThrows) {
+    auto ds = tiny_dataset();
+    EXPECT_THROW(ds.features(10), std::out_of_range);
+    EXPECT_THROW(ds.label(10), std::out_of_range);
+}
+
+TEST(StackBatch, StacksFeaturesAndLabels) {
+    auto ds = tiny_dataset();
+    Batch batch = stack_batch(ds, {1, 3, 5});
+    EXPECT_EQ(batch.features.shape(), (Shape{3, 3}));
+    EXPECT_FLOAT_EQ(batch.features(1, 0), 3.0f);
+    EXPECT_EQ(batch.labels, (std::vector<std::size_t>{1, 1, 1}));
+    EXPECT_THROW(stack_batch(ds, {}), std::invalid_argument);
+}
+
+TEST(BatchIterator, CoversEverySampleExactlyOnce) {
+    auto ds = tiny_dataset();
+    util::Rng rng(1);
+    BatchIterator it(ds, 3, rng);
+    EXPECT_EQ(it.batches_per_epoch(), 4u);
+    Batch batch;
+    std::multiset<float> seen;
+    std::size_t batches = 0;
+    while (it.next(batch)) {
+        ++batches;
+        for (std::size_t i = 0; i < batch.labels.size(); ++i)
+            seen.insert(batch.features(i, 0));
+    }
+    EXPECT_EQ(batches, 4u);
+    EXPECT_EQ(seen.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+}
+
+TEST(BatchIterator, LastPartialBatchIsKept) {
+    auto ds = tiny_dataset();
+    util::Rng rng(2);
+    BatchIterator it(ds, 4, rng, /*shuffle=*/false);
+    Batch batch;
+    std::vector<std::size_t> sizes;
+    while (it.next(batch)) sizes.push_back(batch.labels.size());
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 4, 2}));
+}
+
+TEST(BatchIterator, ShuffleChangesOrderAcrossEpochs) {
+    auto ds = tiny_dataset();
+    util::Rng rng(3);
+    BatchIterator it(ds, 10, rng);
+    Batch first, second;
+    it.next(first);
+    it.reset();
+    it.next(second);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < 10; ++i)
+        if (first.features(i, 0) != second.features(i, 0)) any_difference = true;
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(BatchIterator, NoShufflePreservesOrder) {
+    auto ds = tiny_dataset();
+    util::Rng rng(4);
+    BatchIterator it(ds, 5, rng, /*shuffle=*/false);
+    Batch batch;
+    it.next(batch);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(batch.features(i, 0), float(i));
+}
+
+TEST(SyntheticImages, ShapeAndRange) {
+    ImageDatasetConfig config;
+    config.classes = 4;
+    config.samples = 20;
+    config.image_size = 12;
+    auto ds = make_image_dataset(config, "img");
+    EXPECT_EQ(ds->size(), 20u);
+    EXPECT_EQ(ds->feature_shape(), (Shape{1, 12, 12}));
+    for (std::size_t i = 0; i < ds->size(); ++i) {
+        EXPECT_GE(ds->features(i).min(), 0.0f);
+        EXPECT_LE(ds->features(i).max(), 1.0f);
+        EXPECT_LT(ds->label(i), 4u);
+    }
+}
+
+TEST(SyntheticImages, BalancedClasses) {
+    ImageDatasetConfig config;
+    config.classes = 5;
+    config.samples = 50;
+    auto ds = make_image_dataset(config, "img");
+    std::vector<int> counts(5, 0);
+    for (std::size_t i = 0; i < ds->size(); ++i) ++counts[ds->label(i)];
+    for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticImages, DeterministicInSeed) {
+    ImageDatasetConfig config;
+    config.samples = 8;
+    config.seed = 77;
+    auto a = make_image_dataset(config, "a");
+    auto b = make_image_dataset(config, "b");
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t k = 0; k < a->features(i).numel(); ++k)
+            EXPECT_FLOAT_EQ(a->features(i)[k], b->features(i)[k]);
+}
+
+TEST(SyntheticImages, StylesDiffer) {
+    ImageDatasetConfig config;
+    config.samples = 4;
+    config.seed = 9;
+    config.style = ImageStyle::kDigits;
+    auto digits = make_image_dataset(config, "d");
+    config.style = ImageStyle::kFashion;
+    auto fashion = make_image_dataset(config, "f");
+    float diff = 0;
+    for (std::size_t k = 0; k < digits->features(0).numel(); ++k)
+        diff += std::abs(digits->features(0)[k] - fashion->features(0)[k]);
+    EXPECT_GT(diff, 1.0f);
+}
+
+TEST(SyntheticText, TokensWithinVocab) {
+    TextDatasetConfig config;
+    config.classes = 4;
+    config.samples = 16;
+    config.vocab_size = 100;
+    config.seq_len = 10;
+    auto ds = make_text_dataset(config, "txt");
+    EXPECT_EQ(ds->feature_shape(), (Shape{10}));
+    for (std::size_t i = 0; i < ds->size(); ++i)
+        for (std::size_t t = 0; t < 10; ++t) {
+            EXPECT_GE(ds->features(i)(t), 0.0f);
+            EXPECT_LT(ds->features(i)(t), 100.0f);
+        }
+}
+
+TEST(SyntheticText, TopicStrengthSeparatesClasses) {
+    // With strong topics, samples of the same class should share many more
+    // tokens than samples of different classes.
+    TextDatasetConfig config;
+    config.classes = 2;
+    config.samples = 40;
+    config.vocab_size = 400;
+    config.seq_len = 24;
+    config.topic_strength = 0.9;
+    auto ds = make_text_dataset(config, "txt");
+    auto overlap = [&](std::size_t a, std::size_t b) {
+        std::set<int> sa, sb;
+        for (std::size_t t = 0; t < 24; ++t) {
+            sa.insert(static_cast<int>(ds->features(a)(t)));
+            sb.insert(static_cast<int>(ds->features(b)(t)));
+        }
+        int common = 0;
+        for (int tok : sa)
+            if (sb.count(tok)) ++common;
+        return common;
+    };
+    // Samples 0 and 2 share class 0; samples 0 and 1 differ.
+    EXPECT_GT(overlap(0, 2), overlap(0, 1));
+}
+
+TEST(SyntheticText, ValidatesConfig) {
+    TextDatasetConfig config;
+    config.classes = 20;
+    config.vocab_size = 10;  // too small
+    EXPECT_THROW(make_text_dataset(config, "x"), std::invalid_argument);
+    TextDatasetConfig bad_strength;
+    bad_strength.topic_strength = 1.5;
+    EXPECT_THROW(make_text_dataset(bad_strength, "x"), std::invalid_argument);
+}
+
+TEST(Splits, TrainTestShareDistributionButNotSamples) {
+    ImageDatasetConfig config;
+    config.classes = 3;
+    config.samples = 30;
+    config.seed = 123;
+    auto pair = make_image_split(config, "img", 12);
+    EXPECT_EQ(pair.train->size(), 30u);
+    EXPECT_EQ(pair.test->size(), 12u);
+    EXPECT_EQ(pair.train->num_classes(), pair.test->num_classes());
+
+    TextDatasetConfig text_config;
+    text_config.classes = 4;
+    text_config.samples = 20;
+    text_config.vocab_size = 200;
+    auto text_pair = make_text_split(text_config, "txt", 8);
+    EXPECT_EQ(text_pair.train->size(), 20u);
+    EXPECT_EQ(text_pair.test->size(), 8u);
+}
+
+}  // namespace
+}  // namespace pipetune::data

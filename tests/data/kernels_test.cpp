@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/data/kernels.hpp"
+
+namespace pipetune::data {
+namespace {
+
+TEST(JacobiKernel, ResidualDecreasesMonotonically) {
+    JacobiKernel jacobi(32, 1);
+    double previous = jacobi.residual();
+    for (int i = 0; i < 20; ++i) {
+        jacobi.run_iteration(1);
+        EXPECT_LE(jacobi.residual(), previous + 1e-12);
+        previous = jacobi.residual();
+    }
+    EXPECT_EQ(jacobi.iterations_done(), 20u);
+}
+
+TEST(JacobiKernel, ScoreRisesTowardHundred) {
+    JacobiKernel jacobi(24, 2);
+    const double initial = jacobi.score();
+    for (int i = 0; i < 200; ++i) jacobi.run_iteration(1);
+    EXPECT_GT(jacobi.score(), initial);
+    EXPECT_LE(jacobi.score(), 100.0);
+    EXPECT_GT(jacobi.score(), 50.0);
+}
+
+TEST(JacobiKernel, WorkerCountDoesNotChangeResult) {
+    JacobiKernel solo(24, 3), parallel(24, 3);
+    for (int i = 0; i < 10; ++i) {
+        solo.run_iteration(1);
+        parallel.run_iteration(4);
+    }
+    EXPECT_NEAR(solo.residual(), parallel.residual(), 1e-12);
+}
+
+TEST(JacobiKernel, RejectsTinyGrid) {
+    EXPECT_THROW(JacobiKernel(2, 1), std::invalid_argument);
+}
+
+TEST(BfsKernel, VisitsAllNodesOfConnectedGraph) {
+    BfsKernel bfs(500, 3, 1);
+    int guard = 0;
+    while (!bfs.converged() && guard++ < 100) bfs.run_iteration(2);
+    EXPECT_EQ(bfs.visited_count(), 500u);
+    EXPECT_DOUBLE_EQ(bfs.score(), 100.0);
+}
+
+TEST(BfsKernel, ScoreGrowsPerLevel) {
+    BfsKernel bfs(1000, 4, 2);
+    double previous = bfs.score();
+    for (int i = 0; i < 5 && !bfs.converged(); ++i) {
+        bfs.run_iteration(1);
+        EXPECT_GE(bfs.score(), previous);
+        previous = bfs.score();
+    }
+}
+
+TEST(BfsKernel, ConvergedIterationIsNoop) {
+    BfsKernel bfs(100, 3, 3);
+    int guard = 0;
+    while (!bfs.converged() && guard++ < 100) bfs.run_iteration(1);
+    const std::size_t iterations = bfs.iterations_done();
+    bfs.run_iteration(1);
+    EXPECT_EQ(bfs.iterations_done(), iterations);
+}
+
+TEST(BfsKernel, WorkerCountDoesNotChangeCoverage) {
+    BfsKernel solo(800, 3, 4), parallel(800, 3, 4);
+    int guard = 0;
+    while (!solo.converged() && guard++ < 100) solo.run_iteration(1);
+    guard = 0;
+    while (!parallel.converged() && guard++ < 100) parallel.run_iteration(4);
+    EXPECT_EQ(solo.visited_count(), parallel.visited_count());
+}
+
+TEST(SpKMeansKernel, InertiaImproves) {
+    SpKMeansKernel kmeans(500, 4, 5, 1);
+    kmeans.run_iteration(1);
+    const double after_one = kmeans.inertia();
+    for (int i = 0; i < 10 && !kmeans.converged(); ++i) kmeans.run_iteration(1);
+    EXPECT_LE(kmeans.inertia(), after_one + 1e-9);
+    EXPECT_GT(kmeans.score(), 0.0);
+}
+
+TEST(SpKMeansKernel, ConvergesOnStableAssignment) {
+    SpKMeansKernel kmeans(300, 3, 4, 2);
+    int guard = 0;
+    while (!kmeans.converged() && guard++ < 100) kmeans.run_iteration(2);
+    EXPECT_TRUE(kmeans.converged());
+    EXPECT_LT(guard, 100);
+}
+
+TEST(SpKMeansKernel, ValidatesSizes) {
+    EXPECT_THROW(SpKMeansKernel(3, 2, 5, 1), std::invalid_argument);
+    EXPECT_THROW(SpKMeansKernel(10, 0, 2, 1), std::invalid_argument);
+}
+
+TEST(KernelFactory, BuildsAllPaperWorkloads) {
+    for (const char* name : {"jacobi", "bfs", "spkmeans"}) {
+        auto kernel = make_kernel(name, 7);
+        ASSERT_NE(kernel, nullptr);
+        EXPECT_EQ(kernel->name(), name);
+        kernel->run_iteration(2);
+        EXPECT_GE(kernel->score(), 0.0);
+        EXPECT_LE(kernel->score(), 100.0);
+    }
+    EXPECT_THROW(make_kernel("unknown", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::data

@@ -1,0 +1,73 @@
+// Tests for split_dataset and its interplay with the CSV loader.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipetune/data/csv_loader.hpp"
+#include "pipetune/data/dataset.hpp"
+#include "pipetune/data/synthetic.hpp"
+
+namespace pipetune::data {
+namespace {
+
+TEST(SplitDataset, PartitionsWithoutOverlapOrLoss) {
+    ImageDatasetConfig config;
+    config.classes = 4;
+    config.samples = 40;
+    config.image_size = 8;
+    config.seed = 1;
+    const auto full = make_image_dataset(config, "img");
+    const auto split = split_dataset(*full, 0.75, 2);
+    EXPECT_EQ(split.train->size(), 30u);
+    EXPECT_EQ(split.test->size(), 10u);
+    EXPECT_EQ(split.train->num_classes(), 4u);
+    // Each original sample lands in exactly one side: compare multisets of a
+    // cheap fingerprint (sum of pixels).
+    std::multiset<float> original, partitioned;
+    for (std::size_t i = 0; i < full->size(); ++i) original.insert(full->features(i).sum());
+    for (std::size_t i = 0; i < split.train->size(); ++i)
+        partitioned.insert(split.train->features(i).sum());
+    for (std::size_t i = 0; i < split.test->size(); ++i)
+        partitioned.insert(split.test->features(i).sum());
+    EXPECT_EQ(original, partitioned);
+}
+
+TEST(SplitDataset, DeterministicInSeed) {
+    ImageDatasetConfig config;
+    config.samples = 20;
+    config.image_size = 6;
+    const auto full = make_image_dataset(config, "img");
+    const auto a = split_dataset(*full, 0.5, 7);
+    const auto b = split_dataset(*full, 0.5, 7);
+    for (std::size_t i = 0; i < a.train->size(); ++i)
+        EXPECT_FLOAT_EQ(a.train->features(i).sum(), b.train->features(i).sum());
+    const auto c = split_dataset(*full, 0.5, 8);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < a.train->size(); ++i)
+        if (a.train->features(i).sum() != c.train->features(i).sum()) any_difference = true;
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(SplitDataset, Validates) {
+    ImageDatasetConfig config;
+    config.samples = 10;
+    config.image_size = 6;
+    const auto full = make_image_dataset(config, "img");
+    EXPECT_THROW(split_dataset(*full, 0.0, 1), std::invalid_argument);
+    EXPECT_THROW(split_dataset(*full, 1.0, 1), std::invalid_argument);
+    EXPECT_THROW(split_dataset(*full, 0.01, 1), std::invalid_argument);  // empty train side
+}
+
+TEST(SplitDataset, CsvToTrainerPipeline) {
+    // The adoption path: CSV text -> dataset -> split -> both sides usable.
+    const auto dataset = parse_csv_dataset(
+        "a,b,label\n1,2,0\n3,4,1\n5,6,0\n7,8,1\n9,10,0\n11,12,1\n", "user-data");
+    const auto split = split_dataset(*dataset, 0.5, 3);
+    EXPECT_EQ(split.train->size() + split.test->size(), 6u);
+    EXPECT_EQ(split.train->feature_shape(), (tensor::Shape{2}));
+    EXPECT_EQ(split.test->num_classes(), 2u);
+}
+
+}  // namespace
+}  // namespace pipetune::data

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/energy/power.hpp"
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::energy {
+namespace {
+
+TEST(PowerModel, IdleWhenNothingRuns) {
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.power_watts(0, 0.0, 0.0), model.config().idle_watts);
+}
+
+TEST(PowerModel, GrowsLinearlyWithCores) {
+    PowerModel model;
+    const double p4 = model.power_watts(4, 1.0, 0.0);
+    const double p8 = model.power_watts(8, 1.0, 0.0);
+    const double idle = model.config().idle_watts;
+    EXPECT_NEAR((p8 - idle) / (p4 - idle), 2.0, 1e-9);
+}
+
+TEST(PowerModel, UtilizationScalesDynamicPower) {
+    PowerModel model;
+    const double idle = model.config().idle_watts;
+    const double full = model.power_watts(8, 1.0, 0.0) - idle;
+    const double half = model.power_watts(8, 0.5, 0.0) - idle;
+    EXPECT_NEAR(half / full, 0.5, 1e-9);
+}
+
+TEST(PowerModel, FrequencyScalesCubically) {
+    PowerModel model;
+    const double idle = model.config().idle_watts;
+    const double base = model.power_watts(4, 1.0, 0.0, 2.4) - idle;
+    const double doubled = model.power_watts(4, 1.0, 0.0, 4.8) - idle;
+    EXPECT_NEAR(doubled / base, 8.0, 1e-9);
+}
+
+TEST(PowerModel, MemoryAddsLinearly) {
+    PowerModel model;
+    const double p0 = model.power_watts(0, 0.0, 0.0);
+    const double p32 = model.power_watts(0, 0.0, 32.0);
+    EXPECT_NEAR(p32 - p0, 32.0 * model.config().memory_watts_per_gb, 1e-9);
+}
+
+TEST(PowerModel, ValidatesInputs) {
+    PowerModel model;
+    EXPECT_THROW(model.power_watts(4, 1.5, 0.0), std::invalid_argument);
+    EXPECT_THROW(model.power_watts(4, -0.1, 0.0), std::invalid_argument);
+    EXPECT_THROW(model.power_watts(4, 0.5, -1.0), std::invalid_argument);
+    EXPECT_THROW(model.power_watts(4, 0.5, 0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(PowerModel({.idle_watts = -1}), std::invalid_argument);
+}
+
+TEST(Pdu, SamplesAtOneHertzPlusEndpoint) {
+    Pdu pdu({}, 1);
+    const auto samples = pdu.sample_interval(100.0, 10.0);
+    // t = 0..10 at 1 s steps, endpoint 10 included exactly once.
+    EXPECT_EQ(samples.size(), 11u);
+    EXPECT_DOUBLE_EQ(samples.front().t, 0.0);
+    EXPECT_DOUBLE_EQ(samples.back().t, 10.0);
+}
+
+TEST(Pdu, ShortIntervalStillIntegrable) {
+    Pdu pdu({}, 2);
+    const auto samples = pdu.sample_interval(100.0, 0.4);
+    EXPECT_GE(samples.size(), 2u);
+    EXPECT_GT(Pdu::integrate(samples), 0.0);
+}
+
+TEST(Pdu, QuantizesToResolution) {
+    Pdu pdu({.sample_interval_s = 1.0, .resolution_watts = 1.0, .precision = 0.015}, 3);
+    for (const auto& sample : pdu.sample_interval(100.0, 5.0))
+        EXPECT_DOUBLE_EQ(sample.watts, std::round(sample.watts));
+}
+
+TEST(Pdu, EnergyApproximatesPowerTimesTime) {
+    Pdu pdu({}, 4);
+    // 100 W for 300 s -> 30 kJ within the 1.5% precision band.
+    const double energy = pdu.measure_energy(100.0, 300.0);
+    EXPECT_NEAR(energy, 30000.0, 30000.0 * 0.02);
+}
+
+TEST(Pdu, PrecisionErrorAveragesOut) {
+    Pdu pdu({}, 5);
+    util::RunningStats stats;
+    for (int i = 0; i < 50; ++i) stats.add(pdu.measure_energy(80.0, 100.0));
+    EXPECT_NEAR(stats.mean(), 8000.0, 8000.0 * 0.005);
+}
+
+TEST(Pdu, ValidatesInputs) {
+    Pdu pdu({}, 6);
+    EXPECT_THROW(pdu.sample_interval(-1.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(pdu.sample_interval(10.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Pdu({.sample_interval_s = 0, .resolution_watts = 1, .precision = 0}, 1),
+                 std::invalid_argument);
+}
+
+TEST(Pdu, IntegrationMatchesTrapezoidRule) {
+    std::vector<Pdu::Sample> samples{{0, 10}, {1, 20}, {3, 20}};
+    EXPECT_DOUBLE_EQ(Pdu::integrate(samples), 15.0 + 40.0);
+}
+
+}  // namespace
+}  // namespace pipetune::energy

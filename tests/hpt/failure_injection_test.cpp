@@ -1,0 +1,105 @@
+// Failure injection: the runner's behaviour when the backend misbehaves.
+// The contract is fail-fast — a backend error propagates out of run() as the
+// backend's exception, never as silent corruption of results.
+
+#include <gtest/gtest.h>
+
+#include "pipetune/hpt/runner.hpp"
+#include "pipetune/hpt/searchers.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::hpt {
+namespace {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+
+/// Backend whose sessions fail after a configurable number of epochs.
+class FlakyBackend : public workload::Backend {
+public:
+    FlakyBackend(workload::Backend& inner, std::size_t fail_after_epochs)
+        : inner_(inner), fail_after_(fail_after_epochs) {}
+
+    std::unique_ptr<workload::TrialSession> start_trial(
+        const workload::Workload& workload, const HyperParams& hyper) override {
+        class Session : public workload::TrialSession {
+        public:
+            Session(std::unique_ptr<workload::TrialSession> inner, std::size_t fail_after,
+                    std::size_t* total_epochs)
+                : inner_(std::move(inner)), fail_after_(fail_after), total_(total_epochs) {}
+            EpochResult run_epoch(const SystemParams& system) override {
+                if (++(*total_) > fail_after_)
+                    throw std::runtime_error("injected: node lost mid-epoch");
+                return inner_->run_epoch(system);
+            }
+            std::size_t epochs_done() const override { return inner_->epochs_done(); }
+            const workload::Workload& workload() const override { return inner_->workload(); }
+            const HyperParams& hyperparams() const override { return inner_->hyperparams(); }
+
+        private:
+            std::unique_ptr<workload::TrialSession> inner_;
+            std::size_t fail_after_;
+            std::size_t* total_;
+        };
+        return std::make_unique<Session>(inner_.start_trial(workload, hyper), fail_after_,
+                                         &total_epochs_);
+    }
+    std::string name() const override { return "flaky"; }
+    std::size_t total_epochs() const { return total_epochs_; }
+
+private:
+    workload::Backend& inner_;
+    std::size_t fail_after_;
+    std::size_t total_epochs_ = 0;
+};
+
+TEST(FailureInjection, BackendErrorPropagatesOutOfRun) {
+    sim::SimBackend inner({.seed = 1});
+    FlakyBackend backend(inner, /*fail_after_epochs=*/10);
+    TuningJobRunner runner(backend, workload::find_workload("lenet-mnist"),
+                           {.parallel_slots = 2});
+    RandomSearch searcher(hyperband_hyperparameter_space(), 8, 5, 1);
+    EXPECT_THROW(runner.run(searcher), std::runtime_error);
+    EXPECT_EQ(backend.total_epochs(), 11u);  // failed exactly at the injected point
+}
+
+TEST(FailureInjection, HealthyPrefixRunsNormally) {
+    sim::SimBackend inner({.seed = 2});
+    FlakyBackend backend(inner, /*fail_after_epochs=*/1000000);  // never fails
+    TuningJobRunner runner(backend, workload::find_workload("lenet-mnist"),
+                           {.parallel_slots = 2});
+    RandomSearch searcher(hyperband_hyperparameter_space(), 4, 3, 2);
+    const auto result = runner.run(searcher);
+    EXPECT_EQ(result.trials, 4u);
+    EXPECT_EQ(backend.total_epochs(), 12u);
+}
+
+TEST(FailureInjection, FinalTrainingAlsoFailsFast) {
+    sim::SimBackend inner({.seed = 3});
+    FlakyBackend backend(inner, /*fail_after_epochs=*/3);
+    TuningJobRunner runner(backend, workload::find_workload("lenet-mnist"), {});
+    HyperParams hp;
+    hp.epochs = 10;
+    hp.learning_rate = 0.02;
+    EXPECT_THROW(runner.run_final_training(hp, workload::default_system_params()),
+                 std::runtime_error);
+}
+
+TEST(FailureInjection, FreshRunnerRecoversAfterFailure) {
+    // A failed job leaves no residue in the backend; a new runner over the
+    // same backend succeeds.
+    sim::SimBackend backend({.seed = 4});
+    {
+        FlakyBackend flaky(backend, 5);
+        TuningJobRunner runner(flaky, workload::find_workload("lenet-mnist"), {});
+        RandomSearch searcher(hyperband_hyperparameter_space(), 6, 4, 4);
+        EXPECT_THROW(runner.run(searcher), std::runtime_error);
+    }
+    TuningJobRunner runner(backend, workload::find_workload("lenet-mnist"), {});
+    RandomSearch searcher(hyperband_hyperparameter_space(), 4, 3, 5);
+    EXPECT_NO_THROW(runner.run(searcher));
+}
+
+}  // namespace
+}  // namespace pipetune::hpt

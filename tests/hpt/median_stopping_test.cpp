@@ -1,0 +1,115 @@
+// Tests for the median stopping rule searcher.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "pipetune/hpt/median_stopping.hpp"
+#include "pipetune/hpt/runner.hpp"
+#include "pipetune/hpt/space.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::hpt {
+namespace {
+
+ParamSpace tiny_space() {
+    ParamSpace space;
+    space.add_discrete("x", {0, 1, 2, 3});
+    space.add_continuous("y", 0.0, 1.0);
+    return space;
+}
+
+// Score = quality * saturation(epochs); quality fixed per config.
+void drive_with_quality(Searcher& searcher,
+                        const std::function<double(const ParamPoint&)>& quality,
+                        std::map<std::uint64_t, std::size_t>* epochs_out = nullptr) {
+    for (int wave = 0; wave < 100; ++wave) {
+        const auto requests = searcher.next_wave();
+        if (requests.empty()) break;
+        for (const auto& request : requests) {
+            TrialOutcome outcome;
+            outcome.config_id = request.config_id;
+            outcome.point = request.point;
+            outcome.epochs_done = request.target_epochs;
+            outcome.score = quality(request.point) *
+                            (1 - std::exp(-0.2 * static_cast<double>(request.target_epochs)));
+            outcome.best_accuracy = outcome.score;
+            searcher.report(outcome);
+            if (epochs_out != nullptr) (*epochs_out)[request.config_id] = request.target_epochs;
+        }
+    }
+}
+
+TEST(MedianStopping, FirstWaveLaunchesAllTrials) {
+    MedianStoppingSearch searcher(tiny_space(), 8, 12, 4, 1);
+    const auto wave = searcher.next_wave();
+    EXPECT_EQ(wave.size(), 8u);
+    for (const auto& request : wave) EXPECT_EQ(request.target_epochs, 4u);
+}
+
+TEST(MedianStopping, PrunesBelowMedianTrials) {
+    MedianStoppingSearch searcher(tiny_space(), 8, 12, 4, 2);
+    drive_with_quality(searcher, [](const ParamPoint& point) { return point.at("y"); });
+    // Roughly half the population should be cut at some interval.
+    EXPECT_GE(searcher.stopped_trials(), 3u);
+    EXPECT_LE(searcher.stopped_trials(), 6u);
+}
+
+TEST(MedianStopping, SurvivorsReachFullBudget) {
+    MedianStoppingSearch searcher(tiny_space(), 8, 12, 4, 3);
+    std::map<std::uint64_t, std::size_t> epochs;
+    drive_with_quality(searcher, [](const ParamPoint& point) { return point.at("y"); },
+                       &epochs);
+    std::size_t finished = 0;
+    for (const auto& [id, done] : epochs)
+        if (done == 12) ++finished;
+    EXPECT_GE(finished, 1u);
+    EXPECT_LT(finished, 8u);  // and someone was stopped early
+}
+
+TEST(MedianStopping, GraceIntervalDelaysPruning) {
+    MedianStoppingSearch eager(tiny_space(), 8, 8, 2, 4, /*grace_intervals=*/1);
+    MedianStoppingSearch patient(tiny_space(), 8, 8, 2, 4, /*grace_intervals=*/3);
+    auto quality = [](const ParamPoint& point) { return point.at("y"); };
+    // After the first wave + report, the eager searcher may prune, the
+    // patient one must not.
+    for (auto* searcher : {static_cast<MedianStoppingSearch*>(&eager), &patient}) {
+        const auto wave = searcher->next_wave();
+        for (const auto& request : wave) {
+            TrialOutcome outcome;
+            outcome.config_id = request.config_id;
+            outcome.point = request.point;
+            outcome.epochs_done = request.target_epochs;
+            outcome.score = quality(request.point);
+            searcher->report(outcome);
+        }
+        searcher->next_wave();
+    }
+    EXPECT_GT(eager.stopped_trials(), 0u);
+    EXPECT_EQ(patient.stopped_trials(), 0u);
+}
+
+TEST(MedianStopping, ValidatesConfig) {
+    EXPECT_THROW(MedianStoppingSearch(tiny_space(), 1, 10, 2, 1), std::invalid_argument);
+    EXPECT_THROW(MedianStoppingSearch(tiny_space(), 4, 0, 2, 1), std::invalid_argument);
+    EXPECT_THROW(MedianStoppingSearch(tiny_space(), 4, 10, 0, 1), std::invalid_argument);
+}
+
+TEST(MedianStopping, SpendsFewerEpochsThanUnprunedEquivalent) {
+    // Against the real sim backend: median stopping must use strictly fewer
+    // epochs than running every trial to the full budget, while still finding
+    // a decent configuration.
+    sim::SimBackend backend({.seed = 60});
+    const auto& workload = workload::find_workload("lenet-mnist");
+    TuningJobRunner runner(backend, workload, {.parallel_slots = 4});
+    MedianStoppingSearch searcher(hyperband_hyperparameter_space(), 10, 12, 3, 60);
+    const auto result = runner.run(searcher);
+    EXPECT_LT(result.epochs, 10u * 12u);
+    EXPECT_GT(result.best_accuracy, 50.0);
+    EXPECT_GT(searcher.stopped_trials(), 0u);
+}
+
+}  // namespace
+}  // namespace pipetune::hpt

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/hpt/baselines.hpp"
+#include "pipetune/hpt/runner.hpp"
+#include "pipetune/hpt/searchers.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::hpt {
+namespace {
+
+const workload::Workload& lenet() { return workload::find_workload("lenet-mnist"); }
+
+TEST(Objective, AccuracyIsIdentity) {
+    EXPECT_DOUBLE_EQ(objective_score(Objective::kAccuracy, 90.0, 1000.0), 90.0);
+}
+
+TEST(Objective, RatioPenalizesDuration) {
+    const double fast = objective_score(Objective::kAccuracyPerTime, 80.0, 100.0);
+    const double slow = objective_score(Objective::kAccuracyPerTime, 80.0, 1000.0);
+    EXPECT_GT(fast, slow);
+}
+
+TEST(Runner, RandomSearchJobCompletes) {
+    sim::SimBackend backend({.seed = 1});
+    TuningJobRunner runner(backend, lenet(), {.parallel_slots = 2});
+    RandomSearch searcher(hyperband_hyperparameter_space(), 6, 4, 1);
+    const auto result = runner.run(searcher);
+    EXPECT_EQ(result.trials, 6u);
+    EXPECT_EQ(result.epochs, 24u);
+    EXPECT_GT(result.tuning_duration_s, 0.0);
+    EXPECT_GT(result.tuning_energy_j, 0.0);
+    EXPECT_GT(result.best_accuracy, 0.0);
+    EXPECT_EQ(result.convergence.size(), 6u);
+}
+
+TEST(Runner, ConvergenceTimesAreMonotoneInBestAccuracy) {
+    sim::SimBackend backend({.seed = 2});
+    TuningJobRunner runner(backend, lenet(), {.parallel_slots = 4});
+    RandomSearch searcher(hyperband_hyperparameter_space(), 10, 3, 2);
+    const auto result = runner.run(searcher);
+    double best = 0;
+    for (const auto& point : result.convergence) {
+        EXPECT_GE(point.best_accuracy, best);
+        best = point.best_accuracy;
+        EXPECT_GT(point.time_s, 0.0);
+        EXPECT_GT(point.trial_duration_s, 0.0);
+    }
+}
+
+TEST(Runner, ParallelSlotsShortenMakespan) {
+    auto run_with_slots = [&](std::size_t slots) {
+        sim::SimBackend backend({.seed = 3});
+        TuningJobRunner runner(backend, lenet(), {.parallel_slots = slots});
+        RandomSearch searcher(hyperband_hyperparameter_space(), 8, 4, 3);
+        return runner.run(searcher).tuning_duration_s;
+    };
+    EXPECT_LT(run_with_slots(4), run_with_slots(1));
+}
+
+TEST(Runner, HyperbandContinuationsResumeSessions) {
+    sim::SimBackend backend({.seed = 4});
+    TuningJobRunner runner(backend, lenet(), {.parallel_slots = 4});
+    HyperBand searcher(hyperband_hyperparameter_space(), 9, 3, 4);
+    const auto result = runner.run(searcher);
+    // With continuations, total epochs must be far below trials x 9 (restarts
+    // would re-run early epochs).
+    EXPECT_GT(result.trials, 0u);
+    EXPECT_GT(result.epochs, result.trials);  // rungs extend some trials
+    EXPECT_GT(result.best_accuracy, 30.0);
+}
+
+TEST(Runner, V2PointsCarrySystemParams) {
+    sim::SimBackend backend({.seed = 5});
+    RunnerConfig config;
+    config.objective = Objective::kAccuracyPerTime;
+    TuningJobRunner runner(backend, lenet(), config);
+    GridSearch searcher(system_parameter_space(), 1, 3);
+    const auto result = runner.run(searcher);
+    // Best point must include the system dimensions.
+    EXPECT_TRUE(result.best_point.count("cores"));
+    EXPECT_TRUE(result.best_point.count("memory_gb"));
+    // And the recorded best system matches the winning point.
+    const auto sp = to_systemparams(result.best_point, workload::default_system_params());
+    EXPECT_EQ(result.best_system, sp);
+}
+
+TEST(Runner, FinalTrainingRunsRequestedEpochs) {
+    sim::SimBackend backend({.seed = 6});
+    TuningJobRunner runner(backend, lenet(), {});
+    workload::HyperParams hp;
+    hp.epochs = 12;
+    hp.learning_rate = 0.02;
+    const auto final_run = runner.run_final_training(hp, workload::default_system_params());
+    EXPECT_GT(final_run.duration_s, 0.0);
+    EXPECT_GT(final_run.energy_j, 0.0);
+    EXPECT_GT(final_run.accuracy, 20.0);
+}
+
+TEST(Runner, RejectsZeroSlots) {
+    sim::SimBackend backend({.seed = 7});
+    EXPECT_THROW(TuningJobRunner(backend, lenet(), {.parallel_slots = 0}), std::invalid_argument);
+}
+
+TEST(Baselines, TuneV1OptimizesAccuracy) {
+    sim::SimBackend backend({.seed = 8});
+    HptJobConfig config;
+    config.seed = 8;
+    const auto v1 = run_tune_v1(backend, lenet(), config);
+    EXPECT_GT(v1.final_accuracy, 80.0);
+    EXPECT_GT(v1.tuning.tuning_duration_s, 0.0);
+    // V1 never searches system params: the final system is the default.
+    EXPECT_EQ(v1.final_system, config.default_system);
+}
+
+TEST(Baselines, TuneV2SearchesSystemParams) {
+    sim::SimBackend backend({.seed = 9});
+    HptJobConfig config;
+    config.seed = 9;
+    const auto v2 = run_tune_v2(backend, lenet(), config);
+    EXPECT_TRUE(v2.tuning.best_point.count("cores"));
+    EXPECT_GT(v2.final_accuracy, 0.0);
+}
+
+TEST(Baselines, ArbitraryNeedsNoTuning) {
+    sim::SimBackend backend({.seed = 10});
+    HptJobConfig config;
+    const auto arb = run_arbitrary(backend, lenet(), config);
+    EXPECT_DOUBLE_EQ(arb.tuning.tuning_duration_s, 0.0);
+    EXPECT_GT(arb.training_time_s, 0.0);
+    EXPECT_GT(arb.final_accuracy, 0.0);
+}
+
+TEST(Baselines, V1BeatsArbitraryAccuracy) {
+    sim::SimBackend backend({.seed = 11});
+    HptJobConfig config;
+    config.seed = 11;
+    const auto arb = run_arbitrary(backend, lenet(), config);
+    const auto v1 = run_tune_v1(backend, lenet(), config);
+    EXPECT_GT(v1.final_accuracy, arb.final_accuracy);
+}
+
+}  // namespace
+}  // namespace pipetune::hpt

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "pipetune/hpt/searchers.hpp"
+
+namespace pipetune::hpt {
+namespace {
+
+ParamSpace tiny_space() {
+    ParamSpace space;
+    space.add_discrete("x", {0, 1, 2, 3});
+    space.add_continuous("y", 0.0, 1.0);
+    return space;
+}
+
+// Drives a searcher against a synthetic objective, returning (best point seen,
+// trials issued, waves). The objective rewards x == 2 and small y.
+struct DriveResult {
+    ParamPoint best;
+    double best_score = -1e300;
+    std::size_t requests = 0;
+    std::size_t waves = 0;
+};
+
+DriveResult drive(Searcher& searcher, std::size_t max_waves = 200) {
+    DriveResult result;
+    std::map<std::uint64_t, std::size_t> epochs_done;
+    for (std::size_t wave = 0; wave < max_waves; ++wave) {
+        const auto requests = searcher.next_wave();
+        if (requests.empty()) break;
+        ++result.waves;
+        for (const auto& request : requests) {
+            ++result.requests;
+            epochs_done[request.config_id] = request.target_epochs;
+            TrialOutcome outcome;
+            outcome.config_id = request.config_id;
+            outcome.point = request.point;
+            outcome.epochs_done = request.target_epochs;
+            const double quality =
+                (request.point.at("x") == 2 ? 1.0 : 0.0) + (1.0 - request.point.at("y"));
+            // Accuracy saturates with epochs so longer budgets help.
+            outcome.best_accuracy =
+                50.0 * quality * (1 - std::exp(-0.3 * static_cast<double>(request.target_epochs)));
+            outcome.last_accuracy = outcome.best_accuracy;
+            outcome.score = outcome.best_accuracy;
+            outcome.duration_s = static_cast<double>(request.target_epochs);
+            outcome.total_duration_s = outcome.duration_s;
+            if (outcome.score > result.best_score) {
+                result.best_score = outcome.score;
+                result.best = outcome.point;
+            }
+            searcher.report(outcome);
+        }
+    }
+    return result;
+}
+
+TEST(GridSearch, EnumeratesFullCartesianGridOnce) {
+    GridSearch grid(tiny_space(), 3, 5);
+    const auto wave = grid.next_wave();
+    EXPECT_EQ(wave.size(), 12u);  // 4 discrete x 3 grid points
+    EXPECT_TRUE(grid.next_wave().empty());
+}
+
+TEST(GridSearch, UsesPointEpochsWhenPresent) {
+    ParamSpace space;
+    space.add_discrete("epochs", {10, 20});
+    GridSearch grid(space, 1, 99);
+    for (const auto& request : grid.next_wave())
+        EXPECT_EQ(request.target_epochs,
+                  static_cast<std::size_t>(request.point.at("epochs")));
+}
+
+TEST(RandomSearch, IssuesRequestedTrials) {
+    RandomSearch random(tiny_space(), 17, 5, 1);
+    const auto wave = random.next_wave();
+    EXPECT_EQ(wave.size(), 17u);
+    EXPECT_TRUE(random.next_wave().empty());
+    std::set<std::uint64_t> ids;
+    for (const auto& request : wave) ids.insert(request.config_id);
+    EXPECT_EQ(ids.size(), 17u);
+}
+
+TEST(HyperBand, ScheduleFollowsSuccessiveHalving) {
+    HyperBand hb(tiny_space(), 27, 3, 1);
+    const auto& schedule = hb.schedule();
+    ASSERT_FALSE(schedule.empty());
+    // First bracket (s=3): epochs 1 -> 3 -> 9 -> 27, configs shrinking ~3x.
+    EXPECT_EQ(schedule[0].epochs, 1u);
+    EXPECT_EQ(schedule[1].epochs, 3u);
+    EXPECT_EQ(schedule[2].epochs, 9u);
+    EXPECT_EQ(schedule[3].epochs, 27u);
+    EXPECT_GT(schedule[0].configs, schedule[1].configs);
+    EXPECT_GT(schedule[1].configs, schedule[2].configs);
+    // Last bracket (s=0) runs everything at full resource.
+    EXPECT_EQ(schedule.back().epochs, 27u);
+}
+
+TEST(HyperBand, PromotesBestConfigsBetweenRungs) {
+    HyperBand hb(tiny_space(), 9, 3, 2);
+    const auto rung0 = hb.next_wave();
+    ASSERT_GT(rung0.size(), 2u);
+    // Give config 1 the best score, others zero.
+    for (const auto& request : rung0) {
+        TrialOutcome outcome;
+        outcome.config_id = request.config_id;
+        outcome.point = request.point;
+        outcome.epochs_done = request.target_epochs;
+        outcome.score = request.config_id == rung0[1].config_id ? 99.0 : 1.0;
+        hb.report(outcome);
+    }
+    const auto rung1 = hb.next_wave();
+    ASSERT_FALSE(rung1.empty());
+    bool winner_promoted = false;
+    for (const auto& request : rung1)
+        if (request.config_id == rung0[1].config_id) winner_promoted = true;
+    EXPECT_TRUE(winner_promoted);
+    EXPECT_LT(rung1.size(), rung0.size());
+    // Continuations: epochs grow cumulatively.
+    EXPECT_GT(rung1[0].target_epochs, rung0[0].target_epochs);
+}
+
+TEST(HyperBand, CohortScaleMultipliesConfigs) {
+    HyperBand base(tiny_space(), 9, 3, 3, 1.0);
+    HyperBand scaled(tiny_space(), 9, 3, 3, 2.0);
+    EXPECT_GT(scaled.schedule()[0].configs, base.schedule()[0].configs);
+}
+
+TEST(HyperBand, FindsGoodConfiguration) {
+    HyperBand hb(tiny_space(), 27, 3, 4);
+    const auto result = drive(hb);
+    EXPECT_DOUBLE_EQ(result.best.at("x"), 2.0);
+    EXPECT_LT(result.best.at("y"), 0.5);
+}
+
+TEST(HyperBand, ValidatesConfig) {
+    EXPECT_THROW(HyperBand(tiny_space(), 0, 3, 1), std::invalid_argument);
+    EXPECT_THROW(HyperBand(tiny_space(), 27, 1, 1), std::invalid_argument);
+    EXPECT_THROW(HyperBand(tiny_space(), 27, 3, 1, 0.0), std::invalid_argument);
+}
+
+TEST(TpeSearch, IssuesOneTrialPerWaveUntilBudget) {
+    TpeSearch tpe(tiny_space(), 10, 5, 5);
+    const auto result = drive(tpe);
+    EXPECT_EQ(result.requests, 10u);
+    EXPECT_EQ(result.waves, 10u);
+}
+
+TEST(TpeSearch, ConcentratesOnGoodRegion) {
+    TpeSearch tpe(tiny_space(), 60, 5, 6, /*warmup=*/10);
+    DriveResult result = drive(tpe);
+    EXPECT_DOUBLE_EQ(result.best.at("x"), 2.0);
+    EXPECT_LT(result.best.at("y"), 0.4);
+}
+
+TEST(TpeSearch, BeatsRandomOnAverage) {
+    // Same budget; TPE's best score should match or beat random search's.
+    double tpe_total = 0, random_total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        TpeSearch tpe(tiny_space(), 40, 5, seed, 8);
+        RandomSearch random(tiny_space(), 40, 5, seed);
+        tpe_total += drive(tpe).best_score;
+        random_total += drive(random).best_score;
+    }
+    EXPECT_GE(tpe_total, random_total * 0.95);
+}
+
+TEST(GeneticSearch, RunsRequestedGenerations) {
+    GeneticSearch genetic(tiny_space(), 8, 5, 5, 7);
+    const auto result = drive(genetic);
+    EXPECT_EQ(result.waves, 5u);
+    EXPECT_EQ(result.requests, 40u);
+}
+
+TEST(GeneticSearch, ImprovesAcrossGenerations) {
+    GeneticSearch genetic(tiny_space(), 12, 8, 5, 8, 0.15);
+    const auto result = drive(genetic);
+    EXPECT_DOUBLE_EQ(result.best.at("x"), 2.0);
+}
+
+TEST(GeneticSearch, ValidatesConfig) {
+    EXPECT_THROW(GeneticSearch(tiny_space(), 1, 5, 5, 1), std::invalid_argument);
+    EXPECT_THROW(GeneticSearch(tiny_space(), 4, 0, 5, 1), std::invalid_argument);
+    EXPECT_THROW(GeneticSearch(tiny_space(), 4, 5, 5, 1, 1.5), std::invalid_argument);
+}
+
+TEST(PbtSearch, PopulationTrainsInIntervals) {
+    PbtSearch pbt(tiny_space(), 6, 12, 4, 9);
+    const auto wave1 = pbt.next_wave();
+    EXPECT_EQ(wave1.size(), 6u);
+    for (const auto& request : wave1) EXPECT_EQ(request.target_epochs, 4u);
+}
+
+TEST(PbtSearch, RunsToTotalEpochsAndStops) {
+    PbtSearch pbt(tiny_space(), 4, 12, 4, 10);
+    const auto result = drive(pbt);
+    EXPECT_GE(result.waves, 3u);  // at least total/interval waves
+    EXPECT_LE(result.waves, 12u);
+}
+
+TEST(PbtSearch, ReplacesBottomQuantile) {
+    PbtSearch pbt(tiny_space(), 8, 100, 2, 11, 0.25);
+    auto wave = pbt.next_wave();
+    std::set<std::uint64_t> original_ids;
+    for (const auto& request : wave) original_ids.insert(request.config_id);
+    for (const auto& request : wave) {
+        TrialOutcome outcome;
+        outcome.config_id = request.config_id;
+        outcome.point = request.point;
+        outcome.epochs_done = request.target_epochs;
+        outcome.score = static_cast<double>(request.config_id);  // higher id = better
+        pbt.report(outcome);
+    }
+    const auto wave2 = pbt.next_wave();
+    std::size_t fresh = 0;
+    for (const auto& request : wave2)
+        if (!original_ids.count(request.config_id)) ++fresh;
+    EXPECT_EQ(fresh, 2u);  // 25% of 8
+}
+
+TEST(PbtSearch, ValidatesConfig) {
+    EXPECT_THROW(PbtSearch(tiny_space(), 1, 10, 2, 1), std::invalid_argument);
+    EXPECT_THROW(PbtSearch(tiny_space(), 4, 0, 2, 1), std::invalid_argument);
+    EXPECT_THROW(PbtSearch(tiny_space(), 4, 10, 2, 1, 0.7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::hpt

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipetune/hpt/space.hpp"
+
+namespace pipetune::hpt {
+namespace {
+
+TEST(ParamDomain, DiscreteSamplesFromValues) {
+    ParamDomain domain;
+    domain.name = "batch";
+    domain.kind = ParamDomain::Kind::kDiscrete;
+    domain.values = {32, 64, 128};
+    util::Rng rng(1);
+    std::set<double> seen;
+    for (int i = 0; i < 200; ++i) seen.insert(domain.sample(rng));
+    EXPECT_EQ(seen, (std::set<double>{32, 64, 128}));
+}
+
+TEST(ParamDomain, ContinuousSamplesInRange) {
+    ParamDomain domain;
+    domain.kind = ParamDomain::Kind::kContinuous;
+    domain.lo = 0.1;
+    domain.hi = 0.5;
+    util::Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const double v = domain.sample(rng);
+        EXPECT_GE(v, 0.1);
+        EXPECT_LE(v, 0.5);
+    }
+}
+
+TEST(ParamDomain, LogContinuousCoversDecades) {
+    ParamDomain domain;
+    domain.kind = ParamDomain::Kind::kLogContinuous;
+    domain.lo = 0.001;
+    domain.hi = 0.1;
+    util::Rng rng(3);
+    int low_decade = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (domain.sample(rng) < 0.01) ++low_decade;
+    // log-uniform: half the mass below the geometric midpoint 0.01.
+    EXPECT_NEAR(low_decade / 1000.0, 0.5, 0.06);
+}
+
+TEST(ParamDomain, GridValuesSpacing) {
+    ParamDomain domain;
+    domain.kind = ParamDomain::Kind::kContinuous;
+    domain.lo = 0.0;
+    domain.hi = 1.0;
+    const auto grid = domain.grid_values(5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+    EXPECT_DOUBLE_EQ(grid[2], 0.5);
+    EXPECT_DOUBLE_EQ(domain.grid_values(1)[0], 0.5);
+}
+
+TEST(ParamDomain, ClampSnapsDiscreteToNearest) {
+    ParamDomain domain;
+    domain.kind = ParamDomain::Kind::kDiscrete;
+    domain.values = {32, 64, 128};
+    EXPECT_DOUBLE_EQ(domain.clamp(70), 64);
+    EXPECT_DOUBLE_EQ(domain.clamp(1000), 128);
+    ParamDomain cont;
+    cont.kind = ParamDomain::Kind::kContinuous;
+    cont.lo = 0.0;
+    cont.hi = 0.5;
+    EXPECT_DOUBLE_EQ(cont.clamp(0.7), 0.5);
+}
+
+TEST(ParamSpace, GridIsCartesianProduct) {
+    ParamSpace space;
+    space.add_discrete("a", {1, 2}).add_discrete("b", {10, 20, 30});
+    const auto grid = space.grid(1);
+    EXPECT_EQ(grid.size(), 6u);
+    std::set<std::pair<double, double>> combos;
+    for (const auto& point : grid) combos.insert({point.at("a"), point.at("b")});
+    EXPECT_EQ(combos.size(), 6u);
+}
+
+TEST(ParamSpace, RejectsDuplicatesAndBadDomains) {
+    ParamSpace space;
+    space.add_discrete("a", {1});
+    EXPECT_THROW(space.add_discrete("a", {2}), std::invalid_argument);
+    EXPECT_THROW(space.add_discrete("b", {}), std::invalid_argument);
+    EXPECT_THROW(space.add_continuous("c", 1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(space.add_continuous("d", -1.0, 1.0, /*log_scale=*/true), std::invalid_argument);
+}
+
+TEST(ParamSpace, PrefixTakesLeadingDimensions) {
+    const ParamSpace space = hyperparameter_space();
+    const ParamSpace two = space.prefix(2);
+    EXPECT_EQ(two.size(), 2u);
+    EXPECT_TRUE(two.has("batch_size"));
+    EXPECT_TRUE(two.has("dropout"));
+    EXPECT_FALSE(two.has("learning_rate"));
+    EXPECT_THROW(space.prefix(99), std::invalid_argument);
+}
+
+TEST(ParamSpace, PaperSpacesHaveExpectedDimensions) {
+    EXPECT_EQ(hyperparameter_space().size(), 5u);
+    EXPECT_EQ(hyperband_hyperparameter_space().size(), 4u);
+    EXPECT_EQ(system_parameter_space().size(), 2u);
+    EXPECT_EQ(combined_space().size(), 6u);
+    // Paper ranges (§7.1.3/§7.1.4).
+    const auto& lr = hyperparameter_space().domain("learning_rate");
+    EXPECT_DOUBLE_EQ(lr.lo, 0.001);
+    EXPECT_DOUBLE_EQ(lr.hi, 0.1);
+    EXPECT_EQ(lr.kind, ParamDomain::Kind::kLogContinuous);
+    const auto& cores = system_parameter_space().domain("cores");
+    EXPECT_EQ(cores.values, (std::vector<double>{4, 8, 16}));
+}
+
+TEST(Conversions, RoundTripThroughParamPoint) {
+    ParamPoint point{{"batch_size", 256}, {"dropout", 0.3}, {"embedding_dim", 200},
+                     {"learning_rate", 0.05}, {"epochs", 50}};
+    const auto hp = to_hyperparams(point);
+    EXPECT_EQ(hp.batch_size, 256u);
+    EXPECT_DOUBLE_EQ(hp.dropout, 0.3);
+    EXPECT_EQ(hp.embedding_dim, 200u);
+    EXPECT_DOUBLE_EQ(hp.learning_rate, 0.05);
+    EXPECT_EQ(hp.epochs, 50u);
+}
+
+TEST(Conversions, MissingKeysFallBackToDefaults) {
+    workload::HyperParams defaults;
+    defaults.epochs = 77;
+    const auto hp = to_hyperparams(ParamPoint{{"batch_size", 128}}, defaults);
+    EXPECT_EQ(hp.batch_size, 128u);
+    EXPECT_EQ(hp.epochs, 77u);
+
+    const auto sp = to_systemparams(ParamPoint{}, {.cores = 8, .memory_gb = 16});
+    EXPECT_EQ(sp.cores, 8u);
+    const auto sp2 = to_systemparams(ParamPoint{{"cores", 16}}, {.cores = 8, .memory_gb = 16});
+    EXPECT_EQ(sp2.cores, 16u);
+    EXPECT_EQ(sp2.memory_gb, 16u);
+}
+
+TEST(Conversions, PointToStringIsReadable) {
+    const std::string text = point_to_string({{"a", 1.5}, {"b", 2}});
+    EXPECT_NE(text.find("a=1.5"), std::string::npos);
+    EXPECT_NE(text.find("b=2"), std::string::npos);
+}
+
+TEST(ParamSpace, SampleIsDeterministicGivenSeed) {
+    const ParamSpace space = hyperparameter_space();
+    util::Rng a(5), b(5);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(space.sample(a), space.sample(b));
+}
+
+}  // namespace
+}  // namespace pipetune::hpt

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pipetune/metricsdb/tsdb.hpp"
+
+namespace pipetune::metricsdb {
+namespace {
+
+TimeSeriesDb sample_db() {
+    TimeSeriesDb db;
+    db.append("epoch_duration", 0.0, 42.0, {{"workload", "lenet-mnist"}, {"trial", "1"}});
+    db.append("epoch_duration", 1.0, 40.0, {{"workload", "lenet-mnist"}, {"trial", "1"}});
+    db.append("epoch_duration", 2.0, 55.0, {{"workload", "cnn-news20"}, {"trial", "2"}});
+    db.append("energy", 0.5, 9000.0, {{"workload", "lenet-mnist"}});
+    return db;
+}
+
+TEST(TimeSeriesDb, AppendAndSelectBySeries) {
+    const auto db = sample_db();
+    EXPECT_EQ(db.select({.series = "epoch_duration"}).size(), 3u);
+    EXPECT_EQ(db.select({.series = "energy"}).size(), 1u);
+    EXPECT_TRUE(db.select({.series = "missing"}).empty());
+}
+
+TEST(TimeSeriesDb, TagFiltering) {
+    const auto db = sample_db();
+    Query query{.series = "epoch_duration", .tags = {{"workload", "lenet-mnist"}}};
+    EXPECT_EQ(db.select(query).size(), 2u);
+    query.tags["trial"] = "2";
+    EXPECT_TRUE(db.select(query).empty());
+}
+
+TEST(TimeSeriesDb, TimeRangeFiltering) {
+    const auto db = sample_db();
+    Query query{.series = "epoch_duration"};
+    query.from = 1.0;
+    EXPECT_EQ(db.select(query).size(), 2u);
+    query.to = 1.0;
+    EXPECT_EQ(db.select(query).size(), 1u);
+    EXPECT_DOUBLE_EQ(db.select(query)[0].value, 40.0);
+}
+
+TEST(TimeSeriesDb, Aggregates) {
+    const auto db = sample_db();
+    Query lenet{.series = "epoch_duration", .tags = {{"workload", "lenet-mnist"}}};
+    EXPECT_DOUBLE_EQ(*db.mean(lenet), 41.0);
+    EXPECT_DOUBLE_EQ(*db.last(lenet), 40.0);
+    EXPECT_EQ(db.count(lenet), 2u);
+    EXPECT_FALSE(db.mean({.series = "missing"}).has_value());
+}
+
+TEST(TimeSeriesDb, RejectsEmptySeriesAndTimeRegression) {
+    TimeSeriesDb db;
+    EXPECT_THROW(db.append("", 0.0, 1.0), std::invalid_argument);
+    db.append("s", 5.0, 1.0);
+    EXPECT_THROW(db.append("s", 4.0, 1.0), std::invalid_argument);
+    db.append("s", 5.0, 2.0);  // equal timestamps allowed
+}
+
+TEST(TimeSeriesDb, SeriesNamesAndTotals) {
+    const auto db = sample_db();
+    const auto names = db.series_names();
+    EXPECT_EQ(names.size(), 2u);
+    EXPECT_EQ(db.total_points(), 4u);
+}
+
+TEST(TimeSeriesDb, ClearEmptiesEverything) {
+    auto db = sample_db();
+    db.clear();
+    EXPECT_EQ(db.total_points(), 0u);
+    EXPECT_TRUE(db.series_names().empty());
+}
+
+TEST(TimeSeriesDb, JsonRoundTrip) {
+    const auto db = sample_db();
+    const auto restored = TimeSeriesDb::from_json(db.to_json());
+    EXPECT_EQ(restored.total_points(), db.total_points());
+    Query query{.series = "epoch_duration", .tags = {{"workload", "cnn-news20"}}};
+    EXPECT_DOUBLE_EQ(*restored.last(query), 55.0);
+}
+
+TEST(TimeSeriesDb, FileRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_tsdb_test.json";
+    sample_db().save(path.string());
+    const auto restored = TimeSeriesDb::load(path.string());
+    EXPECT_EQ(restored.total_points(), 4u);
+    std::filesystem::remove(path);
+}
+
+TEST(TimeSeriesDb, UntaggedPointsMatchEmptyFilter) {
+    TimeSeriesDb db;
+    db.append("s", 0.0, 1.0);
+    EXPECT_EQ(db.select({.series = "s"}).size(), 1u);
+    EXPECT_TRUE(db.select({.series = "s", .tags = {{"k", "v"}}}).empty());
+}
+
+}  // namespace
+}  // namespace pipetune::metricsdb

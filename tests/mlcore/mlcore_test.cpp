@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/mlcore/kmeans.hpp"
+#include "pipetune/mlcore/similarity.hpp"
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::mlcore {
+namespace {
+
+// Two well-separated gaussian blobs.
+std::vector<std::vector<double>> two_blobs(std::size_t per_blob, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < per_blob; ++i)
+        rows.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    for (std::size_t i = 0; i < per_blob; ++i)
+        rows.push_back({rng.normal(10.0, 0.5), rng.normal(10.0, 0.5)});
+    return rows;
+}
+
+TEST(KMeans, RecoversTwoBlobs) {
+    KMeans kmeans({.k = 2, .max_iterations = 100, .tolerance = 1e-9, .seed = 1});
+    const auto rows = two_blobs(20, 1);
+    const auto result = kmeans.fit(rows);
+    // All first-blob points share a label, all second-blob points the other.
+    for (std::size_t i = 1; i < 20; ++i) EXPECT_EQ(result.assignments[i], result.assignments[0]);
+    for (std::size_t i = 21; i < 40; ++i) EXPECT_EQ(result.assignments[i], result.assignments[20]);
+    EXPECT_NE(result.assignments[0], result.assignments[20]);
+}
+
+TEST(KMeans, InertiaIsSumOfSquaredDistances) {
+    KMeans kmeans({.k = 1, .max_iterations = 10, .tolerance = 1e-12, .seed = 1});
+    const std::vector<std::vector<double>> rows{{0.0}, {2.0}};
+    const auto result = kmeans.fit(rows);
+    // Single centroid converges to the mean (1.0); inertia = 1 + 1.
+    EXPECT_NEAR(result.centroids[0][0], 1.0, 1e-9);
+    EXPECT_NEAR(result.inertia, 2.0, 1e-9);
+}
+
+TEST(KMeans, PredictAssignsNearestCentroid) {
+    KMeans kmeans({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 2});
+    kmeans.fit(two_blobs(15, 2));
+    const auto near_first = kmeans.predict({0.2, -0.1});
+    const auto near_second = kmeans.predict({9.8, 10.3});
+    EXPECT_NE(near_first, near_second);
+}
+
+TEST(KMeans, DistanceToNearestIsEuclidean) {
+    KMeans kmeans({.k = 1, .max_iterations = 10, .tolerance = 1e-12, .seed = 1});
+    kmeans.fit({{0.0, 0.0}, {0.0, 0.0}});
+    EXPECT_NEAR(kmeans.distance_to_nearest({3.0, 4.0}), 5.0, 1e-9);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+    const auto rows = two_blobs(10, 3);
+    KMeans a({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 9});
+    KMeans b({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 9});
+    const auto ra = a.fit(rows);
+    const auto rb = b.fit(rows);
+    EXPECT_EQ(ra.assignments, rb.assignments);
+    EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+}
+
+TEST(KMeans, HandlesKEqualsN) {
+    KMeans kmeans({.k = 3, .max_iterations = 20, .tolerance = 1e-9, .seed = 4});
+    const auto result = kmeans.fit({{0.0}, {5.0}, {10.0}});
+    EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, ValidatesInputs) {
+    KMeans kmeans({.k = 3, .max_iterations = 10, .tolerance = 1e-9, .seed = 1});
+    EXPECT_THROW(kmeans.fit({{1.0}, {2.0}}), std::invalid_argument);  // fewer rows than k
+    EXPECT_THROW(kmeans.fit({{1.0}, {2.0, 3.0}, {4.0}}), std::invalid_argument);  // ragged
+    EXPECT_THROW(kmeans.predict({1.0}), std::runtime_error);  // before fit
+    EXPECT_THROW(KMeans({.k = 0, .max_iterations = 1, .tolerance = 0, .seed = 1}),
+                 std::invalid_argument);
+}
+
+TEST(KMeans, JsonRoundTrip) {
+    KMeans kmeans({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 5});
+    kmeans.fit(two_blobs(10, 5));
+    const KMeans restored = KMeans::from_json(kmeans.to_json());
+    EXPECT_EQ(restored.centroids().size(), 2u);
+    EXPECT_EQ(restored.predict({0.0, 0.0}), kmeans.predict({0.0, 0.0}));
+    EXPECT_NEAR(restored.mean_inertia_per_sample(), kmeans.mean_inertia_per_sample(), 1e-9);
+}
+
+TEST(KMeansSimilarity, HighScoreForInDistributionQuery) {
+    KMeansSimilarity similarity({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 6});
+    similarity.fit(two_blobs(20, 6));
+    const auto match = similarity.match({0.1, 0.1});
+    ASSERT_TRUE(match.has_value());
+    EXPECT_GT(match->score, 0.3);
+}
+
+TEST(KMeansSimilarity, LowScoreForOutlier) {
+    KMeansSimilarity similarity({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 7});
+    similarity.fit(two_blobs(20, 7));
+    const auto inlier = similarity.match({0.0, 0.0});
+    const auto outlier = similarity.match({500.0, -500.0});
+    ASSERT_TRUE(inlier && outlier);
+    EXPECT_GT(inlier->score, outlier->score);
+    EXPECT_LT(outlier->score, 0.01);
+}
+
+TEST(KMeansSimilarity, UnfittedReturnsNullopt) {
+    KMeansSimilarity similarity;
+    EXPECT_FALSE(similarity.match({1.0, 2.0}).has_value());
+    EXPECT_FALSE(similarity.fitted());
+}
+
+TEST(KMeansSimilarity, DegenerateTrainingSetStillAcceptsCloseQueries) {
+    // All training points identical: the inertia floor must keep the score
+    // well-defined and high for an identical query.
+    KMeansSimilarity similarity({.k = 1, .max_iterations = 10, .tolerance = 1e-9, .seed = 8});
+    similarity.fit({{5.0, 5.0}, {5.0, 5.0}, {5.0, 5.0}});
+    const auto match = similarity.match({5.0, 5.0});
+    ASSERT_TRUE(match.has_value());
+    EXPECT_GT(match->score, 0.9);
+}
+
+TEST(KMeansSimilarity, ClusterIdsAreStable) {
+    KMeansSimilarity similarity({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 9});
+    similarity.fit(two_blobs(15, 9));
+    const auto a = similarity.match({0.0, 0.0});
+    const auto b = similarity.match({0.3, -0.2});
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->cluster, b->cluster);
+}
+
+TEST(KMeansSimilarity, JsonRoundTripPreservesMatching) {
+    KMeansSimilarity similarity({.k = 2, .max_iterations = 50, .tolerance = 1e-9, .seed = 10});
+    similarity.fit(two_blobs(15, 10));
+    const auto restored = KMeansSimilarity::from_json(similarity.to_json());
+    const std::vector<double> query{0.5, 0.5};
+    const auto original_match = similarity.match(query);
+    const auto restored_match = restored.match(query);
+    ASSERT_TRUE(original_match && restored_match);
+    EXPECT_EQ(original_match->cluster, restored_match->cluster);
+    EXPECT_NEAR(original_match->score, restored_match->score, 0.05);
+}
+
+TEST(NearestNeighborSimilarity, ExactMatchScoresOne) {
+    NearestNeighborSimilarity similarity(1.0);
+    similarity.fit({{1.0, 2.0}, {3.0, 4.0}});
+    const auto match = similarity.match({1.0, 2.0});
+    ASSERT_TRUE(match.has_value());
+    EXPECT_NEAR(match->score, 1.0, 1e-9);
+    EXPECT_EQ(match->cluster, 0u);
+}
+
+TEST(NearestNeighborSimilarity, ScoreDecaysWithDistance) {
+    NearestNeighborSimilarity similarity(1.0);
+    similarity.fit({{0.0}, {100.0}});
+    const auto close = similarity.match({1.0});
+    const auto far = similarity.match({50.0});
+    ASSERT_TRUE(close && far);
+    EXPECT_GT(close->score, far->score);
+}
+
+TEST(NearestNeighborSimilarity, ValidatesConfig) {
+    EXPECT_THROW(NearestNeighborSimilarity(0.0), std::invalid_argument);
+    NearestNeighborSimilarity similarity(1.0);
+    EXPECT_THROW(similarity.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::mlcore

@@ -1,0 +1,125 @@
+// Tests for BatchNorm1d.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/nn/batchnorm.hpp"
+#include "pipetune/nn/basic_layers.hpp"
+
+namespace pipetune::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(BatchNorm, TrainingOutputIsNormalizedPerFeature) {
+    BatchNorm1d bn(2);
+    Tensor x({4, 2}, std::vector<float>{1, 10, 2, 20, 3, 30, 4, 40});
+    Tensor y = bn.forward(x, /*training=*/true);
+    for (std::size_t j = 0; j < 2; ++j) {
+        float mean = 0, var = 0;
+        for (std::size_t i = 0; i < 4; ++i) mean += y(i, j);
+        mean /= 4;
+        for (std::size_t i = 0; i < 4; ++i) var += (y(i, j) - mean) * (y(i, j) - mean);
+        var /= 4;
+        EXPECT_NEAR(mean, 0.0f, 1e-5f);
+        EXPECT_NEAR(var, 1.0f, 1e-3f);
+    }
+}
+
+TEST(BatchNorm, AffineParametersScaleAndShift) {
+    BatchNorm1d bn(1);
+    (*bn.params()[0])[0] = 3.0f;  // gamma
+    (*bn.params()[1])[0] = 5.0f;  // beta
+    Tensor x({2, 1}, std::vector<float>{-1, 1});
+    Tensor y = bn.forward(x, true);
+    // x_hat = {-1, 1}; y = 3*x_hat + 5.
+    EXPECT_NEAR(y(0, 0), 2.0f, 1e-3f);
+    EXPECT_NEAR(y(1, 0), 8.0f, 1e-3f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStatistics) {
+    BatchNorm1d bn(1, /*momentum=*/1.0);  // running stats = last batch stats
+    Tensor x({4, 1}, std::vector<float>{2, 4, 6, 8});  // mean 5, var 5
+    bn.forward(x, true);
+    EXPECT_NEAR(bn.running_mean()[0], 5.0f, 1e-5f);
+    EXPECT_NEAR(bn.running_var()[0], 5.0f, 1e-4f);
+    // Eval mode on a different input normalizes by the running stats.
+    Tensor probe({1, 1}, std::vector<float>{5});
+    EXPECT_NEAR(bn.forward(probe, false)(0, 0), 0.0f, 1e-4f);
+}
+
+TEST(BatchNorm, RunningStatsConvergeWithSmallMomentum) {
+    BatchNorm1d bn(1, 0.5);
+    Tensor x({2, 1}, std::vector<float>{0, 10});  // mean 5 every batch
+    for (int i = 0; i < 20; ++i) bn.forward(x, true);
+    EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.01f);
+}
+
+TEST(BatchNorm, InputGradientMatchesFiniteDifference) {
+    BatchNorm1d bn(3);
+    util::Rng rng(1);
+    Tensor x = Tensor::uniform({5, 3}, rng, -2.0f, 2.0f);
+    bn.zero_grad();
+    Tensor y = bn.forward(x, true);
+    Tensor ones(y.shape(), std::vector<float>(y.numel(), 1.0f));
+    // Loss sum(y) has zero input-gradient through the normalization (adding a
+    // constant to a feature shifts its batch mean identically) — use a
+    // quadratic loss instead: L = sum(y^2)/2, dL/dy = y.
+    Tensor analytic = bn.backward(y);
+    const float eps = 1e-2f;
+    BatchNorm1d probe_bn(3);
+    auto loss = [&](const Tensor& t) {
+        BatchNorm1d fresh(3);
+        Tensor out = fresh.forward(t, true);
+        float acc = 0;
+        for (std::size_t i = 0; i < out.numel(); ++i) acc += out[i] * out[i];
+        return acc / 2;
+    };
+    for (std::size_t i = 0; i < x.numel(); i += 2) {
+        const float saved = x[i];
+        x[i] = saved + eps;
+        const float up = loss(x);
+        x[i] = saved - eps;
+        const float down = loss(x);
+        x[i] = saved;
+        EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 5e-2f) << i;
+    }
+}
+
+TEST(BatchNorm, ParamGradientsAccumulate) {
+    BatchNorm1d bn(2);
+    util::Rng rng(2);
+    Tensor x = Tensor::uniform({4, 2}, rng);
+    bn.zero_grad();
+    Tensor y = bn.forward(x, true);
+    Tensor ones(y.shape(), std::vector<float>(y.numel(), 1.0f));
+    bn.backward(ones);
+    // d/dbeta sum(y) = batch size per feature.
+    EXPECT_NEAR((*bn.grads()[1])[0], 4.0f, 1e-4f);
+    bn.forward(x, true);
+    bn.backward(ones);
+    EXPECT_NEAR((*bn.grads()[1])[0], 8.0f, 1e-4f);
+}
+
+TEST(BatchNorm, Validates) {
+    EXPECT_THROW(BatchNorm1d(0), std::invalid_argument);
+    EXPECT_THROW(BatchNorm1d(2, 0.0), std::invalid_argument);
+    EXPECT_THROW(BatchNorm1d(2, 0.1, 0.0), std::invalid_argument);
+    BatchNorm1d bn(2);
+    EXPECT_THROW(bn.forward(Tensor({1, 2}), true), std::invalid_argument);  // batch 1
+    EXPECT_THROW(bn.forward(Tensor({4, 3}), true), std::invalid_argument);  // wrong width
+}
+
+TEST(BatchNorm, CloneCarriesRunningStats) {
+    BatchNorm1d bn(1, 1.0);
+    Tensor x({2, 1}, std::vector<float>{0, 10});
+    bn.forward(x, true);
+    auto copy = bn.clone();
+    auto* bn_copy = dynamic_cast<BatchNorm1d*>(copy.get());
+    ASSERT_NE(bn_copy, nullptr);
+    EXPECT_FLOAT_EQ(bn_copy->running_mean()[0], bn.running_mean()[0]);
+}
+
+}  // namespace
+}  // namespace pipetune::nn

@@ -1,0 +1,77 @@
+// Tests for gradient clipping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/nn/basic_layers.hpp"
+#include "pipetune/nn/optimizer.hpp"
+
+namespace pipetune::nn {
+namespace {
+
+Sequential two_param_model(util::Rng& rng) {
+    Sequential model;
+    model.emplace<Dense>(1, 2, rng);
+    return model;
+}
+
+TEST(ClipGradients, ReturnsNormAndLeavesSmallGradientsAlone) {
+    util::Rng rng(1);
+    Sequential model = two_param_model(rng);
+    (*model.grads()[0])[0] = 3.0f;
+    (*model.grads()[0])[1] = 4.0f;  // norm 5
+    const double norm = clip_gradients(model, 10.0);
+    EXPECT_NEAR(norm, 5.0, 1e-6);
+    EXPECT_FLOAT_EQ((*model.grads()[0])[0], 3.0f);  // unchanged
+}
+
+TEST(ClipGradients, ScalesDownLargeGradients) {
+    util::Rng rng(2);
+    Sequential model = two_param_model(rng);
+    (*model.grads()[0])[0] = 30.0f;
+    (*model.grads()[0])[1] = 40.0f;  // norm 50
+    clip_gradients(model, 5.0);
+    const float g0 = (*model.grads()[0])[0];
+    const float g1 = (*model.grads()[0])[1];
+    EXPECT_NEAR(std::sqrt(g0 * g0 + g1 * g1), 5.0f, 1e-4f);
+    EXPECT_NEAR(g0 / g1, 0.75f, 1e-5f);  // direction preserved
+}
+
+TEST(ClipGradients, ZeroMaxNormDisables) {
+    util::Rng rng(3);
+    Sequential model = two_param_model(rng);
+    (*model.grads()[0])[0] = 1000.0f;
+    clip_gradients(model, 0.0);
+    EXPECT_FLOAT_EQ((*model.grads()[0])[0], 1000.0f);
+}
+
+TEST(ClipGradients, SgdStepBoundedByClipTimesLr) {
+    util::Rng rng(4);
+    Sequential model = two_param_model(rng);
+    const float w_before = (*model.params()[0])[0];
+    (*model.grads()[0])[0] = 1e6f;  // would explode unclipped
+    SgdOptimizer sgd(model, {.learning_rate = 0.1,
+                             .momentum = 0,
+                             .weight_decay = 0,
+                             .max_grad_norm = 1.0});
+    sgd.step();
+    EXPECT_LE(std::fabs((*model.params()[0])[0] - w_before), 0.1f + 1e-6f);
+}
+
+TEST(ClipGradients, AdamHonoursClipToo) {
+    util::Rng rng(5);
+    Sequential model = two_param_model(rng);
+    (*model.grads()[0])[0] = 1e6f;
+    AdamOptimizer adam(model, {.learning_rate = 0.001,
+                               .beta1 = 0.9,
+                               .beta2 = 0.999,
+                               .epsilon = 1e-8,
+                               .weight_decay = 0,
+                               .max_grad_norm = 1.0});
+    EXPECT_NO_THROW(adam.step());
+    EXPECT_TRUE(std::isfinite((*model.params()[0])[0]));
+}
+
+}  // namespace
+}  // namespace pipetune::nn

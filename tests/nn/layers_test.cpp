@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "pipetune/nn/basic_layers.hpp"
+#include "pipetune/nn/conv_layers.hpp"
+#include "pipetune/nn/recurrent.hpp"
+#include "pipetune/tensor/ops.hpp"
+
+namespace pipetune::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Finite-difference check of dL/d(input) for L = sum(layer.forward(x)).
+void check_input_gradient(Layer& layer, Tensor x, float tolerance = 5e-2f, float eps = 1e-2f) {
+    Tensor out = layer.forward(x, /*training=*/false);
+    Tensor ones(out.shape(), std::vector<float>(out.numel(), 1.0f));
+    Tensor analytic = layer.backward(ones);
+    ASSERT_EQ(analytic.shape(), x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const float saved = x[i];
+        x[i] = saved + eps;
+        const float up = layer.forward(x, false).sum();
+        x[i] = saved - eps;
+        const float down = layer.forward(x, false).sum();
+        x[i] = saved;
+        const float numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(analytic[i], numeric, tolerance) << "input index " << i;
+    }
+}
+
+// Finite-difference check of all parameter gradients for the same loss.
+void check_param_gradients(Layer& layer, const Tensor& x, float tolerance = 5e-2f,
+                           float eps = 1e-2f) {
+    layer.zero_grad();
+    Tensor out = layer.forward(x, false);
+    Tensor ones(out.shape(), std::vector<float>(out.numel(), 1.0f));
+    layer.backward(ones);
+    auto params = layer.params();
+    auto grads = layer.grads();
+    ASSERT_EQ(params.size(), grads.size());
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        for (std::size_t i = 0; i < params[p]->numel(); ++i) {
+            const float saved = (*params[p])[i];
+            (*params[p])[i] = saved + eps;
+            const float up = layer.forward(x, false).sum();
+            (*params[p])[i] = saved - eps;
+            const float down = layer.forward(x, false).sum();
+            (*params[p])[i] = saved;
+            const float numeric = (up - down) / (2 * eps);
+            EXPECT_NEAR((*grads[p])[i], numeric, tolerance)
+                << "param " << p << " index " << i;
+        }
+    }
+}
+
+TEST(DenseLayer, ForwardComputesAffineMap) {
+    util::Rng rng(1);
+    Dense dense(2, 3, rng);
+    // Overwrite weights for a deterministic check: W = [[1,0],[0,1],[1,1]], b = [0,1,2].
+    *dense.params()[0] = Tensor({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+    *dense.params()[1] = Tensor({3}, std::vector<float>{0, 1, 2});
+    Tensor x({1, 2}, std::vector<float>{3, 4});
+    Tensor y = dense.forward(x, false);
+    EXPECT_FLOAT_EQ(y(0, 0), 3);
+    EXPECT_FLOAT_EQ(y(0, 1), 5);
+    EXPECT_FLOAT_EQ(y(0, 2), 9);
+}
+
+TEST(DenseLayer, GradientsMatchFiniteDifference) {
+    util::Rng rng(2);
+    Dense dense(4, 3, rng);
+    Tensor x = Tensor::uniform({5, 4}, rng);
+    check_input_gradient(dense, x);
+    check_param_gradients(dense, x);
+}
+
+TEST(DenseLayer, RejectsWrongInputWidth) {
+    util::Rng rng(1);
+    Dense dense(4, 2, rng);
+    EXPECT_THROW(dense.forward(Tensor({2, 3}), false), std::invalid_argument);
+}
+
+TEST(DenseLayer, BackwardAccumulatesAcrossCalls) {
+    util::Rng rng(3);
+    Dense dense(2, 2, rng);
+    Tensor x = Tensor::uniform({3, 2}, rng);
+    dense.zero_grad();
+    Tensor out = dense.forward(x, false);
+    Tensor ones(out.shape(), std::vector<float>(out.numel(), 1.0f));
+    dense.backward(ones);
+    const float first = (*dense.grads()[0])[0];
+    dense.forward(x, false);
+    dense.backward(ones);
+    EXPECT_NEAR((*dense.grads()[0])[0], 2 * first, 1e-4f);
+}
+
+TEST(ActivationLayers, GradientsMatchFiniteDifference) {
+    util::Rng rng(4);
+    Tensor x = Tensor::uniform({6}, rng, -2.0f, 2.0f);
+    // Shift away from ReLU's kink where finite differences are ill-defined.
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        if (std::fabs(x[i]) < 0.05f) x[i] = 0.1f;
+    ReLU relu_layer;
+    check_input_gradient(relu_layer, x, 1e-2f, 1e-3f);
+    Tanh tanh_layer;
+    check_input_gradient(tanh_layer, x, 1e-2f);
+    Sigmoid sigmoid_layer;
+    check_input_gradient(sigmoid_layer, x, 1e-2f);
+}
+
+TEST(FlattenLayer, RoundTripsShape) {
+    Flatten flatten;
+    Tensor x({2, 3, 4, 5}, std::vector<float>(120, 1.0f));
+    Tensor y = flatten.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{2, 60}));
+    Tensor back = flatten.backward(y);
+    EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(DropoutLayer, EvalModeIsIdentity) {
+    Dropout dropout(0.5, 42);
+    util::Rng rng(5);
+    Tensor x = Tensor::uniform({100}, rng);
+    Tensor y = dropout.forward(x, /*training=*/false);
+    for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutLayer, TrainingDropsApproximatelyRateFraction) {
+    Dropout dropout(0.3, 42);
+    Tensor x({10000}, std::vector<float>(10000, 1.0f));
+    Tensor y = dropout.forward(x, true);
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        if (y[i] == 0.0f) ++zeros;
+    EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropoutLayer, SurvivorsAreScaled) {
+    Dropout dropout(0.5, 7);
+    Tensor x({1000}, std::vector<float>(1000, 1.0f));
+    Tensor y = dropout.forward(x, true);
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_TRUE(y[i] == 0.0f || std::fabs(y[i] - 2.0f) < 1e-5f);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+    Dropout dropout(0.5, 9);
+    Tensor x({100}, std::vector<float>(100, 1.0f));
+    Tensor y = dropout.forward(x, true);
+    Tensor grad = dropout.backward(Tensor({100}, std::vector<float>(100, 1.0f)));
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(grad[i], y[i]);
+}
+
+TEST(DropoutLayer, RejectsInvalidRate) {
+    EXPECT_THROW(Dropout(-0.1, 1), std::invalid_argument);
+    EXPECT_THROW(Dropout(1.0, 1), std::invalid_argument);
+}
+
+TEST(Conv2DLayer, GradientsMatchFiniteDifference) {
+    util::Rng rng(6);
+    Conv2D conv(2, 3, 3, rng);
+    Tensor x = Tensor::uniform({2, 2, 5, 5}, rng);
+    check_input_gradient(conv, x);
+    check_param_gradients(conv, x);
+}
+
+TEST(Conv2DLayer, RectangularKernelShapes) {
+    util::Rng rng(7);
+    Conv2D conv(1, 4, 3, 10, rng);  // kh=3, kw=10
+    Tensor x = Tensor::uniform({2, 1, 8, 10}, rng);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{2, 4, 6, 1}));
+}
+
+TEST(MaxPoolLayer, GradientRoutesThroughArgmax) {
+    MaxPool2D pool(2);
+    util::Rng rng(8);
+    Tensor x = Tensor::uniform({1, 2, 4, 4}, rng);
+    Tensor y = pool.forward(x, false);
+    Tensor ones(y.shape(), std::vector<float>(y.numel(), 1.0f));
+    Tensor grad = pool.backward(ones);
+    EXPECT_FLOAT_EQ(grad.sum(), static_cast<float>(y.numel()));
+}
+
+TEST(EmbeddingLayer, LooksUpRows) {
+    util::Rng rng(9);
+    Embedding embedding(10, 4, rng);
+    Tensor tokens({2, 3}, std::vector<float>{0, 1, 2, 7, 8, 9});
+    Tensor out = embedding.forward(tokens, false);
+    EXPECT_EQ(out.shape(), (Shape{2, 3, 4}));
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_FLOAT_EQ(out(0, 1, d), (*embedding.params()[0])(1, d));
+}
+
+TEST(EmbeddingLayer, BackwardScatterAddsGradients) {
+    util::Rng rng(10);
+    Embedding embedding(5, 2, rng);
+    Tensor tokens({1, 3}, std::vector<float>{2, 2, 4});  // token 2 appears twice
+    embedding.zero_grad();
+    embedding.forward(tokens, false);
+    Tensor grad_out({1, 3, 2}, std::vector<float>{1, 1, 1, 1, 1, 1});
+    embedding.backward(grad_out);
+    const Tensor& table_grad = *embedding.grads()[0];
+    EXPECT_FLOAT_EQ(table_grad(2, 0), 2.0f);
+    EXPECT_FLOAT_EQ(table_grad(4, 0), 1.0f);
+    EXPECT_FLOAT_EQ(table_grad(0, 0), 0.0f);
+}
+
+TEST(EmbeddingLayer, RejectsOutOfVocabToken) {
+    util::Rng rng(11);
+    Embedding embedding(5, 2, rng);
+    Tensor tokens({1, 1}, std::vector<float>{5});
+    EXPECT_THROW(embedding.forward(tokens, false), std::invalid_argument);
+}
+
+TEST(LstmLayer, OutputShapeIsFinalHidden) {
+    util::Rng rng(12);
+    Lstm lstm(3, 5, rng);
+    Tensor x = Tensor::uniform({2, 4, 3}, rng);
+    Tensor h = lstm.forward(x, false);
+    EXPECT_EQ(h.shape(), (Shape{2, 5}));
+    for (std::size_t i = 0; i < h.numel(); ++i) {
+        EXPECT_GT(h[i], -1.0f);
+        EXPECT_LT(h[i], 1.0f);  // |h| < 1 since h = o * tanh(c), o < 1
+    }
+}
+
+TEST(LstmLayer, InputGradientMatchesFiniteDifference) {
+    util::Rng rng(13);
+    Lstm lstm(2, 3, rng);
+    Tensor x = Tensor::uniform({2, 3, 2}, rng, -0.5f, 0.5f);
+    check_input_gradient(lstm, x, 2e-2f, 5e-3f);
+}
+
+TEST(LstmLayer, ParamGradientsMatchFiniteDifference) {
+    util::Rng rng(14);
+    Lstm lstm(2, 2, rng);
+    Tensor x = Tensor::uniform({1, 3, 2}, rng, -0.5f, 0.5f);
+    check_param_gradients(lstm, x, 2e-2f, 5e-3f);
+}
+
+TEST(LstmLayer, ForgetGateBiasStartsOpen) {
+    util::Rng rng(15);
+    Lstm lstm(2, 4, rng);
+    const Tensor& bias = *lstm.params()[2];
+    for (std::size_t j = 4; j < 8; ++j) EXPECT_FLOAT_EQ(bias[j], 1.0f);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(bias[j], 0.0f);
+}
+
+TEST(ExpandToNCHWLayer, AddsChannelDim) {
+    ExpandToNCHW expand;
+    Tensor x({2, 5, 3});
+    Tensor y = expand.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{2, 1, 5, 3}));
+    EXPECT_EQ(expand.backward(y).shape(), x.shape());
+}
+
+TEST(AllLayers, CloneIsDeepCopy) {
+    util::Rng rng(16);
+    Dense dense(3, 2, rng);
+    auto copy = dense.clone();
+    (*dense.params()[0])[0] += 1.0f;
+    auto* dense_copy = dynamic_cast<Dense*>(copy.get());
+    ASSERT_NE(dense_copy, nullptr);
+    EXPECT_NE((*dense.params()[0])[0], (*dense_copy->params()[0])[0]);
+}
+
+}  // namespace
+}  // namespace pipetune::nn

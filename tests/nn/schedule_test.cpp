@@ -1,0 +1,84 @@
+// Tests for learning-rate schedules.
+
+#include <gtest/gtest.h>
+
+#include "pipetune/nn/basic_layers.hpp"
+#include "pipetune/nn/schedule.hpp"
+
+namespace pipetune::nn {
+namespace {
+
+TEST(ConstantLr, AlwaysReturnsRate) {
+    ConstantLr schedule(0.05);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(1), 0.05);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(100), 0.05);
+    EXPECT_THROW(schedule.rate_at(0), std::invalid_argument);
+    EXPECT_THROW(ConstantLr(0.0), std::invalid_argument);
+}
+
+TEST(StepDecayLr, DecaysEveryStep) {
+    StepDecayLr schedule(0.1, 0.5, 10);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(1), 0.1);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(10), 0.1);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(11), 0.05);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(21), 0.025);
+}
+
+TEST(StepDecayLr, ValidatesConfig) {
+    EXPECT_THROW(StepDecayLr(0.1, 0.0, 10), std::invalid_argument);
+    EXPECT_THROW(StepDecayLr(0.1, 1.5, 10), std::invalid_argument);
+    EXPECT_THROW(StepDecayLr(0.1, 0.5, 0), std::invalid_argument);
+}
+
+TEST(CosineLr, InterpolatesFromInitialToMin) {
+    CosineLr schedule(0.1, 0.001, 21);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(1), 0.1);
+    EXPECT_NEAR(schedule.rate_at(11), 0.5 * (0.1 + 0.001), 1e-9);  // midpoint
+    EXPECT_DOUBLE_EQ(schedule.rate_at(21), 0.001);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(999), 0.001);  // clamped past the horizon
+}
+
+TEST(CosineLr, MonotoneNonIncreasing) {
+    CosineLr schedule(0.1, 0.0, 30);
+    double previous = schedule.rate_at(1);
+    for (std::size_t epoch = 2; epoch <= 35; ++epoch) {
+        const double rate = schedule.rate_at(epoch);
+        EXPECT_LE(rate, previous + 1e-12);
+        previous = rate;
+    }
+}
+
+TEST(CosineLr, ValidatesConfig) {
+    EXPECT_THROW(CosineLr(0.1, 0.2, 10), std::invalid_argument);
+    EXPECT_THROW(CosineLr(0.1, 0.0, 0), std::invalid_argument);
+}
+
+TEST(WarmupLr, RampsLinearlyThenDelegates) {
+    WarmupLr schedule(4, std::make_shared<ConstantLr>(0.1));
+    EXPECT_NEAR(schedule.rate_at(1), 0.1 / 5.0, 1e-12);
+    EXPECT_NEAR(schedule.rate_at(4), 0.4 * 0.1 / 0.4 * 4.0 / 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(5), 0.1);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(50), 0.1);
+}
+
+TEST(WarmupLr, ComposesWithDecay) {
+    WarmupLr schedule(2, std::make_shared<StepDecayLr>(0.1, 0.5, 5));
+    EXPECT_LT(schedule.rate_at(1), 0.1);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(3), 0.1);
+    EXPECT_DOUBLE_EQ(schedule.rate_at(6), 0.05);
+    EXPECT_THROW(WarmupLr(0, std::make_shared<ConstantLr>(0.1)), std::invalid_argument);
+    EXPECT_THROW(WarmupLr(2, nullptr), std::invalid_argument);
+}
+
+TEST(LrSchedule, ApplySetsOptimizerRate) {
+    util::Rng rng(1);
+    Sequential model;
+    model.emplace<Dense>(1, 1, rng);
+    SgdOptimizer optimizer(model, {.learning_rate = 1.0, .momentum = 0, .weight_decay = 0});
+    StepDecayLr schedule(0.1, 0.5, 1);
+    schedule.apply(optimizer, 3);
+    EXPECT_DOUBLE_EQ(optimizer.learning_rate(), 0.025);
+}
+
+}  // namespace
+}  // namespace pipetune::nn

@@ -1,0 +1,95 @@
+// Property sweep over the PMU multiplexing model: for every epoch duration in
+// a realistic range, rescaled counts must be unbiased (mean over repeats ~
+// truth) and their error must shrink as the observation window grows — the
+// §5.3 behaviour ("there might be blind spots which can introduce errors
+// during scaling ... each epoch runs for at least a few minutes" mitigates
+// them).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipetune/perf/counter_model.hpp"
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::perf {
+namespace {
+
+WorkloadFingerprint fingerprint() {
+    return {.model_family = "cnn",
+            .dataset_family = "news20",
+            .compute_scale = 2.0,
+            .memory_scale = 1.2,
+            .batch_size = 128,
+            .cores = 8};
+}
+
+class MultiplexingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultiplexingSweep, RescaledCountsAreUnbiased) {
+    const double duration_s = GetParam();
+    PmuSimulator pmu({.generic_counters = 2, .fixed_counters = 3, .sampling_noise = 0.05});
+    util::Rng rng(static_cast<std::uint64_t>(duration_s * 1000));
+    const auto truth = true_event_rates(fingerprint());
+
+    std::array<util::RunningStats, kEventCount> observed;
+    for (int repeat = 0; repeat < 40; ++repeat) {
+        const auto sample = pmu.measure_epoch(truth, duration_s, rng);
+        for (std::size_t e = 0; e < kEventCount; ++e) observed[e].add(sample[e] / truth[e]);
+    }
+    // Tolerance tracks the sub-sampling noise: sub-second epochs give each
+    // multiplexed event only ~20 ms of counting time per measurement.
+    const double tolerance = duration_s < 5.0 ? 0.3 : 0.1;
+    for (std::size_t e = 0; e < kEventCount; ++e)
+        EXPECT_NEAR(observed[e].mean(), 1.0, tolerance)
+            << event_names()[e] << " @ " << duration_s;
+}
+
+TEST_P(MultiplexingSweep, RatesStayPositive) {
+    const double duration_s = GetParam();
+    PmuSimulator pmu;
+    util::Rng rng(7);
+    const auto sample = pmu.measure_epoch(true_event_rates(fingerprint()), duration_s, rng);
+    for (std::size_t e = 0; e < kEventCount; ++e) EXPECT_GE(sample[e], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochDurations, MultiplexingSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 60.0, 300.0));
+
+TEST(MultiplexingError, ShrinksWithObservationTime) {
+    PmuSimulator pmu({.generic_counters = 2, .fixed_counters = 3, .sampling_noise = 0.05});
+    const auto truth = true_event_rates(fingerprint());
+    auto mean_abs_error = [&](double duration_s, std::uint64_t seed) {
+        util::Rng rng(seed);
+        util::RunningStats error;
+        for (int repeat = 0; repeat < 30; ++repeat) {
+            const auto sample = pmu.measure_epoch(truth, duration_s, rng);
+            for (std::size_t e = 0; e < kEventCount; ++e)
+                error.add(std::fabs(sample[e] / truth[e] - 1.0));
+        }
+        return error.mean();
+    };
+    EXPECT_LT(mean_abs_error(120.0, 1), mean_abs_error(1.0, 2));
+}
+
+TEST(MultiplexingError, MoreGenericCountersReduceError) {
+    // A PMU with 8 generic counters multiplexes less aggressively than the
+    // paper's 2-counter Intel PMU, so its estimates are tighter.
+    const auto truth = true_event_rates(fingerprint());
+    auto mean_abs_error = [&](std::size_t generic, std::uint64_t seed) {
+        PmuSimulator pmu({.generic_counters = generic, .fixed_counters = 3,
+                          .sampling_noise = 0.05});
+        util::Rng rng(seed);
+        util::RunningStats error;
+        for (int repeat = 0; repeat < 30; ++repeat) {
+            const auto sample = pmu.measure_epoch(truth, 5.0, rng);
+            for (std::size_t e = 0; e < kEventCount; ++e)
+                error.add(std::fabs(sample[e] / truth[e] - 1.0));
+        }
+        return error.mean();
+    };
+    EXPECT_LT(mean_abs_error(8, 3), mean_abs_error(2, 4));
+}
+
+}  // namespace
+}  // namespace pipetune::perf

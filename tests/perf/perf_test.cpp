@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pipetune/perf/counter_model.hpp"
+#include "pipetune/perf/events.hpp"
+#include "pipetune/perf/profiler.hpp"
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::perf {
+namespace {
+
+WorkloadFingerprint lenet_fingerprint() {
+    return {.model_family = "lenet",
+            .dataset_family = "mnist",
+            .compute_scale = 1.0,
+            .memory_scale = 1.0,
+            .batch_size = 32,
+            .cores = 8};
+}
+
+TEST(Events, ExactlyFiftyEightNamedEvents) {
+    EXPECT_EQ(event_names().size(), kEventCount);
+    EXPECT_EQ(kEventCount, 58u);
+    std::set<std::string_view> unique(event_names().begin(), event_names().end());
+    EXPECT_EQ(unique.size(), kEventCount);
+}
+
+TEST(Events, PaperEventNamesPresent) {
+    // Spot-check names transcribed from Fig 2.
+    for (const char* name :
+         {"L1-dcache-load-misses", "cpu-cycles", "cpu/topdown-slots-retired/", "msr/tsc/",
+          "node-store-misses", "instructions", "iTLB-loads", "branch-misses"})
+        EXPECT_NO_THROW(event_index(name)) << name;
+}
+
+TEST(Events, UnknownNameThrows) {
+    EXPECT_THROW(event_index("not-an-event"), std::invalid_argument);
+}
+
+TEST(Events, IndexIsInverseOfName) {
+    for (std::size_t i = 0; i < kEventCount; ++i)
+        EXPECT_EQ(event_index(event_names()[i]), i);
+}
+
+TEST(Events, FixedCountersAreThePaperTriple) {
+    const auto& fixed = fixed_counter_events();
+    EXPECT_EQ(fixed.size(), 3u);
+    EXPECT_EQ(fixed[0], event_index("instructions"));
+    EXPECT_EQ(fixed[1], event_index("cpu-cycles"));
+    EXPECT_EQ(fixed[2], event_index("bus-cycles"));
+}
+
+TEST(Events, ClassesCoverKnownExamples) {
+    EXPECT_EQ(event_class(event_index("cpu-cycles")), EventClass::kCycles);
+    EXPECT_EQ(event_class(event_index("instructions")), EventClass::kInstr);
+    EXPECT_EQ(event_class(event_index("L1-dcache-loads")), EventClass::kCacheHot);
+    EXPECT_EQ(event_class(event_index("LLC-load-misses")), EventClass::kCacheMiss);
+    EXPECT_EQ(event_class(event_index("dTLB-loads")), EventClass::kTlb);
+    EXPECT_EQ(event_class(event_index("cpu/tx-abort/")), EventClass::kRareEvent);
+    EXPECT_EQ(event_class(event_index("msr/aperf/")), EventClass::kMsr);
+    EXPECT_EQ(event_class(event_index("node-loads")), EventClass::kNode);
+}
+
+TEST(SignatureModel, DeterministicForSameFingerprint) {
+    const auto a = true_event_rates(lenet_fingerprint());
+    const auto b = true_event_rates(lenet_fingerprint());
+    for (std::size_t e = 0; e < kEventCount; ++e) EXPECT_DOUBLE_EQ(a[e], b[e]);
+}
+
+TEST(SignatureModel, AllRatesPositive) {
+    const auto rates = true_event_rates(lenet_fingerprint());
+    for (double rate : rates) EXPECT_GT(rate, 0.0);
+}
+
+TEST(SignatureModel, DifferentModelsDiffer) {
+    auto fp = lenet_fingerprint();
+    const auto lenet = true_event_rates(fp);
+    fp.model_family = "cnn";
+    const auto cnn = true_event_rates(fp);
+    double relative_change = 0.0;
+    for (std::size_t e = 0; e < kEventCount; ++e)
+        relative_change += std::fabs(std::log(cnn[e] / lenet[e]));
+    EXPECT_GT(relative_change / kEventCount, 0.1);
+}
+
+TEST(SignatureModel, DifferentDatasetsDiffer) {
+    auto fp = lenet_fingerprint();
+    const auto mnist = true_event_rates(fp);
+    fp.dataset_family = "fashion";
+    const auto fashion = true_event_rates(fp);
+    double relative_change = 0.0;
+    for (std::size_t e = 0; e < kEventCount; ++e)
+        relative_change += std::fabs(std::log(fashion[e] / mnist[e]));
+    EXPECT_GT(relative_change / kEventCount, 0.05);
+}
+
+TEST(SignatureModel, ModelIdentityDominatesComputeEvents) {
+    // Changing the model should move cycle/instruction events more than
+    // changing the dataset does.
+    auto fp = lenet_fingerprint();
+    const auto base = true_event_rates(fp);
+    auto fp_model = fp;
+    fp_model.model_family = "lstm";
+    const auto other_model = true_event_rates(fp_model);
+    auto fp_data = fp;
+    fp_data.dataset_family = "news20";
+    const auto other_data = true_event_rates(fp_data);
+
+    const std::size_t cycles = event_index("cpu-cycles");
+    const double model_shift = std::fabs(std::log(other_model[cycles] / base[cycles]));
+    const double data_shift = std::fabs(std::log(other_data[cycles] / base[cycles]));
+    EXPECT_GT(model_shift, data_shift);
+}
+
+TEST(SignatureModel, LargerBatchReducesMissRates) {
+    auto fp = lenet_fingerprint();
+    fp.batch_size = 32;
+    const auto small = true_event_rates(fp);
+    fp.batch_size = 1024;
+    const auto large = true_event_rates(fp);
+    const std::size_t miss = event_index("LLC-load-misses");
+    EXPECT_LT(large[miss], small[miss]);
+}
+
+TEST(SignatureModel, MoreCoresMoreTraffic) {
+    auto fp = lenet_fingerprint();
+    fp.cores = 4;
+    const auto few = true_event_rates(fp);
+    fp.cores = 16;
+    const auto many = true_event_rates(fp);
+    EXPECT_GT(many[event_index("instructions")], few[event_index("instructions")]);
+    // Coherence misses grow super-linearly.
+    const std::size_t miss = event_index("cache-misses");
+    EXPECT_GT(many[miss] / few[miss], 4.0);
+}
+
+TEST(SignatureModel, ValidatesInputs) {
+    auto fp = lenet_fingerprint();
+    fp.compute_scale = 0;
+    EXPECT_THROW(true_event_rates(fp), std::invalid_argument);
+    fp = lenet_fingerprint();
+    fp.batch_size = 0;
+    EXPECT_THROW(true_event_rates(fp), std::invalid_argument);
+}
+
+TEST(PmuSimulator, MultiplexFractionMatchesPaperCounts) {
+    PmuSimulator pmu;  // 2 generic + 3 fixed (paper §5.3)
+    // 55 multiplexed events share 2 counters.
+    EXPECT_NEAR(pmu.multiplex_fraction(), 2.0 / 55.0, 1e-12);
+}
+
+TEST(PmuSimulator, RescaledCountsApproximateTrueRates) {
+    PmuSimulator pmu;
+    util::Rng rng(1);
+    const auto rates = true_event_rates(lenet_fingerprint());
+    const auto observed = pmu.measure_epoch(rates, 120.0, rng);
+    for (std::size_t e = 0; e < kEventCount; ++e)
+        EXPECT_NEAR(observed[e] / rates[e], 1.0, 0.15) << event_names()[e];
+}
+
+TEST(PmuSimulator, FixedCountersAreMoreAccurateThanMultiplexed) {
+    PmuSimulator pmu({.generic_counters = 2, .fixed_counters = 3, .sampling_noise = 0.05});
+    util::Rng rng(2);
+    const auto rates = true_event_rates(lenet_fingerprint());
+    util::RunningStats fixed_err, mux_err;
+    const auto& fixed = fixed_counter_events();
+    for (int run = 0; run < 50; ++run) {
+        const auto observed = pmu.measure_epoch(rates, 30.0, rng);
+        for (std::size_t e = 0; e < kEventCount; ++e) {
+            const double err = std::fabs(observed[e] / rates[e] - 1.0);
+            const bool is_fixed = std::find(fixed.begin(), fixed.end(), e) != fixed.end();
+            (is_fixed ? fixed_err : mux_err).add(err);
+        }
+    }
+    EXPECT_LT(fixed_err.mean(), mux_err.mean());
+}
+
+TEST(PmuSimulator, ValidatesConfiguration) {
+    EXPECT_THROW(PmuSimulator({.generic_counters = 0, .fixed_counters = 3, .sampling_noise = 0}),
+                 std::invalid_argument);
+    PmuSimulator pmu;
+    util::Rng rng(1);
+    EXPECT_THROW(pmu.measure_epoch({}, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Profiler, StableAcrossEpochs) {
+    // Fig 2's core observation: the same workload produces nearly identical
+    // event vectors epoch after epoch.
+    Profiler profiler({}, 7);
+    const auto fp = lenet_fingerprint();
+    std::vector<EpochProfile> profiles;
+    for (std::size_t e = 1; e <= 5; ++e)
+        profiles.push_back(profiler.profile_epoch(fp, 60.0, 5000.0, e));
+    const auto first = profile_features(profiles.front());
+    for (const auto& profile : profiles) {
+        const auto features = profile_features(profile);
+        EXPECT_LT(util::euclidean(first, features), 0.5);
+    }
+    EXPECT_EQ(profiler.history().size(), 5u);
+}
+
+TEST(Profiler, FeaturesAreRowCentredLogRates) {
+    Profiler profiler({}, 8);
+    const auto profile = profiler.profile_epoch(lenet_fingerprint(), 60.0, 0.0, 1);
+    const auto features = profile_features(profile);
+    EXPECT_EQ(features.size(), kEventCount);
+    double mean = 0.0;
+    for (double f : features) {
+        EXPECT_GT(f, -12.0);
+        EXPECT_LT(f, 12.0);  // log10 decades around the profile mean
+        mean += f;
+    }
+    EXPECT_NEAR(mean / static_cast<double>(kEventCount), 0.0, 1e-9);
+}
+
+TEST(Profiler, FeaturesInvariantToUniformScaling) {
+    // A uniform rate multiplier (e.g. a faster allocation) must not move the
+    // feature vector: only the event mix identifies a workload.
+    EpochProfile a, b;
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+        a.events[e] = 100.0 * static_cast<double>(e + 1);
+        b.events[e] = a.events[e] * 1000.0;
+    }
+    const auto fa = profile_features(a);
+    const auto fb = profile_features(b);
+    for (std::size_t e = 0; e < kEventCount; ++e) EXPECT_NEAR(fa[e], fb[e], 0.02);
+}
+
+TEST(Profiler, MeanFeaturesAveragesEpochs) {
+    // Two epochs with different mixes; the mean feature must be the mean of
+    // the per-epoch (row-centred) features.
+    EpochProfile a, b;
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+        a.events[e] = e % 2 ? 1e6 : 1e2;
+        b.events[e] = e % 2 ? 1e8 : 1e2;
+    }
+    const auto fa = profile_features(a);
+    const auto fb = profile_features(b);
+    const auto mean = mean_features({a, b});
+    for (std::size_t e = 0; e < kEventCount; ++e)
+        EXPECT_NEAR(mean[e], 0.5 * (fa[e] + fb[e]), 1e-9);
+    EXPECT_THROW(mean_features({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::perf

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/sim/accuracy_model.hpp"
+
+namespace pipetune::sim {
+namespace {
+
+using workload::HyperParams;
+
+const workload::Workload& lenet() { return workload::find_workload("lenet-mnist"); }
+const workload::Workload& cnn() { return workload::find_workload("cnn-news20"); }
+
+HyperParams good_hp() {
+    HyperParams hp;
+    hp.batch_size = 32;
+    hp.dropout = 0.2;
+    hp.learning_rate = 0.02;  // lenet's optimum
+    return hp;
+}
+
+TEST(AccuracyModel, AccuracyRisesWithEpochs) {
+    AccuracyModel model;
+    double previous = 0.0;
+    for (std::size_t epoch = 1; epoch <= 40; epoch += 3) {
+        const double acc = model.accuracy_at(lenet(), good_hp(), epoch);
+        EXPECT_GE(acc, previous);
+        previous = acc;
+    }
+}
+
+TEST(AccuracyModel, ConvergesNearCeiling) {
+    AccuracyModel model;
+    const double ceiling = model.effective_ceiling(lenet(), good_hp());
+    EXPECT_NEAR(model.accuracy_at(lenet(), good_hp(), 100), ceiling, 1.0);
+}
+
+TEST(AccuracyModel, GoodHyperparamsBeatTheWorkloadCeilingFloor) {
+    AccuracyModel model;
+    // With the sweet-spot configuration the ceiling exceeds the nominal one
+    // (dropout bonus) minus nothing.
+    EXPECT_GT(model.effective_ceiling(lenet(), good_hp()), lenet().accuracy_ceiling);
+}
+
+TEST(AccuracyModel, LargeBatchLowersCeilingAndSlowsConvergence) {
+    AccuracyModel model;
+    HyperParams big = good_hp();
+    big.batch_size = 1024;
+    EXPECT_LT(model.effective_ceiling(lenet(), big), model.effective_ceiling(lenet(), good_hp()));
+    EXPECT_LT(model.progress_rate(lenet(), big), model.progress_rate(lenet(), good_hp()));
+    // Fig 3a: at a fixed epoch budget, batch 1024 scores clearly worse.
+    EXPECT_LT(model.accuracy_at(lenet(), big, 10),
+              model.accuracy_at(lenet(), good_hp(), 10) - 5.0);
+}
+
+TEST(AccuracyModel, LearningRateHasAnOptimum) {
+    AccuracyModel model;
+    HyperParams low = good_hp(), high = good_hp();
+    low.learning_rate = 0.001;
+    high.learning_rate = 0.1;
+    const double at_opt = model.accuracy_at(lenet(), good_hp(), 15);
+    EXPECT_GT(at_opt, model.accuracy_at(lenet(), low, 15));
+    EXPECT_GT(at_opt, model.accuracy_at(lenet(), high, 15));
+}
+
+TEST(AccuracyModel, DropoutSweetSpot) {
+    AccuracyModel model;
+    HyperParams none = good_hp(), heavy = good_hp();
+    none.dropout = 0.0;
+    heavy.dropout = 0.5;
+    const double at_opt = model.effective_ceiling(lenet(), good_hp());
+    EXPECT_GT(at_opt, model.effective_ceiling(lenet(), none));
+    EXPECT_GT(at_opt, model.effective_ceiling(lenet(), heavy));
+}
+
+TEST(AccuracyModel, EmbeddingsHelpTextModelsOnly) {
+    AccuracyModel model;
+    HyperParams lean = good_hp(), rich = good_hp();
+    lean.embedding_dim = 50;
+    rich.embedding_dim = 300;
+    EXPECT_GT(model.effective_ceiling(cnn(), rich), model.effective_ceiling(cnn(), lean));
+    EXPECT_DOUBLE_EQ(model.effective_ceiling(lenet(), rich),
+                     model.effective_ceiling(lenet(), lean));
+}
+
+TEST(AccuracyModel, KernelsIgnoreDnnHyperparameters) {
+    AccuracyModel model;
+    const auto& jacobi = workload::find_workload("jacobi-rodinia");
+    HyperParams a = good_hp(), b = good_hp();
+    b.learning_rate = 0.1;
+    b.dropout = 0.5;
+    EXPECT_DOUBLE_EQ(model.accuracy_at(jacobi, a, 5), model.accuracy_at(jacobi, b, 5));
+}
+
+TEST(AccuracyModel, KernelsConvergeFast) {
+    AccuracyModel model;
+    const auto& jacobi = workload::find_workload("jacobi-rodinia");
+    // Type-III workloads converge within a handful of iterations.
+    EXPECT_GT(model.accuracy_at(jacobi, good_hp(), 8),
+              0.9 * model.effective_ceiling(jacobi, good_hp()));
+}
+
+TEST(AccuracyModel, LossDecreasesAsAccuracyRises) {
+    AccuracyModel model;
+    double previous = model.loss_at(lenet(), good_hp(), 1);
+    for (std::size_t epoch = 2; epoch <= 30; epoch += 4) {
+        const double loss = model.loss_at(lenet(), good_hp(), epoch);
+        EXPECT_LT(loss, previous);
+        previous = loss;
+    }
+}
+
+TEST(AccuracyModel, NoiseIsBounded) {
+    AccuracyModel model;
+    util::Rng rng(1);
+    const double expected = model.accuracy_at(lenet(), good_hp(), 20);
+    for (int i = 0; i < 100; ++i) {
+        const double noisy = model.accuracy_at(lenet(), good_hp(), 20, &rng);
+        EXPECT_NEAR(noisy, expected, 3.0);
+    }
+}
+
+TEST(AccuracyModel, ValidatesInputs) {
+    AccuracyModel model;
+    EXPECT_THROW(model.accuracy_at(lenet(), good_hp(), 0), std::invalid_argument);
+    HyperParams bad = good_hp();
+    bad.learning_rate = 0.0;
+    EXPECT_THROW(model.accuracy_at(lenet(), bad, 1), std::invalid_argument);
+    AccuracyModelConfig bad_config;
+    bad_config.lr_tolerance_log = 0;
+    EXPECT_THROW(AccuracyModel{bad_config}, std::invalid_argument);
+}
+
+TEST(AccuracyModel, AccuracyAlwaysInRange) {
+    AccuracyModel model;
+    util::Rng rng(2);
+    auto space_sample = [&](std::size_t i) {
+        HyperParams hp;
+        hp.batch_size = 32u << (i % 6);
+        hp.dropout = 0.5 * (i % 11) / 10.0;
+        hp.learning_rate = 0.001 * (1 + i % 100);
+        hp.embedding_dim = 50 + (i % 6) * 50;
+        return hp;
+    };
+    for (const auto& workload : workload::catalogue())
+        for (std::size_t i = 0; i < 30; ++i) {
+            const double acc = model.accuracy_at(workload, space_sample(i), 1 + i % 50, &rng);
+            EXPECT_GE(acc, 0.0);
+            EXPECT_LE(acc, 100.0);
+        }
+}
+
+// Every workload's accuracy curve is monotone non-decreasing in expectation.
+class AccuracyCurveSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AccuracyCurveSweep, MonotoneLearningCurve) {
+    AccuracyModel model;
+    const auto& workload = workload::find_workload(GetParam());
+    double previous = 0.0;
+    for (std::size_t epoch = 1; epoch <= 60; epoch += 5) {
+        const double acc = model.accuracy_at(workload, good_hp(), epoch);
+        EXPECT_GE(acc, previous) << "epoch " << epoch;
+        previous = acc;
+    }
+    EXPECT_GT(previous, 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, AccuracyCurveSweep,
+                         ::testing::Values("lenet-mnist", "lenet-fashion", "cnn-news20",
+                                           "lstm-news20", "jacobi-rodinia", "spkmeans-rodinia",
+                                           "bfs-rodinia"));
+
+}  // namespace
+}  // namespace pipetune::sim

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "pipetune/sim/cost_model.hpp"
+
+namespace pipetune::sim {
+namespace {
+
+using workload::HyperParams;
+using workload::SystemParams;
+
+const workload::Workload& lenet() { return workload::find_workload("lenet-mnist"); }
+
+HyperParams with_batch(std::size_t batch) {
+    HyperParams hp;
+    hp.batch_size = batch;
+    return hp;
+}
+
+TEST(CostModel, DeterministicWithoutRng) {
+    CostModel model;
+    const double a = model.epoch_seconds(lenet(), with_batch(64), {.cores = 8, .memory_gb = 16});
+    const double b = model.epoch_seconds(lenet(), with_batch(64), {.cores = 8, .memory_gb = 16});
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CostModel, NoiseJittersAroundExpectation) {
+    CostModel model;
+    util::Rng rng(1);
+    const double expected =
+        model.epoch_seconds(lenet(), with_batch(64), {.cores = 8, .memory_gb = 16});
+    double acc = 0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        acc += model.epoch_seconds(lenet(), with_batch(64), {.cores = 8, .memory_gb = 16}, &rng);
+    EXPECT_NEAR(acc / n, expected, expected * 0.01);
+}
+
+// Fig 3b's central claim: extra cores HURT small batches (sync overhead) and
+// HELP large batches (parallel compute).
+TEST(CostModel, CoresHurtSmallBatches) {
+    CostModel model;
+    const double few = model.epoch_seconds(lenet(), with_batch(32), {.cores = 4, .memory_gb = 16});
+    const double many = model.epoch_seconds(lenet(), with_batch(32), {.cores = 16, .memory_gb = 16});
+    EXPECT_GT(many, few);
+}
+
+TEST(CostModel, CoresHelpLargeBatches) {
+    CostModel model;
+    const double few = model.epoch_seconds(lenet(), with_batch(1024), {.cores = 4, .memory_gb = 16});
+    const double many =
+        model.epoch_seconds(lenet(), with_batch(1024), {.cores = 16, .memory_gb = 16});
+    EXPECT_LT(many, few);
+}
+
+TEST(CostModel, LargerBatchIsFasterPerEpoch) {
+    // Fig 3a: larger batch -> fewer updates -> shorter epochs.
+    CostModel model;
+    const SystemParams system{.cores = 8, .memory_gb = 32};
+    double previous = model.epoch_seconds(lenet(), with_batch(32), system);
+    for (std::size_t batch : {64, 128, 256, 512, 1024}) {
+        const double current = model.epoch_seconds(lenet(), with_batch(batch), system);
+        EXPECT_LT(current, previous) << "batch " << batch;
+        previous = current;
+    }
+}
+
+TEST(CostModel, BatchSpeedupIsPaperScale) {
+    // The paper's batch-duration effect is a factor of ~2-4x, not orders of
+    // magnitude (Fig 3a shows ~-50% for 1024 vs 32).
+    CostModel model;
+    const SystemParams system{.cores = 8, .memory_gb = 32};
+    const double small = model.epoch_seconds(lenet(), with_batch(32), system);
+    const double large = model.epoch_seconds(lenet(), with_batch(1024), system);
+    EXPECT_GT(small / large, 1.5);
+    EXPECT_LT(small / large, 6.0);
+}
+
+TEST(CostModel, MemoryPressureSlowsWhenWorkingSetExceedsAllocation) {
+    CostModel model;
+    const HyperParams hp = with_batch(1024);
+    const double ws = model.working_set_gb(lenet(), hp);
+    EXPECT_GT(ws, 4.0);  // batch 1024 does not fit in 4 GB
+    const double starved = model.epoch_seconds(lenet(), hp, {.cores = 8, .memory_gb = 4});
+    const double comfortable = model.epoch_seconds(lenet(), hp, {.cores = 8, .memory_gb = 32});
+    EXPECT_GT(starved, comfortable * 1.2);
+}
+
+TEST(CostModel, MemoryBeyondWorkingSetIsFree) {
+    CostModel model;
+    const HyperParams hp = with_batch(64);
+    const double at16 = model.epoch_seconds(lenet(), hp, {.cores = 8, .memory_gb = 16});
+    const double at32 = model.epoch_seconds(lenet(), hp, {.cores = 8, .memory_gb = 32});
+    EXPECT_DOUBLE_EQ(at16, at32);
+}
+
+TEST(CostModel, TextModelsCostMoreWithRicherEmbeddings) {
+    CostModel model;
+    const auto& cnn = workload::find_workload("cnn-news20");
+    HyperParams lean = with_batch(128);
+    lean.embedding_dim = 50;
+    HyperParams rich = lean;
+    rich.embedding_dim = 300;
+    const SystemParams system{.cores = 8, .memory_gb = 16};
+    EXPECT_GT(model.epoch_seconds(cnn, rich, system), model.epoch_seconds(cnn, lean, system));
+    // Image models ignore the embedding dimension.
+    EXPECT_DOUBLE_EQ(model.epoch_seconds(lenet(), rich, system),
+                     model.epoch_seconds(lenet(), lean, system));
+}
+
+TEST(CostModel, KernelEpochsAreShort) {
+    // Fig 12's setup: Type-III workloads "have shorter epochs".
+    CostModel model;
+    const auto& jacobi = workload::find_workload("jacobi-rodinia");
+    const SystemParams system{.cores = 8, .memory_gb = 16};
+    const double kernel_epoch = model.epoch_seconds(jacobi, with_batch(64), system);
+    const double dnn_epoch = model.epoch_seconds(lenet(), with_batch(64), system);
+    EXPECT_LT(kernel_epoch, dnn_epoch / 5.0);
+}
+
+TEST(CostModel, UtilizationDropsWithSyncBoundConfigs) {
+    CostModel model;
+    // Small batch + many cores = sync-bound = low utilization.
+    const double sync_bound =
+        model.compute_utilization(lenet(), with_batch(32), {.cores = 16, .memory_gb = 16});
+    const double compute_bound =
+        model.compute_utilization(lenet(), with_batch(1024), {.cores = 4, .memory_gb = 16});
+    EXPECT_LT(sync_bound, compute_bound);
+    EXPECT_GE(sync_bound, 0.0);
+    EXPECT_LE(compute_bound, 1.0);
+}
+
+TEST(CostModel, ValidatesInputs) {
+    CostModel model;
+    EXPECT_THROW(model.epoch_seconds(lenet(), with_batch(0), {.cores = 8, .memory_gb = 16}),
+                 std::invalid_argument);
+    EXPECT_THROW(model.epoch_seconds(lenet(), with_batch(32), {.cores = 0, .memory_gb = 16}),
+                 std::invalid_argument);
+    CostModelConfig bad;
+    bad.parallel_exponent = 1.5;
+    EXPECT_THROW(CostModel{bad}, std::invalid_argument);
+}
+
+// Parameterized sweep: for EVERY batch size in the paper's range, the optimal
+// core count is well-defined and monotone behaviour holds at the extremes.
+class CostModelBatchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CostModelBatchSweep, EpochTimePositiveAndBoundedAcrossGrid) {
+    CostModel model;
+    const HyperParams hp = with_batch(GetParam());
+    for (const auto& system : workload::system_param_grid()) {
+        const double seconds = model.epoch_seconds(lenet(), hp, system);
+        EXPECT_GT(seconds, 0.0);
+        EXPECT_LT(seconds, 3600.0);
+    }
+}
+
+TEST_P(CostModelBatchSweep, WorkingSetGrowsWithBatch) {
+    CostModel model;
+    const double ws = model.working_set_gb(lenet(), with_batch(GetParam()));
+    EXPECT_GE(ws, model.working_set_gb(lenet(), with_batch(32)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBatchRange, CostModelBatchSweep,
+                         ::testing::Values(32, 64, 128, 256, 512, 1024));
+
+}  // namespace
+}  // namespace pipetune::sim

@@ -1,0 +1,70 @@
+// Tests for the average-pooling op and layer.
+
+#include <gtest/gtest.h>
+
+#include "pipetune/nn/conv_layers.hpp"
+#include "pipetune/tensor/ops.hpp"
+
+namespace pipetune::tensor {
+namespace {
+
+TEST(AvgPool, ForwardAveragesWindows) {
+    Tensor input({1, 1, 2, 4}, std::vector<float>{1, 3, 5, 7, 2, 4, 6, 8});
+    Tensor out = avgpool2d(input, 2);
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(out(0, 0, 0, 1), 6.5f);
+}
+
+TEST(AvgPool, BackwardSpreadsGradientUniformly) {
+    Tensor input({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor grad_out({1, 1, 1, 1}, std::vector<float>{8});
+    Tensor grad_in = avgpool2d_backward(input, grad_out, 2);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 2.0f);
+}
+
+TEST(AvgPool, GradientMatchesFiniteDifference) {
+    util::Rng rng(1);
+    Tensor x = Tensor::uniform({2, 2, 4, 4}, rng);
+    Tensor out = avgpool2d(x, 2);
+    Tensor ones(out.shape(), std::vector<float>(out.numel(), 1.0f));
+    Tensor analytic = avgpool2d_backward(x, ones, 2);
+    const float eps = 1e-2f;
+    for (std::size_t i = 0; i < x.numel(); i += 7) {
+        const float saved = x[i];
+        x[i] = saved + eps;
+        const float up = avgpool2d(x, 2).sum();
+        x[i] = saved - eps;
+        const float down = avgpool2d(x, 2).sum();
+        x[i] = saved;
+        EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-2f) << i;
+    }
+}
+
+TEST(AvgPool, Validates) {
+    EXPECT_THROW(avgpool2d(Tensor({2, 2}), 2), std::invalid_argument);
+    EXPECT_THROW(avgpool2d(Tensor({1, 1, 2, 2}), 0), std::invalid_argument);
+    EXPECT_THROW(avgpool2d(Tensor({1, 1, 2, 2}), 3), std::invalid_argument);
+}
+
+TEST(AvgPoolLayer, ForwardBackwardRoundTrip) {
+    nn::AvgPool2D layer(2);
+    util::Rng rng(2);
+    Tensor x = Tensor::uniform({1, 3, 6, 6}, rng);
+    Tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{1, 3, 3, 3}));
+    Tensor grad = layer.backward(Tensor(y.shape(), std::vector<float>(y.numel(), 1.0f)));
+    EXPECT_EQ(grad.shape(), x.shape());
+    // Gradient mass is conserved by averaging backward.
+    EXPECT_NEAR(grad.sum(), static_cast<float>(y.numel()), 1e-4f);
+    EXPECT_THROW(nn::AvgPool2D(0), std::invalid_argument);
+}
+
+TEST(AvgPoolLayer, CloneIsIndependent) {
+    nn::AvgPool2D layer(2);
+    auto copy = layer.clone();
+    EXPECT_EQ(copy->name(), "AvgPool2D");
+}
+
+}  // namespace
+}  // namespace pipetune::tensor

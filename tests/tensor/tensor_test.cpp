@@ -1,0 +1,181 @@
+#include "pipetune/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pipetune::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+    Tensor t({2, 3}, 1.5f);
+    EXPECT_EQ(t.numel(), 6u);
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_FLOAT_EQ(t(1, 2), 1.5f);
+    t.fill(0.0f);
+    EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, ConstructionFromDataValidatesSize) {
+    EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+    EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+    Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+    EXPECT_FLOAT_EQ(t(0, 0), 0);
+    EXPECT_FLOAT_EQ(t(0, 2), 2);
+    EXPECT_FLOAT_EQ(t(1, 0), 3);
+    EXPECT_FLOAT_EQ(t(1, 2), 5);
+}
+
+TEST(Tensor, FourDimIndexing) {
+    Tensor t({2, 2, 2, 2});
+    t(1, 1, 1, 1) = 9;
+    EXPECT_FLOAT_EQ(t[15], 9);
+    t(0, 1, 0, 1) = 4;
+    EXPECT_FLOAT_EQ(t[5], 4);
+}
+
+TEST(Tensor, RankMismatchThrows) {
+    Tensor t({2, 3});
+    EXPECT_THROW(t(0), std::invalid_argument);
+    EXPECT_THROW(t(0, 0, 0), std::invalid_argument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+    Tensor t({2});
+    EXPECT_NO_THROW(t.at(1));
+    EXPECT_THROW(t.at(2), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+    Tensor r = t.reshaped({3, 2});
+    EXPECT_FLOAT_EQ(r(2, 1), 5);
+    EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticElementwise) {
+    Tensor a({2}, std::vector<float>{1, 2});
+    Tensor b({2}, std::vector<float>{10, 20});
+    EXPECT_FLOAT_EQ((a + b)[1], 22);
+    EXPECT_FLOAT_EQ((b - a)[0], 9);
+    EXPECT_FLOAT_EQ((a * b)[1], 40);
+    EXPECT_FLOAT_EQ((a * 3.0f)[0], 3);
+    EXPECT_FLOAT_EQ((2.0f * b)[1], 40);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+    Tensor a({2}), b({3});
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledIsAxpy) {
+    Tensor a({3}, std::vector<float>{1, 1, 1});
+    Tensor g({3}, std::vector<float>{2, 4, 6});
+    a.add_scaled(g, -0.5f);
+    EXPECT_FLOAT_EQ(a[0], 0);
+    EXPECT_FLOAT_EQ(a[2], -2);
+}
+
+TEST(Tensor, Reductions) {
+    Tensor t({4}, std::vector<float>{1, -2, 3, 2});
+    EXPECT_FLOAT_EQ(t.sum(), 4);
+    EXPECT_FLOAT_EQ(t.max(), 3);
+    EXPECT_FLOAT_EQ(t.min(), -2);
+    EXPECT_FLOAT_EQ(t.mean(), 1);
+    EXPECT_FLOAT_EQ(t.squared_norm(), 1 + 4 + 9 + 4);
+    EXPECT_EQ(t.argmax(), 2u);
+}
+
+TEST(Tensor, RandomInitializersAreBounded) {
+    util::Rng rng(1);
+    Tensor u = Tensor::uniform({1000}, rng, -0.5f, 0.5f);
+    EXPECT_GE(u.min(), -0.5f);
+    EXPECT_LT(u.max(), 0.5f);
+    Tensor x = Tensor::xavier({100, 100}, rng, 100, 100);
+    const float limit = std::sqrt(6.0f / 200.0f);
+    EXPECT_GE(x.min(), -limit);
+    EXPECT_LE(x.max(), limit);
+}
+
+TEST(Tensor, NormalInitHasRequestedMoments) {
+    util::Rng rng(2);
+    Tensor n = Tensor::normal({20000}, rng, 3.0f, 0.5f);
+    EXPECT_NEAR(n.mean(), 3.0f, 0.02f);
+}
+
+TEST(Matmul, SmallKnownProduct) {
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), (Shape{2, 2}));
+    EXPECT_FLOAT_EQ(c(0, 0), 58);
+    EXPECT_FLOAT_EQ(c(0, 1), 64);
+    EXPECT_FLOAT_EQ(c(1, 0), 139);
+    EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+    util::Rng rng(3);
+    Tensor a = Tensor::uniform({5, 5}, rng);
+    Tensor eye({5, 5});
+    for (std::size_t i = 0; i < 5; ++i) eye(i, i) = 1.0f;
+    Tensor c = matmul(a, eye);
+    for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(c[i], a[i], 1e-5f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+    EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), std::invalid_argument);
+    EXPECT_THROW(matmul(Tensor({6}), Tensor({6})), std::invalid_argument);
+}
+
+TEST(Matmul, BlockedMatchesNaiveOnLargerSizes) {
+    util::Rng rng(7);
+    // Exercise sizes that are not multiples of the 64-wide block.
+    Tensor a = Tensor::uniform({70, 65}, rng);
+    Tensor b = Tensor::uniform({65, 90}, rng);
+    Tensor c = matmul(a, b);
+    for (std::size_t i : {0UL, 37UL, 69UL})
+        for (std::size_t j : {0UL, 63UL, 64UL, 89UL}) {
+            float acc = 0;
+            for (std::size_t k = 0; k < 65; ++k) acc += a(i, k) * b(k, j);
+            EXPECT_NEAR(c(i, j), acc, 1e-3f);
+        }
+}
+
+TEST(Matmul, TransposedVariantsMatchExplicitTranspose) {
+    util::Rng rng(11);
+    Tensor a = Tensor::uniform({6, 4}, rng);
+    Tensor b = Tensor::uniform({5, 4}, rng);
+    Tensor via_t = matmul(a, transpose(b));
+    Tensor direct = matmul_transposed_b(a, b);
+    ASSERT_EQ(via_t.shape(), direct.shape());
+    for (std::size_t i = 0; i < via_t.numel(); ++i) EXPECT_NEAR(via_t[i], direct[i], 1e-4f);
+
+    Tensor c = Tensor::uniform({4, 6}, rng);
+    Tensor d = Tensor::uniform({4, 5}, rng);
+    Tensor via_t2 = matmul(transpose(c), d);
+    Tensor direct2 = matmul_transposed_a(c, d);
+    ASSERT_EQ(via_t2.shape(), direct2.shape());
+    for (std::size_t i = 0; i < via_t2.numel(); ++i) EXPECT_NEAR(via_t2[i], direct2[i], 1e-4f);
+}
+
+TEST(Transpose, SwapsIndices) {
+    Tensor a({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+    Tensor t = transpose(a);
+    EXPECT_EQ(t.shape(), (Shape{3, 2}));
+    EXPECT_FLOAT_EQ(t(2, 1), 5);
+    EXPECT_FLOAT_EQ(t(0, 1), 3);
+}
+
+TEST(ShapeHelpers, NumelAndToString) {
+    EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+    EXPECT_EQ(shape_numel({}), 0u);
+    EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace pipetune::tensor

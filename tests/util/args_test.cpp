@@ -1,0 +1,74 @@
+#include "pipetune/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipetune::util {
+namespace {
+
+TEST(Args, ParsesCommandAndPositionals) {
+    const auto args = Args::parse({"tune", "lenet-mnist", "extra"});
+    EXPECT_EQ(args.command(), "tune");
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[0], "lenet-mnist");
+}
+
+TEST(Args, EqualsAndSpaceSeparatedValues) {
+    const auto args = Args::parse({"tune", "--seed=42", "--slots", "8"});
+    EXPECT_EQ(args.get_or("seed", ""), "42");
+    EXPECT_EQ(args.get_or("slots", ""), "8");
+}
+
+TEST(Args, BareFlags) {
+    const auto args = Args::parse({"tune", "--dvfs", "--approach", "v1"});
+    EXPECT_TRUE(args.get_flag("dvfs"));
+    EXPECT_FALSE(args.get("dvfs").has_value());  // flag carries no value
+    EXPECT_EQ(args.get_or("approach", ""), "v1");
+    EXPECT_FALSE(args.get_flag("missing"));
+}
+
+TEST(Args, FlagFollowedByOptionIsNotConsumed) {
+    // --dvfs must not swallow the following --seed.
+    const auto args = Args::parse({"tune", "--dvfs", "--seed=7"});
+    EXPECT_TRUE(args.get_flag("dvfs"));
+    EXPECT_EQ(args.get_uint_or("seed", 0), 7u);
+}
+
+TEST(Args, NumericAccessors) {
+    const auto args = Args::parse({"x", "--rate=0.5", "--count=12"});
+    EXPECT_DOUBLE_EQ(args.get_number_or("rate", 0.0), 0.5);
+    EXPECT_EQ(args.get_uint_or("count", 0), 12u);
+    EXPECT_DOUBLE_EQ(args.get_number_or("missing", 3.5), 3.5);
+}
+
+TEST(Args, BadNumberThrows) {
+    const auto args = Args::parse({"x", "--rate=fast"});
+    EXPECT_THROW(args.get_number_or("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Args, EmptyOptionNameThrows) {
+    EXPECT_THROW(Args::parse({"x", "--"}), std::invalid_argument);
+}
+
+TEST(Args, UnusedKeysDetectTypos) {
+    const auto args = Args::parse({"tune", "--sede=1", "--slots=4"});
+    args.get_or("slots", "");
+    const auto unused = args.unused_keys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "sede");
+}
+
+TEST(Args, EmptyInput) {
+    const auto args = Args::parse(std::vector<std::string>{});
+    EXPECT_TRUE(args.command().empty());
+    EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(Args, ArgcArgvEntryPoint) {
+    const char* argv[] = {"pipetune", "compare", "cnn-news20", "--seed=9"};
+    const auto args = Args::parse(4, argv);
+    EXPECT_EQ(args.command(), "compare");
+    EXPECT_EQ(args.get_uint_or("seed", 0), 9u);
+}
+
+}  // namespace
+}  // namespace pipetune::util

@@ -1,0 +1,142 @@
+#include "pipetune/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace pipetune::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+    Json j;
+    EXPECT_TRUE(j.is_null());
+}
+
+TEST(Json, ScalarRoundTrips) {
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-17).dump(), "-17");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, FloatSerializationPreservesValue) {
+    const double v = 3.14159265358979;
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_DOUBLE_EQ(parsed.as_number(), v);
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, ParseBasicObject) {
+    const Json j = Json::parse(R"({"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}})");
+    EXPECT_TRUE(j.is_object());
+    EXPECT_DOUBLE_EQ(j.at("a").as_number(), 1.0);
+    EXPECT_TRUE(j.at("b").as_array()[0].as_bool());
+    EXPECT_TRUE(j.at("b").as_array()[1].is_null());
+    EXPECT_EQ(j.at("b").as_array()[2].as_string(), "x");
+    EXPECT_DOUBLE_EQ(j.at("c").at("d").as_number(), 2.5);
+}
+
+TEST(Json, ParseNestedArrays) {
+    const Json j = Json::parse("[[1,2],[3,[4]]]");
+    EXPECT_EQ(j.size(), 2u);
+    EXPECT_DOUBLE_EQ(j.as_array()[1].as_array()[1].as_array()[0].as_number(), 4.0);
+}
+
+TEST(Json, ParseEscapes) {
+    const Json j = Json::parse(R"("line\nbreak \"quoted\" A")");
+    EXPECT_EQ(j.as_string(), "line\nbreak \"quoted\" A");
+}
+
+TEST(Json, EscapeRoundTrip) {
+    const std::string tricky = "a\"b\\c\nd\te";
+    EXPECT_EQ(Json::parse(Json(tricky).dump()).as_string(), tricky);
+}
+
+TEST(Json, UnicodeEscapeEncodesUtf8) {
+    const Json j = Json::parse(R"("é中")");
+    EXPECT_EQ(j.as_string(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+    EXPECT_THROW(Json::parse(""), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+    const Json j(1.0);
+    EXPECT_THROW(j.as_string(), std::runtime_error);
+    EXPECT_THROW(j.as_array(), std::runtime_error);
+    EXPECT_THROW(j.at("k"), std::runtime_error);
+}
+
+TEST(Json, ObjectBuilderSyntax) {
+    Json j;
+    j["name"] = "trial";
+    j["score"] = 0.92;
+    j["tags"].push_back("a");
+    j["tags"].push_back(2);
+    EXPECT_EQ(j.at("name").as_string(), "trial");
+    EXPECT_EQ(j.at("tags").size(), 2u);
+}
+
+TEST(Json, GettersWithFallbacks) {
+    const Json j = Json::parse(R"({"x": 5, "s": "v", "flag": true})");
+    EXPECT_DOUBLE_EQ(j.get_number("x", -1), 5);
+    EXPECT_DOUBLE_EQ(j.get_number("missing", -1), -1);
+    EXPECT_EQ(j.get_string("s", "d"), "v");
+    EXPECT_EQ(j.get_string("x", "d"), "d");  // wrong type -> fallback
+    EXPECT_TRUE(j.get_bool("flag", false));
+}
+
+TEST(Json, DoubleVectorHelpers) {
+    const Json j = Json::array_of({1.5, 2.5});
+    const auto v = j.as_double_vector();
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[1], 2.5);
+}
+
+TEST(Json, AsIntRounds) {
+    EXPECT_EQ(Json(41.6).as_int(), 42);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+    Json j;
+    j["a"]["b"] = 1;
+    j["list"].push_back(Json::object());
+    const std::string pretty = j.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(Json, EqualityIsDeep) {
+    EXPECT_EQ(Json::parse(R"({"a":[1,2]})"), Json::parse(R"({ "a" : [1, 2] })"));
+    EXPECT_FALSE(Json::parse("[1]") == Json::parse("[2]"));
+}
+
+TEST(Json, FileRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_json_test.json";
+    Json j;
+    j["k"] = 3.5;
+    j.save_file(path.string());
+    const Json loaded = Json::load_file(path.string());
+    EXPECT_EQ(loaded, j);
+    std::filesystem::remove(path);
+}
+
+TEST(Json, LoadMissingFileThrows) {
+    EXPECT_THROW(Json::load_file("/nonexistent/definitely/missing.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pipetune::util

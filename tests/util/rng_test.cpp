@@ -1,0 +1,179 @@
+#include "pipetune/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pipetune::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() != b.next_u64()) ++differing;
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(3);
+    double acc = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+    Rng rng(1);
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    const int n = 100000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStd) {
+    Rng rng(5);
+    const int n = 50000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(0.5);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+    Rng rng(1);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.log_uniform(0.001, 0.1);
+        EXPECT_GE(x, 0.001);
+        EXPECT_LE(x, 0.1 * (1 + 1e-9));
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(19);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+    Rng rng(23);
+    std::vector<double> weights{1.0, 3.0, 0.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+    Rng rng(29);
+    std::vector<double> weights{0.0, 0.0};
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 2000; ++i) ++counts[rng.weighted_index(weights)];
+    EXPECT_GT(counts[0], 700);
+    EXPECT_GT(counts[1], 700);
+}
+
+TEST(Rng, WeightedIndexRejectsNegative) {
+    Rng rng(1);
+    std::vector<double> weights{1.0, -0.5};
+    EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleAreNoops) {
+    Rng rng(1);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{42};
+    rng.shuffle(one);
+    EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng parent(42);
+    Rng child = parent.fork();
+    // Child must differ from a fresh generator with the parent's seed.
+    Rng fresh(42);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        if (child.next_u64() != fresh.next_u64()) ++differing;
+    EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+    Rng rng(1);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::util

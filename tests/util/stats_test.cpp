@@ -1,0 +1,157 @@
+#include "pipetune/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pipetune::util {
+namespace {
+
+TEST(Stats, MeanBasic) {
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceSampleDenominator) {
+    EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+    EXPECT_DOUBLE_EQ(variance({5}), 0.0);
+}
+
+TEST(Stats, StdDevSquareRootOfVariance) {
+    EXPECT_NEAR(stddev({1, 2, 3, 4, 5}), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, MinMaxSum) {
+    std::vector<double> v{3, -1, 7, 2};
+    EXPECT_DOUBLE_EQ(min_of(v), -1);
+    EXPECT_DOUBLE_EQ(max_of(v), 7);
+    EXPECT_DOUBLE_EQ(sum(v), 11);
+    EXPECT_THROW(min_of({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    std::vector<double> v{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+    EXPECT_DOUBLE_EQ(median(v), 25);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+    EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, TrapezoidConstantSignal) {
+    // 5 W for 10 s -> 50 J.
+    std::vector<double> t{0, 5, 10}, y{5, 5, 5};
+    EXPECT_DOUBLE_EQ(trapezoid(t, y), 50.0);
+}
+
+TEST(Stats, TrapezoidLinearRamp) {
+    // Power ramps 0..10 W over 10 s -> 50 J.
+    std::vector<double> t{0, 10}, y{0, 10};
+    EXPECT_DOUBLE_EQ(trapezoid(t, y), 50.0);
+}
+
+TEST(Stats, TrapezoidIrregularSampling) {
+    std::vector<double> t{0, 1, 4}, y{2, 2, 2};
+    EXPECT_DOUBLE_EQ(trapezoid(t, y), 8.0);
+}
+
+TEST(Stats, TrapezoidRejectsBackwardsTime) {
+    EXPECT_THROW(trapezoid({0, 2, 1}, {1, 1, 1}), std::invalid_argument);
+    EXPECT_THROW(trapezoid({0, 1}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    std::vector<double> a{1, 2, 3}, b{2, 4, 6}, c{6, 4, 2};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, EuclideanDistance) {
+    EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+    EXPECT_THROW(euclidean({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+    RunningStats rs;
+    std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+    for (double x : v) rs.add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_DOUBLE_EQ(rs.mean(), mean(v));
+    EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2);
+    EXPECT_DOUBLE_EQ(rs.max(), 9);
+    EXPECT_DOUBLE_EQ(rs.sum(), sum(v));
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+    RunningStats a, b, combined;
+    for (double x : {1.0, 2.0, 3.0}) {
+        a.add(x);
+        combined.add(x);
+    }
+    for (double x : {10.0, 20.0}) {
+        b.add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+    RunningStats a, empty;
+    a.add(5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.mean(), 5);
+}
+
+TEST(Ema, FirstValueInitializes) {
+    Ema ema(0.5);
+    EXPECT_FALSE(ema.initialized());
+    EXPECT_DOUBLE_EQ(ema.update(10), 10);
+    EXPECT_DOUBLE_EQ(ema.update(20), 15);
+}
+
+TEST(Standardizer, TransformsToZeroMeanUnitStd) {
+    Standardizer s;
+    std::vector<std::vector<double>> rows{{1, 100}, {3, 200}, {5, 300}};
+    s.fit(rows);
+    const auto transformed = s.transform(rows);
+    for (std::size_t d = 0; d < 2; ++d) {
+        double m = 0;
+        for (const auto& r : transformed) m += r[d];
+        EXPECT_NEAR(m / 3.0, 0.0, 1e-12);
+    }
+}
+
+TEST(Standardizer, ConstantColumnPassesThroughCentred) {
+    Standardizer s;
+    s.fit({{7, 1}, {7, 2}, {7, 3}});
+    const auto out = s.transform({7.0, 2.0});
+    EXPECT_NEAR(out[0], 0.0, 1e-12);
+}
+
+TEST(Standardizer, RejectsDimensionMismatch) {
+    Standardizer s;
+    s.fit({{1, 2}});
+    EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+    EXPECT_THROW(s.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pipetune::util

@@ -1,0 +1,66 @@
+#include "pipetune/util/table.hpp"
+#include "pipetune/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pipetune::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-name", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer-name | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+    Table t({"a", "b", "c"});
+    t.add_row({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_NE(t.render().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+TEST(Table, SectionBanner) {
+    const std::string s = section("Figure 3");
+    EXPECT_NE(s.find("Figure 3"), std::string::npos);
+    EXPECT_EQ(s.front(), '=');
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_csv_test.csv";
+    {
+        CsvWriter csv(path.string(), {"a", "b"});
+        csv.add_row({std::string("x,y"), std::string("plain")});
+        csv.add_row(std::vector<double>{1.5, 2.0});
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string content = ss.str();
+    EXPECT_NE(content.find("a,b\n"), std::string::npos);
+    EXPECT_NE(content.find("\"x,y\",plain\n"), std::string::npos);
+    EXPECT_NE(content.find("1.5,2\n"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsRowWidthMismatch) {
+    const auto path = std::filesystem::temp_directory_path() / "pt_csv_test2.csv";
+    CsvWriter csv(path.string(), {"a", "b"});
+    EXPECT_THROW(csv.add_row(std::vector<std::string>{"only-one"}), std::runtime_error);
+    csv.close();
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pipetune::util

@@ -1,0 +1,60 @@
+#include "pipetune/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace pipetune::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(4);
+    auto f = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallel_for(8,
+                          [&](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAggregateCorrectly) {
+    ThreadPool pool(3);
+    std::atomic<long> total{0};
+    pool.parallel_for(1000, [&](std::size_t i) { total.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, FuturesFromMultipleSubmits) {
+    ThreadPool pool(2);
+    std::vector<std::future<std::size_t>> futures;
+    for (std::size_t i = 0; i < 20; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+}  // namespace
+}  // namespace pipetune::util

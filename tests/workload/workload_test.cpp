@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::workload {
+namespace {
+
+TEST(Catalogue, SevenWorkloadsAsInTable3) {
+    EXPECT_EQ(catalogue().size(), 7u);
+    std::set<std::string> names;
+    for (const auto& workload : catalogue()) names.insert(workload.name);
+    EXPECT_EQ(names.size(), 7u);
+    for (const char* name : {"lenet-mnist", "lenet-fashion", "cnn-news20", "lstm-news20",
+                             "jacobi-rodinia", "spkmeans-rodinia", "bfs-rodinia"})
+        EXPECT_TRUE(names.count(name)) << name;
+}
+
+TEST(Catalogue, Table3FactsMatchPaper) {
+    const auto& mnist = find_workload("lenet-mnist");
+    EXPECT_EQ(mnist.train_files, 60000u);
+    EXPECT_EQ(mnist.test_files, 10000u);
+    EXPECT_DOUBLE_EQ(mnist.datasize_mb, 12.0);
+    const auto& news = find_workload("cnn-news20");
+    EXPECT_EQ(news.train_files, 11307u);
+    EXPECT_EQ(news.test_files, 7538u);
+}
+
+TEST(Catalogue, TypesPartitionCorrectly) {
+    EXPECT_EQ(workloads_of_type(WorkloadType::kType1).size(), 2u);
+    EXPECT_EQ(workloads_of_type(WorkloadType::kType2).size(), 2u);
+    EXPECT_EQ(workloads_of_type(WorkloadType::kType3).size(), 3u);
+    // Type-I shares the model, Type-II shares the dataset (Fig 4).
+    const auto type1 = workloads_of_type(WorkloadType::kType1);
+    EXPECT_EQ(type1[0].model_family, type1[1].model_family);
+    EXPECT_NE(type1[0].dataset_family, type1[1].dataset_family);
+    const auto type2 = workloads_of_type(WorkloadType::kType2);
+    EXPECT_NE(type2[0].model_family, type2[1].model_family);
+    EXPECT_EQ(type2[0].dataset_family, type2[1].dataset_family);
+}
+
+TEST(Catalogue, HelpersClassifyCorrectly) {
+    EXPECT_TRUE(find_workload("cnn-news20").is_text());
+    EXPECT_TRUE(find_workload("lstm-news20").is_text());
+    EXPECT_FALSE(find_workload("lenet-mnist").is_text());
+    EXPECT_TRUE(find_workload("jacobi-rodinia").is_kernel());
+    EXPECT_FALSE(find_workload("lenet-mnist").is_kernel());
+}
+
+TEST(Catalogue, UnknownNameThrows) {
+    EXPECT_THROW(find_workload("resnet-imagenet"), std::invalid_argument);
+}
+
+TEST(SystemParams, GridCoversPaperRanges) {
+    const auto& grid = system_param_grid();
+    EXPECT_EQ(grid.size(), 12u);  // 3 cores x 4 memory values
+    std::set<std::size_t> cores, memory;
+    for (const auto& params : grid) {
+        cores.insert(params.cores);
+        memory.insert(params.memory_gb);
+    }
+    EXPECT_EQ(cores, (std::set<std::size_t>{4, 8, 16}));
+    EXPECT_EQ(memory, (std::set<std::size_t>{4, 8, 16, 32}));
+}
+
+TEST(SystemParams, DefaultIsInsideTheGrid) {
+    const auto def = default_system_params();
+    const auto& grid = system_param_grid();
+    EXPECT_NE(std::find(grid.begin(), grid.end(), def), grid.end());
+}
+
+TEST(SystemParams, EqualityAndToString) {
+    SystemParams a{.cores = 8, .memory_gb = 16};
+    SystemParams b{.cores = 8, .memory_gb = 16};
+    EXPECT_EQ(a, b);
+    b.cores = 4;
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.to_string(), "{cores=8, mem=16GB}");
+}
+
+TEST(HyperParams, DefaultsMatchPaperRangesLowEnd) {
+    HyperParams hp;
+    EXPECT_EQ(hp.batch_size, 32u);
+    EXPECT_DOUBLE_EQ(hp.dropout, 0.0);
+    EXPECT_EQ(hp.embedding_dim, 50u);
+    EXPECT_DOUBLE_EQ(hp.learning_rate, 0.01);
+    EXPECT_EQ(hp.epochs, 10u);
+    EXPECT_NE(hp.to_string().find("batch=32"), std::string::npos);
+}
+
+TEST(WorkloadType, ToStringNames) {
+    EXPECT_EQ(to_string(WorkloadType::kType1), "Type-I");
+    EXPECT_EQ(to_string(WorkloadType::kType2), "Type-II");
+    EXPECT_EQ(to_string(WorkloadType::kType3), "Type-III");
+}
+
+}  // namespace
+}  // namespace pipetune::workload

@@ -1,0 +1,200 @@
+// pipetune — command-line front end for the library.
+//
+//   pipetune list-workloads
+//   pipetune tune <workload> [--approach pipetune|v1|v2] [--seed N]
+//                 [--slots N] [--resource R] [--state-dir DIR] [--dvfs]
+//                 [--objective duration|energy] [--backend sim|real]
+//   pipetune compare <workload> [--seed N]          # all approaches side by side
+//   pipetune warm-start --state-dir DIR [--seed N]  # §7.2 offline campaign
+//
+// Everything runs on the simulation backend by default (instant, virtual
+// time); --backend real trains the bundled NN engine instead.
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <system_error>
+
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/service.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sim/real_backend.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+#include "pipetune/util/args.hpp"
+#include "pipetune/util/table.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+int usage() {
+    std::cout <<
+        R"(pipetune — pipelined hyper & system parameter tuning
+
+usage:
+  pipetune list-workloads
+  pipetune tune <workload> [--approach pipetune|v1|v2] [--seed N] [--slots N]
+                [--resource R] [--state-dir DIR] [--dvfs]
+                [--objective duration|energy] [--backend sim|real]
+  pipetune compare <workload> [--seed N] [--backend sim|real]
+  pipetune warm-start --state-dir DIR [--seed N] [--backend sim|real]
+
+workloads: run `pipetune list-workloads` for the catalogue (paper Table 3).
+)";
+    return 2;
+}
+
+std::unique_ptr<workload::Backend> make_backend(const util::Args& args, std::uint64_t seed) {
+    if (args.get_or("backend", "sim") == "real") {
+        sim::RealBackendConfig config;
+        config.seed = seed;
+        return std::make_unique<sim::RealBackend>(config);
+    }
+    sim::SimBackendConfig config;
+    config.seed = seed;
+    return std::make_unique<sim::SimBackend>(config);
+}
+
+hpt::HptJobConfig job_config(const util::Args& args, std::uint64_t seed) {
+    hpt::HptJobConfig job;
+    job.seed = seed;
+    job.parallel_slots = static_cast<std::size_t>(args.get_uint_or("slots", 4));
+    job.hyperband_resource = static_cast<std::size_t>(args.get_uint_or("resource", 27));
+    job.final_epochs = job.hyperband_resource;
+    return job;
+}
+
+void print_result(const std::string& approach, const hpt::BaselineResult& result) {
+    util::Table table({"metric", "value"});
+    table.add_row({"approach", approach});
+    table.add_row({"best hyperparameters", result.best_hyper.to_string()});
+    table.add_row({"final system config", result.final_system.to_string()});
+    table.add_row({"final accuracy [%]", util::Table::num(result.final_accuracy, 2)});
+    table.add_row({"training time [s]", util::Table::num(result.training_time_s, 1)});
+    table.add_row({"tuning time [s]", util::Table::num(result.tuning.tuning_duration_s, 1)});
+    table.add_row({"tuning energy [kJ]",
+                   util::Table::num(result.tuning.tuning_energy_j / 1000.0, 1)});
+    table.add_row({"trials / epochs", std::to_string(result.tuning.trials) + " / " +
+                                          std::to_string(result.tuning.epochs)});
+    std::cout << table.render();
+}
+
+int cmd_list_workloads() {
+    util::Table table({"name", "type", "model", "dataset", "datasize [MB]", "train files"});
+    for (const auto& workload : workload::catalogue())
+        table.add_row({workload.name, to_string(workload.type), workload.model_family,
+                       workload.dataset_family, util::Table::num(workload.datasize_mb, 0),
+                       std::to_string(workload.train_files)});
+    std::cout << table.render();
+    return 0;
+}
+
+int cmd_tune(const util::Args& args) {
+    if (args.positionals().empty()) return usage();
+    const auto& workload = workload::find_workload(args.positionals()[0]);
+    const auto seed = args.get_uint_or("seed", 1);
+    auto backend = make_backend(args, seed);
+    const auto job = job_config(args, seed);
+    const std::string approach = args.get_or("approach", "pipetune");
+
+    if (approach == "v1") {
+        print_result("Tune V1", hpt::run_tune_v1(*backend, workload, job));
+        return 0;
+    }
+    if (approach == "v2") {
+        print_result("Tune V2", hpt::run_tune_v2(*backend, workload, job));
+        return 0;
+    }
+    if (approach != "pipetune") {
+        std::cerr << "unknown --approach '" << approach << "'\n";
+        return usage();
+    }
+
+    core::ServiceConfig service_config;
+    service_config.state_dir = args.get_or("state-dir", "");
+    service_config.pipetune.tune_frequency = args.get_flag("dvfs");
+    if (args.get_or("objective", "duration") == "energy")
+        service_config.pipetune.probe_objective = core::PipeTuneConfig::ProbeObjective::kEnergy;
+    core::PipeTuneService service(*backend, service_config);
+    const auto result = service.submit(workload, job);
+    print_result("PipeTune", result.baseline);
+    if (args.get_flag("verbose")) {
+        util::Table decisions({"trial", "similarity", "decision", "applied config"});
+        for (const auto& decision : result.decisions)
+            // Reserved high ids mark the post-search final-training run.
+            decisions.add_row({decision.trial_id > (1ULL << 62) ? "final"
+                                                                : std::to_string(decision.trial_id),
+                               util::Table::num(decision.similarity_score, 3),
+                               decision.hit ? "reuse" : "probe",
+                               decision.applied_known ? decision.applied.to_string()
+                                                      : "(probe incomplete)"});
+        std::cout << "\nPer-trial decisions:\n" << decisions.render();
+    }
+    std::cout << "ground truth: " << result.ground_truth_hits << " hits, "
+              << result.probes_started << " probes, store size " << result.ground_truth_size
+              << "\n";
+    if (!service.ground_truth_path().empty())
+        std::cout << "state persisted under " << args.get_or("state-dir", "") << "\n";
+    return 0;
+}
+
+int cmd_compare(const util::Args& args) {
+    if (args.positionals().empty()) return usage();
+    const auto& workload = workload::find_workload(args.positionals()[0]);
+    const auto seed = args.get_uint_or("seed", 1);
+    auto backend = make_backend(args, seed);
+    const auto comparison = core::compare_approaches(*backend, workload, job_config(args, seed));
+
+    util::Table table({"approach", "accuracy [%]", "training [s]", "tuning [s]"});
+    auto row = [&](const char* name, const hpt::BaselineResult& r, bool tuned) {
+        table.add_row({name, util::Table::num(r.final_accuracy, 2),
+                       util::Table::num(r.training_time_s, 0),
+                       tuned ? util::Table::num(r.tuning.tuning_duration_s, 0) : "-"});
+    };
+    row("Arbitrary", comparison.arbitrary, false);
+    row("Tune V1", comparison.tune_v1, true);
+    row("Tune V2", comparison.tune_v2, true);
+    row("PipeTune", comparison.pipetune.baseline, true);
+    std::cout << table.render();
+    return 0;
+}
+
+int cmd_warm_start(const util::Args& args) {
+    const std::string state_dir = args.get_or("state-dir", "");
+    if (state_dir.empty()) {
+        std::cerr << "warm-start requires --state-dir\n";
+        return usage();
+    }
+    const auto seed = args.get_uint_or("seed", 1);
+    auto backend = make_backend(args, seed);
+    core::WarmStartConfig config;
+    config.seed = seed;
+    const auto store = core::build_warm_ground_truth(*backend, workload::catalogue(), config);
+    std::error_code ec;
+    std::filesystem::create_directories(state_dir, ec);
+    store.save(state_dir + "/ground_truth.json");
+    std::cout << "recorded " << store.size() << " profiles into " << state_dir
+              << "/ground_truth.json\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const auto args = util::Args::parse(argc, argv);
+        int status;
+        if (args.command() == "list-workloads") status = cmd_list_workloads();
+        else if (args.command() == "tune") status = cmd_tune(args);
+        else if (args.command() == "compare") status = cmd_compare(args);
+        else if (args.command() == "warm-start") status = cmd_warm_start(args);
+        else return usage();
+
+        for (const auto& key : args.unused_keys())
+            std::cerr << "warning: unrecognized option --" << key << "\n";
+        return status;
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}
