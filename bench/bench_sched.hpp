@@ -1,0 +1,73 @@
+#pragma once
+// Scheduler-backed replay for the multi-tenancy benches (Figs 13-14): run the
+// same arrival trace through sched::ConcurrentPipeTuneService on real worker
+// threads instead of the FifoClusterSim virtual-time loop. Arrival gaps are
+// compressed by `compress` and slept on the submitting thread, so job overlap,
+// queueing, and ground-truth sharing all happen under genuine concurrency.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/core/warm_start.hpp"
+#include "pipetune/sched/concurrent_service.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::bench {
+
+struct SchedReplayResult {
+    cluster::TraceStats stats;
+    std::size_t jobs_completed = 0;
+    std::size_t ground_truth_hits = 0;  ///< summed over all jobs in the replay
+    std::size_t store_size = 0;         ///< shared-store entries after the replay
+};
+
+inline SchedReplayResult run_scheduler_replay(const std::vector<cluster::ArrivedJob>& jobs,
+                                              const std::vector<workload::Workload>& base_mix,
+                                              std::size_t worker_slots,
+                                              std::size_t parallel_slots, double compress,
+                                              std::uint64_t seed) {
+    sim::SimBackend backend({.seed = seed});
+    sched::ConcurrentServiceConfig config;
+    config.worker_slots = worker_slots;
+    // Large enough that submit never blocks; admission timing must track the
+    // trace's arrival process, not queue backpressure.
+    config.queue_capacity = jobs.size() + 1;
+    sched::ConcurrentPipeTuneService service(backend, config);
+
+    // Seed the shared store from the offline profiling campaign (§7.2), the
+    // same warm start the virtual-time PipeTune rows get; the trace's unseen
+    // variants still have to probe.
+    const auto warm = core::build_warm_ground_truth(backend, base_mix);
+    for (const auto& entry : warm.entries())
+        service.cluster_state().ground_truth().record(entry.features, entry.best_system,
+                                                      entry.metric);
+
+    std::vector<sched::ConcurrentPipeTuneService::Submission> submissions;
+    double prev_arrival_s = 0.0;
+    std::uint64_t job_seed = seed;
+    for (const auto& job : jobs) {
+        const double gap_s = (job.arrival_s - prev_arrival_s) * compress;
+        prev_arrival_s = job.arrival_s;
+        if (gap_s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(gap_s));
+        hpt::HptJobConfig job_config;
+        job_config.seed = ++job_seed;
+        job_config.parallel_slots = parallel_slots;
+        auto submission =
+            service.submit(job.workload, job_config, {.label = job.workload.name});
+        if (submission.has_value()) submissions.push_back(std::move(*submission));
+    }
+
+    SchedReplayResult result;
+    for (auto& submission : submissions)
+        result.ground_truth_hits += submission.result.get().ground_truth_hits;
+    service.drain();
+    const auto trace = service.trace();
+    result.jobs_completed = trace.size();
+    result.stats = cluster::summarize_trace(trace, worker_slots);
+    result.store_size = service.cluster_state().ground_truth_size();
+    return result;
+}
+
+}  // namespace pipetune::bench

@@ -86,10 +86,32 @@ TraceStats summarize_trace(const std::vector<JobRecord>& records, std::size_t no
     }
     stats.mean_wait_s /= static_cast<double>(records.size());
     stats.mean_response_s = util::mean(responses);
+    stats.p50_response_s = util::percentile(responses, 50.0);
     stats.p95_response_s = util::percentile(responses, 95.0);
     if (stats.makespan_s > 0)
         stats.utilization =
             stats.busy_node_seconds / (static_cast<double>(nodes) * stats.makespan_s);
+
+    // Queue depth over time: +1 at each arrival, -1 at each start. Starts
+    // sort before arrivals at equal timestamps so a job dispatched the moment
+    // it arrives never registers as queued.
+    std::vector<std::pair<double, int>> events;
+    events.reserve(records.size() * 2);
+    for (const auto& record : records) {
+        events.emplace_back(record.arrival_s, +1);
+        events.emplace_back(record.start_s, -1);
+    }
+    std::sort(events.begin(), events.end());
+    long depth = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        depth += events[i].second;
+        const bool last_at_time = i + 1 == events.size() || events[i + 1].first > events[i].first;
+        if (!last_at_time) continue;
+        const auto d = static_cast<std::size_t>(std::max(0L, depth));
+        if (!stats.queue_depth.empty() && stats.queue_depth.back().depth == d) continue;
+        stats.queue_depth.push_back({events[i].first, d});
+        stats.max_queue_depth = std::max(stats.max_queue_depth, d);
+    }
     return stats;
 }
 

@@ -75,15 +75,29 @@ private:
 /// Mean response time of a trace.
 double average_response_time(const std::vector<JobRecord>& records);
 
-/// Aggregate queueing statistics of a completed trace.
+/// One step of the queue-depth-over-time series: at `time_s` the number of
+/// jobs that have arrived but not yet started became `depth`.
+struct QueueDepthSample {
+    double time_s = 0.0;
+    std::size_t depth = 0;
+};
+
+/// Aggregate queueing statistics of a completed trace. Produced identically
+/// from the virtual-time FifoClusterSim and from the real scheduler's
+/// wall-clock trace (sched::ClusterScheduler::trace()), so the two modes
+/// report comparable numbers.
 struct TraceStats {
     double mean_response_s = 0.0;
+    double p50_response_s = 0.0;
     double p95_response_s = 0.0;
     double mean_wait_s = 0.0;
     double makespan_s = 0.0;          ///< last completion time
     double busy_node_seconds = 0.0;   ///< sum of job service times
     /// busy_node_seconds / (nodes * makespan): how loaded the cluster ran.
     double utilization = 0.0;
+    /// Stepwise #jobs waiting (arrived, not started) whenever it changes.
+    std::vector<QueueDepthSample> queue_depth;
+    std::size_t max_queue_depth = 0;
 };
 TraceStats summarize_trace(const std::vector<JobRecord>& records, std::size_t nodes);
 

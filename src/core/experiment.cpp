@@ -5,7 +5,7 @@ namespace pipetune::core {
 PipeTuneJobResult run_pipetune(workload::Backend& backend, const workload::Workload& workload,
                                const hpt::HptJobConfig& job_config,
                                PipeTuneConfig pipetune_config,
-                               GroundTruth* shared_ground_truth) {
+                               GroundTruthStore* shared_ground_truth) {
     PipeTunePolicy policy(pipetune_config, shared_ground_truth);
     PipeTuneJobResult result;
     // Same search space and objective as Tune V1: PipeTune is "an extension
@@ -16,7 +16,7 @@ PipeTuneJobResult run_pipetune(workload::Backend& backend, const workload::Workl
                                hpt::Objective::kAccuracy, job_config, &policy);
     result.ground_truth_hits = policy.ground_truth_hits();
     result.probes_started = policy.probes_started();
-    result.ground_truth_size = policy.ground_truth().size();
+    result.ground_truth_size = policy.store().size();
     result.decisions = policy.decisions();
     return result;
 }

@@ -21,11 +21,13 @@ struct PipeTuneJobResult {
 /// Run one PipeTune HPT job: HyperBand over the hyperparameter space
 /// (objective = accuracy, §5.1) with the PipeTune per-epoch system policy.
 /// Pass `shared_ground_truth` to warm-start from previous jobs (multi-tenancy
-/// §7.4); otherwise the job builds its ground truth from scratch.
+/// §7.4); otherwise the job builds its ground truth from scratch. The store
+/// may be a bare GroundTruth (sequential sharing) or a locked view from
+/// sched::SharedClusterState (concurrent sharing).
 PipeTuneJobResult run_pipetune(workload::Backend& backend, const workload::Workload& workload,
                                const hpt::HptJobConfig& job_config,
                                PipeTuneConfig pipetune_config = {},
-                               GroundTruth* shared_ground_truth = nullptr);
+                               GroundTruthStore* shared_ground_truth = nullptr);
 
 /// All four Table 2 rows for one workload on one backend.
 struct ApproachComparison {

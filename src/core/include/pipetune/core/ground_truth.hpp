@@ -32,23 +32,42 @@ struct GroundTruthConfig {
     std::uint64_t seed = 1;
 };
 
-class GroundTruth {
+/// The lookup/record surface of the ground-truth store. PipeTunePolicy talks
+/// to this interface so the concurrent scheduler (pipetune::sched) can hand
+/// jobs a reader-writer-locked view of one shared GroundTruth instead of the
+/// bare object. GroundTruth itself is the unsynchronized implementation.
+class GroundTruthStore {
+public:
+    virtual ~GroundTruthStore() = default;
+    virtual std::optional<workload::SystemParams> lookup(const std::vector<double>& features,
+                                                         double* score_out = nullptr) const = 0;
+    virtual void record(const std::vector<double>& features,
+                        const workload::SystemParams& best, double metric) = 0;
+    virtual std::size_t size() const = 0;
+    virtual bool model_ready() const = 0;
+};
+
+class GroundTruth final : public GroundTruthStore {
 public:
     explicit GroundTruth(GroundTruthConfig config = {});
+    GroundTruth(const GroundTruth&) = default;
+    GroundTruth(GroundTruth&&) = default;
+    GroundTruth& operator=(const GroundTruth&) = default;
+    GroundTruth& operator=(GroundTruth&&) = default;
 
     /// Known-best configuration for a similar profile, if the similarity
     /// score clears the threshold. `score_out` (optional) receives the score
     /// even on a miss.
     std::optional<workload::SystemParams> lookup(const std::vector<double>& features,
-                                                 double* score_out = nullptr) const;
+                                                 double* score_out = nullptr) const override;
 
     /// Store a (profile, best configuration) pair discovered by probing;
     /// triggers re-clustering every `refit_interval` inserts.
     void record(const std::vector<double>& features, const workload::SystemParams& best,
-                double metric);
+                double metric) override;
 
-    std::size_t size() const { return entries_.size(); }
-    bool model_ready() const;
+    std::size_t size() const override { return entries_.size(); }
+    bool model_ready() const override;
     const GroundTruthConfig& config() const { return config_; }
     const std::vector<GroundTruthEntry>& entries() const { return entries_; }
 

@@ -44,18 +44,21 @@ struct PipeTuneConfig {
     GroundTruthConfig ground_truth{};
     /// Optional metrics sink (the paper's InfluxDB role, §6): every epoch the
     /// policy observes is appended as `epoch_duration`, `epoch_energy` and
-    /// `epoch_accuracy` points tagged with trial/epoch/phase/system, queryable
-    /// and persistable via metricsdb::TimeSeriesDb. Not owned; may be null.
-    metricsdb::TimeSeriesDb* metrics = nullptr;
+    /// `epoch_accuracy` points tagged with trial/epoch/phase/system. Usually a
+    /// metricsdb::TimeSeriesDb; the concurrent scheduler passes a locked view
+    /// of a shared one instead. Not owned; may be null.
+    metricsdb::MetricsSink* metrics = nullptr;
 };
 
 class PipeTunePolicy final : public hpt::SystemTuningPolicy {
 public:
     /// `shared_ground_truth` (optional) lets multiple HPT jobs — the
     /// multi-tenancy scenario — reuse one persistent store; when null the
-    /// policy owns a private one.
+    /// policy owns a private one. Any GroundTruthStore works: a bare
+    /// GroundTruth for sequential sharing, or a locked view for concurrent
+    /// jobs (sched::SharedClusterState).
     explicit PipeTunePolicy(PipeTuneConfig config = {},
-                            GroundTruth* shared_ground_truth = nullptr);
+                            GroundTruthStore* shared_ground_truth = nullptr);
 
     workload::SystemParams choose(std::uint64_t trial_id, const workload::Workload& workload,
                                   const workload::HyperParams& hyper, std::size_t epoch,
@@ -71,8 +74,15 @@ public:
 
     std::string name() const override { return "pipetune"; }
 
-    GroundTruth& ground_truth() { return owned_ ? *owned_ : *shared_; }
-    const GroundTruth& ground_truth() const { return owned_ ? *owned_ : *shared_; }
+    /// The store this policy reads/writes (owned or shared, possibly locked).
+    GroundTruthStore& store() { return owned_ ? *owned_ : *shared_; }
+    const GroundTruthStore& store() const { return owned_ ? *owned_ : *shared_; }
+
+    /// Concrete store access for introspection (entries, clusters). Valid when
+    /// the policy owns its store or shares a bare GroundTruth; throws
+    /// std::logic_error when the shared store is a type-erased locked view.
+    GroundTruth& ground_truth();
+    const GroundTruth& ground_truth() const;
 
     /// Counters for tests/benches: how trials resolved.
     std::size_t ground_truth_hits() const { return hits_; }
@@ -122,7 +132,7 @@ private:
 
     PipeTuneConfig config_;
     std::unique_ptr<GroundTruth> owned_;
-    GroundTruth* shared_;
+    GroundTruthStore* shared_;
     std::map<std::uint64_t, TrialPlan> plans_;
     std::vector<Decision> decisions_;
     std::size_t hits_ = 0;

@@ -11,7 +11,7 @@ using workload::HyperParams;
 using workload::SystemParams;
 using workload::Workload;
 
-PipeTunePolicy::PipeTunePolicy(PipeTuneConfig config, GroundTruth* shared_ground_truth)
+PipeTunePolicy::PipeTunePolicy(PipeTuneConfig config, GroundTruthStore* shared_ground_truth)
     : config_(config), shared_(shared_ground_truth) {
     if (config.profiling_epochs == 0)
         throw std::invalid_argument("PipeTunePolicy: need at least one profiling epoch");
@@ -20,6 +20,17 @@ PipeTunePolicy::PipeTunePolicy(PipeTuneConfig config, GroundTruth* shared_ground
     // TSDB requires non-decreasing times within a series).
     if (config_.metrics != nullptr)
         next_metric_time_ = config_.metrics->count({.series = "epoch_duration"});
+}
+
+GroundTruth& PipeTunePolicy::ground_truth() {
+    if (owned_) return *owned_;
+    if (auto* concrete = dynamic_cast<GroundTruth*>(shared_)) return *concrete;
+    throw std::logic_error(
+        "PipeTunePolicy::ground_truth: shared store is a type-erased view; use store()");
+}
+
+const GroundTruth& PipeTunePolicy::ground_truth() const {
+    return const_cast<PipeTunePolicy*>(this)->ground_truth();
 }
 
 std::vector<double> PipeTunePolicy::features_of(const std::vector<EpochResult>& history,
@@ -41,9 +52,9 @@ void PipeTunePolicy::resolve_after_profiling(std::uint64_t trial_id, TrialPlan& 
                                              const std::vector<EpochResult>& history) {
     plan.features = features_of(history, config_.profiling_epochs);
     double score = 0.0;
-    const auto known = ground_truth().lookup(plan.features, &score);
+    const auto known = store().lookup(plan.features, &score);
     PT_LOG_DEBUG("pipetune") << "ground-truth lookup: score=" << score
-                             << " store=" << ground_truth().size()
+                             << " store=" << store().size()
                              << (known ? " HIT" : " MISS");
     Decision decision;
     decision.trial_id = trial_id;
@@ -174,7 +185,7 @@ SystemParams PipeTunePolicy::choose(std::uint64_t trial_id, const Workload& /*wo
     double metric = 0.0;
     const SystemParams winner = best_probed(plan, history, &metric);
     if (!plan.recorded) {
-        ground_truth().record(plan.features, winner, metric);
+        store().record(plan.features, winner, metric);
         plan.recorded = true;
     }
     plan.mode = Mode::kApplied;
@@ -214,7 +225,7 @@ void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*wo
     if (plan.mode == Mode::kProbing && !plan.recorded && probe_epochs_done >= 3) {
         double metric = 0.0;
         const SystemParams winner = best_probed(plan, history, &metric);
-        ground_truth().record(plan.features, winner, metric);
+        store().record(plan.features, winner, metric);
         plan.recorded = true;
         if (plan.decision_index < decisions_.size()) {
             decisions_[plan.decision_index].applied = winner;

@@ -28,13 +28,28 @@ struct Query {
     std::optional<double> to{};          ///< inclusive upper time bound
 };
 
-class TimeSeriesDb {
+/// Minimal write/count surface of the metrics store. Tuning policies talk to
+/// this interface instead of the concrete database so a scheduler can hand
+/// concurrent jobs a locked (and pseudo-time-correcting) view of one shared
+/// TimeSeriesDb (sched::SharedClusterState).
+class MetricsSink {
+public:
+    virtual ~MetricsSink() = default;
+    virtual void append(const std::string& series, double time, double value, TagSet tags) = 0;
+    virtual std::size_t count(const Query& query) const = 0;
+};
+
+class TimeSeriesDb : public MetricsSink {
 public:
     TimeSeriesDb() = default;
+    TimeSeriesDb(const TimeSeriesDb&) = default;
+    TimeSeriesDb(TimeSeriesDb&&) = default;
+    TimeSeriesDb& operator=(const TimeSeriesDb&) = default;
+    TimeSeriesDb& operator=(TimeSeriesDb&&) = default;
 
     /// Append one point to a measurement series.
     void append(const std::string& series, Point point);
-    void append(const std::string& series, double time, double value, TagSet tags = {});
+    void append(const std::string& series, double time, double value, TagSet tags = {}) override;
 
     /// All points matching a query, in insertion (time) order.
     std::vector<Point> select(const Query& query) const;
@@ -42,7 +57,7 @@ public:
     /// Mean of matching values; nullopt when nothing matches.
     std::optional<double> mean(const Query& query) const;
     std::optional<double> last(const Query& query) const;
-    std::size_t count(const Query& query) const;
+    std::size_t count(const Query& query) const override;
 
     std::vector<std::string> series_names() const;
     std::size_t total_points() const;

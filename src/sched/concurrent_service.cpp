@@ -1,0 +1,93 @@
+#include "pipetune/sched/concurrent_service.hpp"
+
+#include <filesystem>
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::sched {
+
+ConcurrentPipeTuneService::ConcurrentPipeTuneService(workload::Backend& backend,
+                                                     ConcurrentServiceConfig config)
+    : config_(std::move(config)),
+      backend_(backend),
+      state_(config_.pipetune.ground_truth),
+      scheduler_({.worker_slots = config_.worker_slots,
+                  .queue_capacity = config_.queue_capacity,
+                  .overflow = config_.overflow}) {
+    if (!config_.state_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.state_dir, ec);
+        if (ec)
+            throw std::runtime_error("ConcurrentPipeTuneService: cannot create state dir '" +
+                                     config_.state_dir + "': " + ec.message());
+        state_.load(config_.state_dir, config_.pipetune.ground_truth);
+        if (state_.ground_truth_size() > 0)
+            PT_LOG_INFO("sched") << "loaded shared ground truth with "
+                                 << state_.ground_truth_size() << " profiles from "
+                                 << ground_truth_path();
+    }
+}
+
+ConcurrentPipeTuneService::~ConcurrentPipeTuneService() {
+    scheduler_.shutdown(true);
+    if (!config_.state_dir.empty()) {
+        try {
+            persist();
+        } catch (const std::exception& e) {
+            PT_LOG_ERROR("sched") << "final persist failed: " << e.what();
+        }
+    }
+}
+
+std::string ConcurrentPipeTuneService::ground_truth_path() const {
+    return SharedClusterState::ground_truth_path(config_.state_dir);
+}
+
+std::string ConcurrentPipeTuneService::metrics_path() const {
+    return SharedClusterState::metrics_path(config_.state_dir);
+}
+
+void ConcurrentPipeTuneService::persist() const { state_.save(config_.state_dir); }
+
+std::optional<ConcurrentPipeTuneService::Submission> ConcurrentPipeTuneService::submit(
+    const workload::Workload& workload, const hpt::HptJobConfig& job_config,
+    JobOptions options) {
+    if (options.label.empty()) options.label = workload.name;
+    auto promise = std::make_shared<std::promise<core::PipeTuneJobResult>>();
+    auto future = promise->get_future();
+
+    // The job body runs on a scheduler worker slot. Copies of the workload
+    // and job config keep it self-contained; shared state is reached only
+    // through the locked views.
+    ClusterScheduler::JobFn run = [this, workload, job_config,
+                                   promise](JobContext& ctx) mutable {
+        try {
+            core::PipeTuneConfig pipetune = config_.pipetune;
+            pipetune.metrics = &state_.metrics();
+            auto result = core::run_pipetune(backend_, workload, job_config, pipetune,
+                                             &state_.ground_truth());
+            jobs_served_.fetch_add(1, std::memory_order_relaxed);
+            if (config_.persist_after_each_job && !config_.state_dir.empty()) persist();
+            PT_LOG_INFO("sched") << "job " << ctx.id() << " (" << workload.name
+                                 << "): " << result.ground_truth_hits << " hits / "
+                                 << result.probes_started << " probes, store "
+                                 << result.ground_truth_size;
+            promise->set_value(std::move(result));
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+        }
+    };
+    // Discarded without running → the future reports why instead of dangling
+    // as a broken promise.
+    ClusterScheduler::DiscardFn on_discard = [promise](const JobInfo& info) {
+        promise->set_exception(std::make_exception_ptr(std::runtime_error(
+            "pipetune job " + std::to_string(info.id) + " " + to_string(info.state) +
+            " before running")));
+    };
+
+    auto ticket = scheduler_.submit(std::move(run), std::move(options), std::move(on_discard));
+    if (!ticket) return std::nullopt;
+    return Submission{*ticket, std::move(future)};
+}
+
+}  // namespace pipetune::sched

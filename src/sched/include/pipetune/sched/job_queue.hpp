@@ -1,0 +1,171 @@
+#pragma once
+// Bounded multi-class job queue: the admission edge of the concurrent tuning
+// scheduler. Three priority classes (interactive > normal > batch) are each
+// FIFO; pop always serves the highest non-empty class, so an operator's
+// interactive tuning request overtakes a queued batch campaign without
+// starving it (batch still drains whenever nothing more urgent waits, and
+// capacity is shared so a flood of high-priority work hits the same
+// backpressure wall).
+//
+// Backpressure: the queue holds at most `capacity` jobs across all classes.
+// What happens on overflow is the submitter's choice — kReject returns
+// nullopt (admission control: shed load at the edge), kBlock parks the
+// submitting thread until a slot frees (producer throttling).
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace pipetune::sched {
+
+/// Scheduling classes, highest urgency first.
+enum class Priority { kHigh = 0, kNormal = 1, kBatch = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+
+const char* to_string(Priority priority);
+
+/// What submit() does when the queue is full.
+enum class OverflowPolicy { kReject, kBlock };
+
+/// Handle returned on admission; ids are unique per queue, never reused.
+struct JobTicket {
+    std::uint64_t id = 0;
+};
+
+template <typename T>
+class JobQueue {
+public:
+    explicit JobQueue(std::size_t capacity, OverflowPolicy overflow = OverflowPolicy::kReject)
+        : capacity_(capacity == 0 ? 1 : capacity), overflow_(overflow) {}
+
+    JobQueue(const JobQueue&) = delete;
+    JobQueue& operator=(const JobQueue&) = delete;
+
+    /// Admit one job under a queue-assigned id. Returns the id, or nullopt
+    /// when the queue is full under kReject, or when the queue was closed
+    /// (also while blocked waiting for space under kBlock).
+    std::optional<std::uint64_t> push(T item, Priority priority = Priority::kNormal) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const std::uint64_t id = next_id_;
+        if (!admit(lock, id, std::move(item), priority)) return std::nullopt;
+        next_id_ = id + 1;
+        lock.unlock();
+        not_empty_.notify_one();
+        return id;
+    }
+
+    /// Admit one job under a caller-assigned id (the scheduler registers job
+    /// metadata under its own id before the entry becomes poppable). The
+    /// caller is responsible for id uniqueness. Returns false on reject/close.
+    bool push_with_id(std::uint64_t id, T item, Priority priority = Priority::kNormal) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!admit(lock, id, std::move(item), priority)) return false;
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Take the next job: highest non-empty priority class, FIFO within the
+    /// class. Blocks while the queue is open and empty; returns false once it
+    /// is closed and drained.
+    bool pop(std::uint64_t* id_out, T* item_out, Priority* priority_out = nullptr) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+        if (size_ == 0) return false;  // closed and drained
+        for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+            auto& fifo = classes_[c];
+            if (fifo.empty()) continue;
+            if (id_out != nullptr) *id_out = fifo.front().id;
+            if (item_out != nullptr) *item_out = std::move(fifo.front().item);
+            if (priority_out != nullptr) *priority_out = static_cast<Priority>(c);
+            fifo.pop_front();
+            --size_;
+            lock.unlock();
+            not_full_.notify_one();
+            return true;
+        }
+        return false;  // unreachable: size_ > 0 implies a non-empty class
+    }
+
+    /// Remove a still-queued job (cancellation before dispatch). Returns
+    /// false when the id already left the queue (running, done, or unknown).
+    bool erase(std::uint64_t id, T* item_out = nullptr) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (auto& fifo : classes_) {
+            for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+                if (it->id != id) continue;
+                if (item_out != nullptr) *item_out = std::move(it->item);
+                fifo.erase(it);
+                --size_;
+                lock.unlock();
+                not_full_.notify_one();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// No further admissions; blocked pushers return nullopt, poppers drain
+    /// what is left and then return false.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return size_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// High-water mark of the queue depth since construction.
+    std::size_t max_depth() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return max_depth_;
+    }
+
+private:
+    struct Entry {
+        std::uint64_t id;
+        T item;
+    };
+
+    /// Shared admission path; `lock` must hold mutex_. Blocks under kBlock
+    /// until space or close. The item is consumed only on success.
+    bool admit(std::unique_lock<std::mutex>& lock, std::uint64_t id, T&& item,
+               Priority priority) {
+        if (overflow_ == OverflowPolicy::kBlock)
+            not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+        if (closed_ || size_ >= capacity_) return false;
+        classes_[static_cast<std::size_t>(priority)].push_back(Entry{id, std::move(item)});
+        ++size_;
+        if (size_ > max_depth_) max_depth_ = size_;
+        return true;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::array<std::deque<Entry>, kPriorityClasses> classes_;
+    std::size_t size_ = 0;
+    std::size_t max_depth_ = 0;
+    const std::size_t capacity_;
+    std::uint64_t next_id_ = 1;
+    const OverflowPolicy overflow_;
+    bool closed_ = false;
+};
+
+}  // namespace pipetune::sched

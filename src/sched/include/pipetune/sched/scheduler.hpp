@@ -1,0 +1,174 @@
+#pragma once
+// ClusterScheduler: dispatches queued jobs onto a pool of N worker slots —
+// the real-concurrency counterpart of cluster::FifoClusterSim's virtual-time
+// model (§7.4). Jobs are admitted through a bounded JobQueue (priority
+// classes + backpressure) and executed on util::ThreadPool workers; the
+// scheduler tracks each job's lifecycle and wall-clock timings so a finished
+// trace feeds the same cluster::summarize_trace as the simulator.
+//
+// Lifecycle:
+//
+//   submit ── kQueued ──(worker picks up)── kRunning ──┬── kCompleted
+//      │          │                                    ├── kFailed (threw)
+//      │          ├── cancel() ───────── kCancelled    └── kCancelled (*)
+//      │          └── deadline passes ── kTimedOut
+//      └── queue full (kReject) ── no ticket, nothing recorded
+//
+//   (*) cancellation of a RUNNING job is cooperative: the job's JobContext
+//   flag flips, and if the function returns while the flag is set the job is
+//   accounted kCancelled. Worker threads are never killed.
+//
+// Deadlines bound *queueing*: a job whose deadline passes before a worker
+// picks it up is discarded as kTimedOut without running. Running jobs can
+// poll JobContext::deadline_expired() to stop cooperatively.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/sched/job_queue.hpp"
+#include "pipetune/util/thread_pool.hpp"
+
+namespace pipetune::sched {
+
+enum class JobState { kQueued, kRunning, kCompleted, kFailed, kCancelled, kTimedOut };
+
+const char* to_string(JobState state);
+bool is_terminal(JobState state);
+
+class ClusterScheduler;
+
+/// Handed to the running job for cooperative cancellation/deadline checks.
+class JobContext {
+public:
+    std::uint64_t id() const { return id_; }
+    bool cancel_requested() const { return cancel_->load(std::memory_order_relaxed); }
+    /// True once the job's deadline (if any) has passed.
+    bool deadline_expired() const;
+
+private:
+    friend class ClusterScheduler;
+    JobContext(const ClusterScheduler& scheduler, std::uint64_t id,
+               const std::atomic<bool>* cancel, double deadline_s)
+        : scheduler_(scheduler), id_(id), cancel_(cancel), deadline_s_(deadline_s) {}
+
+    const ClusterScheduler& scheduler_;
+    std::uint64_t id_;
+    const std::atomic<bool>* cancel_;
+    double deadline_s_;  ///< absolute, scheduler clock; <= 0 means none
+};
+
+struct JobOptions {
+    Priority priority = Priority::kNormal;
+    std::string label;       ///< e.g. workload name; lands in the trace
+    double deadline_s = 0.0; ///< budget from submit; 0 = none
+};
+
+struct JobInfo {
+    std::uint64_t id = 0;
+    std::string label;
+    Priority priority = Priority::kNormal;
+    JobState state = JobState::kQueued;
+    double submit_s = 0.0;   ///< scheduler-clock seconds
+    double start_s = -1.0;   ///< -1 while never started
+    double finish_s = -1.0;  ///< -1 while not terminal (or discarded unstarted)
+    double deadline_s = 0.0; ///< absolute; 0 = none
+    std::string error;       ///< exception message when kFailed
+};
+
+struct SchedulerConfig {
+    std::size_t worker_slots = 4;  ///< concurrently running jobs (cluster nodes)
+    std::size_t queue_capacity = 64;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+struct SchedulerStats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t timed_out = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::size_t max_queue_depth = 0;
+};
+
+class ClusterScheduler {
+public:
+    using JobFn = std::function<void(JobContext&)>;
+    /// Invoked (from the discarding thread) when a job is dropped without
+    /// ever running — cancelled while queued or timed out in the queue. Lets
+    /// a caller holding a promise for the job's result break it deliberately.
+    using DiscardFn = std::function<void(const JobInfo&)>;
+
+    explicit ClusterScheduler(SchedulerConfig config = {});
+    ~ClusterScheduler();  // drains the queue, then joins the workers
+    ClusterScheduler(const ClusterScheduler&) = delete;
+    ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+    /// Admit a job. Returns nullopt when the queue rejected it (kReject and
+    /// full, or scheduler already shut down).
+    std::optional<JobTicket> submit(JobFn fn, JobOptions options = {},
+                                    DiscardFn on_discard = {});
+
+    JobState state(std::uint64_t id) const;
+    std::optional<JobInfo> info(std::uint64_t id) const;
+    /// Every job ever submitted, in id order.
+    std::vector<JobInfo> jobs() const;
+
+    /// Cancel a job: a queued job is discarded immediately (true); a running
+    /// job gets its cooperative flag set (true). Terminal/unknown: false.
+    bool cancel(std::uint64_t id);
+
+    /// Wait until `id` reaches a terminal state. Negative timeout = forever.
+    /// Returns false on timeout or unknown id.
+    bool wait(std::uint64_t id, double timeout_s = -1.0);
+    /// Wait until every submitted job is terminal (does not close the queue).
+    void drain();
+    /// Drain (optionally discarding still-queued jobs) and join the workers.
+    /// Idempotent; submit() afterwards returns nullopt.
+    void shutdown(bool drain_queue = true);
+
+    SchedulerStats stats() const;
+
+    /// Completed jobs as a cluster trace (arrival = submit, wall-clock
+    /// seconds on the scheduler clock) — feed to cluster::summarize_trace to
+    /// compare against FifoClusterSim runs.
+    std::vector<cluster::JobRecord> trace() const;
+
+    /// Seconds since scheduler construction (steady clock).
+    double now_s() const;
+
+    const SchedulerConfig& config() const { return config_; }
+
+private:
+    struct Job {
+        JobInfo info;
+        std::shared_ptr<std::atomic<bool>> cancel = std::make_shared<std::atomic<bool>>(false);
+        DiscardFn on_discard;
+    };
+
+    void worker_loop();
+    /// Mark terminal + notify waiters. Caller must NOT hold mutex_.
+    void finish(std::uint64_t id, JobState state, const std::string& error = {});
+
+    SchedulerConfig config_;
+    std::chrono::steady_clock::time_point epoch_;
+    JobQueue<JobFn> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable terminal_cv_;
+    std::map<std::uint64_t, Job> jobs_;
+    SchedulerStats stats_;
+    std::uint64_t next_job_id_ = 1;
+    bool shut_down_ = false;
+    util::ThreadPool pool_;  ///< last member: workers must die before state
+};
+
+}  // namespace pipetune::sched

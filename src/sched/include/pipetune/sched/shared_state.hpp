@@ -1,0 +1,119 @@
+#pragma once
+// Thread-safe shared cluster state: the one ground-truth store and metrics
+// database that every concurrent tuning job reads and warms (paper §5.4 —
+// "the ground truth is shared across jobs"; what makes multi-tenant
+// concurrency pay off is that early finishers shorten the probing of jobs
+// still in the queue).
+//
+// Locking discipline (see DESIGN.md §8):
+//  - Each of the two stores has its own std::shared_mutex; they are never
+//    held together, so lock ordering is a non-issue.
+//  - Reads (lookup / size / model_ready / count / snapshots) take shared
+//    locks; writes (record / append / load) take unique locks.
+//  - GroundTruth::lookup is logically const (no mutable caches), which is
+//    what makes the reader-writer split sound.
+//  - The metrics view additionally clamps pseudo-times per series under the
+//    write lock: concurrent jobs each generate locally monotone times, and
+//    interleaving them raw would violate the TSDB's per-series monotonicity
+//    invariant.
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "pipetune/core/ground_truth.hpp"
+#include "pipetune/metricsdb/tsdb.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::sched {
+
+class SharedClusterState {
+public:
+    explicit SharedClusterState(core::GroundTruthConfig config = {});
+    /// Seed from existing state (e.g. a warm-start campaign's store).
+    SharedClusterState(core::GroundTruth ground_truth, metricsdb::TimeSeriesDb metrics);
+
+    SharedClusterState(const SharedClusterState&) = delete;
+    SharedClusterState& operator=(const SharedClusterState&) = delete;
+
+    /// Locked views, safe to hand to concurrently running PipeTunePolicy
+    /// instances. Both are owned by (and valid as long as) this object.
+    core::GroundTruthStore& ground_truth();
+    metricsdb::MetricsSink& metrics();
+
+    // Synchronized reads of the underlying stores.
+    std::size_t ground_truth_size() const;
+    bool model_ready() const;
+    std::size_t metric_points() const;
+    core::GroundTruth ground_truth_snapshot() const;
+    metricsdb::TimeSeriesDb metrics_snapshot() const;
+
+    /// Replace contents from persisted files under `state_dir` when present.
+    void load(const std::string& state_dir, const core::GroundTruthConfig& config = {});
+    /// Persist both stores under `state_dir` (atomic temp-file + rename per
+    /// file). Snapshots under shared locks, writes outside them.
+    void save(const std::string& state_dir) const;
+
+    static std::string ground_truth_path(const std::string& state_dir);
+    static std::string metrics_path(const std::string& state_dir);
+
+private:
+    class LockedGroundTruth final : public core::GroundTruthStore {
+    public:
+        explicit LockedGroundTruth(SharedClusterState& state) : state_(state) {}
+        std::optional<workload::SystemParams> lookup(const std::vector<double>& features,
+                                                     double* score_out) const override;
+        void record(const std::vector<double>& features, const workload::SystemParams& best,
+                    double metric) override;
+        std::size_t size() const override;
+        bool model_ready() const override;
+
+    private:
+        SharedClusterState& state_;
+    };
+
+    class LockedMetrics final : public metricsdb::MetricsSink {
+    public:
+        explicit LockedMetrics(SharedClusterState& state) : state_(state) {}
+        void append(const std::string& series, double time, double value,
+                    metricsdb::TagSet tags) override;
+        std::size_t count(const metricsdb::Query& query) const override;
+
+    private:
+        SharedClusterState& state_;
+    };
+
+    mutable std::shared_mutex truth_mutex_;
+    mutable std::shared_mutex metrics_mutex_;
+    core::GroundTruth truth_;
+    metricsdb::TimeSeriesDb metrics_;
+    /// Last time appended per series (under metrics_mutex_): appends from
+    /// interleaved jobs are clamped up to this to keep series monotone.
+    std::map<std::string, double> series_clock_;
+    LockedGroundTruth truth_view_;
+    LockedMetrics metrics_view_;
+};
+
+/// Backend adapter that serializes start_trial() calls. Backend
+/// implementations draw per-trial seeds from an internal RNG, which is the
+/// one mutation concurrent jobs would race on; the sessions themselves are
+/// per-trial objects and safe to drive from their own threads.
+class SerializedBackend final : public workload::Backend {
+public:
+    explicit SerializedBackend(workload::Backend& inner) : inner_(inner) {}
+
+    std::unique_ptr<workload::TrialSession> start_trial(
+        const workload::Workload& workload, const workload::HyperParams& hyper) override {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return inner_.start_trial(workload, hyper);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+private:
+    workload::Backend& inner_;
+    std::mutex mutex_;
+};
+
+}  // namespace pipetune::sched

@@ -1,0 +1,312 @@
+#include "pipetune/sched/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::sched {
+
+const char* to_string(Priority priority) {
+    switch (priority) {
+        case Priority::kHigh: return "high";
+        case Priority::kNormal: return "normal";
+        case Priority::kBatch: return "batch";
+    }
+    return "?";
+}
+
+const char* to_string(JobState state) {
+    switch (state) {
+        case JobState::kQueued: return "queued";
+        case JobState::kRunning: return "running";
+        case JobState::kCompleted: return "completed";
+        case JobState::kFailed: return "failed";
+        case JobState::kCancelled: return "cancelled";
+        case JobState::kTimedOut: return "timed-out";
+    }
+    return "?";
+}
+
+bool is_terminal(JobState state) {
+    return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+bool JobContext::deadline_expired() const {
+    return deadline_s_ > 0.0 && scheduler_.now_s() > deadline_s_;
+}
+
+ClusterScheduler::ClusterScheduler(SchedulerConfig config)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      queue_(config.queue_capacity, config.overflow),
+      pool_(config.worker_slots == 0 ? 1 : config.worker_slots) {
+    // Each worker slot is one long-lived pool task looping over the queue;
+    // the loops exit when the queue is closed and drained.
+    for (std::size_t i = 0; i < pool_.size(); ++i)
+        (void)pool_.submit([this] { worker_loop(); });
+}
+
+ClusterScheduler::~ClusterScheduler() { shutdown(true); }
+
+double ClusterScheduler::now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+std::optional<JobTicket> ClusterScheduler::submit(JobFn fn, JobOptions options,
+                                                  DiscardFn on_discard) {
+    if (!fn) throw std::invalid_argument("ClusterScheduler::submit: empty job");
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shut_down_) return std::nullopt;
+        id = next_job_id_++;
+        Job job;
+        job.info.id = id;
+        job.info.label = options.label;
+        job.info.priority = options.priority;
+        job.info.state = JobState::kQueued;
+        job.info.submit_s = now_s();
+        job.info.deadline_s = options.deadline_s > 0 ? job.info.submit_s + options.deadline_s : 0.0;
+        job.on_discard = std::move(on_discard);
+        jobs_.emplace(id, std::move(job));
+        ++stats_.submitted;
+        ++stats_.queued;
+    }
+    // Pushed outside the scheduler lock: a kBlock push may park this thread
+    // until a worker frees a slot, and that worker needs the lock to retire
+    // its job. Workers popping `id` before we return still find its metadata
+    // registered above.
+    if (queue_.push_with_id(id, std::move(fn), options.priority)) return JobTicket{id};
+
+    // Rejected (queue full under kReject, or closed): roll the ghost back.
+    DiscardFn discard;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+            discard = std::move(it->second.on_discard);
+            jobs_.erase(it);
+            --stats_.submitted;
+            --stats_.queued;
+        }
+    }
+    return std::nullopt;
+}
+
+JobState ClusterScheduler::state(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        throw std::out_of_range("ClusterScheduler::state: unknown job id " + std::to_string(id));
+    return it->second.info.state;
+}
+
+std::optional<JobInfo> ClusterScheduler::info(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    return it->second.info;
+}
+
+std::vector<JobInfo> ClusterScheduler::jobs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobInfo> out;
+    out.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) out.push_back(job.info);
+    return out;
+}
+
+bool ClusterScheduler::cancel(std::uint64_t id) {
+    JobInfo discarded;
+    DiscardFn on_discard;
+    bool run_discard = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end() || is_terminal(it->second.info.state)) return false;
+        Job& job = it->second;
+        job.cancel->store(true, std::memory_order_relaxed);
+        if (job.info.state == JobState::kQueued && queue_.erase(id)) {
+            job.info.state = JobState::kCancelled;
+            job.info.finish_s = now_s();
+            --stats_.queued;
+            ++stats_.cancelled;
+            discarded = job.info;
+            on_discard = std::move(job.on_discard);
+            run_discard = true;
+        }
+        // else: a worker already popped it (or it is running) — the flag is
+        // set and the job will retire as kCancelled when the worker checks.
+    }
+    if (run_discard) {
+        terminal_cv_.notify_all();
+        if (on_discard) on_discard(discarded);
+    }
+    return true;
+}
+
+void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::string& error) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) return;
+        JobInfo& info = it->second.info;
+        info.state = state;
+        info.finish_s = now_s();
+        info.error = error;
+        --stats_.running;
+        switch (state) {
+            case JobState::kCompleted: ++stats_.completed; break;
+            case JobState::kFailed: ++stats_.failed; break;
+            case JobState::kCancelled: ++stats_.cancelled; break;
+            case JobState::kTimedOut: ++stats_.timed_out; break;
+            default: break;
+        }
+    }
+    terminal_cv_.notify_all();
+}
+
+void ClusterScheduler::worker_loop() {
+    for (;;) {
+        std::uint64_t id = 0;
+        JobFn fn;
+        if (!queue_.pop(&id, &fn)) return;  // closed and drained
+
+        std::shared_ptr<std::atomic<bool>> cancel;
+        double deadline_s = 0.0;
+        JobInfo discarded;
+        DiscardFn on_discard;
+        bool discard = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = jobs_.find(id);
+            if (it == jobs_.end()) continue;  // rolled back by a rejected submit
+            Job& job = it->second;
+            const double now = now_s();
+            if (job.cancel->load(std::memory_order_relaxed)) {
+                job.info.state = JobState::kCancelled;
+                job.info.finish_s = now;
+                --stats_.queued;
+                ++stats_.cancelled;
+                discard = true;
+            } else if (job.info.deadline_s > 0 && now > job.info.deadline_s) {
+                // The deadline passed while the job sat in the queue: shed it
+                // rather than start work whose response-time budget is spent.
+                job.info.state = JobState::kTimedOut;
+                job.info.finish_s = now;
+                --stats_.queued;
+                ++stats_.timed_out;
+                discard = true;
+            } else {
+                job.info.state = JobState::kRunning;
+                job.info.start_s = now;
+                --stats_.queued;
+                ++stats_.running;
+                cancel = job.cancel;
+                deadline_s = job.info.deadline_s;
+            }
+            if (discard) {
+                discarded = job.info;
+                on_discard = std::move(job.on_discard);
+            }
+        }
+        if (discard) {
+            terminal_cv_.notify_all();
+            if (on_discard) on_discard(discarded);
+            continue;
+        }
+
+        JobContext ctx(*this, id, cancel.get(), deadline_s);
+        std::string error;
+        bool failed = false;
+        try {
+            fn(ctx);
+        } catch (const std::exception& e) {
+            failed = true;
+            error = e.what();
+        } catch (...) {
+            failed = true;
+            error = "unknown exception";
+        }
+        const JobState final_state =
+            failed ? JobState::kFailed
+                   : (cancel->load(std::memory_order_relaxed) ? JobState::kCancelled
+                                                              : JobState::kCompleted);
+        if (failed) PT_LOG_WARN("sched") << "job " << id << " failed: " << error;
+        finish(id, final_state, error);
+    }
+}
+
+bool ClusterScheduler::wait(std::uint64_t id, double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto terminal = [this, id] {
+        auto it = jobs_.find(id);
+        return it == jobs_.end() || is_terminal(it->second.info.state);
+    };
+    if (jobs_.find(id) == jobs_.end()) return false;
+    if (timeout_s < 0) {
+        terminal_cv_.wait(lock, terminal);
+        return true;
+    }
+    return terminal_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), terminal);
+}
+
+void ClusterScheduler::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    terminal_cv_.wait(lock, [this] { return stats_.queued == 0 && stats_.running == 0; });
+}
+
+void ClusterScheduler::shutdown(bool drain_queue) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shut_down_) return;
+        shut_down_ = true;
+    }
+    if (drain_queue) {
+        drain();
+    } else {
+        // Discard everything still queued; running jobs get cooperative
+        // cancel flags and are waited for (threads are never killed).
+        std::vector<std::uint64_t> queued;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (auto& [id, job] : jobs_) {
+                job.cancel->store(true, std::memory_order_relaxed);
+                if (job.info.state == JobState::kQueued) queued.push_back(id);
+            }
+        }
+        for (const std::uint64_t id : queued) cancel(id);
+        drain();
+    }
+    queue_.close();
+    pool_.shutdown(true);
+}
+
+SchedulerStats ClusterScheduler::stats() const {
+    SchedulerStats out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = stats_;
+    }
+    out.max_queue_depth = queue_.max_depth();
+    return out;
+}
+
+std::vector<cluster::JobRecord> ClusterScheduler::trace() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<cluster::JobRecord> records;
+    records.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) {
+        if (job.info.state != JobState::kCompleted) continue;
+        cluster::JobRecord record;
+        record.index = id;
+        record.workload_name = job.info.label;
+        record.arrival_s = job.info.submit_s;
+        record.start_s = job.info.start_s;
+        record.completion_s = job.info.finish_s;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+}  // namespace pipetune::sched

@@ -1,0 +1,142 @@
+#include "pipetune/sched/shared_state.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::sched {
+
+SharedClusterState::SharedClusterState(core::GroundTruthConfig config)
+    : truth_(config), truth_view_(*this), metrics_view_(*this) {}
+
+SharedClusterState::SharedClusterState(core::GroundTruth ground_truth,
+                                       metricsdb::TimeSeriesDb metrics)
+    : truth_(std::move(ground_truth)),
+      metrics_(std::move(metrics)),
+      truth_view_(*this),
+      metrics_view_(*this) {
+    for (const auto& series : metrics_.series_names()) {
+        const auto points = metrics_.select({.series = series});
+        if (!points.empty()) series_clock_[series] = points.back().time;
+    }
+}
+
+core::GroundTruthStore& SharedClusterState::ground_truth() { return truth_view_; }
+metricsdb::MetricsSink& SharedClusterState::metrics() { return metrics_view_; }
+
+std::size_t SharedClusterState::ground_truth_size() const {
+    std::shared_lock lock(truth_mutex_);
+    return truth_.size();
+}
+
+bool SharedClusterState::model_ready() const {
+    std::shared_lock lock(truth_mutex_);
+    return truth_.model_ready();
+}
+
+std::size_t SharedClusterState::metric_points() const {
+    std::shared_lock lock(metrics_mutex_);
+    return metrics_.total_points();
+}
+
+core::GroundTruth SharedClusterState::ground_truth_snapshot() const {
+    std::shared_lock lock(truth_mutex_);
+    return truth_;
+}
+
+metricsdb::TimeSeriesDb SharedClusterState::metrics_snapshot() const {
+    std::shared_lock lock(metrics_mutex_);
+    return metrics_;
+}
+
+std::string SharedClusterState::ground_truth_path(const std::string& state_dir) {
+    return state_dir.empty() ? std::string() : state_dir + "/ground_truth.json";
+}
+
+std::string SharedClusterState::metrics_path(const std::string& state_dir) {
+    return state_dir.empty() ? std::string() : state_dir + "/metrics.json";
+}
+
+void SharedClusterState::load(const std::string& state_dir,
+                              const core::GroundTruthConfig& config) {
+    if (state_dir.empty()) return;
+    std::error_code ec;
+    if (std::filesystem::exists(ground_truth_path(state_dir), ec)) {
+        auto loaded = core::GroundTruth::load(ground_truth_path(state_dir), config);
+        std::unique_lock lock(truth_mutex_);
+        truth_ = std::move(loaded);
+    }
+    if (std::filesystem::exists(metrics_path(state_dir), ec)) {
+        auto loaded = metricsdb::TimeSeriesDb::load(metrics_path(state_dir));
+        std::unique_lock lock(metrics_mutex_);
+        series_clock_.clear();
+        for (const auto& series : loaded.series_names()) {
+            const auto points = loaded.select({.series = series});
+            if (!points.empty()) series_clock_[series] = points.back().time;
+        }
+        metrics_ = std::move(loaded);
+    }
+}
+
+void SharedClusterState::save(const std::string& state_dir) const {
+    if (state_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(state_dir, ec);
+    if (ec)
+        throw std::runtime_error("SharedClusterState::save: cannot create '" + state_dir +
+                                 "': " + ec.message());
+    // Serialize under shared locks, write (atomically) without holding them.
+    util::Json truth_json = [this] {
+        std::shared_lock lock(truth_mutex_);
+        return truth_.to_json();
+    }();
+    util::Json metrics_json = [this] {
+        std::shared_lock lock(metrics_mutex_);
+        return metrics_.to_json();
+    }();
+    truth_json.save_file(ground_truth_path(state_dir));
+    metrics_json.save_file(metrics_path(state_dir));
+}
+
+std::optional<workload::SystemParams> SharedClusterState::LockedGroundTruth::lookup(
+    const std::vector<double>& features, double* score_out) const {
+    std::shared_lock lock(state_.truth_mutex_);
+    return state_.truth_.lookup(features, score_out);
+}
+
+void SharedClusterState::LockedGroundTruth::record(const std::vector<double>& features,
+                                                   const workload::SystemParams& best,
+                                                   double metric) {
+    std::unique_lock lock(state_.truth_mutex_);
+    state_.truth_.record(features, best, metric);
+}
+
+std::size_t SharedClusterState::LockedGroundTruth::size() const {
+    std::shared_lock lock(state_.truth_mutex_);
+    return state_.truth_.size();
+}
+
+bool SharedClusterState::LockedGroundTruth::model_ready() const {
+    std::shared_lock lock(state_.truth_mutex_);
+    return state_.truth_.model_ready();
+}
+
+void SharedClusterState::LockedMetrics::append(const std::string& series, double time,
+                                               double value, metricsdb::TagSet tags) {
+    std::unique_lock lock(state_.metrics_mutex_);
+    // Each job's policy generates locally monotone pseudo-times; interleaved
+    // jobs would violate the per-series monotonicity the TSDB enforces, so
+    // clamp to the series' shared clock.
+    auto& clock = state_.series_clock_[series];
+    if (time < clock) time = clock;
+    clock = time;
+    state_.metrics_.append(series, time, value, std::move(tags));
+}
+
+std::size_t SharedClusterState::LockedMetrics::count(const metricsdb::Query& query) const {
+    std::shared_lock lock(state_.metrics_mutex_);
+    return state_.metrics_.count(query);
+}
+
+}  // namespace pipetune::sched

@@ -1,0 +1,39 @@
+#include "pipetune/util/fs.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace pipetune::util {
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+    if (path.empty()) throw std::runtime_error("write_file_atomic: empty path");
+    // Unique per process-lifetime counter so concurrent writers targeting the
+    // same destination never share a temp file.
+    static std::atomic<std::uint64_t> sequence{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out) throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+        out << contents;
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            throw std::runtime_error("write_file_atomic: write failed for " + tmp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code rm_ec;
+        std::filesystem::remove(tmp, rm_ec);
+        throw std::runtime_error("write_file_atomic: rename to " + path +
+                                 " failed: " + ec.message());
+    }
+}
+
+}  // namespace pipetune::util

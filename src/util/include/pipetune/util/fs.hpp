@@ -1,0 +1,19 @@
+#pragma once
+// Small filesystem helpers shared by everything that persists state. The one
+// that matters is write_file_atomic: state files (ground_truth.json,
+// metrics.json, bench CSVs) must never be observable half-written, so writes
+// go to a temp file in the same directory followed by an atomic rename.
+
+#include <string>
+
+namespace pipetune::util {
+
+/// Write `contents` to `path` crash-safely: the data lands in a unique temp
+/// file next to the destination, is flushed and closed, and only then renamed
+/// over `path` (atomic within a filesystem). A crash mid-write leaves the old
+/// file intact; the stray temp file is removed on the next successful write
+/// only if it reuses the same name (unique suffixes make collisions between
+/// concurrent writers impossible). Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace pipetune::util

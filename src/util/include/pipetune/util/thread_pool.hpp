@@ -22,7 +22,14 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    std::size_t size() const { return workers_.size(); }
+    std::size_t size() const { return pool_size_; }
+
+    /// Graceful teardown. `drain = true` (the destructor's behavior) lets the
+    /// workers finish every queued task before joining; `drain = false`
+    /// discards still-queued tasks (their futures report broken_promise) and
+    /// joins as soon as in-flight tasks return. Idempotent; submit() after
+    /// shutdown throws.
+    void shutdown(bool drain = true);
 
     /// Submit a task; returns a future for its result.
     template <typename F>
@@ -50,6 +57,7 @@ private:
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;
     std::condition_variable cv_;
+    std::size_t pool_size_ = 0;
     bool stopping_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "pipetune/util/json.hpp"
 
+#include "pipetune/util/fs.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -417,10 +419,9 @@ private:
 Json Json::parse(const std::string& text) { return Parser(text).parse(); }
 
 void Json::save_file(const std::string& path) const {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) throw std::runtime_error("Json::save_file: cannot open " + path);
-    out << dump(2) << "\n";
-    if (!out) throw std::runtime_error("Json::save_file: write failed for " + path);
+    // Temp-file + rename so a crash mid-write cannot corrupt persisted state
+    // (ground_truth.json / metrics.json are rewritten after every job).
+    write_file_atomic(path, dump(2) + "\n");
 }
 
 Json Json::load_file(const std::string& path) {

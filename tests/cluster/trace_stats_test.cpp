@@ -52,6 +52,41 @@ TEST(TraceStats, P95CapturesTail) {
     EXPECT_GT(stats.p95_response_s, stats.mean_response_s);
 }
 
+TEST(TraceStats, P50IsTheMedianResponse) {
+    // Responses 10, 20, 1000: the straggler moves the mean but not the median.
+    const std::vector<JobRecord> trace{record(0, 0, 10), record(0, 0, 20),
+                                       record(0, 0, 1000)};
+    const auto stats = summarize_trace(trace, 4);
+    EXPECT_DOUBLE_EQ(stats.p50_response_s, 20.0);
+    EXPECT_LT(stats.p50_response_s, stats.mean_response_s);
+    EXPECT_LE(stats.p50_response_s, stats.p95_response_s);
+}
+
+TEST(TraceStats, QueueDepthTracksWaitingJobs) {
+    // One node: job A runs [0,100); B and C arrive at 10 and 20 and wait.
+    const std::vector<JobRecord> trace{record(0, 0, 100), record(10, 100, 150),
+                                       record(20, 150, 170)};
+    const auto stats = summarize_trace(trace, 1);
+    EXPECT_EQ(stats.max_queue_depth, 2u);
+    ASSERT_FALSE(stats.queue_depth.empty());
+    // The profile starts empty (A dispatched on arrival) and ends empty.
+    EXPECT_EQ(stats.queue_depth.front().depth, 0u);
+    EXPECT_EQ(stats.queue_depth.back().depth, 0u);
+    // Depth reaches 2 while both B and C are parked behind A.
+    bool saw_two = false;
+    for (const auto& sample : stats.queue_depth)
+        if (sample.depth == 2 && sample.time_s >= 20.0 && sample.time_s < 100.0)
+            saw_two = true;
+    EXPECT_TRUE(saw_two);
+}
+
+TEST(TraceStats, ImmediateDispatchNeverCountsAsQueued) {
+    // Two nodes, both jobs start the instant they arrive: depth stays 0.
+    const std::vector<JobRecord> trace{record(0, 0, 50), record(5, 5, 60)};
+    const auto stats = summarize_trace(trace, 2);
+    EXPECT_EQ(stats.max_queue_depth, 0u);
+}
+
 TEST(TraceStats, Validates) {
     EXPECT_THROW(summarize_trace({}, 4), std::invalid_argument);
     EXPECT_THROW(summarize_trace({record(0, 0, 1)}, 0), std::invalid_argument);

@@ -1,0 +1,146 @@
+#include "pipetune/sched/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pipetune::sched {
+namespace {
+
+TEST(JobQueue, FifoWithinOneClass) {
+    JobQueue<int> queue(8);
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i).has_value());
+    for (int i = 0; i < 5; ++i) {
+        std::uint64_t id = 0;
+        int item = -1;
+        ASSERT_TRUE(queue.pop(&id, &item));
+        EXPECT_EQ(item, i);
+    }
+}
+
+TEST(JobQueue, HigherPriorityClassOvertakesLower) {
+    JobQueue<int> queue(8);
+    ASSERT_TRUE(queue.push(1, Priority::kBatch));
+    ASSERT_TRUE(queue.push(2, Priority::kNormal));
+    ASSERT_TRUE(queue.push(3, Priority::kHigh));
+    ASSERT_TRUE(queue.push(4, Priority::kHigh));
+
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        int item = -1;
+        Priority priority{};
+        ASSERT_TRUE(queue.pop(nullptr, &item, &priority));
+        order.push_back(item);
+    }
+    EXPECT_EQ(order, (std::vector<int>{3, 4, 2, 1}));
+}
+
+TEST(JobQueue, RejectPolicyShedsLoadWhenFull) {
+    JobQueue<int> queue(2, OverflowPolicy::kReject);
+    EXPECT_TRUE(queue.push(1).has_value());
+    EXPECT_TRUE(queue.push(2).has_value());
+    EXPECT_FALSE(queue.push(3).has_value());
+    int item = -1;
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    EXPECT_TRUE(queue.push(3).has_value());  // space freed
+}
+
+TEST(JobQueue, BlockPolicyWaitsForSpace) {
+    JobQueue<int> queue(1, OverflowPolicy::kBlock);
+    ASSERT_TRUE(queue.push(1).has_value());
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(queue.push(2).has_value());
+        pushed.store(true);
+    });
+    // Give the producer a moment to park on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    int item = -1;
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    EXPECT_EQ(item, 2);
+}
+
+TEST(JobQueue, EraseRemovesQueuedJob) {
+    JobQueue<int> queue(4);
+    const auto a = queue.push(10);
+    const auto b = queue.push(20);
+    ASSERT_TRUE(a && b);
+    int removed = -1;
+    EXPECT_TRUE(queue.erase(*a, &removed));
+    EXPECT_EQ(removed, 10);
+    EXPECT_FALSE(queue.erase(*a));  // already gone
+    int item = -1;
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    EXPECT_EQ(item, 20);
+}
+
+TEST(JobQueue, CloseDrainsThenStops) {
+    JobQueue<int> queue(4);
+    ASSERT_TRUE(queue.push(1).has_value());
+    queue.close();
+    EXPECT_FALSE(queue.push(2).has_value());
+    int item = -1;
+    EXPECT_TRUE(queue.pop(nullptr, &item));  // drains what is left
+    EXPECT_FALSE(queue.pop(nullptr, &item)); // then reports closed
+}
+
+TEST(JobQueue, CloseUnblocksParkedProducer) {
+    JobQueue<int> queue(1, OverflowPolicy::kBlock);
+    ASSERT_TRUE(queue.push(1).has_value());
+    std::thread producer([&] { EXPECT_FALSE(queue.push(2).has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    producer.join();
+}
+
+TEST(JobQueue, TracksHighWaterMark) {
+    JobQueue<int> queue(8);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    ASSERT_TRUE(queue.push(3));
+    int item = -1;
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    ASSERT_TRUE(queue.pop(nullptr, &item));
+    EXPECT_EQ(queue.max_depth(), 3u);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(JobQueue, ConcurrentProducersConsumersLoseNothing) {
+    JobQueue<int> queue(16, OverflowPolicy::kBlock);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 200;
+    std::atomic<int> consumed{0};
+    std::atomic<long> sum{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p)
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(queue.push(p * kPerProducer + i).has_value());
+        });
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c)
+        consumers.emplace_back([&] {
+            int item = -1;
+            while (queue.pop(nullptr, &item)) {
+                sum.fetch_add(item);
+                consumed.fetch_add(1);
+            }
+        });
+    for (auto& t : threads) t.join();
+    queue.close();
+    for (auto& t : consumers) t.join();
+
+    constexpr int kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(consumed.load(), kTotal);
+    EXPECT_EQ(sum.load(), static_cast<long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace pipetune::sched

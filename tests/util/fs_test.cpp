@@ -1,0 +1,47 @@
+#include "pipetune/util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace pipetune::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+TEST(WriteFileAtomic, CreatesFileWithExactContents) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "pt_fs_test_create.txt").string();
+    std::filesystem::remove(path);
+    write_file_atomic(path, "hello\nworld\n");
+    EXPECT_EQ(slurp(path), "hello\nworld\n");
+    std::filesystem::remove(path);
+}
+
+TEST(WriteFileAtomic, ReplacesExistingFileLeavingNoTempBehind) {
+    const auto dir = std::filesystem::temp_directory_path() / "pt_fs_test_replace";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto path = (dir / "state.json").string();
+    write_file_atomic(path, "old");
+    write_file_atomic(path, "new");
+    EXPECT_EQ(slurp(path), "new");
+    std::size_t entries = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        ++entries;
+        EXPECT_EQ(entry.path().filename().string(), "state.json");
+    }
+    EXPECT_EQ(entries, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(WriteFileAtomic, FailureTargetingUnwritableDirThrows) {
+    EXPECT_THROW(write_file_atomic("/nonexistent-dir-pt/state.json", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pipetune::util

@@ -6,18 +6,25 @@
 //                 [--objective duration|energy] [--backend sim|real]
 //   pipetune compare <workload> [--seed N]          # all approaches side by side
 //   pipetune warm-start --state-dir DIR [--seed N]  # §7.2 offline campaign
+//   pipetune replay [--jobs N] [--workers N] ...    # §7.4 multi-tenant trace on
+//                                                   # the concurrent scheduler
 //
 // Everything runs on the simulation backend by default (instant, virtual
 // time); --backend real trains the bundled NN engine instead.
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <memory>
 #include <system_error>
+#include <thread>
 
+#include "pipetune/cluster/cluster_sim.hpp"
 #include "pipetune/core/experiment.hpp"
 #include "pipetune/core/service.hpp"
 #include "pipetune/core/warm_start.hpp"
+#include "pipetune/sched/concurrent_service.hpp"
 #include "pipetune/sim/real_backend.hpp"
 #include "pipetune/sim/sim_backend.hpp"
 #include "pipetune/util/args.hpp"
@@ -38,6 +45,13 @@ usage:
                 [--objective duration|energy] [--backend sim|real]
   pipetune compare <workload> [--seed N] [--backend sim|real]
   pipetune warm-start --state-dir DIR [--seed N] [--backend sim|real]
+  pipetune replay [--jobs N] [--interarrival S] [--unseen F] [--mix type1|type2|type3|all]
+                  [--workers N] [--queue-capacity N] [--compress X] [--slots N]
+                  [--state-dir DIR] [--seed N] [--backend sim|real]
+
+replay generates a §7.4 arrival trace and runs it through the concurrent
+scheduler (sched::ConcurrentPipeTuneService) on real worker threads; arrival
+gaps are multiplied by --compress (default 2e-5) before sleeping.
 
 workloads: run `pipetune list-workloads` for the catalogue (paper Table 3).
 )";
@@ -178,6 +192,109 @@ int cmd_warm_start(const util::Args& args) {
     return 0;
 }
 
+int cmd_replay(const util::Args& args) {
+    const auto seed = args.get_uint_or("seed", 1);
+    auto backend = make_backend(args, seed);
+
+    std::vector<workload::Workload> mix;
+    const std::string mix_name = args.get_or("mix", "all");
+    if (mix_name == "all") mix = workload::catalogue();
+    else if (mix_name == "type1") mix = workload::workloads_of_type(workload::WorkloadType::kType1);
+    else if (mix_name == "type2") mix = workload::workloads_of_type(workload::WorkloadType::kType2);
+    else if (mix_name == "type3") mix = workload::workloads_of_type(workload::WorkloadType::kType3);
+    else {
+        std::cerr << "unknown --mix '" << mix_name << "'\n";
+        return usage();
+    }
+
+    cluster::ArrivalConfig arrivals;
+    arrivals.job_count = static_cast<std::size_t>(args.get_uint_or("jobs", 12));
+    arrivals.mean_interarrival_s = args.get_number_or("interarrival", 2000.0);
+    arrivals.unseen_fraction = args.get_number_or("unseen", 0.2);
+    arrivals.seed = seed;
+    const auto jobs = cluster::generate_arrivals(mix, arrivals);
+
+    sched::ConcurrentServiceConfig config;
+    config.state_dir = args.get_or("state-dir", "");
+    // The scheduler clamps 0 slots to 1 internally; mirror that here so the
+    // trace summary sees the same node count.
+    config.worker_slots = std::max<std::size_t>(1, args.get_uint_or("workers", 4));
+    config.queue_capacity = static_cast<std::size_t>(args.get_uint_or("queue-capacity", 64));
+    sched::ConcurrentPipeTuneService service(*backend, config);
+    const double compress = args.get_number_or("compress", 2e-5);
+
+    struct Pending {
+        sched::ConcurrentPipeTuneService::Submission submission;
+        std::string name;
+        bool unseen;
+    };
+    std::vector<Pending> pending;
+    double prev_arrival_s = 0.0;
+    std::uint64_t job_seed = seed;
+    for (const auto& job : jobs) {
+        const double gap_s = (job.arrival_s - prev_arrival_s) * compress;
+        prev_arrival_s = job.arrival_s;
+        if (gap_s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(gap_s));
+        auto submission = service.submit(job.workload, job_config(args, ++job_seed),
+                                         {.label = job.workload.name});
+        if (!submission.has_value()) {
+            std::cerr << "job " << job.index << " (" << job.workload.name << ") rejected\n";
+            continue;
+        }
+        pending.push_back({std::move(*submission), job.workload.name, job.unseen});
+    }
+
+    util::Table table({"job", "workload", "unseen", "state", "response [s]", "GT hits",
+                       "probes"});
+    std::size_t total_hits = 0;
+    std::vector<std::pair<std::string, std::string>> outcomes;  // (hits, probes) per job
+    for (auto& p : pending) {
+        std::string hits = "-";
+        std::string probes = "-";
+        try {
+            const auto result = p.submission.result.get();
+            total_hits += result.ground_truth_hits;
+            hits = std::to_string(result.ground_truth_hits);
+            probes = std::to_string(result.probes_started);
+        } catch (const std::exception&) {
+            // state column already tells the story (cancelled / timed out)
+        }
+        outcomes.emplace_back(hits, probes);
+    }
+    service.drain();  // futures resolve inside the job fn; wait for terminal states
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const auto& p = pending[i];
+        const auto info = service.scheduler().info(p.submission.ticket.id);
+        const double response =
+            info && info->finish_s >= 0 ? info->finish_s - info->submit_s : 0.0;
+        table.add_row({std::to_string(p.submission.ticket.id), p.name,
+                       p.unseen ? "yes" : "no", to_string(service.state(p.submission.ticket.id)),
+                       util::Table::num(response, 3), outcomes[i].first, outcomes[i].second});
+    }
+    std::cout << table.render();
+
+    const auto stats = service.stats();
+    const auto trace = service.trace();
+    util::Table summary({"metric", "value"});
+    summary.add_row({"jobs completed", std::to_string(stats.completed)});
+    summary.add_row({"jobs failed", std::to_string(stats.failed)});
+    summary.add_row({"max queue depth", std::to_string(stats.max_queue_depth)});
+    summary.add_row({"ground-truth hits (total)", std::to_string(total_hits)});
+    summary.add_row({"store entries", std::to_string(service.cluster_state().ground_truth_size())});
+    summary.add_row({"metric points", std::to_string(service.cluster_state().metric_points())});
+    if (!trace.empty()) {
+        const auto trace_stats = cluster::summarize_trace(trace, config.worker_slots);
+        summary.add_row({"p50 response [s]", util::Table::num(trace_stats.p50_response_s, 3)});
+        summary.add_row({"p95 response [s]", util::Table::num(trace_stats.p95_response_s, 3)});
+        summary.add_row({"makespan [s]", util::Table::num(trace_stats.makespan_s, 3)});
+        summary.add_row({"utilization", util::Table::num(trace_stats.utilization, 2)});
+    }
+    std::cout << summary.render();
+    if (!config.state_dir.empty())
+        std::cout << "state persisted under " << config.state_dir << "\n";
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,6 +305,7 @@ int main(int argc, char** argv) {
         else if (args.command() == "tune") status = cmd_tune(args);
         else if (args.command() == "compare") status = cmd_compare(args);
         else if (args.command() == "warm-start") status = cmd_warm_start(args);
+        else if (args.command() == "replay") status = cmd_replay(args);
         else return usage();
 
         for (const auto& key : args.unused_keys())
