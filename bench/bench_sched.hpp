@@ -11,6 +11,7 @@
 
 #include "pipetune/cluster/cluster_sim.hpp"
 #include "pipetune/core/warm_start.hpp"
+#include "pipetune/obs/obs_context.hpp"
 #include "pipetune/sched/concurrent_service.hpp"
 #include "pipetune/sim/sim_backend.hpp"
 
@@ -27,14 +28,16 @@ inline SchedReplayResult run_scheduler_replay(const std::vector<cluster::Arrived
                                               const std::vector<workload::Workload>& base_mix,
                                               std::size_t worker_slots,
                                               std::size_t parallel_slots, double compress,
-                                              std::uint64_t seed) {
+                                              std::uint64_t seed,
+                                              obs::ObsContext* obs = nullptr) {
     sim::SimBackend backend({.seed = seed});
-    sched::ConcurrentServiceConfig config;
-    config.worker_slots = worker_slots;
+    core::ServiceOptions options;
+    options.concurrency = worker_slots;
     // Large enough that submit never blocks; admission timing must track the
     // trace's arrival process, not queue backpressure.
-    config.queue_capacity = jobs.size() + 1;
-    sched::ConcurrentPipeTuneService service(backend, config);
+    options.queue_capacity = jobs.size() + 1;
+    options.obs = obs;
+    sched::ConcurrentPipeTuneService service(backend, options);
 
     // Seed the shared store from the offline profiling campaign (§7.2), the
     // same warm start the virtual-time PipeTune rows get; the trace's unseen
@@ -44,7 +47,7 @@ inline SchedReplayResult run_scheduler_replay(const std::vector<cluster::Arrived
         service.cluster_state().ground_truth().record(entry.features, entry.best_system,
                                                       entry.metric);
 
-    std::vector<sched::ConcurrentPipeTuneService::Submission> submissions;
+    std::vector<core::TuningService::Submission> submissions;
     double prev_arrival_s = 0.0;
     std::uint64_t job_seed = seed;
     for (const auto& job : jobs) {

@@ -22,7 +22,7 @@ int main() {
     util::Table table({"job", "workload", "hits", "probes", "tuning [s]", "store size"});
 
     {
-        core::ServiceConfig config;
+        core::ServiceOptions config;
         config.state_dir = state_dir;
         core::PipeTuneService service(backend, config);
         std::cout << "== Service instance 1 (state dir: " << state_dir << ")\n";
@@ -30,7 +30,7 @@ int main() {
         for (const char* name : {"lenet-mnist", "cnn-news20", "lenet-mnist"}) {
             hpt::HptJobConfig job;
             job.seed = ++seed;
-            const auto result = service.submit(workload::find_workload(name), job);
+            const auto result = service.run(workload::find_workload(name), job);
             table.add_row({std::to_string(service.jobs_served()), name,
                            std::to_string(result.ground_truth_hits),
                            std::to_string(result.probes_started),
@@ -41,13 +41,13 @@ int main() {
 
     {
         std::cout << "== Service instance 2 (restarted from the same state dir)\n";
-        core::ServiceConfig config;
+        core::ServiceOptions config;
         config.state_dir = state_dir;
         sim::SimBackend backend2({.seed = 78});
         core::PipeTuneService service(backend2, config);
         hpt::HptJobConfig job;
         job.seed = 780;
-        const auto result = service.submit(workload::find_workload("cnn-news20"), job);
+        const auto result = service.run(workload::find_workload("cnn-news20"), job);
         table.add_row({"4 (restart)", "cnn-news20", std::to_string(result.ground_truth_hits),
                        std::to_string(result.probes_started),
                        util::Table::num(result.baseline.tuning.tuning_duration_s, 0),

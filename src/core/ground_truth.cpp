@@ -117,8 +117,19 @@ GroundTruth GroundTruth::from_json(const util::Json& json, GroundTruthConfig con
 
 void GroundTruth::save(const std::string& path) const { to_json().save_file(path); }
 
+util::Result<GroundTruth> GroundTruth::try_load(const std::string& path,
+                                                GroundTruthConfig config) {
+    auto json = util::Json::try_load_file(path);
+    if (!json) return util::Result<GroundTruth>::failure("ground truth: " + json.error());
+    try {
+        return from_json(json.value(), config);
+    } catch (const std::exception& e) {
+        return util::Result<GroundTruth>::failure("ground truth " + path + ": " + e.what());
+    }
+}
+
 GroundTruth GroundTruth::load(const std::string& path, GroundTruthConfig config) {
-    return from_json(util::Json::load_file(path), config);
+    return std::move(try_load(path, config)).value();
 }
 
 }  // namespace pipetune::core

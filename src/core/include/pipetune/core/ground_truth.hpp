@@ -74,10 +74,13 @@ public:
     /// Cluster id of each stored entry under the current model (for Fig 8).
     std::vector<std::size_t> entry_clusters() const;
 
-    // Persistence.
+    // Persistence. try_load is the Result-returning loader (missing file,
+    // bad JSON, schema drift all land in the error string); load throws it.
     util::Json to_json() const;
     static GroundTruth from_json(const util::Json& json, GroundTruthConfig config = {});
     void save(const std::string& path) const;
+    static util::Result<GroundTruth> try_load(const std::string& path,
+                                              GroundTruthConfig config = {});
     static GroundTruth load(const std::string& path, GroundTruthConfig config = {});
 
 private:

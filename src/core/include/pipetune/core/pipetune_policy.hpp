@@ -25,6 +25,7 @@
 #include "pipetune/core/ground_truth.hpp"
 #include "pipetune/hpt/policy.hpp"
 #include "pipetune/metricsdb/tsdb.hpp"
+#include "pipetune/obs/obs_context.hpp"
 #include "pipetune/perf/profiler.hpp"
 
 namespace pipetune::core {
@@ -48,6 +49,9 @@ struct PipeTuneConfig {
     /// metricsdb::TimeSeriesDb; the concurrent scheduler passes a locked view
     /// of a shared one instead. Not owned; may be null.
     metricsdb::MetricsSink* metrics = nullptr;
+    /// Telemetry for the policy itself (hit/probe counters, store-size gauge,
+    /// cluster/probe phase spans). Not owned; null disables instrumentation.
+    obs::ObsContext* obs = nullptr;
 };
 
 class PipeTunePolicy final : public hpt::SystemTuningPolicy {
@@ -114,6 +118,9 @@ private:
         bool recorded = false;
         std::size_t metrics_logged = 0;  ///< epochs already appended to the sink
         std::size_t decision_index = 0;  ///< position in decisions_ (set on resolve)
+        /// Open while the trial probes (started on the lookup miss, ended
+        /// when the winner is applied or the trial retires mid-probe).
+        obs::Tracer::Span probe_span;
     };
 
     /// Append any not-yet-logged epochs of `history` to the metrics sink.
@@ -138,6 +145,11 @@ private:
     std::size_t hits_ = 0;
     std::size_t probes_ = 0;
     std::uint64_t next_metric_time_ = 0;  ///< monotone pseudo-time for the sink
+    // Instrument references cached at construction (null when obs is null).
+    obs::Counter* obs_hits_ = nullptr;
+    obs::Counter* obs_probes_ = nullptr;
+    obs::Counter* obs_probe_epochs_ = nullptr;
+    obs::Gauge* obs_store_size_ = nullptr;
 };
 
 }  // namespace pipetune::core

@@ -1,0 +1,150 @@
+#pragma once
+// TuningService — the one deployment API. Both service implementations
+// (core::PipeTuneService, serial; sched::ConcurrentPipeTuneService, worker
+// threads) implement this interface, so the CLI, the benches and the
+// examples drive a single surface and any caller can switch between them
+// with a factory call (sched::make_tuning_service) and a `concurrency`
+// field:
+//
+//   core::ServiceOptions options{.state_dir = dir, .concurrency = 4};
+//   auto service = sched::make_tuning_service(backend, options);
+//   auto submission = service->submit(workload, job_config);
+//   core::PipeTuneJobResult result = submission->result.get();
+//
+// Every option the two services used to spell differently lives in one
+// ServiceOptions struct; fields a serial service cannot honor (priorities,
+// queue bounds) are documented as such instead of living in a second struct.
+// Observability is injected the same way everywhere: an obs::ObsContext
+// pointer in the options, threaded by the services into every layer below
+// (scheduler, runner, policy, metricsdb flushes). Null = telemetry off.
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/obs/obs_context.hpp"
+
+namespace pipetune::core {
+
+/// Queue class for concurrent services (maps onto sched::Priority). Serial
+/// services run jobs inline and ignore it.
+enum class SubmitPriority { kHigh = 0, kNormal = 1, kBatch = 2 };
+const char* to_string(SubmitPriority priority);
+
+/// Per-job submission knobs. Everything is optional; a default-constructed
+/// SubmitOptions is always valid.
+struct SubmitOptions {
+    std::string label;  ///< for traces/spans; defaults to the workload name
+    SubmitPriority priority = SubmitPriority::kNormal;  ///< serial: ignored
+    /// Queueing budget in seconds (0 = none). Concurrent services discard
+    /// jobs still queued past it; serial services run immediately, so it
+    /// never triggers.
+    double deadline_s = 0.0;
+};
+
+/// Unified service configuration (replaces core::ServiceConfig and
+/// sched::ConcurrentServiceConfig). The factory picks the implementation
+/// from `concurrency`; each implementation reads the subset it honors.
+struct ServiceOptions {
+    /// Directory for ground_truth.json / metrics.json; empty = in-memory.
+    std::string state_dir;
+    PipeTuneConfig pipetune{};
+    /// Worker slots. <= 1 selects the serial service (jobs run inline on the
+    /// caller's thread, FIFO as in §5.1); > 1 selects the concurrent service
+    /// with that many worker threads (§7.4 multi-tenancy).
+    std::size_t concurrency = 1;
+    std::size_t queue_capacity = 64;  ///< concurrent only
+    /// Full queue at submit: true = shed the job (submit returns nullopt),
+    /// false = block until space. Concurrent only.
+    bool reject_when_full = false;
+    /// Rewrite the state files after every completed job (crash-safe at job
+    /// granularity, like the paper's InfluxDB writes).
+    bool persist_after_each_job = true;
+    /// Run the §7.2 offline profiling campaign on construction when the
+    /// store starts empty (skipped if persisted state is found).
+    bool warm_start_on_first_use = false;
+    std::vector<workload::Workload> warm_start_workloads{};
+    /// Telemetry sink (metrics + spans) threaded through every layer the
+    /// service touches. Not owned; null disables instrumentation.
+    obs::ObsContext* obs = nullptr;
+};
+
+/// Implementation-independent lifetime counters (the concurrent service maps
+/// sched::SchedulerStats onto this; serial services only ever complete or
+/// fail).
+struct ServiceStats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t timed_out = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::size_t max_queue_depth = 0;
+};
+
+/// Wall-clock lifecycle of one submitted job, on the service's own clock
+/// (seconds since construction). The replay CLI turns these into a
+/// cluster::JobRecord trace for response-time summaries.
+struct JobTiming {
+    std::uint64_t id = 0;
+    std::string label;
+    double submit_s = 0.0;
+    double start_s = -1.0;   ///< -1 = never started (discarded while queued)
+    double finish_s = -1.0;  ///< -1 = not terminal yet
+    bool ok = false;         ///< completed without error
+    std::string error;       ///< failure/discard reason when !ok
+};
+
+class TuningService {
+public:
+    virtual ~TuningService() = default;
+
+    struct Submission {
+        std::uint64_t id = 0;
+        std::future<PipeTuneJobResult> result;
+    };
+
+    /// Admit one HPT job. Serial services run it inline and return a ready
+    /// future; concurrent services enqueue it. Returns nullopt only when
+    /// admission control sheds the job (reject_when_full and the queue is
+    /// full, or the service is shutting down). Job failure travels through
+    /// the future as its exception, never through the optional.
+    virtual std::optional<Submission> submit(const workload::Workload& workload,
+                                             const hpt::HptJobConfig& job_config = {},
+                                             SubmitOptions options = {}) = 0;
+
+    /// Blocking convenience: submit + get. Throws if the job was shed or
+    /// failed. This is the call sites' spelling of the old serial submit().
+    PipeTuneJobResult run(const workload::Workload& workload,
+                          const hpt::HptJobConfig& job_config = {}, SubmitOptions options = {});
+
+    /// Block until every admitted job is terminal. No-op for serial services.
+    virtual void drain() = 0;
+
+    /// Snapshot + atomically rewrite the state files (no-op when state_dir is
+    /// empty). Also runs after each job when persist_after_each_job is set.
+    virtual void persist() const = 0;
+
+    /// Jobs that ran to completion over the service's lifetime.
+    virtual std::size_t jobs_served() const = 0;
+    virtual ServiceStats stats() const = 0;
+    /// Lifecycle timings for every job ever submitted, in id order.
+    virtual std::vector<JobTiming> job_timings() const = 0;
+
+    /// Synchronized copies of the cluster state (safe while jobs run).
+    virtual GroundTruth ground_truth_snapshot() const = 0;
+    virtual metricsdb::TimeSeriesDb metrics_snapshot() const = 0;
+
+    /// Persistence paths (empty when running in-memory).
+    virtual std::string ground_truth_path() const = 0;
+    virtual std::string metrics_path() const = 0;
+
+    /// The telemetry context this service reports into (null = disabled).
+    virtual obs::ObsContext* obs() const = 0;
+};
+
+}  // namespace pipetune::core

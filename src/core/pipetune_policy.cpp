@@ -20,6 +20,17 @@ PipeTunePolicy::PipeTunePolicy(PipeTuneConfig config, GroundTruthStore* shared_g
     // TSDB requires non-decreasing times within a series).
     if (config_.metrics != nullptr)
         next_metric_time_ = config_.metrics->count({.series = "epoch_duration"});
+    if (config_.obs != nullptr) {
+        auto& registry = config_.obs->metrics();
+        obs_hits_ = &registry.counter("pipetune_core_ground_truth_hits_total", {},
+                                      "Trials resolved by similarity reuse (Algorithm 1 hit)");
+        obs_probes_ = &registry.counter("pipetune_core_probes_started_total", {},
+                                        "Trials that fell back to system-parameter probing");
+        obs_probe_epochs_ = &registry.counter("pipetune_core_probe_epochs_total", {},
+                                              "Epochs spent measuring probe configurations");
+        obs_store_size_ = &registry.gauge("pipetune_core_ground_truth_size", {},
+                                          "Entries in the ground-truth store");
+    }
 }
 
 GroundTruth& PipeTunePolicy::ground_truth() {
@@ -52,10 +63,20 @@ void PipeTunePolicy::resolve_after_profiling(std::uint64_t trial_id, TrialPlan& 
                                              const std::vector<EpochResult>& history) {
     plan.features = features_of(history, config_.profiling_epochs);
     double score = 0.0;
+    // The "cluster" phase span: the similarity lookup against the store.
+    obs::Tracer::Span lookup_span;
+    if (config_.obs != nullptr) {
+        lookup_span = config_.obs->tracer().span("cluster", "core");
+        lookup_span.arg("trial", std::to_string(trial_id));
+    }
     const auto known = store().lookup(plan.features, &score);
+    if (lookup_span.active()) lookup_span.arg("decision", known ? "hit" : "miss");
+    lookup_span.end();
     PT_LOG_DEBUG("pipetune") << "ground-truth lookup: score=" << score
                              << " store=" << store().size()
                              << (known ? " HIT" : " MISS");
+    if (obs_store_size_ != nullptr)
+        obs_store_size_->set(static_cast<double>(store().size()));
     Decision decision;
     decision.trial_id = trial_id;
     decision.similarity_score = score;
@@ -65,6 +86,7 @@ void PipeTunePolicy::resolve_after_profiling(std::uint64_t trial_id, TrialPlan& 
         plan.mode = Mode::kApplied;
         plan.applied = *known;
         ++hits_;
+        if (obs_hits_ != nullptr) obs_hits_->inc();
         decision.hit = true;
         decision.applied = *known;
         decision.applied_known = true;
@@ -73,6 +95,14 @@ void PipeTunePolicy::resolve_after_profiling(std::uint64_t trial_id, TrialPlan& 
         plan.mode = Mode::kProbing;
         plan.probe_cursor = 0;
         ++probes_;
+        if (obs_probes_ != nullptr) obs_probes_->inc();
+        if (config_.obs != nullptr) {
+            plan.probe_span = config_.obs->tracer().span("probe", "core");
+            plan.probe_span.arg("trial", std::to_string(trial_id));
+            // The probe stays open across trials (parked in the plan) and may
+            // close on a different worker thread; off the nesting stack now.
+            plan.probe_span.detach();
+        }
     }
     plan.decision_index = decisions_.size();
     decisions_.push_back(decision);
@@ -179,15 +209,21 @@ SystemParams PipeTunePolicy::choose(std::uint64_t trial_id, const Workload& /*wo
         }
         plan.frequency_stage_planned = true;
     }
-    if (plan.probe_cursor < plan.probe_sequence.size())
+    if (plan.probe_cursor < plan.probe_sequence.size()) {
+        if (obs_probe_epochs_ != nullptr) obs_probe_epochs_->inc();
         return plan.probe_sequence[plan.probe_cursor++];
+    }
 
     double metric = 0.0;
     const SystemParams winner = best_probed(plan, history, &metric);
     if (!plan.recorded) {
         store().record(plan.features, winner, metric);
         plan.recorded = true;
+        if (obs_store_size_ != nullptr)
+            obs_store_size_->set(static_cast<double>(store().size()));
     }
+    if (plan.probe_span.active()) plan.probe_span.arg("winner", winner.to_string());
+    plan.probe_span.end();
     plan.mode = Mode::kApplied;
     plan.applied = winner;
     if (plan.decision_index < decisions_.size()) {
@@ -227,11 +263,14 @@ void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*wo
         const SystemParams winner = best_probed(plan, history, &metric);
         store().record(plan.features, winner, metric);
         plan.recorded = true;
+        if (obs_store_size_ != nullptr)
+            obs_store_size_->set(static_cast<double>(store().size()));
         if (plan.decision_index < decisions_.size()) {
             decisions_[plan.decision_index].applied = winner;
             decisions_[plan.decision_index].applied_known = true;
         }
     }
+    plan.probe_span.end();  // a trial retiring mid-probe closes its phase
     plans_.erase(it);
 }
 

@@ -13,59 +13,130 @@ bool file_exists(const std::string& path) {
 }
 }  // namespace
 
-PipeTuneService::PipeTuneService(workload::Backend& backend, ServiceConfig config)
-    : backend_(backend), config_(std::move(config)), ground_truth_(config_.pipetune.ground_truth) {
-    if (!config_.state_dir.empty()) {
+PipeTuneService::PipeTuneService(workload::Backend& backend, ServiceOptions options)
+    : backend_(backend),
+      options_(std::move(options)),
+      ground_truth_(options_.pipetune.ground_truth),
+      epoch_(std::chrono::steady_clock::now()) {
+    if (!options_.state_dir.empty()) {
         std::error_code ec;
-        std::filesystem::create_directories(config_.state_dir, ec);
+        std::filesystem::create_directories(options_.state_dir, ec);
         if (ec)
             throw std::runtime_error("PipeTuneService: cannot create state dir '" +
-                                     config_.state_dir + "': " + ec.message());
+                                     options_.state_dir + "': " + ec.message());
     }
     if (file_exists(ground_truth_path())) {
-        ground_truth_ = GroundTruth::load(ground_truth_path(), config_.pipetune.ground_truth);
-        PT_LOG_INFO("service") << "loaded ground truth with " << ground_truth_.size()
-                               << " profiles from " << ground_truth_path();
-    } else if (config_.warm_start_on_first_use && !config_.warm_start_workloads.empty()) {
+        ground_truth_ =
+            GroundTruth::load(ground_truth_path(), options_.pipetune.ground_truth);
+        PT_LOG_INFO("service").field("profiles", ground_truth_.size())
+            << "loaded ground truth from " << ground_truth_path();
+    } else if (options_.warm_start_on_first_use && !options_.warm_start_workloads.empty()) {
         WarmStartConfig warm;
-        warm.ground_truth = config_.pipetune.ground_truth;
-        ground_truth_ = build_warm_ground_truth(backend_, config_.warm_start_workloads, warm);
-        PT_LOG_INFO("service") << "warm-start campaign recorded " << ground_truth_.size()
-                               << " profiles";
+        warm.ground_truth = options_.pipetune.ground_truth;
+        ground_truth_ = build_warm_ground_truth(backend_, options_.warm_start_workloads, warm);
+        PT_LOG_INFO("service").field("profiles", ground_truth_.size())
+            << "warm-start campaign finished";
     }
     if (file_exists(metrics_path())) metrics_ = metricsdb::TimeSeriesDb::load(metrics_path());
     persist();
 }
 
+double PipeTuneService::clock_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
 std::string PipeTuneService::ground_truth_path() const {
-    return config_.state_dir.empty() ? std::string()
-                                     : config_.state_dir + "/ground_truth.json";
+    return options_.state_dir.empty() ? std::string()
+                                      : options_.state_dir + "/ground_truth.json";
 }
 
 std::string PipeTuneService::metrics_path() const {
-    return config_.state_dir.empty() ? std::string() : config_.state_dir + "/metrics.json";
+    return options_.state_dir.empty() ? std::string() : options_.state_dir + "/metrics.json";
 }
 
 void PipeTuneService::persist() const {
-    if (config_.state_dir.empty()) return;
+    if (options_.state_dir.empty()) return;
+    const double start_s = options_.obs ? options_.obs->tracer().now_s() : 0.0;
     ground_truth_.save(ground_truth_path());
     metrics_.save(metrics_path());
+    if (options_.obs) {
+        auto& registry = options_.obs->metrics();
+        registry
+            .counter("pipetune_metricsdb_flush_total", {},
+                     "State flushes (ground truth + metrics db)")
+            .inc();
+        registry
+            .histogram("pipetune_metricsdb_flush_seconds",
+                       {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
+                       "Wall-clock latency of one state flush")
+            .observe(options_.obs->tracer().now_s() - start_s);
+        registry
+            .gauge("pipetune_metricsdb_points", {}, "Points in the metrics database")
+            .set(static_cast<double>(metrics_.total_points()));
+    }
 }
 
-PipeTuneJobResult PipeTuneService::submit(const workload::Workload& workload,
-                                          const hpt::HptJobConfig& job_config) {
-    PipeTuneConfig config = config_.pipetune;
-    config.metrics = &metrics_;
-    const PipeTuneJobResult result =
-        run_pipetune(backend_, workload, job_config, config, &ground_truth_);
-    ++jobs_served_;
-    persist();
-    PT_LOG_INFO("service") << "job " << jobs_served_ << " (" << workload.name << "): accuracy "
-                           << result.baseline.final_accuracy << "%, tuning "
-                           << result.baseline.tuning.tuning_duration_s << "s, "
-                           << result.ground_truth_hits << " hits / " << result.probes_started
-                           << " probes";
-    return result;
+ServiceStats PipeTuneService::stats() const {
+    ServiceStats stats;
+    stats.submitted = jobs_served_ + jobs_failed_;
+    stats.completed = jobs_served_;
+    stats.failed = jobs_failed_;
+    return stats;
+}
+
+std::optional<TuningService::Submission> PipeTuneService::submit(
+    const workload::Workload& workload, const hpt::HptJobConfig& job_config,
+    SubmitOptions options) {
+    const std::uint64_t id = ++next_id_;
+    JobTiming timing;
+    timing.id = id;
+    timing.label = options.label.empty() ? workload.name : options.label;
+    timing.submit_s = timing.start_s = clock_s();
+
+    std::promise<PipeTuneJobResult> promise;
+    auto future = promise.get_future();
+
+    obs::Tracer::Span span;
+    if (options_.obs) {
+        span = options_.obs->tracer().span("job", "service");
+        span.arg("workload", workload.name);
+        span.arg("job_id", std::to_string(id));
+    }
+    try {
+        PipeTuneConfig config = options_.pipetune;
+        config.metrics = &metrics_;
+        config.obs = options_.obs;
+        hpt::HptJobConfig job = job_config;
+        job.obs = options_.obs;
+        PipeTuneJobResult result = run_pipetune(backend_, workload, job, config, &ground_truth_);
+        ++jobs_served_;
+        if (options_.persist_after_each_job) persist();
+        if (options_.obs)
+            options_.obs->metrics()
+                .counter("pipetune_service_jobs_served_total", {},
+                         "HPT jobs run to completion by a tuning service")
+                .inc();
+        PT_LOG_INFO("service")
+                .field("workload", workload.name)
+                .field("accuracy_pct", result.baseline.final_accuracy)
+                .field("tuning_s", result.baseline.tuning.tuning_duration_s)
+                .field("hits", result.ground_truth_hits)
+                .field("probes", result.probes_started)
+            << "job " << jobs_served_ << " done";
+        timing.ok = true;
+        promise.set_value(std::move(result));
+    } catch (const std::exception& e) {
+        ++jobs_failed_;
+        timing.error = e.what();
+        promise.set_exception(std::current_exception());
+    } catch (...) {
+        ++jobs_failed_;
+        timing.error = "unknown error";
+        promise.set_exception(std::current_exception());
+    }
+    timing.finish_s = clock_s();
+    timings_.push_back(timing);
+    return Submission{id, std::move(future)};
 }
 
 }  // namespace pipetune::core

@@ -1,0 +1,26 @@
+#include "pipetune/core/tuning_service.hpp"
+
+#include <stdexcept>
+
+namespace pipetune::core {
+
+const char* to_string(SubmitPriority priority) {
+    switch (priority) {
+        case SubmitPriority::kHigh: return "high";
+        case SubmitPriority::kNormal: return "normal";
+        case SubmitPriority::kBatch: return "batch";
+    }
+    return "?";
+}
+
+PipeTuneJobResult TuningService::run(const workload::Workload& workload,
+                                     const hpt::HptJobConfig& job_config,
+                                     SubmitOptions options) {
+    auto submission = submit(workload, job_config, std::move(options));
+    if (!submission)
+        throw std::runtime_error("TuningService: job for '" + workload.name +
+                                 "' shed at submission (queue full or shutting down)");
+    return submission->result.get();
+}
+
+}  // namespace pipetune::core

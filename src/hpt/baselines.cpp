@@ -14,6 +14,7 @@ BaselineResult run_hyperband_job(workload::Backend& backend, const Workload& wor
     runner_config.parallel_slots = config.parallel_slots;
     runner_config.objective = objective;
     runner_config.default_system = config.default_system;
+    runner_config.obs = config.obs;
 
     TuningJobRunner runner(backend, workload, runner_config, policy);
     HyperBand searcher(space, config.hyperband_resource, config.hyperband_eta, config.seed,
@@ -60,6 +61,7 @@ BaselineResult run_arbitrary(workload::Backend& backend, const Workload& workloa
 
     RunnerConfig runner_config;
     runner_config.default_system = config.default_system;
+    runner_config.obs = config.obs;
     TuningJobRunner runner(backend, workload, runner_config);
 
     BaselineResult result;

@@ -25,6 +25,8 @@ struct HptJobConfig {
     double v2_cohort_scale = 2.0;
     workload::SystemParams default_system = workload::default_system_params();
     std::uint64_t seed = 1;
+    /// Telemetry context threaded into the runner. Not owned; may be null.
+    obs::ObsContext* obs = nullptr;
 };
 
 struct BaselineResult {

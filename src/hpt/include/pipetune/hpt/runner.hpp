@@ -10,6 +10,7 @@
 
 #include "pipetune/hpt/policy.hpp"
 #include "pipetune/hpt/searcher.hpp"
+#include "pipetune/obs/obs_context.hpp"
 
 namespace pipetune::hpt {
 
@@ -25,6 +26,9 @@ struct RunnerConfig {
     std::size_t parallel_slots = 4;  ///< concurrently running trials (cluster nodes)
     Objective objective = Objective::kAccuracy;
     workload::SystemParams default_system = workload::default_system_params();
+    /// Telemetry (trial/epoch/train spans, trial and epoch counters). Not
+    /// owned; null disables instrumentation.
+    obs::ObsContext* obs = nullptr;
 };
 
 /// One completed trial-continuation, stamped with its virtual completion
@@ -92,6 +96,11 @@ private:
     SystemTuningPolicy* policy_;
     std::map<std::uint64_t, LiveTrial> live_;
     std::uint64_t final_training_counter_ = 0;
+    // Instrument references cached at construction (null when obs is null);
+    // the hot epoch loop then touches only atomics.
+    obs::Counter* trials_started_ = nullptr;
+    obs::Counter* trials_completed_ = nullptr;
+    obs::Counter* epochs_total_ = nullptr;
 };
 
 }  // namespace pipetune::hpt

@@ -29,6 +29,15 @@ TuningJobRunner::TuningJobRunner(workload::Backend& backend, const workload::Wor
       policy_(policy != nullptr ? policy : &fallback_policy_) {
     if (config.parallel_slots == 0)
         throw std::invalid_argument("TuningJobRunner: parallel_slots must be > 0");
+    if (config_.obs != nullptr) {
+        auto& registry = config_.obs->metrics();
+        trials_started_ = &registry.counter("pipetune_hpt_trials_started_total", {},
+                                            "Distinct trial configurations started");
+        trials_completed_ = &registry.counter("pipetune_hpt_trials_completed_total", {},
+                                              "Trials retired (policy notified)");
+        epochs_total_ = &registry.counter("pipetune_hpt_epochs_total", {},
+                                          "Training epochs executed (incl. final training)");
+    }
 }
 
 TrialOutcome TuningJobRunner::execute(const TrialRequest& request) {
@@ -41,6 +50,14 @@ TrialOutcome TuningJobRunner::execute(const TrialRequest& request) {
     if (inserted) {
         trial.session = backend_.start_trial(workload_, hyper);
         trial.last_system = trial_default;
+        if (trials_started_ != nullptr) trials_started_->inc();
+    }
+
+    obs::Tracer::Span trial_span;
+    if (config_.obs != nullptr) {
+        trial_span = config_.obs->tracer().span("trial", "hpt");
+        trial_span.arg("trial", std::to_string(request.config_id));
+        trial_span.arg("target_epochs", std::to_string(request.target_epochs));
     }
 
     TrialOutcome outcome;
@@ -48,8 +65,16 @@ TrialOutcome TuningJobRunner::execute(const TrialRequest& request) {
     outcome.point = request.point;
     while (trial.session->epochs_done() < request.target_epochs) {
         const std::size_t next_epoch = trial.session->epochs_done() + 1;
+        // The epoch span opens before choose() so the policy's cluster/probe
+        // phase spans nest under it.
+        obs::Tracer::Span epoch_span;
+        if (config_.obs != nullptr) {
+            epoch_span = config_.obs->tracer().span("epoch", "hpt");
+            epoch_span.arg("epoch", std::to_string(next_epoch));
+        }
         const SystemParams system = policy_->choose(request.config_id, workload_, hyper,
                                                     next_epoch, trial.history, trial_default);
+        if (epochs_total_ != nullptr) epochs_total_->inc();
         EpochResult result = trial.session->run_epoch(system);
         result.system = system;
         const double overhead =
@@ -124,6 +149,7 @@ TuningResult TuningJobRunner::run(Searcher& searcher) {
     for (const auto& [id, trial] : live_) {
         const HyperParams hyper = trial.session->hyperparams();
         policy_->trial_finished(id, workload_, hyper, trial.history);
+        if (trials_completed_ != nullptr) trials_completed_->inc();
     }
     live_.clear();
     return result;
@@ -136,9 +162,20 @@ TuningJobRunner::FinalTraining TuningJobRunner::run_final_training(
     FinalTraining out;
     // Final-training runs use a reserved trial id outside the searcher range.
     const std::uint64_t kFinalTrainingId = ~0ULL - (final_training_counter_++);
+    obs::Tracer::Span train_span;
+    if (config_.obs != nullptr) {
+        train_span = config_.obs->tracer().span("train", "hpt");
+        train_span.arg("epochs", std::to_string(hyper.epochs));
+    }
     for (std::size_t epoch = 1; epoch <= hyper.epochs; ++epoch) {
+        obs::Tracer::Span epoch_span;
+        if (config_.obs != nullptr) {
+            epoch_span = config_.obs->tracer().span("epoch", "hpt");
+            epoch_span.arg("epoch", std::to_string(epoch));
+        }
         const SystemParams system =
             policy_->choose(kFinalTrainingId, workload_, hyper, epoch, history, system_default);
+        if (epochs_total_ != nullptr) epochs_total_->inc();
         EpochResult result = session->run_epoch(system);
         result.system = system;
         result.duration_s +=

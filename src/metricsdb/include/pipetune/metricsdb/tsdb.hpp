@@ -63,10 +63,12 @@ public:
     std::size_t total_points() const;
     void clear();
 
-    /// Persistence (JSON document with every series and point).
+    /// Persistence (JSON document with every series and point). try_load is
+    /// the Result-returning loader; load throws its error text.
     util::Json to_json() const;
     static TimeSeriesDb from_json(const util::Json& json);
     void save(const std::string& path) const;
+    static util::Result<TimeSeriesDb> try_load(const std::string& path);
     static TimeSeriesDb load(const std::string& path);
 
 private:

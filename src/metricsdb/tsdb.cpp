@@ -110,8 +110,18 @@ TimeSeriesDb TimeSeriesDb::from_json(const util::Json& json) {
 
 void TimeSeriesDb::save(const std::string& path) const { to_json().save_file(path); }
 
+util::Result<TimeSeriesDb> TimeSeriesDb::try_load(const std::string& path) {
+    auto json = util::Json::try_load_file(path);
+    if (!json) return util::Result<TimeSeriesDb>::failure("metrics db: " + json.error());
+    try {
+        return from_json(json.value());
+    } catch (const std::exception& e) {
+        return util::Result<TimeSeriesDb>::failure("metrics db " + path + ": " + e.what());
+    }
+}
+
 TimeSeriesDb TimeSeriesDb::load(const std::string& path) {
-    return from_json(util::Json::load_file(path));
+    return std::move(try_load(path)).value();
 }
 
 }  // namespace pipetune::metricsdb

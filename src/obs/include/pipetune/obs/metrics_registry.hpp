@@ -1,0 +1,133 @@
+#pragma once
+// MetricsRegistry: the tuner's own counters, gauges and histograms — the
+// paper's middleware watches the *jobs* through InfluxDB/Grafana (§5.2, §6);
+// this registry watches the *tuner* (queue pressure, probe volume, flush
+// latency) and exports snapshots in Prometheus text format and JSON.
+//
+// Design for hot paths (see DESIGN.md §9):
+//  - Registration (name -> instrument) takes the registry mutex once;
+//    call sites cache the returned reference (stable for the registry's
+//    lifetime) and afterwards touch only atomics — no lock on increment.
+//  - Histograms have fixed bucket bounds chosen at registration; observe()
+//    is a linear scan over a handful of atomics.
+//  - Label sets are part of an instrument's identity and must stay
+//    low-cardinality (states, phases — never trial or job ids; ids belong in
+//    spans, see tracer.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+
+namespace pipetune::obs {
+
+/// Label set attached to an instrument (rendered as {k="v",...}). Order is
+/// preserved in output; the canonical identity key sorts internally.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count (Prometheus counter; name should end in _total).
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, store size, running jobs).
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double delta);
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution (durations, latencies). Bounds are inclusive
+/// upper edges; an implicit +Inf bucket catches the tail. Counts exported
+/// cumulatively, Prometheus-style.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Per-bucket (non-cumulative) counts; last entry is the +Inf bucket.
+    std::vector<std::uint64_t> bucket_counts() const;
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+private:
+    std::vector<double> bounds_;  ///< sorted ascending
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Get-or-create. The same (name, labels) always returns the same
+    /// instrument; re-registering a name under a different kind throws
+    /// std::logic_error (a naming bug, not a runtime condition). References
+    /// stay valid for the registry's lifetime — cache them on hot paths.
+    Counter& counter(const std::string& name, Labels labels = {}, std::string help = "");
+    Gauge& gauge(const std::string& name, Labels labels = {}, std::string help = "");
+    /// `bounds` apply to the whole family; the first registration wins.
+    Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                         Labels labels = {}, std::string help = "");
+
+    /// Number of registered instruments (one histogram counts once).
+    std::size_t series_count() const;
+
+    /// Prometheus text exposition format (# HELP / # TYPE + samples).
+    std::string to_prometheus() const;
+    /// JSON snapshot: {"counters": [...], "gauges": [...], "histograms": [...]}.
+    util::Json to_json() const;
+    /// Atomic write of to_prometheus() (temp file + rename).
+    void write_prometheus(const std::string& path) const;
+
+private:
+    enum class Kind { kCounter, kGauge, kHistogram };
+
+    struct Instrument {
+        std::string name;
+        Labels labels;
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    struct Family {
+        Kind kind;
+        std::string help;
+    };
+
+    /// Canonical identity key for (name, labels); labels sorted by key.
+    static std::string instrument_key(const std::string& name, const Labels& labels);
+    Instrument& resolve(const std::string& name, Labels labels, Kind kind, std::string help);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Instrument> instruments_;  ///< by instrument_key
+    std::map<std::string, Family> families_;         ///< by name
+};
+
+/// Validate/sanitize a metric name: [a-zA-Z_:][a-zA-Z0-9_:]*; anything else
+/// becomes '_' (so call sites can derive names from user strings safely).
+std::string sanitize_metric_name(const std::string& name);
+
+}  // namespace pipetune::obs

@@ -1,0 +1,48 @@
+#pragma once
+// ObsContext: the one telemetry handle threaded through the stack. Owns a
+// MetricsRegistry and a Tracer; services construct one (or accept a shared
+// one) and hand a pointer down through their configs — a null pointer means
+// "observability off" and costs a branch.
+//
+// mirror_logs() bridges util::logging into the registry: every warn/error
+// record increments pipetune_log_{warn,error}_total even when stderr output
+// is filtered, so an operator scraping --metrics-out sees problems a quiet
+// log level would hide.
+
+#include <cstdint>
+#include <string>
+
+#include "pipetune/obs/metrics_registry.hpp"
+#include "pipetune/obs/tracer.hpp"
+
+namespace pipetune::obs {
+
+class ObsContext {
+public:
+    explicit ObsContext(std::size_t trace_capacity = 65536);
+    ~ObsContext();
+    ObsContext(const ObsContext&) = delete;
+    ObsContext& operator=(const ObsContext&) = delete;
+
+    MetricsRegistry& metrics() { return metrics_; }
+    const MetricsRegistry& metrics() const { return metrics_; }
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+
+    /// Start counting util::logging warn/error records into the registry
+    /// (pipetune_log_warn_total / pipetune_log_error_total). Idempotent; the
+    /// observer detaches automatically in the destructor. Process-global:
+    /// the most recent mirroring context wins.
+    void mirror_logs();
+
+    /// Snapshot helpers for --metrics-out / --trace-out style flags.
+    void write_prometheus(const std::string& path) const { metrics_.write_prometheus(path); }
+    void write_chrome_trace(const std::string& path) const { tracer_.write_chrome_trace(path); }
+
+private:
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+    std::uint64_t observer_token_ = 0;  ///< 0 = not mirroring
+};
+
+}  // namespace pipetune::obs

@@ -1,0 +1,122 @@
+#pragma once
+// Tracer: hierarchical wall-clock spans over the tuner's own phases —
+// job → trial → epoch, with probe/cluster/train phases interleaved. Spans
+// nest via a per-thread stack (a span opened while another is open on the
+// same thread becomes its child), land in a bounded ring buffer when closed,
+// and dump as Chrome trace-event JSON (load chrome://tracing or Perfetto on
+// the file `pipetune replay --trace-out` writes).
+//
+// Cost model: opening a span is two steady_clock reads away from free; the
+// one lock is taken on close to push the record into the ring. When the ring
+// is full the oldest spans are overwritten (dropped() counts them) — long
+// replays keep their most recent history, and job-level spans survive because
+// they close last.
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+
+namespace pipetune::obs {
+
+/// One finished span. parent_id == 0 means root (no enclosing span on the
+/// opening thread).
+struct SpanRecord {
+    std::uint64_t id = 0;
+    std::uint64_t parent_id = 0;
+    std::string name;
+    std::string category;
+    std::vector<std::pair<std::string, std::string>> args;
+    double start_s = 0.0;  ///< seconds since tracer construction
+    double end_s = 0.0;
+    std::uint32_t thread = 0;  ///< small per-tracer thread index
+};
+
+class Tracer {
+public:
+    explicit Tracer(std::size_t capacity = 65536);
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// RAII span: closes on destruction (or explicit end()). Movable so a
+    /// policy can park an open span in per-trial state across calls. A
+    /// default-constructed Span is inert.
+    class Span {
+    public:
+        Span() = default;
+        Span(Span&& other) noexcept { *this = std::move(other); }
+        Span& operator=(Span&& other) noexcept {
+            if (this != &other) {
+                end();
+                tracer_ = other.tracer_;
+                record_ = std::move(other.record_);
+                other.tracer_ = nullptr;
+            }
+            return *this;
+        }
+        ~Span() { end(); }
+        Span(const Span&) = delete;
+        Span& operator=(const Span&) = delete;
+
+        bool active() const { return tracer_ != nullptr; }
+        std::uint64_t id() const { return record_.id; }
+        /// Attach one key=value argument (shown in the trace viewer).
+        void arg(std::string key, std::string value) {
+            if (active()) record_.args.emplace_back(std::move(key), std::move(value));
+        }
+        /// Take this span off the opening thread's nesting stack while
+        /// keeping it open: later spans on the thread no longer become its
+        /// children. Required before parking a span past the current scope
+        /// (e.g. a probe that stays open across trials) or moving it to
+        /// another thread. Call on the opening thread.
+        void detach();
+        /// Close now (idempotent); records the span into the ring.
+        void end();
+
+    private:
+        friend class Tracer;
+        Tracer* tracer_ = nullptr;
+        SpanRecord record_;
+    };
+
+    /// Open a span; the innermost open span of this (thread, tracer) becomes
+    /// its parent.
+    Span span(std::string name, std::string category = "pipetune");
+
+    /// Seconds since tracer construction (steady clock).
+    double now_s() const;
+
+    /// Snapshot of the ring, oldest first. Only closed spans appear.
+    std::vector<SpanRecord> completed() const;
+    /// Spans evicted from the ring because it was full.
+    std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Chrome trace-event document: {"traceEvents": [{"ph":"X", ...}, ...]}.
+    /// Times in microseconds, span hierarchy exposed via args.parent.
+    util::Json to_chrome_json() const;
+    /// Atomic write of to_chrome_json() (temp file + rename).
+    void write_chrome_trace(const std::string& path) const;
+
+private:
+    void record(SpanRecord record);
+    std::uint32_t thread_index();
+
+    const std::size_t capacity_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::uint64_t> dropped_{0};
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> ring_;  ///< circular once full
+    std::size_t ring_next_ = 0;     ///< next slot to overwrite when full
+    std::vector<std::thread::id> threads_;  ///< index = small thread id
+};
+
+}  // namespace pipetune::obs

@@ -1,0 +1,274 @@
+#include "pipetune/obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "pipetune/util/fs.hpp"
+
+namespace pipetune::obs {
+
+namespace {
+
+/// Atomic add for doubles without relying on atomic<double>::fetch_add
+/// (emulated via CAS; uncontended in practice — gauges are set() mostly).
+void atomic_add(std::atomic<double>& target, double delta) {
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+std::string format_number(double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15)
+        return std::to_string(static_cast<long long>(v));
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    return ss.str();
+}
+
+std::string escape_label_value(const std::string& value) {
+    std::string out;
+    for (char c : value) {
+        if (c == '\\' || c == '"') out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/// Render {k="v",...}; `extra` appends one more pair (histogram le=).
+std::string render_labels(const Labels& labels, const std::string& extra_key = {},
+                          const std::string& extra_value = {}) {
+    if (labels.empty() && extra_key.empty()) return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key + "=\"" + escape_label_value(value) + "\"";
+    }
+    if (!extra_key.empty()) {
+        if (!first) out += ',';
+        out += extra_key + "=\"" + escape_label_value(extra_value) + "\"";
+    }
+    out += '}';
+    return out;
+}
+
+const char* kind_name(int kind) {
+    switch (kind) {
+        case 0: return "counter";
+        case 1: return "gauge";
+        case 2: return "histogram";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(const std::string& name) {
+    std::string out = name.empty() ? std::string("_") : name;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+                        c == ':' || (i > 0 && c >= '0' && c <= '9');
+        if (!ok) out[i] = '_';
+    }
+    return out;
+}
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    std::sort(bounds_.begin(), bounds_.end());
+    bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+    std::size_t bucket = bounds_.size();  // +Inf by default
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (v <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> counts(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+std::string MetricsRegistry::instrument_key(const std::string& name, const Labels& labels) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string key = name;
+    for (const auto& [k, v] : sorted) key += '\x1f' + k + '\x1e' + v;
+    return key;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::resolve(const std::string& raw_name,
+                                                      Labels labels, Kind kind,
+                                                      std::string help) {
+    const std::string name = sanitize_metric_name(raw_name);
+    const std::string key = instrument_key(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto family = families_.find(name);
+    if (family == families_.end()) {
+        families_.emplace(name, Family{kind, std::move(help)});
+    } else if (family->second.kind != kind) {
+        throw std::logic_error("MetricsRegistry: '" + name + "' registered as " +
+                               kind_name(static_cast<int>(family->second.kind)) +
+                               ", requested as " + kind_name(static_cast<int>(kind)));
+    }
+    auto it = instruments_.find(key);
+    if (it == instruments_.end()) {
+        Instrument instrument;
+        instrument.name = name;
+        instrument.labels = std::move(labels);
+        instrument.kind = kind;
+        it = instruments_.emplace(key, std::move(instrument)).first;
+    }
+    return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels, std::string help) {
+    Instrument& instrument =
+        resolve(name, std::move(labels), Kind::kCounter, std::move(help));
+    if (!instrument.counter) instrument.counter = std::make_unique<Counter>();
+    return *instrument.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels, std::string help) {
+    Instrument& instrument = resolve(name, std::move(labels), Kind::kGauge, std::move(help));
+    if (!instrument.gauge) instrument.gauge = std::make_unique<Gauge>();
+    return *instrument.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      Labels labels, std::string help) {
+    Instrument& instrument =
+        resolve(name, std::move(labels), Kind::kHistogram, std::move(help));
+    if (!instrument.histogram)
+        instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
+    return *instrument.histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instruments_.size();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    // One family block at a time: # HELP/# TYPE once, then every instance.
+    for (const auto& [name, family] : families_) {
+        if (!family.help.empty()) out += "# HELP " + name + " " + family.help + "\n";
+        out += "# TYPE " + name + " " + kind_name(static_cast<int>(family.kind)) + "\n";
+        for (const auto& [key, instrument] : instruments_) {
+            if (instrument.name != name) continue;
+            const std::string labels = render_labels(instrument.labels);
+            switch (instrument.kind) {
+                case Kind::kCounter:
+                    out += name + labels + " " + std::to_string(instrument.counter->value()) +
+                           "\n";
+                    break;
+                case Kind::kGauge:
+                    out += name + labels + " " + format_number(instrument.gauge->value()) + "\n";
+                    break;
+                case Kind::kHistogram: {
+                    const Histogram& h = *instrument.histogram;
+                    const auto counts = h.bucket_counts();
+                    std::uint64_t cumulative = 0;
+                    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                        cumulative += counts[i];
+                        out += name + "_bucket" +
+                               render_labels(instrument.labels, "le",
+                                             format_number(h.bounds()[i])) +
+                               " " + std::to_string(cumulative) + "\n";
+                    }
+                    cumulative += counts.back();
+                    out += name + "_bucket" + render_labels(instrument.labels, "le", "+Inf") +
+                           " " + std::to_string(cumulative) + "\n";
+                    out += name + "_sum" + render_labels(instrument.labels) + " " +
+                           format_number(h.sum()) + "\n";
+                    out += name + "_count" + render_labels(instrument.labels) + " " +
+                           std::to_string(h.count()) + "\n";
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+util::Json MetricsRegistry::to_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    util::Json counters = util::Json::array();
+    util::Json gauges = util::Json::array();
+    util::Json histograms = util::Json::array();
+    for (const auto& [key, instrument] : instruments_) {
+        util::Json entry;
+        entry["name"] = instrument.name;
+        if (!instrument.labels.empty()) {
+            util::Json labels;
+            for (const auto& [k, v] : instrument.labels) labels[k] = v;
+            entry["labels"] = std::move(labels);
+        }
+        switch (instrument.kind) {
+            case Kind::kCounter:
+                entry["value"] = instrument.counter->value();
+                counters.push_back(std::move(entry));
+                break;
+            case Kind::kGauge:
+                entry["value"] = instrument.gauge->value();
+                gauges.push_back(std::move(entry));
+                break;
+            case Kind::kHistogram: {
+                const Histogram& h = *instrument.histogram;
+                const auto counts = h.bucket_counts();
+                util::Json buckets = util::Json::array();
+                for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                    util::Json bucket;
+                    bucket["le"] = h.bounds()[i];
+                    bucket["count"] = counts[i];
+                    buckets.push_back(std::move(bucket));
+                }
+                util::Json inf_bucket;
+                inf_bucket["le"] = "+Inf";
+                inf_bucket["count"] = counts.back();
+                buckets.push_back(std::move(inf_bucket));
+                entry["buckets"] = std::move(buckets);
+                entry["sum"] = h.sum();
+                entry["count"] = h.count();
+                histograms.push_back(std::move(entry));
+                break;
+            }
+        }
+    }
+    util::Json out;
+    out["counters"] = std::move(counters);
+    out["gauges"] = std::move(gauges);
+    out["histograms"] = std::move(histograms);
+    return out;
+}
+
+void MetricsRegistry::write_prometheus(const std::string& path) const {
+    util::write_file_atomic(path, to_prometheus());
+}
+
+}  // namespace pipetune::obs

@@ -1,0 +1,28 @@
+#include "pipetune/obs/obs_context.hpp"
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::obs {
+
+ObsContext::ObsContext(std::size_t trace_capacity) : tracer_(trace_capacity) {}
+
+ObsContext::~ObsContext() {
+    if (observer_token_ != 0) util::clear_log_observer(observer_token_);
+}
+
+void ObsContext::mirror_logs() {
+    if (observer_token_ != 0) return;
+    // Cache the instrument references once; the observer then touches only
+    // atomics (it runs under the log mutex — keep it cheap).
+    Counter& warns = metrics_.counter("pipetune_log_warn_total", {},
+                                      "Warn-level log records emitted");
+    Counter& errors = metrics_.counter("pipetune_log_error_total", {},
+                                       "Error-level log records emitted");
+    observer_token_ = util::set_log_observer(
+        [&warns, &errors](util::LogLevel level, const std::string&, const std::string&) {
+            if (level == util::LogLevel::kWarn) warns.inc();
+            if (level == util::LogLevel::kError) errors.inc();
+        });
+}
+
+}  // namespace pipetune::obs

@@ -1,0 +1,140 @@
+#include "pipetune/obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "pipetune/util/fs.hpp"
+
+namespace pipetune::obs {
+
+namespace {
+
+/// Per-thread stack of open spans, keyed by tracer so two independent
+/// tracers on one thread do not adopt each other's children. Removal scans
+/// from the back: spans almost always close innermost-first, and a moved
+/// span closed out of order is still found (just not in O(1)).
+thread_local std::vector<std::pair<const Tracer*, std::uint64_t>> t_open_spans;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {
+    ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+double Tracer::now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+Tracer::Span Tracer::span(std::string name, std::string category) {
+    Span s;
+    s.tracer_ = this;
+    s.record_.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    s.record_.name = std::move(name);
+    s.record_.category = std::move(category);
+    for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+        if (it->first == this) {
+            s.record_.parent_id = it->second;
+            break;
+        }
+    }
+    s.record_.thread = thread_index();
+    s.record_.start_s = now_s();
+    t_open_spans.emplace_back(this, s.record_.id);
+    return s;
+}
+
+void Tracer::Span::detach() {
+    if (!tracer_) return;
+    // Remove from the opening thread's nesting stack without closing: spans
+    // opened after this no longer become its children. Must run on the
+    // opening thread (before the span is parked or handed elsewhere).
+    for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+        if (it->first == tracer_ && it->second == record_.id) {
+            t_open_spans.erase(std::next(it).base());
+            break;
+        }
+    }
+}
+
+void Tracer::Span::end() {
+    if (!tracer_) return;
+    Tracer* tracer = tracer_;
+    tracer_ = nullptr;
+    record_.end_s = tracer->now_s();
+    // Pop this span off the opener thread's stack (no-op if detach() already
+    // did). If the span was moved to another thread before closing, detach()
+    // on the opening thread is mandatory — this scan cannot see the original
+    // thread's stack.
+    for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+        if (it->first == tracer && it->second == record_.id) {
+            t_open_spans.erase(std::next(it).base());
+            break;
+        }
+    }
+    tracer->record(std::move(record_));
+}
+
+std::uint32_t Tracer::thread_index() {
+    const auto self = std::this_thread::get_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        if (threads_[i] == self) return static_cast<std::uint32_t>(i);
+    threads_.push_back(self);
+    return static_cast<std::uint32_t>(threads_.size() - 1);
+}
+
+void Tracer::record(SpanRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(record));
+        return;
+    }
+    ring_[ring_next_] = std::move(record);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    // Oldest first: once the ring wrapped, ring_next_ points at the oldest.
+    if (ring_.size() == capacity_) {
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(ring_next_ + i) % capacity_]);
+    } else {
+        out = ring_;
+    }
+    return out;
+}
+
+util::Json Tracer::to_chrome_json() const {
+    util::Json events = util::Json::array();
+    for (const auto& span : completed()) {
+        util::Json event;
+        event["name"] = span.name;
+        event["cat"] = span.category;
+        event["ph"] = "X";
+        event["ts"] = span.start_s * 1e6;
+        event["dur"] = (span.end_s - span.start_s) * 1e6;
+        event["pid"] = 1;
+        event["tid"] = static_cast<double>(span.thread);
+        util::Json args;
+        args["id"] = static_cast<double>(span.id);
+        args["parent"] = static_cast<double>(span.parent_id);
+        for (const auto& [key, value] : span.args) args[key] = value;
+        event["args"] = std::move(args);
+        events.push_back(std::move(event));
+    }
+    util::Json doc;
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    return doc;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+    util::write_file_atomic(path, to_chrome_json().dump(2) + "\n");
+}
+
+}  // namespace pipetune::obs

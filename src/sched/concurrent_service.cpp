@@ -2,35 +2,68 @@
 
 #include <filesystem>
 
+#include "pipetune/core/service.hpp"
+#include "pipetune/core/warm_start.hpp"
 #include "pipetune/util/logging.hpp"
 
 namespace pipetune::sched {
 
+namespace {
+
+SchedulerConfig scheduler_config(const core::ServiceOptions& options) {
+    SchedulerConfig config;
+    config.worker_slots = std::max<std::size_t>(1, options.concurrency);
+    config.queue_capacity = options.queue_capacity;
+    config.overflow =
+        options.reject_when_full ? OverflowPolicy::kReject : OverflowPolicy::kBlock;
+    config.obs = options.obs;
+    return config;
+}
+
+Priority to_sched_priority(core::SubmitPriority priority) {
+    switch (priority) {
+        case core::SubmitPriority::kHigh: return Priority::kHigh;
+        case core::SubmitPriority::kNormal: return Priority::kNormal;
+        case core::SubmitPriority::kBatch: return Priority::kBatch;
+    }
+    return Priority::kNormal;
+}
+
+}  // namespace
+
 ConcurrentPipeTuneService::ConcurrentPipeTuneService(workload::Backend& backend,
-                                                     ConcurrentServiceConfig config)
-    : config_(std::move(config)),
+                                                     core::ServiceOptions options)
+    : options_(std::move(options)),
       backend_(backend),
-      state_(config_.pipetune.ground_truth),
-      scheduler_({.worker_slots = config_.worker_slots,
-                  .queue_capacity = config_.queue_capacity,
-                  .overflow = config_.overflow}) {
-    if (!config_.state_dir.empty()) {
+      state_(options_.pipetune.ground_truth),
+      scheduler_(scheduler_config(options_)) {
+    if (!options_.state_dir.empty()) {
         std::error_code ec;
-        std::filesystem::create_directories(config_.state_dir, ec);
+        std::filesystem::create_directories(options_.state_dir, ec);
         if (ec)
             throw std::runtime_error("ConcurrentPipeTuneService: cannot create state dir '" +
-                                     config_.state_dir + "': " + ec.message());
-        state_.load(config_.state_dir, config_.pipetune.ground_truth);
+                                     options_.state_dir + "': " + ec.message());
+        state_.load(options_.state_dir, options_.pipetune.ground_truth);
         if (state_.ground_truth_size() > 0)
-            PT_LOG_INFO("sched") << "loaded shared ground truth with "
-                                 << state_.ground_truth_size() << " profiles from "
-                                 << ground_truth_path();
+            PT_LOG_INFO("sched").field("profiles", state_.ground_truth_size())
+                << "loaded shared ground truth from " << ground_truth_path();
+    }
+    if (state_.ground_truth_size() == 0 && options_.warm_start_on_first_use &&
+        !options_.warm_start_workloads.empty()) {
+        core::WarmStartConfig warm;
+        warm.ground_truth = options_.pipetune.ground_truth;
+        const core::GroundTruth seeded =
+            core::build_warm_ground_truth(backend_, options_.warm_start_workloads, warm);
+        for (const auto& entry : seeded.entries())
+            state_.ground_truth().record(entry.features, entry.best_system, entry.metric);
+        PT_LOG_INFO("sched").field("profiles", state_.ground_truth_size())
+            << "warm-start campaign finished";
     }
 }
 
 ConcurrentPipeTuneService::~ConcurrentPipeTuneService() {
     scheduler_.shutdown(true);
-    if (!config_.state_dir.empty()) {
+    if (!options_.state_dir.empty()) {
         try {
             persist();
         } catch (const std::exception& e) {
@@ -40,19 +73,77 @@ ConcurrentPipeTuneService::~ConcurrentPipeTuneService() {
 }
 
 std::string ConcurrentPipeTuneService::ground_truth_path() const {
-    return SharedClusterState::ground_truth_path(config_.state_dir);
+    return options_.state_dir.empty()
+               ? std::string()
+               : SharedClusterState::ground_truth_path(options_.state_dir);
 }
 
 std::string ConcurrentPipeTuneService::metrics_path() const {
-    return SharedClusterState::metrics_path(config_.state_dir);
+    return options_.state_dir.empty() ? std::string()
+                                      : SharedClusterState::metrics_path(options_.state_dir);
 }
 
-void ConcurrentPipeTuneService::persist() const { state_.save(config_.state_dir); }
+void ConcurrentPipeTuneService::persist() const {
+    if (options_.state_dir.empty()) return;
+    const double start_s = options_.obs ? options_.obs->tracer().now_s() : 0.0;
+    state_.save(options_.state_dir);
+    if (options_.obs) {
+        auto& registry = options_.obs->metrics();
+        registry
+            .counter("pipetune_metricsdb_flush_total", {},
+                     "State flushes (ground truth + metrics db)")
+            .inc();
+        registry
+            .histogram("pipetune_metricsdb_flush_seconds",
+                       {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
+                       "Wall-clock latency of one state flush")
+            .observe(options_.obs->tracer().now_s() - start_s);
+        registry
+            .gauge("pipetune_metricsdb_points", {}, "Points in the metrics database")
+            .set(static_cast<double>(state_.metric_points()));
+    }
+}
 
-std::optional<ConcurrentPipeTuneService::Submission> ConcurrentPipeTuneService::submit(
+core::ServiceStats ConcurrentPipeTuneService::stats() const {
+    const SchedulerStats sched = scheduler_.stats();
+    core::ServiceStats out;
+    out.submitted = sched.submitted;
+    out.completed = sched.completed;
+    out.failed = sched.failed;
+    out.cancelled = sched.cancelled;
+    out.timed_out = sched.timed_out;
+    out.running = sched.running;
+    out.queued = sched.queued;
+    out.max_queue_depth = sched.max_queue_depth;
+    return out;
+}
+
+std::vector<core::JobTiming> ConcurrentPipeTuneService::job_timings() const {
+    std::vector<core::JobTiming> out;
+    for (const JobInfo& info : scheduler_.jobs()) {
+        core::JobTiming timing;
+        timing.id = info.id;
+        timing.label = info.label;
+        timing.submit_s = info.submit_s;
+        timing.start_s = info.start_s;
+        timing.finish_s = info.finish_s;
+        timing.ok = info.state == JobState::kCompleted;
+        timing.error = info.state == JobState::kCompleted ? std::string()
+                       : info.error.empty() ? std::string(to_string(info.state))
+                                            : info.error;
+        out.push_back(std::move(timing));
+    }
+    return out;
+}
+
+std::optional<core::TuningService::Submission> ConcurrentPipeTuneService::submit(
     const workload::Workload& workload, const hpt::HptJobConfig& job_config,
-    JobOptions options) {
-    if (options.label.empty()) options.label = workload.name;
+    core::SubmitOptions options) {
+    JobOptions sched_options;
+    sched_options.label = options.label.empty() ? workload.name : options.label;
+    sched_options.priority = to_sched_priority(options.priority);
+    sched_options.deadline_s = options.deadline_s;
+
     auto promise = std::make_shared<std::promise<core::PipeTuneJobResult>>();
     auto future = promise->get_future();
 
@@ -62,16 +153,26 @@ std::optional<ConcurrentPipeTuneService::Submission> ConcurrentPipeTuneService::
     ClusterScheduler::JobFn run = [this, workload, job_config,
                                    promise](JobContext& ctx) mutable {
         try {
-            core::PipeTuneConfig pipetune = config_.pipetune;
+            core::PipeTuneConfig pipetune = options_.pipetune;
             pipetune.metrics = &state_.metrics();
-            auto result = core::run_pipetune(backend_, workload, job_config, pipetune,
-                                             &state_.ground_truth());
+            pipetune.obs = options_.obs;
+            hpt::HptJobConfig job = job_config;
+            job.obs = options_.obs;
+            auto result =
+                core::run_pipetune(backend_, workload, job, pipetune, &state_.ground_truth());
             jobs_served_.fetch_add(1, std::memory_order_relaxed);
-            if (config_.persist_after_each_job && !config_.state_dir.empty()) persist();
-            PT_LOG_INFO("sched") << "job " << ctx.id() << " (" << workload.name
-                                 << "): " << result.ground_truth_hits << " hits / "
-                                 << result.probes_started << " probes, store "
-                                 << result.ground_truth_size;
+            if (options_.obs)
+                options_.obs->metrics()
+                    .counter("pipetune_service_jobs_served_total", {},
+                             "HPT jobs run to completion by a tuning service")
+                    .inc();
+            if (options_.persist_after_each_job && !options_.state_dir.empty()) persist();
+            PT_LOG_INFO("sched")
+                    .field("workload", workload.name)
+                    .field("hits", result.ground_truth_hits)
+                    .field("probes", result.probes_started)
+                    .field("store", result.ground_truth_size)
+                << "job " << ctx.id() << " done";
             promise->set_value(std::move(result));
         } catch (...) {
             promise->set_exception(std::current_exception());
@@ -85,9 +186,17 @@ std::optional<ConcurrentPipeTuneService::Submission> ConcurrentPipeTuneService::
             " before running")));
     };
 
-    auto ticket = scheduler_.submit(std::move(run), std::move(options), std::move(on_discard));
+    auto ticket =
+        scheduler_.submit(std::move(run), std::move(sched_options), std::move(on_discard));
     if (!ticket) return std::nullopt;
-    return Submission{*ticket, std::move(future)};
+    return Submission{ticket->id, std::move(future)};
+}
+
+std::unique_ptr<core::TuningService> make_tuning_service(workload::Backend& backend,
+                                                         core::ServiceOptions options) {
+    if (options.concurrency <= 1)
+        return std::make_unique<core::PipeTuneService>(backend, std::move(options));
+    return std::make_unique<ConcurrentPipeTuneService>(backend, std::move(options));
 }
 
 }  // namespace pipetune::sched

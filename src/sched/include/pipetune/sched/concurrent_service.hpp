@@ -1,72 +1,72 @@
 #pragma once
-// ConcurrentPipeTuneService — the multi-tenant deployment façade. Mirrors
-// core::PipeTuneService::submit() but returns immediately with a future:
-// jobs queue up behind N worker slots and run genuinely concurrently against
-// one SharedClusterState, so an early finisher's recorded configurations are
-// visible to every job still probing (the paper's §7.4 sharing effect, on
-// real threads instead of virtual time).
+// ConcurrentPipeTuneService — the multi-tenant implementation of
+// core::TuningService. submit() returns immediately with a future: jobs
+// queue up behind `concurrency` worker slots and run genuinely concurrently
+// against one SharedClusterState, so an early finisher's recorded
+// configurations are visible to every job still probing (the paper's §7.4
+// sharing effect, on real threads instead of virtual time).
 //
 //   sim::SimBackend backend;
-//   sched::ConcurrentPipeTuneService service(backend, {.worker_slots = 4});
+//   sched::ConcurrentPipeTuneService service(backend, {.concurrency = 4});
 //   auto a = service.submit(workload::find_workload("lenet-mnist"), {});
 //   auto b = service.submit(workload::find_workload("lenet-fashion"), {});
 //   core::PipeTuneJobResult rb = b->result.get();  // may have warm-started from a
 //
 // Futures surface failure as the job's exception; a job discarded before
 // running (cancelled while queued, queue-deadline exceeded, or shed by a
-// full kReject queue at submit time) reports a std::runtime_error naming the
-// terminal state.
+// full reject-mode queue at submit time) reports a std::runtime_error naming
+// the terminal state. Prefer constructing through
+// sched::make_tuning_service so serial and concurrent deployments share one
+// call site.
 
 #include <future>
 #include <optional>
 
-#include "pipetune/core/experiment.hpp"
-#include "pipetune/core/service.hpp"
+#include "pipetune/core/tuning_service.hpp"
 #include "pipetune/sched/scheduler.hpp"
 #include "pipetune/sched/shared_state.hpp"
 
 namespace pipetune::sched {
 
-struct ConcurrentServiceConfig {
-    /// Directory for ground_truth.json / metrics.json; empty = in-memory.
-    std::string state_dir;
-    core::PipeTuneConfig pipetune{};
-    std::size_t worker_slots = 4;  ///< the paper's Type-I/II testbed has 4 machines
-    std::size_t queue_capacity = 64;
-    OverflowPolicy overflow = OverflowPolicy::kBlock;
-    /// Re-persist the shared state after every completed job (crash-safe at
-    /// job granularity, matching PipeTuneService).
-    bool persist_after_each_job = true;
-};
-
-class ConcurrentPipeTuneService {
+class ConcurrentPipeTuneService final : public core::TuningService {
 public:
-    ConcurrentPipeTuneService(workload::Backend& backend, ConcurrentServiceConfig config = {});
+    /// `options.concurrency` (clamped to >= 1) sets the worker slots; the
+    /// warm-start fields seed the shared store when no persisted state is
+    /// found, exactly like the serial service.
+    ConcurrentPipeTuneService(workload::Backend& backend, core::ServiceOptions options = {});
     /// Drains in-flight jobs, persists, joins the workers.
     ~ConcurrentPipeTuneService();
     ConcurrentPipeTuneService(const ConcurrentPipeTuneService&) = delete;
     ConcurrentPipeTuneService& operator=(const ConcurrentPipeTuneService&) = delete;
 
-    struct Submission {
-        JobTicket ticket;
-        std::future<core::PipeTuneJobResult> result;
-    };
-
     /// Enqueue one HPT job. Returns nullopt when admission control rejected
-    /// it (kReject overflow and the queue is full, or the service is shutting
-    /// down); under kBlock the call waits for queue space instead.
+    /// it (reject_when_full and the queue is full, or the service is shutting
+    /// down); otherwise the call may block for queue space.
     std::optional<Submission> submit(const workload::Workload& workload,
                                      const hpt::HptJobConfig& job_config = {},
-                                     JobOptions options = {});
+                                     core::SubmitOptions options = {}) override;
 
     /// Cooperative cancel (see ClusterScheduler::cancel).
     bool cancel(std::uint64_t id) { return scheduler_.cancel(id); }
     JobState state(std::uint64_t id) const { return scheduler_.state(id); }
     /// Block until every submitted job is terminal.
-    void drain() { scheduler_.drain(); }
+    void drain() override { scheduler_.drain(); }
 
-    std::size_t jobs_served() const { return jobs_served_.load(std::memory_order_relaxed); }
-    SchedulerStats stats() const { return scheduler_.stats(); }
+    std::size_t jobs_served() const override {
+        return jobs_served_.load(std::memory_order_relaxed);
+    }
+    core::ServiceStats stats() const override;
+    std::vector<core::JobTiming> job_timings() const override;
+
+    core::GroundTruth ground_truth_snapshot() const override {
+        return state_.ground_truth_snapshot();
+    }
+    metricsdb::TimeSeriesDb metrics_snapshot() const override {
+        return state_.metrics_snapshot();
+    }
+
+    /// Scheduler-native stats (richer than the interface's ServiceStats).
+    SchedulerStats scheduler_stats() const { return scheduler_.stats(); }
     /// Completed-job wall-clock trace; feed to cluster::summarize_trace.
     std::vector<cluster::JobRecord> trace() const { return scheduler_.trace(); }
 
@@ -75,16 +75,25 @@ public:
 
     /// Snapshot + atomically rewrite the state files (also runs after every
     /// job when persist_after_each_job is set).
-    void persist() const;
-    std::string ground_truth_path() const;
-    std::string metrics_path() const;
+    void persist() const override;
+    std::string ground_truth_path() const override;
+    std::string metrics_path() const override;
+
+    obs::ObsContext* obs() const override { return options_.obs; }
 
 private:
-    ConcurrentServiceConfig config_;
+    core::ServiceOptions options_;
     SerializedBackend backend_;
     SharedClusterState state_;
     std::atomic<std::size_t> jobs_served_{0};
     ClusterScheduler scheduler_;  ///< after state_: jobs reference it
 };
+
+/// Build the implementation `options.concurrency` asks for: <= 1 — the
+/// serial core::PipeTuneService (jobs run inline on the caller's thread);
+/// > 1 — a ConcurrentPipeTuneService with that many worker slots. The
+/// backend must outlive the returned service.
+std::unique_ptr<core::TuningService> make_tuning_service(workload::Backend& backend,
+                                                         core::ServiceOptions options = {});
 
 }  // namespace pipetune::sched

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/obs/obs_context.hpp"
 #include "pipetune/sched/job_queue.hpp"
 #include "pipetune/util/thread_pool.hpp"
 
@@ -87,6 +88,9 @@ struct SchedulerConfig {
     std::size_t worker_slots = 4;  ///< concurrently running jobs (cluster nodes)
     std::size_t queue_capacity = 64;
     OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Telemetry (queue-depth/running gauges, lifecycle counters, queue-wait
+    /// histogram, one "job" span per executed job). Not owned; may be null.
+    obs::ObsContext* obs = nullptr;
 };
 
 struct SchedulerStats {
@@ -158,6 +162,10 @@ private:
     void worker_loop();
     /// Mark terminal + notify waiters. Caller must NOT hold mutex_.
     void finish(std::uint64_t id, JobState state, const std::string& error = {});
+    /// Refresh the depth/running gauges from stats_. Caller holds mutex_.
+    void update_gauges_locked();
+    /// Count one terminal transition. Caller holds mutex_.
+    void count_terminal_locked(JobState state);
 
     SchedulerConfig config_;
     std::chrono::steady_clock::time_point epoch_;
@@ -168,6 +176,16 @@ private:
     SchedulerStats stats_;
     std::uint64_t next_job_id_ = 1;
     bool shut_down_ = false;
+    // Instrument references cached at construction (null when obs is null).
+    obs::Counter* obs_submitted_ = nullptr;
+    obs::Counter* obs_rejected_ = nullptr;
+    obs::Counter* obs_completed_ = nullptr;
+    obs::Counter* obs_failed_ = nullptr;
+    obs::Counter* obs_cancelled_ = nullptr;
+    obs::Counter* obs_timed_out_ = nullptr;
+    obs::Gauge* obs_queue_depth_ = nullptr;
+    obs::Gauge* obs_running_ = nullptr;
+    obs::Histogram* obs_queue_wait_ = nullptr;
     util::ThreadPool pool_;  ///< last member: workers must die before state
 };
 

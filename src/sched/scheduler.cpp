@@ -40,10 +40,57 @@ ClusterScheduler::ClusterScheduler(SchedulerConfig config)
       epoch_(std::chrono::steady_clock::now()),
       queue_(config.queue_capacity, config.overflow),
       pool_(config.worker_slots == 0 ? 1 : config.worker_slots) {
+    if (config_.obs != nullptr) {
+        auto& registry = config_.obs->metrics();
+        obs_submitted_ = &registry.counter("pipetune_sched_jobs_submitted_total", {},
+                                           "Jobs admitted to the scheduler queue");
+        obs_rejected_ = &registry.counter("pipetune_sched_jobs_rejected_total", {},
+                                          "Jobs shed at submit (queue full or shut down)");
+        obs_completed_ = &registry.counter("pipetune_sched_jobs_completed_total", {},
+                                           "Jobs that ran to completion");
+        obs_failed_ = &registry.counter("pipetune_sched_jobs_failed_total", {},
+                                        "Jobs whose function threw");
+        obs_cancelled_ = &registry.counter("pipetune_sched_jobs_cancelled_total", {},
+                                           "Jobs cancelled (queued or cooperative)");
+        obs_timed_out_ = &registry.counter("pipetune_sched_jobs_timed_out_total", {},
+                                           "Jobs discarded after their queueing deadline");
+        obs_queue_depth_ =
+            &registry.gauge("pipetune_sched_queue_depth", {}, "Jobs waiting in the queue");
+        obs_running_ =
+            &registry.gauge("pipetune_sched_jobs_running", {}, "Jobs occupying worker slots");
+        obs_queue_wait_ = &registry.histogram(
+            "pipetune_sched_queue_wait_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0}, {},
+            "Queue wait (submit to start) of jobs that ran");
+    }
     // Each worker slot is one long-lived pool task looping over the queue;
     // the loops exit when the queue is closed and drained.
     for (std::size_t i = 0; i < pool_.size(); ++i)
         (void)pool_.submit([this] { worker_loop(); });
+}
+
+void ClusterScheduler::update_gauges_locked() {
+    if (obs_queue_depth_ != nullptr)
+        obs_queue_depth_->set(static_cast<double>(stats_.queued));
+    if (obs_running_ != nullptr) obs_running_->set(static_cast<double>(stats_.running));
+}
+
+void ClusterScheduler::count_terminal_locked(JobState state) {
+    switch (state) {
+        case JobState::kCompleted:
+            if (obs_completed_ != nullptr) obs_completed_->inc();
+            break;
+        case JobState::kFailed:
+            if (obs_failed_ != nullptr) obs_failed_->inc();
+            break;
+        case JobState::kCancelled:
+            if (obs_cancelled_ != nullptr) obs_cancelled_->inc();
+            break;
+        case JobState::kTimedOut:
+            if (obs_timed_out_ != nullptr) obs_timed_out_->inc();
+            break;
+        default:
+            break;
+    }
 }
 
 ClusterScheduler::~ClusterScheduler() { shutdown(true); }
@@ -71,6 +118,8 @@ std::optional<JobTicket> ClusterScheduler::submit(JobFn fn, JobOptions options,
         jobs_.emplace(id, std::move(job));
         ++stats_.submitted;
         ++stats_.queued;
+        if (obs_submitted_ != nullptr) obs_submitted_->inc();
+        update_gauges_locked();
     }
     // Pushed outside the scheduler lock: a kBlock push may park this thread
     // until a worker frees a slot, and that worker needs the lock to retire
@@ -88,6 +137,10 @@ std::optional<JobTicket> ClusterScheduler::submit(JobFn fn, JobOptions options,
             jobs_.erase(it);
             --stats_.submitted;
             --stats_.queued;
+            // The optimistic admission above already counted it; the rejected
+            // counter is the net signal (submitted_total stays monotone).
+            if (obs_rejected_ != nullptr) obs_rejected_->inc();
+            update_gauges_locked();
         }
     }
     return std::nullopt;
@@ -131,6 +184,8 @@ bool ClusterScheduler::cancel(std::uint64_t id) {
             job.info.finish_s = now_s();
             --stats_.queued;
             ++stats_.cancelled;
+            count_terminal_locked(JobState::kCancelled);
+            update_gauges_locked();
             discarded = job.info;
             on_discard = std::move(job.on_discard);
             run_discard = true;
@@ -155,6 +210,8 @@ void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::strin
         info.finish_s = now_s();
         info.error = error;
         --stats_.running;
+        count_terminal_locked(state);
+        update_gauges_locked();
         switch (state) {
             case JobState::kCompleted: ++stats_.completed; break;
             case JobState::kFailed: ++stats_.failed; break;
@@ -174,6 +231,8 @@ void ClusterScheduler::worker_loop() {
 
         std::shared_ptr<std::atomic<bool>> cancel;
         double deadline_s = 0.0;
+        double queue_wait_s = 0.0;
+        std::string label;
         JobInfo discarded;
         DiscardFn on_discard;
         bool discard = false;
@@ -188,6 +247,7 @@ void ClusterScheduler::worker_loop() {
                 job.info.finish_s = now;
                 --stats_.queued;
                 ++stats_.cancelled;
+                count_terminal_locked(JobState::kCancelled);
                 discard = true;
             } else if (job.info.deadline_s > 0 && now > job.info.deadline_s) {
                 // The deadline passed while the job sat in the queue: shed it
@@ -196,6 +256,7 @@ void ClusterScheduler::worker_loop() {
                 job.info.finish_s = now;
                 --stats_.queued;
                 ++stats_.timed_out;
+                count_terminal_locked(JobState::kTimedOut);
                 discard = true;
             } else {
                 job.info.state = JobState::kRunning;
@@ -204,7 +265,10 @@ void ClusterScheduler::worker_loop() {
                 ++stats_.running;
                 cancel = job.cancel;
                 deadline_s = job.info.deadline_s;
+                queue_wait_s = now - job.info.submit_s;
+                label = job.info.label;
             }
+            update_gauges_locked();
             if (discard) {
                 discarded = job.info;
                 on_discard = std::move(job.on_discard);
@@ -216,6 +280,13 @@ void ClusterScheduler::worker_loop() {
             continue;
         }
 
+        if (obs_queue_wait_ != nullptr) obs_queue_wait_->observe(queue_wait_s);
+        obs::Tracer::Span job_span;
+        if (config_.obs != nullptr) {
+            job_span = config_.obs->tracer().span("job", "sched");
+            job_span.arg("job_id", std::to_string(id));
+            if (!label.empty()) job_span.arg("label", label);
+        }
         JobContext ctx(*this, id, cancel.get(), deadline_s);
         std::string error;
         bool failed = false;

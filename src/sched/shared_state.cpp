@@ -63,12 +63,17 @@ void SharedClusterState::load(const std::string& state_dir,
     if (state_dir.empty()) return;
     std::error_code ec;
     if (std::filesystem::exists(ground_truth_path(state_dir), ec)) {
-        auto loaded = core::GroundTruth::load(ground_truth_path(state_dir), config);
+        auto loaded = core::GroundTruth::try_load(ground_truth_path(state_dir), config);
+        if (!loaded)
+            throw std::runtime_error("SharedClusterState::load: " + loaded.error());
         std::unique_lock lock(truth_mutex_);
-        truth_ = std::move(loaded);
+        truth_ = std::move(loaded).value();
     }
     if (std::filesystem::exists(metrics_path(state_dir), ec)) {
-        auto loaded = metricsdb::TimeSeriesDb::load(metrics_path(state_dir));
+        auto result = metricsdb::TimeSeriesDb::try_load(metrics_path(state_dir));
+        if (!result)
+            throw std::runtime_error("SharedClusterState::load: " + result.error());
+        auto loaded = std::move(result).value();
         std::unique_lock lock(metrics_mutex_);
         series_clock_.clear();
         for (const auto& series : loaded.series_names()) {

@@ -2,14 +2,24 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace pipetune::util {
 
-CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
-    : out_(path, std::ios::trunc), columns_(header.size()) {
-    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
-    add_row(header);
+CsvWriter::CsvWriter(Unchecked, std::ofstream out, std::size_t columns)
+    : out_(std::move(out)), columns_(columns) {}
+
+Result<CsvWriter> CsvWriter::try_open(const std::string& path,
+                                      const std::vector<std::string>& header) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Result<CsvWriter>::failure("CsvWriter: cannot open " + path);
+    CsvWriter writer(Unchecked{}, std::move(out), header.size());
+    writer.add_row(header);
+    return writer;
 }
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : CsvWriter(std::move(try_open(path, header).value())) {}
 
 std::string CsvWriter::escape(const std::string& cell) {
     if (cell.find_first_of(",\"\n") == std::string::npos) return cell;

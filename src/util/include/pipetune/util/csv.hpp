@@ -6,12 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "pipetune/util/result.hpp"
+
 namespace pipetune::util {
 
 class CsvWriter {
 public:
-    /// Opens (truncates) the file and writes the header row.
+    /// Opens (truncates) the file and writes the header row; throws
+    /// std::runtime_error when the file cannot be opened (benches treat a
+    /// missing dump directory as fatal). try_open is the Result-returning
+    /// primitive underneath.
     CsvWriter(const std::string& path, const std::vector<std::string>& header);
+    static Result<CsvWriter> try_open(const std::string& path,
+                                      const std::vector<std::string>& header);
+
+    CsvWriter(CsvWriter&&) = default;
+    CsvWriter& operator=(CsvWriter&&) = default;
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
 
     void add_row(const std::vector<std::string>& cells);
     void add_row(const std::vector<double>& cells);
@@ -20,10 +32,10 @@ public:
     void close();
     ~CsvWriter();
 
-    CsvWriter(const CsvWriter&) = delete;
-    CsvWriter& operator=(const CsvWriter&) = delete;
-
 private:
+    struct Unchecked {};  // tag: try_open validated the stream already
+    CsvWriter(Unchecked, std::ofstream out, std::size_t columns);
+
     static std::string escape(const std::string& cell);
     std::ofstream out_;
     std::size_t columns_;

@@ -13,6 +13,8 @@
 #include <variant>
 #include <vector>
 
+#include "pipetune/util/result.hpp"
+
 namespace pipetune::util {
 
 class Json;
@@ -79,11 +81,15 @@ public:
     /// Serialize. indent < 0 means compact single-line.
     std::string dump(int indent = -1) const;
 
-    /// Parse from text; throws std::runtime_error with position on error.
+    /// Parse from text. try_parse returns value-or-error (with offset in the
+    /// error text); parse is the throwing wrapper over it.
+    static Result<Json> try_parse(const std::string& text);
     static Json parse(const std::string& text);
 
-    /// File helpers; save throws on I/O failure, load throws on missing/bad file.
+    /// File helpers; save throws on I/O failure. try_load_file returns
+    /// value-or-error for missing/bad files; load_file throws the same text.
     void save_file(const std::string& path) const;
+    static Result<Json> try_load_file(const std::string& path);
     static Json load_file(const std::string& path);
 
     bool operator==(const Json& other) const;

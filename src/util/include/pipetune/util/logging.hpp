@@ -2,22 +2,54 @@
 // Minimal leveled logger. Thread-safe, writes to stderr, globally filterable.
 // Kept deliberately tiny: the library's observable outputs are the metrics DB
 // and bench tables, not logs; logging exists for debugging runs.
+//
+// Two observability hooks on top of the basics:
+//  - LogLine can attach structured key=value fields, rendered after the
+//    message body ("job 3 done  workload=lenet-mnist slots=4").
+//  - A process-wide observer sees every record (level, component, rendered
+//    message) BEFORE the threshold filter, so obs::ObsContext can mirror
+//    warn/error counts into a MetricsRegistry regardless of verbosity.
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pipetune::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped (but still observed).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log record (already formatted body).
-void log(LogLevel level, const std::string& component, const std::string& message);
+/// One structured field attached to a record.
+struct LogField {
+    std::string key;
+    std::string value;
+};
 
-/// Stream-style helper: LogLine(kInfo, "hpt") << "trial " << id << " done";
+/// Render fields as "  k=v k=v" (empty string for no fields).
+std::string format_fields(const std::vector<LogField>& fields);
+
+/// Emit one log record (already formatted body, plus optional fields).
+void log(LogLevel level, const std::string& component, const std::string& message,
+         const std::vector<LogField>& fields = {});
+
+/// Observer invoked (under the log mutex) for every record, including ones
+/// below the threshold. Installing returns a token; the observer stays active
+/// until clear_log_observer() is called with that token (a newer install
+/// replaces it). Used by obs::ObsContext::mirror_logs().
+using LogObserver =
+    std::function<void(LogLevel, const std::string& component, const std::string& message)>;
+std::uint64_t set_log_observer(LogObserver observer);
+/// Remove the observer if `token` still identifies the active one.
+void clear_log_observer(std::uint64_t token);
+
+/// Stream-style helper with structured fields:
+///   LogLine(kInfo, "hpt").field("trial", id) << "trial done";
 class LogLine {
 public:
     LogLine(LogLevel level, std::string component)
@@ -32,10 +64,20 @@ public:
         return *this;
     }
 
+    /// Attach one key=value field (value stringified via operator<<).
+    template <typename T>
+    LogLine& field(std::string key, const T& value) {
+        std::ostringstream ss;
+        ss << value;
+        fields_.push_back({std::move(key), ss.str()});
+        return *this;
+    }
+
 private:
     LogLevel level_;
     std::string component_;
     std::ostringstream stream_;
+    std::vector<LogField> fields_;
 };
 
 #define PT_LOG_DEBUG(component) ::pipetune::util::LogLine(::pipetune::util::LogLevel::kDebug, component)

@@ -1,0 +1,91 @@
+#pragma once
+// Result<T>: the library's one value-or-error convention for fallible loading
+// paths. Before it, loaders mixed three styles — bool returns (CSV), optional
+// (ground-truth lookups), and exceptions (JSON persistence) — and every
+// caller had to know which one it was holding. A Result carries either a T or
+// a human-readable error string; the throwing convenience wrappers
+// (Json::parse, GroundTruth::load, ...) are thin shells over the try_*
+// Result-returning primitives, so the error text is identical either way.
+//
+//   auto parsed = util::Json::try_parse(text);
+//   if (!parsed) return Result<Config>::failure("config: " + parsed.error());
+//   use(parsed.value());
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pipetune::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+public:
+    /// Implicit success: `return some_t;` works inside a try_* loader.
+    Result(T value) : value_(std::move(value)) {}
+
+    static Result failure(std::string message) {
+        Result result;
+        result.error_ = std::move(message);
+        if (result.error_.empty()) result.error_ = "unknown error";
+        return result;
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /// Error text; empty on success.
+    const std::string& error() const { return error_; }
+
+    /// Accessing the value of a failed Result throws the error as a
+    /// runtime_error — the bridge that lets throwing wrappers be one line.
+    T& value() & {
+        require();
+        return *value_;
+    }
+    const T& value() const& {
+        require();
+        return *value_;
+    }
+    T&& value() && {
+        require();
+        return std::move(*value_);
+    }
+
+    T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+private:
+    Result() = default;
+
+    void require() const {
+        if (!ok()) throw std::runtime_error(error_);
+    }
+
+    std::optional<T> value_;
+    std::string error_;
+};
+
+/// Result<void>: success/failure with no payload (e.g. a validated write).
+template <>
+class [[nodiscard]] Result<void> {
+public:
+    static Result success() { return Result(); }
+    static Result failure(std::string message) {
+        Result result;
+        result.failed_ = true;
+        result.error_ = std::move(message);
+        if (result.error_.empty()) result.error_ = "unknown error";
+        return result;
+    }
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+    const std::string& error() const { return error_; }
+
+private:
+    Result() = default;
+    bool failed_ = false;
+    std::string error_;
+};
+
+}  // namespace pipetune::util

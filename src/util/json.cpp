@@ -416,7 +416,15 @@ private:
 
 }  // namespace
 
-Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+Result<Json> Json::try_parse(const std::string& text) {
+    try {
+        return Parser(text).parse();
+    } catch (const std::exception& e) {
+        return Result<Json>::failure(e.what());
+    }
+}
+
+Json Json::parse(const std::string& text) { return std::move(try_parse(text)).value(); }
 
 void Json::save_file(const std::string& path) const {
     // Temp-file + rename so a crash mid-write cannot corrupt persisted state
@@ -424,13 +432,17 @@ void Json::save_file(const std::string& path) const {
     write_file_atomic(path, dump(2) + "\n");
 }
 
-Json Json::load_file(const std::string& path) {
+Result<Json> Json::try_load_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("Json::load_file: cannot open " + path);
+    if (!in) return Result<Json>::failure("Json::load_file: cannot open " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parse(buffer.str());
+    auto parsed = try_parse(buffer.str());
+    if (!parsed) return Result<Json>::failure(path + ": " + parsed.error());
+    return parsed;
 }
+
+Json Json::load_file(const std::string& path) { return std::move(try_load_file(path)).value(); }
 
 bool Json::operator==(const Json& other) const { return value_ == other.value_; }
 

@@ -9,6 +9,8 @@ namespace pipetune::util {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+LogObserver g_observer;             // guarded by g_mutex
+std::uint64_t g_observer_token = 0; // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -25,12 +27,40 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
-void log(LogLevel level, const std::string& component, const std::string& message) {
-    if (static_cast<int>(level) < g_level.load()) return;
-    std::lock_guard<std::mutex> lock(g_mutex);
-    std::cerr << "[" << level_name(level) << "][" << component << "] " << message << "\n";
+std::string format_fields(const std::vector<LogField>& fields) {
+    if (fields.empty()) return {};
+    std::string out;
+    for (const LogField& field : fields) {
+        out += out.empty() ? "  " : " ";
+        out += field.key;
+        out += '=';
+        out += field.value;
+    }
+    return out;
 }
 
-LogLine::~LogLine() { log(level_, component_, stream_.str()); }
+std::uint64_t set_log_observer(LogObserver observer) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_observer = std::move(observer);
+    return ++g_observer_token;
+}
+
+void clear_log_observer(std::uint64_t token) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (token == g_observer_token) g_observer = nullptr;
+}
+
+void log(LogLevel level, const std::string& component, const std::string& message,
+         const std::vector<LogField>& fields) {
+    const std::string rendered = message + format_fields(fields);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    // Observed before the threshold filter: error counters must not depend on
+    // how chatty stderr is configured to be.
+    if (g_observer) g_observer(level, component, rendered);
+    if (static_cast<int>(level) < g_level.load()) return;
+    std::cerr << "[" << level_name(level) << "][" << component << "] " << rendered << "\n";
+}
+
+LogLine::~LogLine() { log(level_, component_, stream_.str(), fields_); }
 
 }  // namespace pipetune::util

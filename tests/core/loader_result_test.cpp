@@ -1,0 +1,81 @@
+// Error paths of the Result-returning state loaders: a corrupt or missing
+// state file must produce a diagnosable error, not a blank store.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pipetune/core/ground_truth.hpp"
+#include "pipetune/metricsdb/tsdb.hpp"
+
+namespace pipetune::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir()
+        : path(fs::temp_directory_path() / ("pt_loader_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(LoaderResult, GroundTruthMissingFile) {
+    const auto result = GroundTruth::try_load("/nonexistent/ground_truth.json");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("ground truth"), std::string::npos);
+}
+
+TEST(LoaderResult, GroundTruthCorruptJson) {
+    TempDir dir;
+    const auto path = (dir.path / "ground_truth.json").string();
+    std::ofstream(path) << "{not json";
+    const auto result = GroundTruth::try_load(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("offset"), std::string::npos) << result.error();
+    // The throwing wrapper carries the same text.
+    try {
+        (void)GroundTruth::load(path);
+        FAIL() << "load must throw on corrupt input";
+    } catch (const std::exception& e) {
+        EXPECT_EQ(result.error(), e.what());
+    }
+}
+
+TEST(LoaderResult, GroundTruthRoundTrip) {
+    TempDir dir;
+    const auto path = (dir.path / "ground_truth.json").string();
+    GroundTruth store;
+    store.record({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, {}, 10.0);
+    store.save(path);
+    const auto result = GroundTruth::try_load(path);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST(LoaderResult, TimeSeriesDbMissingFile) {
+    const auto result = metricsdb::TimeSeriesDb::try_load("/nonexistent/metrics.json");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().find("metrics"), std::string::npos) << result.error();
+}
+
+TEST(LoaderResult, TimeSeriesDbCorruptJson) {
+    TempDir dir;
+    const auto path = (dir.path / "metrics.json").string();
+    std::ofstream(path) << "[1, 2,";
+    const auto result = metricsdb::TimeSeriesDb::try_load(path);
+    ASSERT_FALSE(result.ok());
+    try {
+        (void)metricsdb::TimeSeriesDb::load(path);
+        FAIL() << "load must throw on corrupt input";
+    } catch (const std::exception& e) {
+        EXPECT_EQ(result.error(), e.what());
+    }
+}
+
+}  // namespace
+}  // namespace pipetune::core

@@ -29,7 +29,7 @@ struct TempDir {
 TEST(Service, InMemoryServiceServesJobs) {
     sim::SimBackend backend({.seed = 1});
     PipeTuneService service(backend, {});  // no state dir
-    const auto result = service.submit(workload::find_workload("lenet-mnist"), quick_job(1));
+    const auto result = service.run(workload::find_workload("lenet-mnist"), quick_job(1));
     EXPECT_GT(result.baseline.final_accuracy, 80.0);
     EXPECT_EQ(service.jobs_served(), 1u);
     EXPECT_GT(service.ground_truth().size(), 0u);
@@ -40,8 +40,8 @@ TEST(Service, InMemoryServiceServesJobs) {
 TEST(Service, LaterJobsReuseEarlierLearning) {
     sim::SimBackend backend({.seed = 2});
     PipeTuneService service(backend, {});
-    const auto first = service.submit(workload::find_workload("lenet-mnist"), quick_job(2));
-    const auto second = service.submit(workload::find_workload("lenet-mnist"), quick_job(3));
+    const auto first = service.run(workload::find_workload("lenet-mnist"), quick_job(2));
+    const auto second = service.run(workload::find_workload("lenet-mnist"), quick_job(3));
     EXPECT_GT(first.probes_started, 0u);
     EXPECT_LT(second.probes_started, first.probes_started);
     EXPECT_GT(second.ground_truth_hits, 0u);
@@ -54,7 +54,7 @@ TEST(Service, StatePersistsAcrossServiceInstances) {
     {
         PipeTuneService service(backend, {.state_dir = dir.path.string()});
         first_probes =
-            service.submit(workload::find_workload("cnn-news20"), quick_job(4)).probes_started;
+            service.run(workload::find_workload("cnn-news20"), quick_job(4)).probes_started;
         EXPECT_TRUE(fs::exists(service.ground_truth_path()));
         EXPECT_TRUE(fs::exists(service.metrics_path()));
     }
@@ -63,18 +63,18 @@ TEST(Service, StatePersistsAcrossServiceInstances) {
     EXPECT_GT(restarted.ground_truth().size(), 0u);
     EXPECT_GT(restarted.metrics().total_points(), 0u);
     const auto result =
-        restarted.submit(workload::find_workload("cnn-news20"), quick_job(5));
+        restarted.run(workload::find_workload("cnn-news20"), quick_job(5));
     EXPECT_LT(result.probes_started, first_probes);
 }
 
 TEST(Service, WarmStartCampaignRunsWhenStoreIsCold) {
     sim::SimBackend backend({.seed = 4});
-    ServiceConfig config;
+    ServiceOptions config;
     config.warm_start_on_first_use = true;
     config.warm_start_workloads = {workload::find_workload("lenet-mnist")};
     PipeTuneService service(backend, config);
     EXPECT_GT(service.ground_truth().size(), 0u);
-    const auto result = service.submit(workload::find_workload("lenet-mnist"), quick_job(6));
+    const auto result = service.run(workload::find_workload("lenet-mnist"), quick_job(6));
     EXPECT_GT(result.ground_truth_hits, 0u);
 }
 
@@ -84,10 +84,10 @@ TEST(Service, PersistedStoreSkipsWarmStart) {
     std::size_t persisted_size = 0;
     {
         PipeTuneService service(backend, {.state_dir = dir.path.string()});
-        service.submit(workload::find_workload("lenet-mnist"), quick_job(7));
+        service.run(workload::find_workload("lenet-mnist"), quick_job(7));
         persisted_size = service.ground_truth().size();
     }
-    ServiceConfig config;
+    ServiceOptions config;
     config.state_dir = dir.path.string();
     config.warm_start_on_first_use = true;  // must be ignored: store exists
     config.warm_start_workloads = workload::workloads_of_type(workload::WorkloadType::kType1);
@@ -98,9 +98,9 @@ TEST(Service, PersistedStoreSkipsWarmStart) {
 TEST(Service, MetricsAccumulateAcrossJobs) {
     sim::SimBackend backend({.seed = 6});
     PipeTuneService service(backend, {});
-    service.submit(workload::find_workload("jacobi-rodinia"), quick_job(8));
+    service.run(workload::find_workload("jacobi-rodinia"), quick_job(8));
     const auto after_first = service.metrics().total_points();
-    service.submit(workload::find_workload("bfs-rodinia"), quick_job(9));
+    service.run(workload::find_workload("bfs-rodinia"), quick_job(9));
     EXPECT_GT(service.metrics().total_points(), after_first);
 }
 

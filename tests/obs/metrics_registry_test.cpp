@@ -1,0 +1,146 @@
+// Tests for the MetricsRegistry: instrument identity, value semantics, and
+// the Prometheus/JSON export formats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pipetune/obs/metrics_registry.hpp"
+
+namespace pipetune::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterIsMonotoneAndSharedByIdentity) {
+    MetricsRegistry registry;
+    Counter& a = registry.counter("pipetune_test_total");
+    a.inc();
+    a.inc(4);
+    // Same (name, labels) → the same instrument.
+    EXPECT_EQ(&registry.counter("pipetune_test_total"), &a);
+    EXPECT_EQ(a.value(), 5u);
+    // A different label set is a different series under the same family.
+    Counter& b = registry.counter("pipetune_test_total", {{"state", "failed"}});
+    EXPECT_NE(&b, &a);
+    EXPECT_EQ(b.value(), 0u);
+    EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitIdentity) {
+    MetricsRegistry registry;
+    Counter& a = registry.counter("pipetune_x_total", {{"a", "1"}, {"b", "2"}});
+    Counter& b = registry.counter("pipetune_x_total", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+    MetricsRegistry registry;
+    registry.counter("pipetune_kind_total");
+    EXPECT_THROW(registry.gauge("pipetune_kind_total"), std::logic_error);
+    EXPECT_THROW(registry.histogram("pipetune_kind_total", {1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+    MetricsRegistry registry;
+    Gauge& gauge = registry.gauge("pipetune_depth");
+    gauge.set(3.0);
+    gauge.add(2.5);
+    gauge.add(-1.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndTail) {
+    MetricsRegistry registry;
+    // Unsorted bounds are sorted at registration.
+    Histogram& hist = registry.histogram("pipetune_lat_seconds", {1.0, 0.1, 0.01});
+    ASSERT_EQ(hist.bounds(), (std::vector<double>{0.01, 0.1, 1.0}));
+    hist.observe(0.005);  // bucket 0 (le 0.01)
+    hist.observe(0.05);   // bucket 1
+    hist.observe(0.1);    // bucket 1 (inclusive upper edge)
+    hist.observe(50.0);   // +Inf tail
+    const auto counts = hist.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_NEAR(hist.sum(), 50.155, 1e-9);
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+    MetricsRegistry registry;
+    registry.counter("pipetune_jobs_total", {}, "Jobs seen").inc(3);
+    registry.gauge("pipetune_queue_depth", {}, "Queued jobs").set(2);
+    Histogram& hist =
+        registry.histogram("pipetune_wait_seconds", {0.1, 1.0}, {}, "Queue wait");
+    hist.observe(0.05);
+    hist.observe(5.0);
+    const std::string text = registry.to_prometheus();
+
+    EXPECT_NE(text.find("# HELP pipetune_jobs_total Jobs seen"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE pipetune_jobs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_jobs_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE pipetune_queue_depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_queue_depth 2"), std::string::npos);
+    // Cumulative buckets: le="1" holds everything at or below 1.0.
+    EXPECT_NE(text.find("# TYPE pipetune_wait_seconds histogram"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_wait_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_wait_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_wait_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("pipetune_wait_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusRendersLabels) {
+    MetricsRegistry registry;
+    registry.counter("pipetune_jobs_total", {{"state", "completed"}}).inc(7);
+    const std::string text = registry.to_prometheus();
+    EXPECT_NE(text.find("pipetune_jobs_total{state=\"completed\"} 7"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotRoundTrips) {
+    MetricsRegistry registry;
+    registry.counter("pipetune_a_total").inc(2);
+    registry.gauge("pipetune_b").set(1.5);
+    registry.histogram("pipetune_c_seconds", {1.0}).observe(0.5);
+    const auto json = registry.to_json();
+    // Re-parse through the JSON layer to prove it is a valid document.
+    const auto parsed = util::Json::try_parse(json.dump());
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().at("counters").size(), 1u);
+    EXPECT_EQ(parsed.value().at("gauges").size(), 1u);
+    EXPECT_EQ(parsed.value().at("histograms").size(), 1u);
+}
+
+TEST(MetricsRegistry, SanitizeMetricName) {
+    EXPECT_EQ(sanitize_metric_name("pipetune_ok_total"), "pipetune_ok_total");
+    EXPECT_EQ(sanitize_metric_name("lenet-mnist rate"), "lenet_mnist_rate");
+    EXPECT_EQ(sanitize_metric_name("9lives"), "_lives");
+    EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsDoNotLoseCounts) {
+    MetricsRegistry registry;
+    Counter& counter = registry.counter("pipetune_hot_total");
+    Gauge& gauge = registry.gauge("pipetune_hot_gauge");
+    Histogram& hist = registry.histogram("pipetune_hot_seconds", {0.5});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.inc();
+                gauge.add(1.0);
+                hist.observe(0.25);
+            }
+        });
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+    EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace pipetune::obs

@@ -1,0 +1,59 @@
+// Tests for ObsContext: the log → metrics bridge and snapshot writers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pipetune/obs/obs_context.hpp"
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ObsContext, MirrorLogsCountsWarnAndError) {
+    ObsContext context;
+    context.mirror_logs();
+    // Silence stderr; the observer still sees records below the threshold.
+    const auto previous = util::log_level();
+    util::set_log_level(util::LogLevel::kOff);
+    PT_LOG_WARN("test") << "something odd";
+    PT_LOG_WARN("test") << "still odd";
+    PT_LOG_ERROR("test") << "broken";
+    PT_LOG_INFO("test") << "fine";  // not mirrored
+    util::set_log_level(previous);
+    EXPECT_EQ(context.metrics().counter("pipetune_log_warn_total").value(), 2u);
+    EXPECT_EQ(context.metrics().counter("pipetune_log_error_total").value(), 1u);
+}
+
+TEST(ObsContext, ObserverDetachesOnDestruction) {
+    {
+        ObsContext context;
+        context.mirror_logs();
+    }
+    // The context is gone; logging must not touch freed memory.
+    const auto previous = util::log_level();
+    util::set_log_level(util::LogLevel::kOff);
+    PT_LOG_ERROR("test") << "after teardown";
+    util::set_log_level(previous);
+}
+
+TEST(ObsContext, WritesBothSnapshotFiles) {
+    const auto dir = fs::temp_directory_path() / "pt_obs_context_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    ObsContext context;
+    context.metrics().counter("pipetune_demo_total").inc();
+    context.tracer().span("job", "test");
+    const auto prom = (dir / "metrics.prom").string();
+    const auto trace = (dir / "trace.json").string();
+    context.write_prometheus(prom);
+    context.write_chrome_trace(trace);
+    EXPECT_TRUE(fs::exists(prom));
+    EXPECT_TRUE(fs::exists(trace));
+    fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pipetune::obs

@@ -1,0 +1,124 @@
+// Tests for the Tracer: span nesting, RAII/move semantics, ring-buffer
+// eviction, and the Chrome trace-event dump.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "pipetune/obs/tracer.hpp"
+
+namespace pipetune::obs {
+namespace {
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans, const std::string& name) {
+    const auto it = std::find_if(spans.begin(), spans.end(),
+                                 [&](const SpanRecord& s) { return s.name == name; });
+    return it == spans.end() ? nullptr : &*it;
+}
+
+TEST(Tracer, SpansNestViaThreadStack) {
+    Tracer tracer;
+    {
+        auto job = tracer.span("job", "test");
+        {
+            auto trial = tracer.span("trial", "test");
+            auto epoch = tracer.span("epoch", "test");
+            EXPECT_TRUE(epoch.active());
+        }  // epoch closes before trial
+    }
+    const auto spans = tracer.completed();
+    ASSERT_EQ(spans.size(), 3u);
+    const auto* job = find_span(spans, "job");
+    const auto* trial = find_span(spans, "trial");
+    const auto* epoch = find_span(spans, "epoch");
+    ASSERT_TRUE(job && trial && epoch);
+    EXPECT_EQ(job->parent_id, 0u);  // root
+    EXPECT_EQ(trial->parent_id, job->id);
+    EXPECT_EQ(epoch->parent_id, trial->id);
+    EXPECT_LE(job->start_s, trial->start_s);
+    EXPECT_GE(job->end_s, trial->end_s);
+}
+
+TEST(Tracer, SpansOnDifferentThreadsAreIndependentRoots) {
+    Tracer tracer;
+    auto outer = tracer.span("outer", "test");
+    std::thread([&] { tracer.span("inner", "test"); }).join();
+    outer.end();
+    const auto spans = tracer.completed();
+    const auto* inner = find_span(spans, "inner");
+    ASSERT_TRUE(inner);
+    // Opened on a different thread: no parent, distinct thread index.
+    EXPECT_EQ(inner->parent_id, 0u);
+    EXPECT_NE(inner->thread, find_span(spans, "outer")->thread);
+}
+
+TEST(Tracer, MoveTransfersOwnershipAndEndIsIdempotent) {
+    Tracer tracer;
+    auto span = tracer.span("moved", "test");
+    span.arg("key", "value");
+    Tracer::Span parked = std::move(span);
+    EXPECT_FALSE(span.active());  // NOLINT(bugprone-use-after-move): asserting the move
+    EXPECT_TRUE(parked.active());
+    parked.end();
+    parked.end();  // no double record
+    EXPECT_FALSE(parked.active());
+    const auto spans = tracer.completed();
+    ASSERT_EQ(spans.size(), 1u);
+    ASSERT_EQ(spans[0].args.size(), 1u);
+    EXPECT_EQ(spans[0].args[0].first, "key");
+    EXPECT_EQ(spans[0].args[0].second, "value");
+}
+
+TEST(Tracer, DefaultConstructedSpanIsInert) {
+    Tracer::Span span;
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", "x");
+    span.end();  // no crash, nothing recorded
+}
+
+TEST(Tracer, RingEvictsOldestAndCountsDrops) {
+    Tracer tracer(4);
+    for (int i = 0; i < 10; ++i) tracer.span("s" + std::to_string(i), "test");
+    const auto spans = tracer.completed();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    // Oldest-first snapshot of the surviving tail.
+    EXPECT_EQ(spans.front().name, "s6");
+    EXPECT_EQ(spans.back().name, "s9");
+}
+
+TEST(Tracer, ChromeJsonHasTraceEvents) {
+    Tracer tracer;
+    {
+        auto job = tracer.span("job", "service");
+        job.arg("workload", "lenet-mnist");
+        tracer.span("trial", "hpt");
+    }
+    const auto json = tracer.to_chrome_json();
+    const auto parsed = util::Json::try_parse(json.dump());
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    const auto& events = parsed.value().at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 2u);
+    for (const auto& event : events) {
+        EXPECT_EQ(event.at("ph").as_string(), "X");
+        EXPECT_GE(event.at("dur").as_number(), 0.0);
+    }
+}
+
+TEST(Tracer, WriteChromeTraceCreatesFile) {
+    namespace fs = std::filesystem;
+    const auto path = fs::temp_directory_path() / "pt_tracer_test_trace.json";
+    fs::remove(path);
+    Tracer tracer;
+    tracer.span("job", "service");
+    tracer.write_chrome_trace(path.string());
+    const auto loaded = util::Json::try_load_file(path.string());
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded.value().at("traceEvents").size(), 1u);
+    fs::remove(path);
+}
+
+}  // namespace
+}  // namespace pipetune::obs

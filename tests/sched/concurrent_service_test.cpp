@@ -35,7 +35,7 @@ hpt::HptJobConfig quick_job(std::uint64_t seed) {
 
 TEST(ConcurrentPipeTuneService, EightJobsAtConcurrencyFourShareOneStore) {
     sim::SimBackend backend;
-    ConcurrentPipeTuneService service(backend, {.worker_slots = 4, .queue_capacity = 16});
+    ConcurrentPipeTuneService service(backend, {.concurrency = 4, .queue_capacity = 16});
     const auto& lenet = workload::find_workload("lenet-mnist");
 
     // Wave 1: four jobs run genuinely concurrently against the empty store
@@ -51,7 +51,7 @@ TEST(ConcurrentPipeTuneService, EightJobsAtConcurrencyFourShareOneStore) {
     for (auto& submission : wave1) {
         const auto result = submission.result.get();
         wave1_probes += result.probes_started;
-        EXPECT_EQ(service.state(submission.ticket.id), JobState::kCompleted);
+        EXPECT_EQ(service.state(submission.id), JobState::kCompleted);
     }
     EXPECT_GT(wave1_probes, 0u);  // cold store: somebody had to probe
     const std::size_t store_after_wave1 = service.cluster_state().ground_truth_size();
@@ -96,7 +96,7 @@ TEST(ConcurrentPipeTuneService, PersistsAndWarmStartsAcrossRestarts) {
     std::size_t first_run_size = 0;
     {
         ConcurrentPipeTuneService service(
-            backend, {.state_dir = dir.path.string(), .worker_slots = 2});
+            backend, {.state_dir = dir.path.string(), .concurrency = 2});
         auto a = service.submit(lenet, quick_job(1));
         auto b = service.submit(lenet, quick_job(2));
         ASSERT_TRUE(a && b);
@@ -113,7 +113,7 @@ TEST(ConcurrentPipeTuneService, PersistsAndWarmStartsAcrossRestarts) {
         EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos) << entry.path();
 
     ConcurrentPipeTuneService restarted(backend,
-                                        {.state_dir = dir.path.string(), .worker_slots = 2});
+                                        {.state_dir = dir.path.string(), .concurrency = 2});
     EXPECT_EQ(restarted.cluster_state().ground_truth_size(), first_run_size);
     // A restarted service is warm from the persisted store.
     auto warm = restarted.submit(lenet, quick_job(3));
@@ -123,7 +123,7 @@ TEST(ConcurrentPipeTuneService, PersistsAndWarmStartsAcrossRestarts) {
 
 TEST(ConcurrentPipeTuneService, DiscardedJobSurfacesAsFutureError) {
     sim::SimBackend backend;
-    ConcurrentPipeTuneService service(backend, {.worker_slots = 1});
+    ConcurrentPipeTuneService service(backend, {.concurrency = 1});
     const auto& lenet = workload::find_workload("lenet-mnist");
     auto running = service.submit(lenet, quick_job(1));
     ASSERT_TRUE(running.has_value());
@@ -132,7 +132,7 @@ TEST(ConcurrentPipeTuneService, DiscardedJobSurfacesAsFutureError) {
     auto stale = service.submit(lenet, quick_job(2), {.deadline_s = 1e-6});
     ASSERT_TRUE(stale.has_value());
     service.drain();
-    EXPECT_EQ(service.state(stale->ticket.id), JobState::kTimedOut);
+    EXPECT_EQ(service.state(stale->id), JobState::kTimedOut);
     EXPECT_THROW(stale->result.get(), std::runtime_error);
     (void)running->result.get();
     EXPECT_EQ(service.jobs_served(), 1u);

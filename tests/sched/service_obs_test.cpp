@@ -1,0 +1,139 @@
+// Observability through the tuning services: scheduler gauges/counters under
+// concurrent load, span coverage per job, and the make_tuning_service factory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipetune/core/service.hpp"
+#include "pipetune/sched/concurrent_service.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::sched {
+namespace {
+
+hpt::HptJobConfig quick_job(std::uint64_t seed) {
+    hpt::HptJobConfig job;
+    job.seed = seed;
+    return job;
+}
+
+TEST(ServiceObs, SchedulerCountersAndGaugesUnderConcurrentLoad) {
+    obs::ObsContext obs;
+    sim::SimBackend backend({.seed = 31});
+    constexpr std::size_t kJobs = 8;
+    {
+        core::ServiceOptions options;
+        options.concurrency = 4;
+        options.obs = &obs;
+        ConcurrentPipeTuneService service(backend, options);
+        std::vector<core::TuningService::Submission> submissions;
+        for (std::size_t i = 0; i < kJobs; ++i) {
+            auto submission =
+                service.submit(workload::find_workload("lenet-mnist"), quick_job(100 + i));
+            ASSERT_TRUE(submission.has_value());
+            submissions.push_back(std::move(*submission));
+        }
+        for (auto& submission : submissions) submission.result.get();
+        service.drain();
+    }
+    auto& metrics = obs.metrics();
+    EXPECT_EQ(metrics.counter("pipetune_sched_jobs_submitted_total").value(), kJobs);
+    EXPECT_EQ(metrics.counter("pipetune_sched_jobs_completed_total").value(), kJobs);
+    EXPECT_EQ(metrics.counter("pipetune_service_jobs_served_total").value(), kJobs);
+    // Everything drained: instantaneous levels are back to zero.
+    EXPECT_DOUBLE_EQ(metrics.gauge("pipetune_sched_queue_depth").value(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("pipetune_sched_jobs_running").value(), 0.0);
+    // Every job waited in the queue (possibly ~0s) exactly once.
+    EXPECT_EQ(metrics
+                  .histogram("pipetune_sched_queue_wait_seconds",
+                             {0.001, 0.01, 0.1, 1.0, 10.0, 60.0})
+                  .count(),
+              kJobs);
+    // The tuner underneath reported work too.
+    EXPECT_GT(metrics.counter("pipetune_hpt_trials_started_total").value(), 0u);
+    EXPECT_GT(metrics.counter("pipetune_hpt_epochs_total").value(), 0u);
+}
+
+TEST(ServiceObs, EveryJobGetsASpanTree) {
+    obs::ObsContext obs;
+    sim::SimBackend backend({.seed = 32});
+    constexpr std::size_t kJobs = 3;
+    {
+        core::ServiceOptions options;
+        options.concurrency = 2;
+        options.obs = &obs;
+        ConcurrentPipeTuneService service(backend, options);
+        std::vector<core::TuningService::Submission> submissions;
+        for (std::size_t i = 0; i < kJobs; ++i) {
+            auto submission =
+                service.submit(workload::find_workload("lenet-mnist"), quick_job(200 + i));
+            ASSERT_TRUE(submission.has_value());
+            submissions.push_back(std::move(*submission));
+        }
+        for (auto& submission : submissions) submission.result.get();
+        service.drain();
+    }
+    const auto spans = obs.tracer().completed();
+    const auto count_named = [&](const char* name) {
+        return static_cast<std::size_t>(std::count_if(
+            spans.begin(), spans.end(),
+            [&](const obs::SpanRecord& s) { return s.name == name; }));
+    };
+    EXPECT_EQ(count_named("job"), kJobs);
+    EXPECT_GE(count_named("trial"), kJobs);  // at least one trial per job
+    EXPECT_GT(count_named("epoch"), 0u);
+    // Trials nest under a job span.
+    for (const auto& span : spans)
+        if (span.name == "trial") {
+            const auto parent = std::find_if(
+                spans.begin(), spans.end(),
+                [&](const obs::SpanRecord& s) { return s.id == span.parent_id; });
+            ASSERT_NE(parent, spans.end());
+            EXPECT_EQ(parent->name, "job");
+        }
+}
+
+TEST(ServiceObs, SerialServiceFeedsTheSameRegistry) {
+    obs::ObsContext obs;
+    sim::SimBackend backend({.seed = 33});
+    core::ServiceOptions options;
+    options.obs = &obs;
+    core::PipeTuneService service(backend, options);
+    service.run(workload::find_workload("lenet-mnist"), quick_job(300));
+    EXPECT_EQ(obs.metrics().counter("pipetune_service_jobs_served_total").value(), 1u);
+    EXPECT_GT(obs.metrics().counter("pipetune_hpt_trials_started_total").value(), 0u);
+    const auto spans = obs.tracer().completed();
+    EXPECT_TRUE(std::any_of(spans.begin(), spans.end(),
+                            [](const obs::SpanRecord& s) { return s.name == "job"; }));
+}
+
+TEST(ServiceObs, FactoryPicksImplementationByConcurrency) {
+    sim::SimBackend backend({.seed = 34});
+    {
+        const auto serial = make_tuning_service(backend, {});
+        EXPECT_NE(dynamic_cast<core::PipeTuneService*>(serial.get()), nullptr);
+        const auto result =
+            serial->run(workload::find_workload("lenet-mnist"), quick_job(400));
+        EXPECT_GT(result.baseline.final_accuracy, 0.0);
+        EXPECT_EQ(serial->jobs_served(), 1u);
+        EXPECT_EQ(serial->stats().completed, 1u);
+    }
+    {
+        core::ServiceOptions options;
+        options.concurrency = 2;
+        const auto concurrent = make_tuning_service(backend, options);
+        EXPECT_NE(dynamic_cast<ConcurrentPipeTuneService*>(concurrent.get()), nullptr);
+        const auto result =
+            concurrent->run(workload::find_workload("lenet-mnist"), quick_job(401));
+        EXPECT_GT(result.baseline.final_accuracy, 0.0);
+        concurrent->drain();
+        EXPECT_EQ(concurrent->jobs_served(), 1u);
+        const auto timings = concurrent->job_timings();
+        ASSERT_EQ(timings.size(), 1u);
+        EXPECT_TRUE(timings[0].ok);
+    }
+}
+
+}  // namespace
+}  // namespace pipetune::sched

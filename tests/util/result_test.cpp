@@ -1,0 +1,101 @@
+// Tests for util::Result — the one value-or-error convention — and the
+// Result-returning loader primitives built on it.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pipetune/util/csv.hpp"
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+
+namespace pipetune::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Result, SuccessCarriesValue) {
+    Result<int> result = 42;
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(static_cast<bool>(result));
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_TRUE(result.error().empty());
+    EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Result, FailureCarriesMessageAndThrowsOnAccess) {
+    auto result = Result<int>::failure("file missing");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error(), "file missing");
+    EXPECT_EQ(result.value_or(7), 7);
+    try {
+        (void)result.value();
+        FAIL() << "value() on a failed Result must throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "file missing");
+    }
+}
+
+TEST(Result, EmptyFailureMessageIsNormalized) {
+    EXPECT_EQ(Result<int>::failure("").error(), "unknown error");
+}
+
+TEST(Result, MoveOutOfRvalueResult) {
+    Result<std::string> result = std::string("payload");
+    const std::string taken = std::move(result).value();
+    EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, VoidSpecialization) {
+    auto ok = Result<void>::success();
+    EXPECT_TRUE(ok.ok());
+    auto bad = Result<void>::failure("nope");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(ResultLoaders, JsonTryParseReportsOffset) {
+    const auto parsed = Json::try_parse("{\"a\": }");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error().find("offset"), std::string::npos) << parsed.error();
+    // The throwing wrapper surfaces the identical text.
+    try {
+        (void)Json::parse("{\"a\": }");
+        FAIL() << "parse must throw on malformed input";
+    } catch (const std::exception& e) {
+        EXPECT_EQ(parsed.error(), e.what());
+    }
+}
+
+TEST(ResultLoaders, JsonTryLoadFileMissingPath) {
+    const auto loaded = Json::try_load_file("/nonexistent/pipetune.json");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.error().find("/nonexistent/pipetune.json"), std::string::npos);
+}
+
+TEST(ResultLoaders, CsvTryOpenFailsInMissingDirectory) {
+    auto writer = CsvWriter::try_open("/nonexistent_dir/out.csv", {"a", "b"});
+    ASSERT_FALSE(writer.ok());
+    EXPECT_NE(writer.error().find("/nonexistent_dir/out.csv"), std::string::npos);
+}
+
+TEST(ResultLoaders, CsvTryOpenWritesHeader) {
+    const auto dir = fs::temp_directory_path() / "pt_result_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto path = (dir / "out.csv").string();
+    {
+        auto writer = CsvWriter::try_open(path, {"a", "b"});
+        ASSERT_TRUE(writer.ok()) << writer.error();
+        writer.value().add_row(std::vector<std::string>{"1", "2"});
+    }
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "a,b");
+    fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pipetune::util

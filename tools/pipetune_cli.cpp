@@ -9,6 +9,9 @@
 //   pipetune replay [--jobs N] [--workers N] ...    # §7.4 multi-tenant trace on
 //                                                   # the concurrent scheduler
 //
+// `tune` and `replay` accept --metrics-out FILE (Prometheus text snapshot)
+// and --trace-out FILE (Chrome trace-event JSON) to dump the run's telemetry.
+//
 // Everything runs on the simulation backend by default (instant, virtual
 // time); --backend real trains the bundled NN engine instead.
 
@@ -16,6 +19,7 @@
 #include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <system_error>
 #include <thread>
@@ -43,15 +47,22 @@ usage:
   pipetune tune <workload> [--approach pipetune|v1|v2] [--seed N] [--slots N]
                 [--resource R] [--state-dir DIR] [--dvfs]
                 [--objective duration|energy] [--backend sim|real]
+                [--metrics-out FILE] [--trace-out FILE]
   pipetune compare <workload> [--seed N] [--backend sim|real]
   pipetune warm-start --state-dir DIR [--seed N] [--backend sim|real]
   pipetune replay [--jobs N] [--interarrival S] [--unseen F] [--mix type1|type2|type3|all]
                   [--workers N] [--queue-capacity N] [--compress X] [--slots N]
                   [--state-dir DIR] [--seed N] [--backend sim|real]
+                  [--metrics-out FILE] [--trace-out FILE]
 
-replay generates a §7.4 arrival trace and runs it through the concurrent
-scheduler (sched::ConcurrentPipeTuneService) on real worker threads; arrival
+replay generates a §7.4 arrival trace and runs it through the tuning service
+(concurrent scheduler when --workers > 1) on real worker threads; arrival
 gaps are multiplied by --compress (default 2e-5) before sleeping.
+
+--metrics-out dumps a Prometheus text snapshot of every counter/gauge/
+histogram the run touched; --trace-out dumps the hierarchical span tree
+(job -> trial -> epoch -> probe) as Chrome trace-event JSON (load in
+chrome://tracing or Perfetto).
 
 workloads: run `pipetune list-workloads` for the catalogue (paper Table 3).
 )";
@@ -68,6 +79,42 @@ std::unique_ptr<workload::Backend> make_backend(const util::Args& args, std::uin
     config.seed = seed;
     return std::make_unique<sim::SimBackend>(config);
 }
+
+// Telemetry sinks requested on the command line. The context is only
+// constructed when at least one output flag is present, so default runs pay
+// nothing (services see a null obs pointer).
+struct ObsOutputs {
+    std::unique_ptr<obs::ObsContext> context;
+    std::string metrics_out;
+    std::string trace_out;
+
+    static ObsOutputs from_args(const util::Args& args) {
+        ObsOutputs out;
+        out.metrics_out = args.get_or("metrics-out", "");
+        out.trace_out = args.get_or("trace-out", "");
+        if (!out.metrics_out.empty() || !out.trace_out.empty()) {
+            out.context = std::make_unique<obs::ObsContext>();
+            out.context->mirror_logs();
+        }
+        return out;
+    }
+
+    obs::ObsContext* get() const { return context.get(); }
+
+    void write() const {
+        if (!context) return;
+        if (!metrics_out.empty()) {
+            context->write_prometheus(metrics_out);
+            std::cout << "metrics snapshot (" << context->metrics().series_count()
+                      << " series) written to " << metrics_out << "\n";
+        }
+        if (!trace_out.empty()) {
+            context->write_chrome_trace(trace_out);
+            std::cout << "trace (" << context->tracer().completed().size()
+                      << " spans) written to " << trace_out << "\n";
+        }
+    }
+};
 
 hpt::HptJobConfig job_config(const util::Args& args, std::uint64_t seed) {
     hpt::HptJobConfig job;
@@ -124,13 +171,15 @@ int cmd_tune(const util::Args& args) {
         return usage();
     }
 
-    core::ServiceConfig service_config;
-    service_config.state_dir = args.get_or("state-dir", "");
-    service_config.pipetune.tune_frequency = args.get_flag("dvfs");
+    const auto obs_outputs = ObsOutputs::from_args(args);
+    core::ServiceOptions service_options;
+    service_options.state_dir = args.get_or("state-dir", "");
+    service_options.pipetune.tune_frequency = args.get_flag("dvfs");
     if (args.get_or("objective", "duration") == "energy")
-        service_config.pipetune.probe_objective = core::PipeTuneConfig::ProbeObjective::kEnergy;
-    core::PipeTuneService service(*backend, service_config);
-    const auto result = service.submit(workload, job);
+        service_options.pipetune.probe_objective = core::PipeTuneConfig::ProbeObjective::kEnergy;
+    service_options.obs = obs_outputs.get();
+    const auto service = sched::make_tuning_service(*backend, service_options);
+    const auto result = service->run(workload, job);
     print_result("PipeTune", result.baseline);
     if (args.get_flag("verbose")) {
         util::Table decisions({"trial", "similarity", "decision", "applied config"});
@@ -147,8 +196,9 @@ int cmd_tune(const util::Args& args) {
     std::cout << "ground truth: " << result.ground_truth_hits << " hits, "
               << result.probes_started << " probes, store size " << result.ground_truth_size
               << "\n";
-    if (!service.ground_truth_path().empty())
+    if (!service->ground_truth_path().empty())
         std::cout << "state persisted under " << args.get_or("state-dir", "") << "\n";
+    obs_outputs.write();
     return 0;
 }
 
@@ -214,17 +264,21 @@ int cmd_replay(const util::Args& args) {
     arrivals.seed = seed;
     const auto jobs = cluster::generate_arrivals(mix, arrivals);
 
-    sched::ConcurrentServiceConfig config;
-    config.state_dir = args.get_or("state-dir", "");
+    const auto obs_outputs = ObsOutputs::from_args(args);
+    core::ServiceOptions options;
+    options.state_dir = args.get_or("state-dir", "");
     // The scheduler clamps 0 slots to 1 internally; mirror that here so the
     // trace summary sees the same node count.
-    config.worker_slots = std::max<std::size_t>(1, args.get_uint_or("workers", 4));
-    config.queue_capacity = static_cast<std::size_t>(args.get_uint_or("queue-capacity", 64));
-    sched::ConcurrentPipeTuneService service(*backend, config);
+    options.concurrency = std::max<std::size_t>(1, args.get_uint_or("workers", 4));
+    options.queue_capacity = static_cast<std::size_t>(args.get_uint_or("queue-capacity", 64));
+    options.obs = obs_outputs.get();
+    // One interface for both shapes: --workers 1 gets the in-process serial
+    // service, anything above gets the concurrent scheduler.
+    const auto service = sched::make_tuning_service(*backend, options);
     const double compress = args.get_number_or("compress", 2e-5);
 
     struct Pending {
-        sched::ConcurrentPipeTuneService::Submission submission;
+        core::TuningService::Submission submission;
         std::string name;
         bool unseen;
     };
@@ -235,8 +289,8 @@ int cmd_replay(const util::Args& args) {
         const double gap_s = (job.arrival_s - prev_arrival_s) * compress;
         prev_arrival_s = job.arrival_s;
         if (gap_s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(gap_s));
-        auto submission = service.submit(job.workload, job_config(args, ++job_seed),
-                                         {.label = job.workload.name});
+        auto submission = service->submit(job.workload, job_config(args, ++job_seed),
+                                          {.label = job.workload.name});
         if (!submission.has_value()) {
             std::cerr << "job " << job.index << " (" << job.workload.name << ") rejected\n";
             continue;
@@ -244,8 +298,6 @@ int cmd_replay(const util::Args& args) {
         pending.push_back({std::move(*submission), job.workload.name, job.unseen});
     }
 
-    util::Table table({"job", "workload", "unseen", "state", "response [s]", "GT hits",
-                       "probes"});
     std::size_t total_hits = 0;
     std::vector<std::pair<std::string, std::string>> outcomes;  // (hits, probes) per job
     for (auto& p : pending) {
@@ -261,37 +313,52 @@ int cmd_replay(const util::Args& args) {
         }
         outcomes.emplace_back(hits, probes);
     }
-    service.drain();  // futures resolve inside the job fn; wait for terminal states
+    service->drain();  // futures resolve inside the job fn; wait for terminal states
+
+    std::map<std::uint64_t, core::JobTiming> timings;
+    for (auto& timing : service->job_timings()) timings[timing.id] = std::move(timing);
+    util::Table table({"job", "workload", "unseen", "state", "response [s]", "GT hits",
+                       "probes"});
     for (std::size_t i = 0; i < pending.size(); ++i) {
         const auto& p = pending[i];
-        const auto info = service.scheduler().info(p.submission.ticket.id);
-        const double response =
-            info && info->finish_s >= 0 ? info->finish_s - info->submit_s : 0.0;
-        table.add_row({std::to_string(p.submission.ticket.id), p.name,
-                       p.unseen ? "yes" : "no", to_string(service.state(p.submission.ticket.id)),
-                       util::Table::num(response, 3), outcomes[i].first, outcomes[i].second});
+        const auto it = timings.find(p.submission.id);
+        const bool timed = it != timings.end() && it->second.finish_s >= 0;
+        const double response = timed ? it->second.finish_s - it->second.submit_s : 0.0;
+        const std::string state = it == timings.end() ? "unknown"
+                                  : it->second.ok      ? "completed"
+                                                       : it->second.error;
+        table.add_row({std::to_string(p.submission.id), p.name, p.unseen ? "yes" : "no",
+                       state, util::Table::num(response, 3), outcomes[i].first,
+                       outcomes[i].second});
     }
     std::cout << table.render();
 
-    const auto stats = service.stats();
-    const auto trace = service.trace();
+    const auto stats = service->stats();
     util::Table summary({"metric", "value"});
     summary.add_row({"jobs completed", std::to_string(stats.completed)});
     summary.add_row({"jobs failed", std::to_string(stats.failed)});
     summary.add_row({"max queue depth", std::to_string(stats.max_queue_depth)});
     summary.add_row({"ground-truth hits (total)", std::to_string(total_hits)});
-    summary.add_row({"store entries", std::to_string(service.cluster_state().ground_truth_size())});
-    summary.add_row({"metric points", std::to_string(service.cluster_state().metric_points())});
-    if (!trace.empty()) {
-        const auto trace_stats = cluster::summarize_trace(trace, config.worker_slots);
-        summary.add_row({"p50 response [s]", util::Table::num(trace_stats.p50_response_s, 3)});
-        summary.add_row({"p95 response [s]", util::Table::num(trace_stats.p95_response_s, 3)});
-        summary.add_row({"makespan [s]", util::Table::num(trace_stats.makespan_s, 3)});
-        summary.add_row({"utilization", util::Table::num(trace_stats.utilization, 2)});
+    summary.add_row({"store entries", std::to_string(service->ground_truth_snapshot().size())});
+    summary.add_row(
+        {"metric points", std::to_string(service->metrics_snapshot().total_points())});
+    // The node-level trace summary needs the scheduler's per-slot trace; only
+    // the concurrent implementation has one.
+    if (const auto* concurrent =
+            dynamic_cast<const sched::ConcurrentPipeTuneService*>(service.get())) {
+        const auto trace = concurrent->trace();
+        if (!trace.empty()) {
+            const auto trace_stats = cluster::summarize_trace(trace, options.concurrency);
+            summary.add_row({"p50 response [s]", util::Table::num(trace_stats.p50_response_s, 3)});
+            summary.add_row({"p95 response [s]", util::Table::num(trace_stats.p95_response_s, 3)});
+            summary.add_row({"makespan [s]", util::Table::num(trace_stats.makespan_s, 3)});
+            summary.add_row({"utilization", util::Table::num(trace_stats.utilization, 2)});
+        }
     }
     std::cout << summary.render();
-    if (!config.state_dir.empty())
-        std::cout << "state persisted under " << config.state_dir << "\n";
+    if (!options.state_dir.empty())
+        std::cout << "state persisted under " << options.state_dir << "\n";
+    obs_outputs.write();
     return 0;
 }
 
