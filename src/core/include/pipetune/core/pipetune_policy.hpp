@@ -28,6 +28,10 @@
 #include "pipetune/obs/obs_context.hpp"
 #include "pipetune/perf/profiler.hpp"
 
+namespace pipetune::ft {
+class Journal;
+}
+
 namespace pipetune::core {
 
 struct PipeTuneConfig {
@@ -52,6 +56,13 @@ struct PipeTuneConfig {
     /// Telemetry for the policy itself (hit/probe counters, store-size gauge,
     /// cluster/probe phase spans). Not owned; null disables instrumentation.
     obs::ObsContext* obs = nullptr;
+    /// Write-ahead journal (ft::Journal, DESIGN.md §10). When set the policy
+    /// durably logs trial/epoch lifecycle and every ground-truth mutation
+    /// (gt_record, written BEFORE the store is touched), all tagged with
+    /// journal_job_id so ft::Recovery can fold the journal per job. Not
+    /// owned; may be null.
+    ft::Journal* journal = nullptr;
+    std::uint64_t journal_job_id = 0;
 };
 
 class PipeTunePolicy final : public hpt::SystemTuningPolicy {
@@ -117,6 +128,8 @@ private:
         bool frequency_stage_planned = false;
         bool recorded = false;
         std::size_t metrics_logged = 0;  ///< epochs already appended to the sink
+        std::size_t journal_logged = 0;  ///< epochs already journaled
+        bool journal_started = false;    ///< trial_started record written
         std::size_t decision_index = 0;  ///< position in decisions_ (set on resolve)
         /// Open while the trial probes (started on the lookup miss, ended
         /// when the winner is applied or the trial retires mid-probe).
@@ -126,6 +139,13 @@ private:
     /// Append any not-yet-logged epochs of `history` to the metrics sink.
     void log_epochs(std::uint64_t trial_id, TrialPlan& plan,
                     const std::vector<workload::EpochResult>& history);
+    /// Journal trial_started + any not-yet-journaled epochs (no-op when
+    /// config_.journal is null).
+    void journal_epochs(std::uint64_t trial_id, TrialPlan& plan,
+                        const std::vector<workload::EpochResult>& history);
+    /// Write-ahead gt_record for a store().record about to happen.
+    void journal_gt_record(const std::vector<double>& features,
+                           const workload::SystemParams& best, double metric);
 
     /// Decide after profiling: lookup or start probing.
     void resolve_after_profiling(std::uint64_t trial_id, TrialPlan& plan,

@@ -52,6 +52,9 @@ public:
     GroundTruth ground_truth_snapshot() const override { return ground_truth_; }
     metricsdb::TimeSeriesDb metrics_snapshot() const override { return metrics_; }
 
+    /// Replay recovered ground-truth mutations (ft::Recovery) into the store.
+    void seed_ground_truth(const std::vector<GroundTruthEntry>& entries) override;
+
     /// Paths used for persistence (empty when running in-memory).
     std::string ground_truth_path() const override;
     std::string metrics_path() const override;

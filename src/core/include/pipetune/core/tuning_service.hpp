@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "pipetune/core/experiment.hpp"
+#include "pipetune/ft/retry_policy.hpp"
 #include "pipetune/obs/obs_context.hpp"
 
 namespace pipetune::core {
@@ -43,6 +44,20 @@ struct SubmitOptions {
     /// jobs still queued past it; serial services run immediately, so it
     /// never triggers.
     double deadline_s = 0.0;
+    /// Backend reseed value recorded verbatim in the journal's job_submitted
+    /// payload (services do not interpret it). A driver that reseeds a
+    /// ft::ReseedingBackend per job stores the FULLY DERIVED per-job seed
+    /// here (ReseedingBackend::job_seed(base, id), not the base), so resume
+    /// can begin_job(backend_seed) directly and reproduce the job's trial
+    /// stream exactly regardless of what id the resumed service assigns the
+    /// re-run. 0 = caller does not use reseeding.
+    std::uint64_t backend_seed = 0;
+    /// Force the job id (0 = service assigns the next one). The resume path
+    /// re-runs a pending job UNDER ITS ORIGINAL ID so the journal's eventual
+    /// job_completed record marks that job terminal — re-running under a
+    /// fresh id would leave the original pending forever. Serial service
+    /// only; the concurrent scheduler numbers its own tickets.
+    std::uint64_t job_id = 0;
 };
 
 /// Unified service configuration (replaces core::ServiceConfig and
@@ -70,6 +85,23 @@ struct ServiceOptions {
     /// Telemetry sink (metrics + spans) threaded through every layer the
     /// service touches. Not owned; null disables instrumentation.
     obs::ObsContext* obs = nullptr;
+    /// Write-ahead journal (DESIGN.md §10). When set, the service durably
+    /// records job lifecycle (job_submitted / job_completed / job_failed)
+    /// and threads the journal into each job's PipeTunePolicy for trial,
+    /// epoch and ground-truth records. Not owned; may be null.
+    ft::Journal* journal = nullptr;
+    /// Retry policy for failed jobs. The serial service retries inline when
+    /// the failure is an ft::TransientFailure; the concurrent service
+    /// requeues the job (same id, original priority and deadline) through
+    /// its scheduler. max_retries = 0 disables retrying.
+    ft::RetryPolicy retry{.max_retries = 0};
+    /// Job ids are assigned starting at first_job_id + 1. A resumed service
+    /// sets this to the highest job id in the recovered journal so the
+    /// re-runs' journal records never collide with the original run's ids
+    /// (a collision could mark a still-pending job completed on the NEXT
+    /// recovery). Serial service only; the concurrent scheduler numbers its
+    /// own tickets.
+    std::uint64_t first_job_id = 0;
 };
 
 /// Implementation-independent lifetime counters (the concurrent service maps
@@ -139,6 +171,11 @@ public:
     virtual GroundTruth ground_truth_snapshot() const = 0;
     virtual metricsdb::TimeSeriesDb metrics_snapshot() const = 0;
 
+    /// Bulk-insert recovered ground-truth entries (ft::Recovery's replay of
+    /// completed jobs' gt_record mutations) before any new job runs. Entries
+    /// are applied in order through the same record() path a live probe uses.
+    virtual void seed_ground_truth(const std::vector<GroundTruthEntry>& entries) = 0;
+
     /// Persistence paths (empty when running in-memory).
     virtual std::string ground_truth_path() const = 0;
     virtual std::string metrics_path() const = 0;
@@ -146,5 +183,17 @@ public:
     /// The telemetry context this service reports into (null = disabled).
     virtual obs::ObsContext* obs() const = 0;
 };
+
+/// job_submitted journal payload for one submission — one schema shared by
+/// both service implementations, so ft::Recovery and the resume CLI read the
+/// same fields either way.
+util::Json journal_submit_payload(std::uint64_t job_id, const std::string& label,
+                                  const workload::Workload& workload,
+                                  const hpt::HptJobConfig& job_config,
+                                  const SubmitOptions& options);
+/// Inverse of journal_submit_payload (the resume path): rebuild the job
+/// config / submit options a recovered job was originally submitted with.
+hpt::HptJobConfig job_config_from_journal(const util::Json& payload);
+SubmitOptions submit_options_from_journal(const util::Json& payload);
 
 }  // namespace pipetune::core

@@ -1,4 +1,6 @@
 #include "pipetune/core/pipetune_policy.hpp"
+#include "pipetune/ft/codec.hpp"
+#include "pipetune/ft/journal.hpp"
 #include "pipetune/util/logging.hpp"
 
 #include <limits>
@@ -147,12 +149,47 @@ void PipeTunePolicy::log_epochs(std::uint64_t trial_id, TrialPlan& plan,
     }
 }
 
+void PipeTunePolicy::journal_epochs(std::uint64_t trial_id, TrialPlan& plan,
+                                    const std::vector<EpochResult>& history) {
+    if (config_.journal == nullptr) return;
+    if (!plan.journal_started) {
+        util::Json payload = util::Json::object();
+        payload["job_id"] = config_.journal_job_id;
+        payload["trial"] = trial_id;
+        (void)config_.journal->append(ft::record_type::kTrialStarted, std::move(payload));
+        plan.journal_started = true;
+    }
+    for (; plan.journal_logged < history.size(); ++plan.journal_logged) {
+        const EpochResult& result = history[plan.journal_logged];
+        util::Json payload = util::Json::object();
+        payload["job_id"] = config_.journal_job_id;
+        payload["trial"] = trial_id;
+        payload["epoch"] = result.epoch;
+        payload["duration_s"] = result.duration_s;
+        payload["accuracy"] = result.accuracy;
+        payload["system"] = ft::system_to_json(result.system);
+        (void)config_.journal->append(ft::record_type::kEpochCompleted, std::move(payload));
+    }
+}
+
+void PipeTunePolicy::journal_gt_record(const std::vector<double>& features,
+                                       const SystemParams& best, double metric) {
+    if (config_.journal == nullptr) return;
+    util::Json payload = util::Json::object();
+    payload["job_id"] = config_.journal_job_id;
+    payload["features"] = util::Json::array_of(features);
+    payload["best_system"] = ft::system_to_json(best);
+    payload["metric"] = metric;
+    (void)config_.journal->append(ft::record_type::kGtRecord, std::move(payload));
+}
+
 SystemParams PipeTunePolicy::choose(std::uint64_t trial_id, const Workload& /*workload*/,
                                     const HyperParams& /*hyper*/, std::size_t epoch,
                                     const std::vector<EpochResult>& history,
                                     const SystemParams& trial_default) {
     TrialPlan& plan = plans_[trial_id];
     log_epochs(trial_id, plan, history);
+    journal_epochs(trial_id, plan, history);
 
     // Epochs 1..P: profile under the trial default.
     if (epoch <= config_.profiling_epochs) return trial_default;
@@ -217,6 +254,7 @@ SystemParams PipeTunePolicy::choose(std::uint64_t trial_id, const Workload& /*wo
     double metric = 0.0;
     const SystemParams winner = best_probed(plan, history, &metric);
     if (!plan.recorded) {
+        journal_gt_record(plan.features, winner, metric);
         store().record(plan.features, winner, metric);
         plan.recorded = true;
         if (obs_store_size_ != nullptr)
@@ -250,6 +288,7 @@ void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*wo
     if (it == plans_.end()) return;
     TrialPlan& plan = it->second;
     log_epochs(trial_id, plan, history);
+    journal_epochs(trial_id, plan, history);
     // A trial that ended mid-probe still contributes what it learned —
     // provided it completed at least the full cores stage. Recording the
     // "best" of a single probe epoch would enshrine whatever configuration
@@ -261,6 +300,7 @@ void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*wo
     if (plan.mode == Mode::kProbing && !plan.recorded && probe_epochs_done >= 3) {
         double metric = 0.0;
         const SystemParams winner = best_probed(plan, history, &metric);
+        journal_gt_record(plan.features, winner, metric);
         store().record(plan.features, winner, metric);
         plan.recorded = true;
         if (obs_store_size_ != nullptr)
@@ -269,6 +309,13 @@ void PipeTunePolicy::trial_finished(std::uint64_t trial_id, const Workload& /*wo
             decisions_[plan.decision_index].applied = winner;
             decisions_[plan.decision_index].applied_known = true;
         }
+    }
+    if (config_.journal != nullptr) {
+        util::Json payload = util::Json::object();
+        payload["job_id"] = config_.journal_job_id;
+        payload["trial"] = trial_id;
+        payload["epochs"] = history.size();
+        (void)config_.journal->append(ft::record_type::kTrialFinished, std::move(payload));
     }
     plan.probe_span.end();  // a trial retiring mid-probe closes its phase
     plans_.erase(it);

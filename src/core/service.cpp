@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "pipetune/ft/errors.hpp"
+#include "pipetune/ft/journal.hpp"
 #include "pipetune/util/logging.hpp"
 
 namespace pipetune::core {
@@ -17,6 +19,7 @@ PipeTuneService::PipeTuneService(workload::Backend& backend, ServiceOptions opti
     : backend_(backend),
       options_(std::move(options)),
       ground_truth_(options_.pipetune.ground_truth),
+      next_id_(options_.first_job_id),
       epoch_(std::chrono::steady_clock::now()) {
     if (!options_.state_dir.empty()) {
         std::error_code ec;
@@ -84,10 +87,19 @@ ServiceStats PipeTuneService::stats() const {
     return stats;
 }
 
+void PipeTuneService::seed_ground_truth(const std::vector<GroundTruthEntry>& entries) {
+    for (const GroundTruthEntry& entry : entries)
+        ground_truth_.record(entry.features, entry.best_system, entry.metric);
+    if (!entries.empty())
+        PT_LOG_INFO("service").field("entries", entries.size())
+            << "ground truth seeded from recovery";
+}
+
 std::optional<TuningService::Submission> PipeTuneService::submit(
     const workload::Workload& workload, const hpt::HptJobConfig& job_config,
     SubmitOptions options) {
-    const std::uint64_t id = ++next_id_;
+    const std::uint64_t id = options.job_id != 0 ? options.job_id : ++next_id_;
+    if (id > next_id_) next_id_ = id;  // keep assigned ids ahead of forced ones
     JobTiming timing;
     timing.id = id;
     timing.label = options.label.empty() ? workload.name : options.label;
@@ -102,37 +114,95 @@ std::optional<TuningService::Submission> PipeTuneService::submit(
         span.arg("workload", workload.name);
         span.arg("job_id", std::to_string(id));
     }
-    try {
-        PipeTuneConfig config = options_.pipetune;
-        config.metrics = &metrics_;
-        config.obs = options_.obs;
-        hpt::HptJobConfig job = job_config;
-        job.obs = options_.obs;
-        PipeTuneJobResult result = run_pipetune(backend_, workload, job, config, &ground_truth_);
-        ++jobs_served_;
-        if (options_.persist_after_each_job) persist();
-        if (options_.obs)
-            options_.obs->metrics()
-                .counter("pipetune_service_jobs_served_total", {},
-                         "HPT jobs run to completion by a tuning service")
-                .inc();
-        PT_LOG_INFO("service")
-                .field("workload", workload.name)
-                .field("accuracy_pct", result.baseline.final_accuracy)
-                .field("tuning_s", result.baseline.tuning.tuning_duration_s)
-                .field("hits", result.ground_truth_hits)
-                .field("probes", result.probes_started)
-            << "job " << jobs_served_ << " done";
-        timing.ok = true;
-        promise.set_value(std::move(result));
-    } catch (const std::exception& e) {
-        ++jobs_failed_;
-        timing.error = e.what();
-        promise.set_exception(std::current_exception());
-    } catch (...) {
-        ++jobs_failed_;
-        timing.error = "unknown error";
-        promise.set_exception(std::current_exception());
+    if (options_.journal != nullptr)
+        (void)options_.journal->append(
+            ft::record_type::kJobSubmitted,
+            journal_submit_payload(id, timing.label, workload, job_config, options));
+    // Inline retry: a job that dies of a transient failure (injected fault,
+    // flaky substrate) re-runs on the caller's thread per the retry policy;
+    // anything else — including ft::SimulatedCrash — is terminal on the
+    // first throw.
+    std::size_t failures = 0;
+    util::Rng retry_rng(id ^ 0x5bd1e995ULL);
+    for (;;) {
+        try {
+            PipeTuneConfig config = options_.pipetune;
+            config.metrics = &metrics_;
+            config.obs = options_.obs;
+            config.journal = options_.journal;
+            config.journal_job_id = id;
+            hpt::HptJobConfig job = job_config;
+            job.obs = options_.obs;
+            PipeTuneJobResult result =
+                run_pipetune(backend_, workload, job, config, &ground_truth_);
+            ++jobs_served_;
+            if (options_.journal != nullptr) {
+                util::Json payload = util::Json::object();
+                payload["job_id"] = id;
+                (void)options_.journal->append(ft::record_type::kJobCompleted,
+                                               std::move(payload));
+            }
+            if (options_.persist_after_each_job) persist();
+            if (options_.obs)
+                options_.obs->metrics()
+                    .counter("pipetune_service_jobs_served_total", {},
+                             "HPT jobs run to completion by a tuning service")
+                    .inc();
+            PT_LOG_INFO("service")
+                    .field("workload", workload.name)
+                    .field("accuracy_pct", result.baseline.final_accuracy)
+                    .field("tuning_s", result.baseline.tuning.tuning_duration_s)
+                    .field("hits", result.ground_truth_hits)
+                    .field("probes", result.probes_started)
+                << "job " << jobs_served_ << " done";
+            timing.ok = true;
+            promise.set_value(std::move(result));
+            break;
+        } catch (const ft::TransientFailure& e) {
+            ++failures;
+            if (options_.retry.should_retry(failures, clock_s() - timing.submit_s)) {
+                if (options_.obs)
+                    options_.obs->metrics()
+                        .counter("pipetune_ft_job_retries_total", {},
+                                 "Jobs re-run after a transient failure")
+                        .inc();
+                PT_LOG_WARN("service").field("job", id).field("attempt", failures + 1)
+                    << "transient job failure, retrying: " << e.what();
+                (void)options_.retry.backoff_s(failures, retry_rng);  // charged nowhere:
+                // the serial service runs inline; sleeping would only stall the caller.
+                continue;
+            }
+            ++jobs_failed_;
+            timing.error = e.what();
+            if (options_.journal != nullptr) {
+                util::Json payload = util::Json::object();
+                payload["job_id"] = id;
+                payload["error"] = std::string(e.what());
+                (void)options_.journal->append(ft::record_type::kJobFailed, std::move(payload));
+            }
+            promise.set_exception(std::current_exception());
+            break;
+        } catch (const std::exception& e) {
+            ++jobs_failed_;
+            timing.error = e.what();
+            // A SimulatedCrash models process death: the journal must NOT
+            // gain a job_failed record (a dead process writes nothing), so
+            // recovery sees the job as pending and re-runs it.
+            if (options_.journal != nullptr &&
+                dynamic_cast<const ft::SimulatedCrash*>(&e) == nullptr) {
+                util::Json payload = util::Json::object();
+                payload["job_id"] = id;
+                payload["error"] = std::string(e.what());
+                (void)options_.journal->append(ft::record_type::kJobFailed, std::move(payload));
+            }
+            promise.set_exception(std::current_exception());
+            break;
+        } catch (...) {
+            ++jobs_failed_;
+            timing.error = "unknown error";
+            promise.set_exception(std::current_exception());
+            break;
+        }
     }
     timing.finish_s = clock_s();
     timings_.push_back(timing);

@@ -1,0 +1,90 @@
+#include "pipetune/ft/checkpoint.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "pipetune/ft/codec.hpp"
+#include "pipetune/util/fs.hpp"
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::ft {
+
+util::Json TrialCheckpoint::to_json() const {
+    util::Json json = util::Json::object();
+    json["job_id"] = job_id;
+    json["trial_id"] = trial_id;
+    json["best_system"] = system_to_json(best_system);
+    json["probe_cursor"] = probe_cursor;
+    util::Json epoch_array = util::Json::array();
+    for (const workload::EpochResult& epoch : epochs)
+        epoch_array.push_back(epoch_result_to_json(epoch));
+    json["epochs"] = std::move(epoch_array);
+    return json;
+}
+
+util::Result<TrialCheckpoint> TrialCheckpoint::from_json(const util::Json& json) {
+    if (!json.is_object() || !json.contains("job_id") || !json.contains("trial_id") ||
+        !json.contains("epochs"))
+        return util::Result<TrialCheckpoint>::failure(
+            "checkpoint: missing job_id/trial_id/epochs");
+    TrialCheckpoint checkpoint;
+    checkpoint.job_id = static_cast<std::uint64_t>(json.at("job_id").as_number());
+    checkpoint.trial_id = static_cast<std::uint64_t>(json.at("trial_id").as_number());
+    if (json.contains("best_system"))
+        checkpoint.best_system = system_from_json(json.at("best_system"));
+    checkpoint.probe_cursor = static_cast<std::size_t>(json.get_number("probe_cursor", 0.0));
+    if (!json.at("epochs").is_array())
+        return util::Result<TrialCheckpoint>::failure("checkpoint: epochs is not an array");
+    for (const util::Json& epoch : json.at("epochs").as_array())
+        checkpoint.epochs.push_back(epoch_result_from_json(epoch));
+    return checkpoint;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CheckpointStore::path_for(std::uint64_t job_id, std::uint64_t trial_id) const {
+    return dir_ + "/job" + std::to_string(job_id) + "_trial" + std::to_string(trial_id) +
+           ".ckpt.json";
+}
+
+util::Result<void> CheckpointStore::save(const TrialCheckpoint& checkpoint) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        return util::Result<void>::failure("checkpoint: cannot create " + dir_ + ": " +
+                                           ec.message());
+    return util::try_write_file_atomic(path_for(checkpoint.job_id, checkpoint.trial_id),
+                                       checkpoint.to_json().dump(2));
+}
+
+std::optional<TrialCheckpoint> CheckpointStore::load(std::uint64_t job_id,
+                                                     std::uint64_t trial_id) const {
+    const std::string path = path_for(job_id, trial_id);
+    auto loaded = util::Json::try_load_file(path);
+    if (!loaded) return std::nullopt;  // no snapshot: start from scratch
+    auto parsed = TrialCheckpoint::from_json(loaded.value());
+    if (!parsed) {
+        PT_LOG_WARN("ft").field("path", path)
+            << "corrupt checkpoint ignored: " << parsed.error();
+        return std::nullopt;
+    }
+    return std::move(parsed.value());
+}
+
+util::Result<void> CheckpointStore::remove(std::uint64_t job_id, std::uint64_t trial_id) {
+    std::error_code ec;
+    std::filesystem::remove(path_for(job_id, trial_id), ec);
+    if (ec) return util::Result<void>::failure("checkpoint: remove failed: " + ec.message());
+    return util::Result<void>::success();
+}
+
+std::size_t CheckpointStore::count() const {
+    std::error_code ec;
+    std::size_t n = 0;
+    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec))
+        if (it->path().native().ends_with(".ckpt.json")) ++n;
+    return n;
+}
+
+}  // namespace pipetune::ft

@@ -1,0 +1,50 @@
+#include "pipetune/ft/codec.hpp"
+
+namespace pipetune::ft {
+
+util::Json system_to_json(const workload::SystemParams& system) {
+    util::Json json = util::Json::object();
+    json["cores"] = system.cores;
+    json["memory_gb"] = system.memory_gb;
+    json["frequency_ghz"] = system.frequency_ghz;
+    return json;
+}
+
+workload::SystemParams system_from_json(const util::Json& json) {
+    workload::SystemParams system;
+    system.cores = static_cast<std::size_t>(json.get_number("cores", system.cores));
+    system.memory_gb = static_cast<std::size_t>(json.get_number("memory_gb", system.memory_gb));
+    system.frequency_ghz = json.get_number("frequency_ghz", system.frequency_ghz);
+    return system;
+}
+
+util::Json epoch_result_to_json(const workload::EpochResult& result) {
+    util::Json json = util::Json::object();
+    json["epoch"] = result.epoch;
+    json["train_loss"] = result.train_loss;
+    json["accuracy"] = result.accuracy;
+    json["duration_s"] = result.duration_s;
+    json["energy_j"] = result.energy_j;
+    json["system"] = system_to_json(result.system);
+    std::vector<double> counters(result.counters.begin(), result.counters.end());
+    json["counters"] = util::Json::array_of(counters);
+    return json;
+}
+
+workload::EpochResult epoch_result_from_json(const util::Json& json) {
+    workload::EpochResult result;
+    result.epoch = static_cast<std::size_t>(json.get_number("epoch", 0.0));
+    result.train_loss = json.get_number("train_loss", 0.0);
+    result.accuracy = json.get_number("accuracy", 0.0);
+    result.duration_s = json.get_number("duration_s", 0.0);
+    result.energy_j = json.get_number("energy_j", 0.0);
+    if (json.contains("system")) result.system = system_from_json(json.at("system"));
+    if (json.contains("counters")) {
+        const std::vector<double> counters = json.at("counters").as_double_vector();
+        const std::size_t n = std::min(counters.size(), result.counters.size());
+        for (std::size_t i = 0; i < n; ++i) result.counters[i] = counters[i];
+    }
+    return result;
+}
+
+}  // namespace pipetune::ft

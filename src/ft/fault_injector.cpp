@@ -1,0 +1,71 @@
+#include "pipetune/ft/fault_injector.hpp"
+
+#include <string>
+
+namespace pipetune::ft {
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : config_(config), rng_(config.seed) {
+    if (config_.obs != nullptr) {
+        // Register eagerly so the series appear in --metrics-out even when
+        // the schedule injects nothing.
+        obs_failures_ = &config_.obs->metrics().counter(
+            "pipetune_ft_injected_epoch_failures_total", {},
+            "Epoch failures injected by ft::FaultInjector");
+        obs_crashes_ = &config_.obs->metrics().counter(
+            "pipetune_ft_injected_crashes_total", {},
+            "Simulated crashes injected by ft::FaultInjector");
+        obs_stalls_ = &config_.obs->metrics().counter(
+            "pipetune_ft_injected_stalls_total", {},
+            "Slow-node stalls injected by ft::FaultInjector");
+    }
+}
+
+void FaultInjector::before_epoch(const workload::Workload& workload,
+                                 const workload::HyperParams& /*hyper*/, std::size_t epoch,
+                                 const workload::SystemParams& /*system*/) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++epochs_seen_;
+    if (config_.crash_after_epochs != 0 && epochs_seen_ >= config_.crash_after_epochs) {
+        ++crashes_;
+        if (obs_crashes_ != nullptr) obs_crashes_->inc();
+        throw SimulatedCrash("injected crash at observed epoch " +
+                             std::to_string(epochs_seen_) + " (" + workload.name + " epoch " +
+                             std::to_string(epoch) + ")");
+    }
+    if (config_.epoch_failure_rate > 0.0 && rng_.bernoulli(config_.epoch_failure_rate)) {
+        ++epoch_failures_;
+        if (obs_failures_ != nullptr) obs_failures_->inc();
+        throw InjectedEpochFailure("injected epoch failure (" + workload.name + " epoch " +
+                                   std::to_string(epoch) + ")");
+    }
+}
+
+void FaultInjector::after_epoch(const workload::Workload& /*workload*/, std::size_t /*epoch*/,
+                                workload::EpochResult& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.slow_node_rate > 0.0 && rng_.bernoulli(config_.slow_node_rate)) {
+        ++stalls_;
+        if (obs_stalls_ != nullptr) obs_stalls_->inc();
+        result.duration_s *= config_.slow_node_factor;
+    }
+}
+
+std::uint64_t FaultInjector::epochs_seen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epochs_seen_;
+}
+std::uint64_t FaultInjector::injected_epoch_failures() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_failures_;
+}
+std::uint64_t FaultInjector::injected_crashes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return crashes_;
+}
+std::uint64_t FaultInjector::injected_stalls() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stalls_;
+}
+
+}  // namespace pipetune::ft

@@ -1,0 +1,213 @@
+#include "pipetune/ft/ft_backend.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "pipetune/util/logging.hpp"
+
+namespace pipetune::ft {
+
+using workload::EpochResult;
+using workload::HyperParams;
+using workload::SystemParams;
+using workload::TrialSession;
+using workload::Workload;
+
+// ---------------------------------------------------------------------------
+// FaultTolerantBackend
+
+class FaultTolerantSession final : public TrialSession {
+public:
+    FaultTolerantSession(std::unique_ptr<TrialSession> inner, FaultTolerantBackend& owner,
+                         std::uint64_t jitter_seed)
+        : inner_(std::move(inner)), owner_(owner), rng_(jitter_seed) {}
+
+    EpochResult run_epoch(const SystemParams& system) override {
+        const RetryPolicy& policy = owner_.config_.retry;
+        std::size_t failures = 0;
+        double backoff_charge_s = 0.0;
+        for (;;) {
+            try {
+                EpochResult result = inner_->run_epoch(system);
+                if (failures > 0) {
+                    owner_.recoveries_.fetch_add(1);
+                    if (owner_.obs_recoveries_ != nullptr) owner_.obs_recoveries_->inc();
+                }
+                result.duration_s += backoff_charge_s;
+                return result;
+            } catch (const TransientFailure& failure) {
+                ++failures;
+                // The deadline is measured in the same (virtual or wall)
+                // seconds the backoff is charged in.
+                if (!policy.should_retry(failures, backoff_charge_s)) {
+                    owner_.gave_up_.fetch_add(1);
+                    if (owner_.obs_gave_up_ != nullptr) owner_.obs_gave_up_->inc();
+                    PT_LOG_WARN("ft")
+                        .field("workload", inner_->workload().name)
+                        .field("failures", failures)
+                        << "epoch retry budget exhausted: " << failure.what();
+                    throw;
+                }
+                owner_.retries_.fetch_add(1);
+                if (owner_.obs_retries_ != nullptr) owner_.obs_retries_->inc();
+                const double backoff_s = policy.backoff_s(failures, rng_);
+                if (owner_.config_.charge_backoff_to_duration) {
+                    backoff_charge_s += backoff_s;
+                } else {
+                    std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+                    backoff_charge_s += backoff_s;
+                }
+            }
+            // SimulatedCrash and anything else non-transient propagates.
+        }
+    }
+
+    std::size_t epochs_done() const override { return inner_->epochs_done(); }
+    const Workload& workload() const override { return inner_->workload(); }
+    const HyperParams& hyperparams() const override { return inner_->hyperparams(); }
+
+private:
+    std::unique_ptr<TrialSession> inner_;
+    FaultTolerantBackend& owner_;
+    util::Rng rng_;
+};
+
+FaultTolerantBackend::FaultTolerantBackend(workload::Backend& inner,
+                                           FaultTolerantBackendConfig config)
+    : inner_(inner), config_(config) {
+    if (config_.obs != nullptr) {
+        obs_retries_ = &config_.obs->metrics().counter(
+            "pipetune_ft_retries_total", {}, "Transient epoch failures caught and retried");
+        obs_recoveries_ = &config_.obs->metrics().counter(
+            "pipetune_ft_recoveries_total", {}, "Epochs that succeeded after >=1 retry");
+        obs_gave_up_ = &config_.obs->metrics().counter(
+            "pipetune_ft_gave_up_total", {}, "Epochs whose retry budget was exhausted");
+    }
+}
+
+std::unique_ptr<TrialSession> FaultTolerantBackend::start_trial(const Workload& workload,
+                                                                const HyperParams& hyper) {
+    const std::uint64_t jitter_seed =
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * (session_seq_.fetch_add(1) + 1));
+    return std::make_unique<FaultTolerantSession>(inner_.start_trial(workload, hyper), *this,
+                                                  jitter_seed);
+}
+
+// ---------------------------------------------------------------------------
+// ReseedingBackend
+
+ReseedingBackend::ReseedingBackend(Factory factory, std::uint64_t initial_seed)
+    : factory_(std::move(factory)) {
+    begin_job(initial_seed);
+}
+
+std::uint64_t ReseedingBackend::job_seed(std::uint64_t base_seed, std::uint64_t job_id) {
+    std::uint64_t state = base_seed ^ (job_id + 0x9e3779b97f4a7c15ULL);
+    return util::splitmix64(state);
+}
+
+void ReseedingBackend::begin_job(std::uint64_t seed) {
+    inner_ = factory_(seed);
+    current_seed_ = seed;
+}
+
+std::unique_ptr<TrialSession> ReseedingBackend::start_trial(const Workload& workload,
+                                                            const HyperParams& hyper) {
+    return inner_->start_trial(workload, hyper);
+}
+
+// ---------------------------------------------------------------------------
+// ResumableBackend
+
+class ResumableSession final : public TrialSession {
+public:
+    ResumableSession(ResumableBackend& owner, Workload workload, HyperParams hyper,
+                     TrialCheckpoint checkpoint)
+        : owner_(owner),
+          workload_(std::move(workload)),
+          hyper_(std::move(hyper)),
+          checkpoint_(std::move(checkpoint)),
+          replay_limit_(checkpoint_.epochs.size()) {
+        for (const EpochResult& recorded : checkpoint_.epochs)
+            if (best_metric_ < 0.0 || recorded.duration_s < best_metric_) {
+                best_metric_ = recorded.duration_s;
+                checkpoint_.best_system = recorded.system;
+            }
+    }
+
+    EpochResult run_epoch(const SystemParams& system) override {
+        // Phase 1 — replay: hand back recorded results without touching the
+        // substrate. The inner session does not exist yet. Bounded by the
+        // SNAPSHOT length, not checkpoint_.epochs.size(): live epochs append
+        // to that same vector, and re-reading them here would hand every
+        // epoch back twice.
+        if (replay_cursor_ < replay_limit_) {
+            EpochResult result = checkpoint_.epochs[replay_cursor_];
+            ++replay_cursor_;
+            owner_.replays_.fetch_add(1);
+            return result;
+        }
+        // Phase 2 — live: on the first live epoch, create the inner session
+        // and catch it up by re-running the recorded prefix under the
+        // recorded system params (deterministic substrates land in the exact
+        // state an uninterrupted run would be in; see DESIGN.md §10 for why
+        // this recompute is the honest option without weight serialization).
+        if (inner_ == nullptr) {
+            inner_ = owner_.inner_.start_trial(workload_, hyper_);
+            for (const EpochResult& recorded : checkpoint_.epochs)
+                (void)inner_->run_epoch(recorded.system);
+        }
+        EpochResult result = inner_->run_epoch(system);
+        checkpoint_.epochs.push_back(result);
+        checkpoint_.probe_cursor = checkpoint_.epochs.size();
+        if (best_metric_ < 0.0 || result.duration_s < best_metric_) {
+            best_metric_ = result.duration_s;
+            checkpoint_.best_system = system;
+        }
+        auto saved = owner_.store_.save(checkpoint_);
+        if (!saved)
+            PT_LOG_WARN("ft").field("trial", checkpoint_.trial_id)
+                << "checkpoint save failed: " << saved.error();
+        else
+            owner_.saves_.fetch_add(1);
+        return result;
+    }
+
+    std::size_t epochs_done() const override {
+        return inner_ != nullptr ? checkpoint_.epochs.size() : replay_cursor_;
+    }
+    const Workload& workload() const override { return workload_; }
+    const HyperParams& hyperparams() const override { return hyper_; }
+
+private:
+    ResumableBackend& owner_;
+    Workload workload_;
+    HyperParams hyper_;
+    TrialCheckpoint checkpoint_;
+    std::size_t replay_limit_ = 0;  ///< snapshot epochs at construction
+    std::size_t replay_cursor_ = 0;
+    double best_metric_ = -1.0;
+    std::unique_ptr<TrialSession> inner_;
+};
+
+ResumableBackend::ResumableBackend(workload::Backend& inner, CheckpointStore& store,
+                                   std::uint64_t job_id)
+    : inner_(inner), store_(store), job_id_(job_id) {}
+
+void ResumableBackend::begin_job(std::uint64_t job_id) {
+    job_id_ = job_id;
+    next_trial_id_ = 0;
+}
+
+std::unique_ptr<TrialSession> ResumableBackend::start_trial(const Workload& workload,
+                                                            const HyperParams& hyper) {
+    const std::uint64_t trial_id = next_trial_id_++;
+    TrialCheckpoint checkpoint;
+    if (auto existing = store_.load(job_id_, trial_id)) checkpoint = std::move(*existing);
+    checkpoint.job_id = job_id_;
+    checkpoint.trial_id = trial_id;
+    return std::make_unique<ResumableSession>(*this, workload, hyper, std::move(checkpoint));
+}
+
+}  // namespace pipetune::ft

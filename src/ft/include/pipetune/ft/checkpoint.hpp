@@ -1,0 +1,60 @@
+#pragma once
+// Trial checkpointing: a crash-safe per-(job, trial) snapshot of the epochs a
+// trial has completed, so an interrupted trial resumes at its last completed
+// epoch instead of epoch 1 (DESIGN.md §10). Snapshots are whole-file JSON
+// written with util::try_write_file_atomic — a crash mid-save leaves the
+// previous snapshot intact.
+//
+// best_system / probe_cursor are operator-facing summaries (what the trial
+// had converged on when it stopped); the tuning policy itself does not read
+// them back — PipeTunePolicy::choose() is a pure function of the epoch
+// history, so replaying the checkpointed epochs reconstructs the policy's
+// plan exactly (same probe schedule, same cursor) without serializing any
+// policy internals.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::ft {
+
+struct TrialCheckpoint {
+    std::uint64_t job_id = 0;
+    std::uint64_t trial_id = 0;
+    /// Completed epochs in order, full results (counters included) so a
+    /// resumed trial replays bit-identical observations.
+    std::vector<workload::EpochResult> epochs;
+    workload::SystemParams best_system{};  ///< config of the best epoch so far
+    std::size_t probe_cursor = 0;          ///< resume point (epochs completed)
+
+    util::Json to_json() const;
+    static util::Result<TrialCheckpoint> from_json(const util::Json& json);
+};
+
+class CheckpointStore {
+public:
+    /// Snapshots live as `<dir>/job<J>_trial<T>.ckpt.json`; the directory is
+    /// created on first save.
+    explicit CheckpointStore(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+    std::string path_for(std::uint64_t job_id, std::uint64_t trial_id) const;
+
+    util::Result<void> save(const TrialCheckpoint& checkpoint);
+    /// Missing file -> nullopt; a corrupt snapshot also resumes from scratch
+    /// (nullopt, with a warning) rather than wedging the trial.
+    std::optional<TrialCheckpoint> load(std::uint64_t job_id, std::uint64_t trial_id) const;
+    util::Result<void> remove(std::uint64_t job_id, std::uint64_t trial_id);
+    /// Snapshot files currently on disk.
+    std::size_t count() const;
+
+private:
+    std::string dir_;
+};
+
+}  // namespace pipetune::ft

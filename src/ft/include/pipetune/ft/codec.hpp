@@ -1,0 +1,20 @@
+#pragma once
+// JSON codecs for the workload types the fault-tolerance layer persists
+// (journal payloads, trial checkpoints). Kept in one place so the journal
+// writer, the recovery reader and the checkpoint store cannot drift apart on
+// field names.
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::ft {
+
+util::Json system_to_json(const workload::SystemParams& system);
+workload::SystemParams system_from_json(const util::Json& json);
+
+/// Full EpochResult round-trip, counters included — checkpointed epochs must
+/// replay bit-identically (doubles serialize with %.17g, see util/json.cpp).
+util::Json epoch_result_to_json(const workload::EpochResult& result);
+workload::EpochResult epoch_result_from_json(const util::Json& json);
+
+}  // namespace pipetune::ft

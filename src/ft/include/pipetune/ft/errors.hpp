@@ -1,0 +1,39 @@
+#pragma once
+// Failure taxonomy of the fault-tolerance layer (DESIGN.md §10). The split
+// mirrors what retry logic needs to know and nothing more:
+//
+//   TransientFailure      — "try again and it may work": injected epoch
+//                           faults, flaky I/O. FaultTolerantBackend and the
+//                           scheduler's retry path catch exactly this type.
+//   InjectedEpochFailure  — the FaultInjector's epoch-level fault (transient).
+//   SimulatedCrash        — a process-death stand-in. Deliberately NOT a
+//                           TransientFailure: nothing in-process may swallow
+//                           it; it unwinds to the test/CLI driver, which then
+//                           exercises the journal-recovery path.
+
+#include <stdexcept>
+#include <string>
+
+namespace pipetune::ft {
+
+/// Base class for failures that are worth retrying.
+class TransientFailure : public std::runtime_error {
+public:
+    explicit TransientFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by FaultInjector::before_epoch: the epoch failed before any session
+/// state advanced, so re-running the same epoch is exact.
+class InjectedEpochFailure : public TransientFailure {
+public:
+    explicit InjectedEpochFailure(const std::string& what) : TransientFailure(what) {}
+};
+
+/// Simulated process crash (kill -9 stand-in). Retry layers must let this
+/// propagate; recovery happens out-of-process via ft::Recovery.
+class SimulatedCrash : public std::runtime_error {
+public:
+    explicit SimulatedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace pipetune::ft

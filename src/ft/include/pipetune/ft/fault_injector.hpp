@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic fault injection (DESIGN.md §10). FaultInjector implements the
+// workload::EpochObserver seam that SimBackend/RealBackend expose, so the
+// same injector drives chaos against either substrate:
+//
+//   - epoch failures: before_epoch throws InjectedEpochFailure with
+//     probability epoch_failure_rate (the epoch never ran — retryable);
+//   - worker crashes: the Nth observed epoch throws SimulatedCrash, which no
+//     retry layer may catch (kill -9 stand-in; recovery goes via the journal);
+//   - slow-node stalls: after_epoch multiplies duration_s by
+//     slow_node_factor with probability slow_node_rate (the epoch succeeded,
+//     just on a straggler).
+//
+// All draws come from one seeded util::Rng, so a given seed injects an
+// identical fault schedule run after run. Thread-safe (one mutex around the
+// RNG and counters) so the concurrent scheduler's workers can share one
+// injector.
+
+#include <cstdint>
+#include <mutex>
+
+#include "pipetune/ft/errors.hpp"
+#include "pipetune/obs/obs_context.hpp"
+#include "pipetune/util/rng.hpp"
+#include "pipetune/workload/types.hpp"
+
+namespace pipetune::ft {
+
+struct FaultInjectorConfig {
+    double epoch_failure_rate = 0.0;  ///< P(InjectedEpochFailure) per before_epoch
+    double slow_node_rate = 0.0;      ///< P(stall) per completed epoch
+    double slow_node_factor = 4.0;    ///< duration multiplier on a stall
+    /// Throw SimulatedCrash on the Nth before_epoch (0 = never). Counts every
+    /// observed epoch across all trials — "the process dies N epochs in".
+    std::size_t crash_after_epochs = 0;
+    std::uint64_t seed = 42;
+    /// Telemetry (pipetune_ft_injected_*_total). Not owned; may be null.
+    obs::ObsContext* obs = nullptr;
+};
+
+class FaultInjector final : public workload::EpochObserver {
+public:
+    explicit FaultInjector(FaultInjectorConfig config = {});
+
+    void before_epoch(const workload::Workload& workload, const workload::HyperParams& hyper,
+                      std::size_t epoch, const workload::SystemParams& system) override;
+    void after_epoch(const workload::Workload& workload, std::size_t epoch,
+                     workload::EpochResult& result) override;
+
+    std::uint64_t epochs_seen() const;
+    std::uint64_t injected_epoch_failures() const;
+    std::uint64_t injected_crashes() const;
+    std::uint64_t injected_stalls() const;
+
+private:
+    FaultInjectorConfig config_;
+    mutable std::mutex mutex_;
+    util::Rng rng_;
+    std::uint64_t epochs_seen_ = 0;
+    std::uint64_t epoch_failures_ = 0;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t stalls_ = 0;
+    obs::Counter* obs_failures_ = nullptr;
+    obs::Counter* obs_crashes_ = nullptr;
+    obs::Counter* obs_stalls_ = nullptr;
+};
+
+}  // namespace pipetune::ft

@@ -1,0 +1,94 @@
+#pragma once
+// Write-ahead journal (DESIGN.md §10): the durable record of what a tuning
+// service has promised and observed. Every record is one JSON line
+//
+//   {"seq":12,"type":"epoch_completed","crc":"9f3a...","payload":{...}}
+//
+// appended with util::append_file_durable (write + fsync), so once append()
+// returns success the record survives a crash at any later instant. seq is a
+// strictly increasing sequence number; crc is an FNV-1a checksum of
+// type+payload, so a torn or bit-rotted line is detected on read.
+//
+// Reading tolerates exactly the failure the format is designed for: a crash
+// mid-append leaves a partial (or checksum-failing) last line, which read()
+// drops while keeping the valid prefix. Corruption that is *followed* by more
+// valid records is still treated as the end of the usable prefix — a journal
+// is only ever appended to, so anything after a bad record has an unknown
+// causal history and ft::Recovery refuses to reason about it.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+
+namespace pipetune::ft {
+
+/// Record type vocabulary. Payload schemas are documented in DESIGN.md §10;
+/// ft::Recovery is the one consumer.
+namespace record_type {
+inline constexpr const char* kJobSubmitted = "job_submitted";
+inline constexpr const char* kJobCompleted = "job_completed";
+inline constexpr const char* kJobFailed = "job_failed";
+inline constexpr const char* kTrialStarted = "trial_started";
+inline constexpr const char* kEpochCompleted = "epoch_completed";
+inline constexpr const char* kTrialFinished = "trial_finished";
+inline constexpr const char* kGtRecord = "gt_record";
+}  // namespace record_type
+
+struct JournalRecord {
+    std::uint64_t seq = 0;
+    std::string type;
+    util::Json payload;
+};
+
+/// Result of reading a journal file: the valid record prefix plus what (if
+/// anything) was dropped from the tail.
+struct JournalReadResult {
+    std::vector<JournalRecord> records;
+    bool truncated_tail = false;   ///< a partial/corrupt line was dropped
+    std::size_t lines_dropped = 0; ///< lines discarded after the valid prefix
+    /// Byte length of the valid prefix — the file offset just past the last
+    /// accepted record's newline. Journal's constructor truncates the file
+    /// back to this point so a resumed run's appends stay readable.
+    std::size_t valid_prefix_bytes = 0;
+};
+
+class Journal {
+public:
+    /// Opens (or creates on first append) the journal at `path`. If the file
+    /// already holds records, appends continue from the last valid seq — so
+    /// a resumed service extends the same journal it recovered from.
+    explicit Journal(std::string path);
+
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    const std::string& path() const { return path_; }
+
+    /// Durably append one record; thread-safe. On failure the journal is
+    /// unchanged (the record may occupy a partial line on disk, which a later
+    /// read() drops as a truncated tail).
+    util::Result<void> append(const std::string& type, util::Json payload);
+
+    /// Records appended so far by this handle plus what existed at open.
+    std::uint64_t last_seq() const;
+
+    /// Parse the journal at `path` into its valid record prefix. Fails only
+    /// when the file is missing/unreadable or holds no valid record while
+    /// being non-empty (an empty file reads as zero records).
+    static util::Result<JournalReadResult> read(const std::string& path);
+
+    /// FNV-1a 64 over the canonical record body (exposed for tests).
+    static std::uint64_t checksum(std::uint64_t seq, const std::string& type,
+                                  const std::string& payload_dump);
+
+private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace pipetune::ft

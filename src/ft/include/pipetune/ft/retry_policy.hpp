@@ -1,0 +1,42 @@
+#pragma once
+// RetryPolicy: the one bounded-retry/backoff vocabulary shared by the
+// epoch-level retry wrapper (ft::FaultTolerantBackend) and the job-level
+// requeue path (sched::ClusterScheduler). Exponential backoff with
+// multiplicative jitter; an optional per-job deadline caps the total time a
+// job may spend being retried (DESIGN.md §10).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pipetune/util/rng.hpp"
+
+namespace pipetune::ft {
+
+struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying entirely).
+    std::size_t max_retries = 3;
+    double initial_backoff_s = 0.05;
+    double backoff_multiplier = 2.0;
+    double max_backoff_s = 2.0;
+    /// Backoff is scaled by a factor drawn uniformly from
+    /// [1 - jitter_fraction, 1 + jitter_fraction].
+    double jitter_fraction = 0.1;
+    /// Per-job retry budget in seconds (0 = unbounded): once a job has spent
+    /// this long across attempts + backoffs, the next failure is terminal.
+    double deadline_s = 0.0;
+
+    bool enabled() const { return max_retries > 0; }
+
+    /// May attempt number `attempt` (0-based count of completed failures) be
+    /// retried, given `elapsed_s` already spent on the job?
+    bool should_retry(std::size_t failures, double elapsed_s) const {
+        if (failures > max_retries) return false;
+        if (deadline_s > 0.0 && elapsed_s >= deadline_s) return false;
+        return max_retries > 0;
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered via `rng`.
+    double backoff_s(std::size_t retry, util::Rng& rng) const;
+};
+
+}  // namespace pipetune::ft

@@ -1,0 +1,18 @@
+#include "pipetune/ft/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipetune::ft {
+
+double RetryPolicy::backoff_s(std::size_t retry, util::Rng& rng) const {
+    if (retry == 0) return 0.0;
+    const double exponent = static_cast<double>(retry - 1);
+    double backoff = initial_backoff_s * std::pow(backoff_multiplier, exponent);
+    backoff = std::min(backoff, max_backoff_s);
+    if (jitter_fraction > 0.0)
+        backoff *= rng.uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+    return std::max(0.0, backoff);
+}
+
+}  // namespace pipetune::ft

@@ -119,7 +119,12 @@ private:
 
     /// Canonical identity key for (name, labels); labels sorted by key.
     static std::string instrument_key(const std::string& name, const Labels& labels);
-    Instrument& resolve(const std::string& name, Labels labels, Kind kind, std::string help);
+    /// Find-or-create under mutex_. The kind-specific payload is created HERE,
+    /// inside the lock (bounds feeds a new histogram; counters/gauges need no
+    /// arguments) — callers deref the returned pointer lock-free, so it must
+    /// be written exactly once. `bounds` may be null unless kind is histogram.
+    Instrument& resolve(const std::string& name, Labels labels, Kind kind, std::string help,
+                        std::vector<double>* bounds = nullptr);
 
     mutable std::mutex mutex_;
     std::map<std::string, Instrument> instruments_;  ///< by instrument_key

@@ -122,7 +122,8 @@ std::string MetricsRegistry::instrument_key(const std::string& name, const Label
 
 MetricsRegistry::Instrument& MetricsRegistry::resolve(const std::string& raw_name,
                                                       Labels labels, Kind kind,
-                                                      std::string help) {
+                                                      std::string help,
+                                                      std::vector<double>* bounds) {
     const std::string name = sanitize_metric_name(raw_name);
     const std::string key = instrument_key(name, labels);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -140,31 +141,34 @@ MetricsRegistry::Instrument& MetricsRegistry::resolve(const std::string& raw_nam
         instrument.name = name;
         instrument.labels = std::move(labels);
         instrument.kind = kind;
+        // The payload pointer is set exactly once, here, under mutex_; callers
+        // deref it lock-free afterwards. Creating it lazily in counter()/...
+        // outside the lock would let two threads race the assignment and one
+        // of them keep a reference into the freed loser.
+        switch (kind) {
+            case Kind::kCounter: instrument.counter = std::make_unique<Counter>(); break;
+            case Kind::kGauge: instrument.gauge = std::make_unique<Gauge>(); break;
+            case Kind::kHistogram:
+                instrument.histogram = std::make_unique<Histogram>(std::move(*bounds));
+                break;
+        }
         it = instruments_.emplace(key, std::move(instrument)).first;
     }
     return it->second;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels, std::string help) {
-    Instrument& instrument =
-        resolve(name, std::move(labels), Kind::kCounter, std::move(help));
-    if (!instrument.counter) instrument.counter = std::make_unique<Counter>();
-    return *instrument.counter;
+    return *resolve(name, std::move(labels), Kind::kCounter, std::move(help)).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels, std::string help) {
-    Instrument& instrument = resolve(name, std::move(labels), Kind::kGauge, std::move(help));
-    if (!instrument.gauge) instrument.gauge = std::make_unique<Gauge>();
-    return *instrument.gauge;
+    return *resolve(name, std::move(labels), Kind::kGauge, std::move(help)).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
                                       Labels labels, std::string help) {
-    Instrument& instrument =
-        resolve(name, std::move(labels), Kind::kHistogram, std::move(help));
-    if (!instrument.histogram)
-        instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
-    return *instrument.histogram;
+    return *resolve(name, std::move(labels), Kind::kHistogram, std::move(help), &bounds)
+                .histogram;
 }
 
 std::size_t MetricsRegistry::series_count() const {

@@ -4,6 +4,8 @@
 
 #include "pipetune/core/service.hpp"
 #include "pipetune/core/warm_start.hpp"
+#include "pipetune/ft/errors.hpp"
+#include "pipetune/ft/journal.hpp"
 #include "pipetune/util/logging.hpp"
 
 namespace pipetune::sched {
@@ -16,6 +18,7 @@ SchedulerConfig scheduler_config(const core::ServiceOptions& options) {
     config.queue_capacity = options.queue_capacity;
     config.overflow =
         options.reject_when_full ? OverflowPolicy::kReject : OverflowPolicy::kBlock;
+    config.retry = options.retry;
     config.obs = options.obs;
     return config;
 }
@@ -104,6 +107,15 @@ void ConcurrentPipeTuneService::persist() const {
     }
 }
 
+void ConcurrentPipeTuneService::seed_ground_truth(
+    const std::vector<core::GroundTruthEntry>& entries) {
+    for (const core::GroundTruthEntry& entry : entries)
+        state_.ground_truth().record(entry.features, entry.best_system, entry.metric);
+    if (!entries.empty())
+        PT_LOG_INFO("sched").field("entries", entries.size())
+            << "ground truth seeded from recovery";
+}
+
 core::ServiceStats ConcurrentPipeTuneService::stats() const {
     const SchedulerStats sched = scheduler_.stats();
     core::ServiceStats out;
@@ -149,34 +161,42 @@ std::optional<core::TuningService::Submission> ConcurrentPipeTuneService::submit
 
     // The job body runs on a scheduler worker slot. Copies of the workload
     // and job config keep it self-contained; shared state is reached only
-    // through the locked views.
+    // through the locked views. Exceptions PROPAGATE to the scheduler: a
+    // transient failure under the service retry policy is requeued (same id,
+    // front of its priority class) instead of resolving the future, so the
+    // promise is settled exactly once — here on success, in on_failed on
+    // terminal failure, or in on_discard when the job never runs.
     ClusterScheduler::JobFn run = [this, workload, job_config,
                                    promise](JobContext& ctx) mutable {
-        try {
-            core::PipeTuneConfig pipetune = options_.pipetune;
-            pipetune.metrics = &state_.metrics();
-            pipetune.obs = options_.obs;
-            hpt::HptJobConfig job = job_config;
-            job.obs = options_.obs;
-            auto result =
-                core::run_pipetune(backend_, workload, job, pipetune, &state_.ground_truth());
-            jobs_served_.fetch_add(1, std::memory_order_relaxed);
-            if (options_.obs)
-                options_.obs->metrics()
-                    .counter("pipetune_service_jobs_served_total", {},
-                             "HPT jobs run to completion by a tuning service")
-                    .inc();
-            if (options_.persist_after_each_job && !options_.state_dir.empty()) persist();
-            PT_LOG_INFO("sched")
-                    .field("workload", workload.name)
-                    .field("hits", result.ground_truth_hits)
-                    .field("probes", result.probes_started)
-                    .field("store", result.ground_truth_size)
-                << "job " << ctx.id() << " done";
-            promise->set_value(std::move(result));
-        } catch (...) {
-            promise->set_exception(std::current_exception());
+        core::PipeTuneConfig pipetune = options_.pipetune;
+        pipetune.metrics = &state_.metrics();
+        pipetune.obs = options_.obs;
+        pipetune.journal = options_.journal;
+        pipetune.journal_job_id = ctx.id();
+        hpt::HptJobConfig job = job_config;
+        job.obs = options_.obs;
+        auto result =
+            core::run_pipetune(backend_, workload, job, pipetune, &state_.ground_truth());
+        jobs_served_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.journal != nullptr) {
+            util::Json payload = util::Json::object();
+            payload["job_id"] = ctx.id();
+            (void)options_.journal->append(ft::record_type::kJobCompleted,
+                                           std::move(payload));
         }
+        if (options_.obs)
+            options_.obs->metrics()
+                .counter("pipetune_service_jobs_served_total", {},
+                         "HPT jobs run to completion by a tuning service")
+                .inc();
+        if (options_.persist_after_each_job && !options_.state_dir.empty()) persist();
+        PT_LOG_INFO("sched")
+                .field("workload", workload.name)
+                .field("hits", result.ground_truth_hits)
+                .field("probes", result.probes_started)
+                .field("store", result.ground_truth_size)
+            << "job " << ctx.id() << " done";
+        promise->set_value(std::move(result));
     };
     // Discarded without running → the future reports why instead of dangling
     // as a broken promise.
@@ -185,10 +205,40 @@ std::optional<core::TuningService::Submission> ConcurrentPipeTuneService::submit
             "pipetune job " + std::to_string(info.id) + " " + to_string(info.state) +
             " before running")));
     };
+    // Terminal failure (retries exhausted or non-transient): journal it —
+    // except for a SimulatedCrash, which models process death (a dead
+    // process writes nothing, so recovery re-runs the job) — and forward
+    // the original exception to the future.
+    ClusterScheduler::FailFn on_failed = [this, promise](const JobInfo& info,
+                                                         std::exception_ptr failure) {
+        if (options_.journal != nullptr) {
+            bool journal_failure = true;
+            try {
+                std::rethrow_exception(failure);
+            } catch (const ft::SimulatedCrash&) {
+                journal_failure = false;
+            } catch (...) {
+            }
+            if (journal_failure) {
+                util::Json payload = util::Json::object();
+                payload["job_id"] = info.id;
+                payload["error"] = info.error;
+                (void)options_.journal->append(ft::record_type::kJobFailed,
+                                               std::move(payload));
+            }
+        }
+        promise->set_exception(failure);
+    };
 
-    auto ticket =
-        scheduler_.submit(std::move(run), std::move(sched_options), std::move(on_discard));
+    const std::string job_label = sched_options.label;
+    auto ticket = scheduler_.submit(std::move(run), std::move(sched_options),
+                                    std::move(on_discard), std::move(on_failed));
     if (!ticket) return std::nullopt;
+    if (options_.journal != nullptr)
+        (void)options_.journal->append(
+            ft::record_type::kJobSubmitted,
+            core::journal_submit_payload(ticket->id, job_label, workload, job_config,
+                                         options));
     return Submission{ticket->id, std::move(future)};
 }
 

@@ -65,6 +65,10 @@ public:
         return state_.metrics_snapshot();
     }
 
+    /// Replay recovered ground-truth mutations (ft::Recovery) into the
+    /// shared store. Call before submitting resumed jobs.
+    void seed_ground_truth(const std::vector<core::GroundTruthEntry>& entries) override;
+
     /// Scheduler-native stats (richer than the interface's ServiceStats).
     SchedulerStats scheduler_stats() const { return scheduler_.stats(); }
     /// Completed-job wall-clock trace; feed to cluster::summarize_trace.

@@ -68,6 +68,26 @@ public:
         return true;
     }
 
+    /// Requeue an already-admitted job at the FRONT of its priority class —
+    /// the retry path. The job keeps its original id, so its priority,
+    /// submission time and deadline accounting are untouched, and it runs
+    /// before anything that arrived after it (a retry is older than every
+    /// queued job in its class). Deliberately bypasses the capacity bound:
+    /// the job was admitted once, and blocking a worker thread on
+    /// backpressure here would deadlock the pool the moment the queue fills.
+    /// Still refuses after close().
+    bool push_front_with_id(std::uint64_t id, T item, Priority priority = Priority::kNormal) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) return false;
+            classes_[static_cast<std::size_t>(priority)].push_front(Entry{id, std::move(item)});
+            ++size_;
+            if (size_ > max_depth_) max_depth_ = size_;
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
     /// Take the next job: highest non-empty priority class, FIFO within the
     /// class. Blocks while the queue is open and empty; returns false once it
     /// is closed and drained.

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "pipetune/cluster/cluster_sim.hpp"
+#include "pipetune/ft/retry_policy.hpp"
 #include "pipetune/obs/obs_context.hpp"
 #include "pipetune/sched/job_queue.hpp"
 #include "pipetune/util/thread_pool.hpp"
@@ -82,12 +83,20 @@ struct JobInfo {
     double finish_s = -1.0;  ///< -1 while not terminal (or discarded unstarted)
     double deadline_s = 0.0; ///< absolute; 0 = none
     std::string error;       ///< exception message when kFailed
+    std::size_t attempts = 0; ///< times a worker started running the job
 };
 
 struct SchedulerConfig {
     std::size_t worker_slots = 4;  ///< concurrently running jobs (cluster nodes)
     std::size_t queue_capacity = 64;
     OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Job-level retry (DESIGN.md §10): a job whose function throws an
+    /// ft::TransientFailure is requeued at the front of its priority class —
+    /// same id, original priority/deadline/submit time — after the policy's
+    /// backoff (slept on the failing worker, so the backoff also acts as
+    /// load-shedding). max_retries = 0 (default) keeps the old fail-fast
+    /// behaviour. Non-transient failures are always terminal.
+    ft::RetryPolicy retry{.max_retries = 0};
     /// Telemetry (queue-depth/running gauges, lifecycle counters, queue-wait
     /// histogram, one "job" span per executed job). Not owned; may be null.
     obs::ObsContext* obs = nullptr;
@@ -102,6 +111,7 @@ struct SchedulerStats {
     std::size_t running = 0;
     std::size_t queued = 0;
     std::size_t max_queue_depth = 0;
+    std::size_t requeued = 0;  ///< retry requeues after a transient failure
 };
 
 class ClusterScheduler {
@@ -111,6 +121,11 @@ public:
     /// ever running — cancelled while queued or timed out in the queue. Lets
     /// a caller holding a promise for the job's result break it deliberately.
     using DiscardFn = std::function<void(const JobInfo&)>;
+    /// Invoked (from the worker thread) when a job fails TERMINALLY — its
+    /// function threw and the retry policy is exhausted or inapplicable. The
+    /// exception_ptr is the original exception, so a promise-holding caller
+    /// can forward it with full fidelity. Not called for retried attempts.
+    using FailFn = std::function<void(const JobInfo&, std::exception_ptr)>;
 
     explicit ClusterScheduler(SchedulerConfig config = {});
     ~ClusterScheduler();  // drains the queue, then joins the workers
@@ -120,7 +135,7 @@ public:
     /// Admit a job. Returns nullopt when the queue rejected it (kReject and
     /// full, or scheduler already shut down).
     std::optional<JobTicket> submit(JobFn fn, JobOptions options = {},
-                                    DiscardFn on_discard = {});
+                                    DiscardFn on_discard = {}, FailFn on_failed = {});
 
     JobState state(std::uint64_t id) const;
     std::optional<JobInfo> info(std::uint64_t id) const;
@@ -157,11 +172,14 @@ private:
         JobInfo info;
         std::shared_ptr<std::atomic<bool>> cancel = std::make_shared<std::atomic<bool>>(false);
         DiscardFn on_discard;
+        FailFn on_failed;
     };
 
     void worker_loop();
-    /// Mark terminal + notify waiters. Caller must NOT hold mutex_.
-    void finish(std::uint64_t id, JobState state, const std::string& error = {});
+    /// Mark terminal + notify waiters (invoking on_failed for kFailed).
+    /// Caller must NOT hold mutex_.
+    void finish(std::uint64_t id, JobState state, const std::string& error = {},
+                std::exception_ptr failure = nullptr);
     /// Refresh the depth/running gauges from stats_. Caller holds mutex_.
     void update_gauges_locked();
     /// Count one terminal transition. Caller holds mutex_.
@@ -183,6 +201,7 @@ private:
     obs::Counter* obs_failed_ = nullptr;
     obs::Counter* obs_cancelled_ = nullptr;
     obs::Counter* obs_timed_out_ = nullptr;
+    obs::Counter* obs_requeued_ = nullptr;
     obs::Gauge* obs_queue_depth_ = nullptr;
     obs::Gauge* obs_running_ = nullptr;
     obs::Histogram* obs_queue_wait_ = nullptr;

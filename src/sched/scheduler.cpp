@@ -1,8 +1,11 @@
 #include "pipetune/sched/scheduler.hpp"
 
 #include <stdexcept>
+#include <thread>
 
+#include "pipetune/ft/errors.hpp"
 #include "pipetune/util/logging.hpp"
+#include "pipetune/util/rng.hpp"
 
 namespace pipetune::sched {
 
@@ -54,6 +57,9 @@ ClusterScheduler::ClusterScheduler(SchedulerConfig config)
                                            "Jobs cancelled (queued or cooperative)");
         obs_timed_out_ = &registry.counter("pipetune_sched_jobs_timed_out_total", {},
                                            "Jobs discarded after their queueing deadline");
+        obs_requeued_ = &registry.counter(
+            "pipetune_ft_requeues_total", {},
+            "Jobs requeued after a transient failure (scheduler retry path)");
         obs_queue_depth_ =
             &registry.gauge("pipetune_sched_queue_depth", {}, "Jobs waiting in the queue");
         obs_running_ =
@@ -100,7 +106,7 @@ double ClusterScheduler::now_s() const {
 }
 
 std::optional<JobTicket> ClusterScheduler::submit(JobFn fn, JobOptions options,
-                                                  DiscardFn on_discard) {
+                                                  DiscardFn on_discard, FailFn on_failed) {
     if (!fn) throw std::invalid_argument("ClusterScheduler::submit: empty job");
     std::uint64_t id = 0;
     {
@@ -115,6 +121,7 @@ std::optional<JobTicket> ClusterScheduler::submit(JobFn fn, JobOptions options,
         job.info.submit_s = now_s();
         job.info.deadline_s = options.deadline_s > 0 ? job.info.submit_s + options.deadline_s : 0.0;
         job.on_discard = std::move(on_discard);
+        job.on_failed = std::move(on_failed);
         jobs_.emplace(id, std::move(job));
         ++stats_.submitted;
         ++stats_.queued;
@@ -200,7 +207,10 @@ bool ClusterScheduler::cancel(std::uint64_t id) {
     return true;
 }
 
-void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::string& error) {
+void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::string& error,
+                              std::exception_ptr failure) {
+    FailFn on_failed;
+    JobInfo failed_info;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = jobs_.find(id);
@@ -219,19 +229,27 @@ void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::strin
             case JobState::kTimedOut: ++stats_.timed_out; break;
             default: break;
         }
+        if (state == JobState::kFailed && failure != nullptr && it->second.on_failed) {
+            on_failed = std::move(it->second.on_failed);
+            failed_info = info;
+        }
     }
     terminal_cv_.notify_all();
+    if (on_failed) on_failed(failed_info, failure);
 }
 
 void ClusterScheduler::worker_loop() {
     for (;;) {
         std::uint64_t id = 0;
         JobFn fn;
-        if (!queue_.pop(&id, &fn)) return;  // closed and drained
+        Priority priority = Priority::kNormal;
+        if (!queue_.pop(&id, &fn, &priority)) return;  // closed and drained
 
         std::shared_ptr<std::atomic<bool>> cancel;
         double deadline_s = 0.0;
         double queue_wait_s = 0.0;
+        double submit_s = 0.0;
+        std::size_t attempts = 0;
         std::string label;
         JobInfo discarded;
         DiscardFn on_discard;
@@ -261,10 +279,12 @@ void ClusterScheduler::worker_loop() {
             } else {
                 job.info.state = JobState::kRunning;
                 job.info.start_s = now;
+                attempts = ++job.info.attempts;
                 --stats_.queued;
                 ++stats_.running;
                 cancel = job.cancel;
                 deadline_s = job.info.deadline_s;
+                submit_s = job.info.submit_s;
                 queue_wait_s = now - job.info.submit_s;
                 label = job.info.label;
             }
@@ -286,25 +306,78 @@ void ClusterScheduler::worker_loop() {
             job_span = config_.obs->tracer().span("job", "sched");
             job_span.arg("job_id", std::to_string(id));
             if (!label.empty()) job_span.arg("label", label);
+            if (attempts > 1) job_span.arg("attempt", std::to_string(attempts));
         }
         JobContext ctx(*this, id, cancel.get(), deadline_s);
         std::string error;
         bool failed = false;
+        bool transient = false;
+        std::exception_ptr failure;
         try {
             fn(ctx);
+        } catch (const ft::TransientFailure& e) {
+            failed = true;
+            transient = true;
+            error = e.what();
+            failure = std::current_exception();
         } catch (const std::exception& e) {
             failed = true;
             error = e.what();
+            failure = std::current_exception();
         } catch (...) {
             failed = true;
             error = "unknown exception";
+            failure = std::current_exception();
         }
+
+        // Retry path (DESIGN.md §10): a transient failure under a non-zero
+        // retry policy puts the job back at the FRONT of its original
+        // priority class — same id, so its priority/deadline/submit-time
+        // accounting are preserved — after a backoff slept on this worker
+        // (the failing slot absorbs the delay, throttling a flapping job
+        // without blocking the rest of the pool).
+        if (failed && transient && config_.retry.enabled() &&
+            !cancel->load(std::memory_order_relaxed) &&
+            config_.retry.should_retry(attempts, now_s() - submit_s)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = jobs_.find(id);
+                if (it != jobs_.end()) {
+                    it->second.info.state = JobState::kQueued;
+                    --stats_.running;
+                    ++stats_.queued;
+                    ++stats_.requeued;
+                    update_gauges_locked();
+                }
+            }
+            if (obs_requeued_ != nullptr) obs_requeued_->inc();
+            PT_LOG_WARN("sched").field("job", id).field("attempt", attempts)
+                << "transient job failure, requeueing: " << error;
+            util::Rng backoff_rng(id * 0x9e3779b97f4a7c15ULL + attempts);
+            const double backoff = config_.retry.backoff_s(attempts, backoff_rng);
+            if (backoff > 0.0)
+                std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+            if (queue_.push_front_with_id(id, std::move(fn), priority)) continue;
+            // Queue closed mid-retry: restore running so finish() balances.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = jobs_.find(id);
+                if (it != jobs_.end()) {
+                    it->second.info.state = JobState::kRunning;
+                    ++stats_.running;
+                    --stats_.queued;
+                    --stats_.requeued;
+                    update_gauges_locked();
+                }
+            }
+        }
+
         const JobState final_state =
             failed ? JobState::kFailed
                    : (cancel->load(std::memory_order_relaxed) ? JobState::kCancelled
                                                               : JobState::kCompleted);
         if (failed) PT_LOG_WARN("sched") << "job " << id << " failed: " << error;
-        finish(id, final_state, error);
+        finish(id, final_state, error, failure);
     }
 }
 

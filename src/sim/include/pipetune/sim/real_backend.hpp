@@ -32,6 +32,9 @@ struct RealBackendConfig {
     perf::PmuConfig pmu{};
     energy::PowerModelConfig power{};
     std::uint64_t seed = 1;
+    /// Epoch instrumentation/fault-injection seam (same contract as
+    /// SimBackendConfig::epoch_observer). Not owned; may be null.
+    workload::EpochObserver* epoch_observer = nullptr;
 };
 
 class RealBackend : public workload::Backend {

@@ -22,6 +22,12 @@ struct SimBackendConfig {
     energy::PowerModelConfig power{};
     energy::PduConfig pdu{};
     std::uint64_t seed = 1;
+    /// Epoch instrumentation/fault-injection seam (ft::FaultInjector plugs in
+    /// here). Called at the top of run_epoch — before the session's epoch
+    /// counter or RNG advance, so a throwing observer leaves the epoch
+    /// retryable — and again with the finished (mutable) result. Not owned;
+    /// null disables the hook.
+    workload::EpochObserver* epoch_observer = nullptr;
 };
 
 class SimBackend : public workload::Backend {

@@ -93,6 +93,9 @@ public:
     }
 
     EpochResult run_epoch(const SystemParams& system) override {
+        if (config_.epoch_observer != nullptr)
+            config_.epoch_observer->before_epoch(workload_, hyper_, trainer_->epochs_done() + 1,
+                                                 system);
         const std::size_t workers = std::clamp<std::size_t>(system.cores, 1, config_.max_workers);
         const auto start = std::chrono::steady_clock::now();
         const nn::EpochStats stats = trainer_->run_epoch(workers);
@@ -109,6 +112,8 @@ public:
         result.counters = pmu_.measure_epoch(
             perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)), duration,
             rng_);
+        if (config_.epoch_observer != nullptr)
+            config_.epoch_observer->after_epoch(workload_, result.epoch, result);
         return result;
     }
 
@@ -153,6 +158,8 @@ public:
           kernel_(data::make_kernel(workload.model_family, seed)) {}
 
     EpochResult run_epoch(const SystemParams& system) override {
+        if (config_.epoch_observer != nullptr)
+            config_.epoch_observer->before_epoch(workload_, hyper_, epochs_ + 1, system);
         const std::size_t workers = std::clamp<std::size_t>(system.cores, 1, config_.max_workers);
         const auto start = std::chrono::steady_clock::now();
         kernel_->run_iteration(workers);
@@ -169,6 +176,8 @@ public:
         result.counters = pmu_.measure_epoch(
             perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)), duration,
             rng_);
+        if (config_.epoch_observer != nullptr)
+            config_.epoch_observer->after_epoch(workload_, result.epoch, result);
         return result;
     }
 

@@ -19,9 +19,15 @@ public:
           backend_(backend),
           pmu_(config.pmu),
           pdu_(config.pdu, seed ^ 0x5851f42d4c957f2dULL),
-          rng_(seed) {}
+          rng_(seed),
+          observer_(config.epoch_observer) {}
 
     EpochResult run_epoch(const SystemParams& system) override {
+        // The observer fires before any session state advances: a throw here
+        // (injected epoch failure, simulated crash) leaves the epoch counter
+        // and RNG untouched, so a retry of the same epoch is exact.
+        if (observer_ != nullptr)
+            observer_->before_epoch(workload_, hyper_, epochs_done_ + 1, system);
         const std::size_t epoch = ++epochs_done_;
         EpochResult result;
         result.epoch = epoch;
@@ -41,6 +47,7 @@ public:
         result.counters = pmu_.measure_epoch(
             perf::true_event_rates(SimBackend::fingerprint(workload_, hyper_, system)),
             result.duration_s, rng_);
+        if (observer_ != nullptr) observer_->after_epoch(workload_, epoch, result);
         return result;
     }
 
@@ -55,6 +62,7 @@ private:
     perf::PmuSimulator pmu_;
     energy::Pdu pdu_;
     util::Rng rng_;
+    workload::EpochObserver* observer_;
     std::size_t epochs_done_ = 0;
 };
 

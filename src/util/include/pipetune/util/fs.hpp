@@ -1,19 +1,39 @@
 #pragma once
 // Small filesystem helpers shared by everything that persists state. The one
 // that matters is write_file_atomic: state files (ground_truth.json,
-// metrics.json, bench CSVs) must never be observable half-written, so writes
-// go to a temp file in the same directory followed by an atomic rename.
+// metrics.json, journal segments, bench CSVs) must never be observable
+// half-written, so writes go to a temp file in the same directory followed by
+// an atomic rename. Durability matters too: the temp file is fsync'd before
+// the rename and the parent directory is fsync'd after it, so a power cut
+// immediately after a reported success cannot lose the new contents (a rename
+// alone only orders the data against the metadata on some filesystems).
 
 #include <string>
+
+#include "pipetune/util/result.hpp"
 
 namespace pipetune::util {
 
 /// Write `contents` to `path` crash-safely: the data lands in a unique temp
-/// file next to the destination, is flushed and closed, and only then renamed
-/// over `path` (atomic within a filesystem). A crash mid-write leaves the old
-/// file intact; the stray temp file is removed on the next successful write
-/// only if it reuses the same name (unique suffixes make collisions between
-/// concurrent writers impossible). Throws std::runtime_error on I/O failure.
+/// file next to the destination, is flushed, fsync'd and closed, then renamed
+/// over `path` (atomic within a filesystem), and finally the parent directory
+/// is fsync'd so the rename itself is durable. A crash mid-write leaves the
+/// old file intact; a crash after success cannot roll the new file back.
+/// Returns the failure reason instead of throwing (callers that want the old
+/// throwing behaviour go through write_file_atomic_or_throw).
+Result<void> try_write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Throwing wrapper over try_write_file_atomic (std::runtime_error carrying
+/// the same message).
 void write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Append `data` to the file at `path` (creating it if needed) and fsync it
+/// before returning — the write-ahead-journal primitive: once this reports
+/// success the record survives a crash. Returns the failure reason on error.
+Result<void> append_file_durable(const std::string& path, const std::string& data);
+
+/// fsync the directory containing `path` so a previously renamed/created
+/// entry is durable. No-op success when the platform cannot open directories.
+Result<void> fsync_parent_dir(const std::string& path);
 
 }  // namespace pipetune::util

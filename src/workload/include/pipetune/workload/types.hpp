@@ -103,6 +103,24 @@ struct EpochResult {
     SystemParams system;          ///< configuration this epoch ran under
 };
 
+/// Seam for cross-cutting epoch instrumentation — fault injection
+/// (ft::FaultInjector), chaos probes, extra telemetry. Backends that honor it
+/// (SimBackend, RealBackend via their configs) call before_epoch() before any
+/// per-epoch state is mutated (a throw there leaves the session re-runnable
+/// for the same epoch) and after_epoch() with the finished result, which the
+/// observer may mutate (e.g. a slow-node stall inflating duration_s).
+class EpochObserver {
+public:
+    virtual ~EpochObserver() = default;
+    /// May throw to make the epoch fail before it runs (the session must
+    /// remain in a state where run_epoch can be retried).
+    virtual void before_epoch(const Workload& workload, const HyperParams& hyper,
+                              std::size_t epoch, const SystemParams& system) = 0;
+    /// Observes (and may mutate) the completed epoch's result.
+    virtual void after_epoch(const Workload& workload, std::size_t epoch,
+                             EpochResult& result) = 0;
+};
+
 /// One training trial in progress: a fixed hyperparameter configuration whose
 /// epochs execute one at a time, each under a (possibly different) system
 /// configuration — exactly the hook PipeTune's pipelined sub-trials need.

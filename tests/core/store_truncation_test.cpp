@@ -1,0 +1,78 @@
+// Crash-safety of the persisted ground-truth store: GroundTruth::try_load
+// must survive a state file torn at ANY byte offset — returning an error (or
+// a valid prefix-free document), never crashing or throwing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "pipetune/core/ground_truth.hpp"
+
+namespace pipetune::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir() : path(fs::temp_directory_path() / ("pt_gt_trunc_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string file(const std::string& name) const { return (path / name).string(); }
+};
+
+TEST(GroundTruthTruncation, TryLoadSurvivesEveryTruncationOffset) {
+    TempDir tmp;
+    GroundTruth store;
+    workload::SystemParams system;
+    for (std::size_t i = 1; i <= 5; ++i) {
+        system.cores = 4 + i;
+        store.record({1.0 * i, 2.0 * i, 3.0 * i}, system, 10.0 * i);
+    }
+    const std::string full_path = tmp.file("ground_truth.json");
+    store.save(full_path);
+
+    std::string bytes;
+    {
+        std::ifstream in(full_path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    ASSERT_GT(bytes.size(), 0u);
+
+    const std::string truncated_path = tmp.file("truncated.json");
+    std::size_t successes = 0;
+    for (std::size_t len = 0; len <= bytes.size(); ++len) {
+        {
+            std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+            out << bytes.substr(0, len);
+        }
+        auto loaded = GroundTruth::try_load(truncated_path);  // must never throw
+        if (loaded.ok()) {
+            ++successes;
+            EXPECT_LE(loaded.value().size(), store.size()) << "offset " << len;
+        } else {
+            EXPECT_FALSE(loaded.error().empty()) << "offset " << len;
+        }
+    }
+    // At minimum the untruncated file loads back in full.
+    EXPECT_GE(successes, 1u);
+    auto full = GroundTruth::try_load(full_path);
+    ASSERT_TRUE(full.ok()) << full.error();
+    EXPECT_EQ(full.value().size(), store.size());
+}
+
+TEST(GroundTruthTruncation, MissingFileIsAnErrorNotACrash) {
+    TempDir tmp;
+    EXPECT_FALSE(GroundTruth::try_load(tmp.file("no_such.json")).ok());
+}
+
+}  // namespace
+}  // namespace pipetune::core

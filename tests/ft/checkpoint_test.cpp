@@ -1,0 +1,163 @@
+// Trial checkpoint tests: snapshot roundtrip, corrupt-snapshot tolerance,
+// and the resume property — an interrupted trial replayed through
+// ft::ResumableBackend observes exactly what an uninterrupted trial would.
+
+#include "pipetune/ft/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "pipetune/ft/ft_backend.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::ft {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir()
+        : path(fs::temp_directory_path() / ("pt_checkpoint_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string dir(const std::string& name) const { return (path / name).string(); }
+};
+
+workload::EpochResult make_epoch(std::size_t epoch) {
+    workload::EpochResult result;
+    result.epoch = epoch;
+    result.train_loss = 1.0 / static_cast<double>(epoch);
+    result.accuracy = 50.0 + static_cast<double>(epoch);
+    result.duration_s = 3.5 * static_cast<double>(epoch);
+    result.energy_j = 120.0;
+    result.counters[0] = 1.5e9;
+    result.counters[5] = 2.5e7;
+    result.system.cores = 8;
+    result.system.memory_gb = 16;
+    return result;
+}
+
+TEST(Checkpoint, SaveLoadRoundtripPreservesEpochHistory) {
+    TempDir tmp;
+    CheckpointStore store(tmp.dir("ckpt"));
+    TrialCheckpoint checkpoint;
+    checkpoint.job_id = 7;
+    checkpoint.trial_id = 3;
+    checkpoint.epochs = {make_epoch(1), make_epoch(2)};
+    checkpoint.best_system = checkpoint.epochs[1].system;
+    checkpoint.probe_cursor = 2;
+
+    auto saved = store.save(checkpoint);
+    ASSERT_TRUE(saved.ok()) << saved.error();
+    EXPECT_EQ(store.count(), 1u);
+
+    auto loaded = store.load(7, 3);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->job_id, 7u);
+    EXPECT_EQ(loaded->trial_id, 3u);
+    EXPECT_EQ(loaded->probe_cursor, 2u);
+    EXPECT_EQ(loaded->best_system, checkpoint.best_system);
+    ASSERT_EQ(loaded->epochs.size(), 2u);
+    EXPECT_EQ(loaded->epochs[1].epoch, 2u);
+    EXPECT_DOUBLE_EQ(loaded->epochs[1].train_loss, 0.5);
+    EXPECT_DOUBLE_EQ(loaded->epochs[1].accuracy, 52.0);
+    EXPECT_DOUBLE_EQ(loaded->epochs[1].duration_s, 7.0);
+    // Counters ride along so a replayed epoch profiles identically.
+    EXPECT_DOUBLE_EQ(loaded->epochs[1].counters[0], 1.5e9);
+    EXPECT_DOUBLE_EQ(loaded->epochs[1].counters[5], 2.5e7);
+    EXPECT_EQ(loaded->epochs[1].system, checkpoint.epochs[1].system);
+}
+
+TEST(Checkpoint, MissingSnapshotIsNullopt) {
+    TempDir tmp;
+    CheckpointStore store(tmp.dir("ckpt"));
+    EXPECT_FALSE(store.load(1, 1).has_value());
+    EXPECT_EQ(store.count(), 0u);
+}
+
+TEST(Checkpoint, CorruptSnapshotResumesFromScratchNotACrash) {
+    TempDir tmp;
+    CheckpointStore store(tmp.dir("ckpt"));
+    TrialCheckpoint checkpoint;
+    checkpoint.job_id = 1;
+    checkpoint.trial_id = 1;
+    checkpoint.epochs = {make_epoch(1)};
+    ASSERT_TRUE(store.save(checkpoint).ok());
+    {
+        std::ofstream out(store.path_for(1, 1), std::ios::trunc);
+        out << "{\"job_id\": 1, \"trial_";  // torn mid-write
+    }
+    EXPECT_FALSE(store.load(1, 1).has_value());
+}
+
+TEST(Checkpoint, RemoveDeletesSnapshot) {
+    TempDir tmp;
+    CheckpointStore store(tmp.dir("ckpt"));
+    TrialCheckpoint checkpoint;
+    checkpoint.job_id = 2;
+    checkpoint.trial_id = 4;
+    ASSERT_TRUE(store.save(checkpoint).ok());
+    ASSERT_TRUE(store.remove(2, 4).ok());
+    EXPECT_FALSE(store.load(2, 4).has_value());
+    EXPECT_EQ(store.count(), 0u);
+}
+
+// The resume property, end to end over the simulator: interrupt a trial
+// after 4 of 8 epochs, restart the "process" (fresh backend, same seed,
+// fresh ResumableBackend over the same store) and the full 8-epoch history
+// must match an uninterrupted trial's bit for bit.
+TEST(Checkpoint, ResumedTrialMatchesUninterruptedRun) {
+    TempDir tmp;
+    const workload::Workload& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    hyper.batch_size = 64;
+    workload::SystemParams system;
+    system.cores = 8;
+    system.memory_gb = 8;
+
+    // Reference: one uninterrupted 8-epoch trial.
+    std::vector<workload::EpochResult> reference;
+    {
+        sim::SimBackend backend({.seed = 11});
+        auto session = backend.start_trial(workload, hyper);
+        for (int i = 0; i < 8; ++i) reference.push_back(session->run_epoch(system));
+    }
+
+    CheckpointStore store(tmp.dir("ckpt"));
+    // Session 1: checkpointing trial, killed after 4 epochs.
+    {
+        sim::SimBackend backend({.seed = 11});
+        ResumableBackend resumable(backend, store, /*job_id=*/1);
+        auto session = resumable.start_trial(workload, hyper);
+        for (int i = 0; i < 4; ++i) (void)session->run_epoch(system);
+        EXPECT_EQ(resumable.checkpoints_saved(), 4u);
+    }  // "crash": the session and backend are gone, only the snapshot survives
+
+    // Session 2: the restarted process.
+    sim::SimBackend backend({.seed = 11});
+    ResumableBackend resumable(backend, store, /*job_id=*/1);
+    auto session = resumable.start_trial(workload, hyper);
+    std::vector<workload::EpochResult> resumed;
+    for (int i = 0; i < 8; ++i) resumed.push_back(session->run_epoch(system));
+    EXPECT_EQ(resumable.epochs_replayed(), 4u);
+    EXPECT_EQ(session->epochs_done(), 8u);
+
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(resumed[i].epoch, reference[i].epoch) << "epoch " << i;
+        EXPECT_DOUBLE_EQ(resumed[i].accuracy, reference[i].accuracy) << "epoch " << i;
+        EXPECT_DOUBLE_EQ(resumed[i].train_loss, reference[i].train_loss) << "epoch " << i;
+        EXPECT_DOUBLE_EQ(resumed[i].duration_s, reference[i].duration_s) << "epoch " << i;
+        EXPECT_EQ(resumed[i].system, reference[i].system) << "epoch " << i;
+    }
+}
+
+}  // namespace
+}  // namespace pipetune::ft

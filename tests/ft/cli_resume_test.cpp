@@ -1,0 +1,88 @@
+// Drives the pipetune CLI's crash/resume surface end to end: the distinct
+// exit codes (0 = resumed, 3 = nothing to resume, 4 = unreadable journal)
+// and the kill-and-resume equivalence of the persisted ground-truth store.
+// PIPETUNE_CLI_PATH is injected by CMake as $<TARGET_FILE:pipetune>.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir() : path(fs::temp_directory_path() / ("pt_cli_ft_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string sub(const std::string& name) const { return (path / name).string(); }
+};
+
+// Runs the CLI with `args`, discarding output; returns its exit code.
+int run_cli(const std::string& args) {
+    const std::string command =
+        std::string(PIPETUNE_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    if (status == -1) return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(CliResume, UnreadableJournalExitsFour) {
+    TempDir tmp;
+    EXPECT_EQ(run_cli("resume " + tmp.sub("no_such_journal.log")), 4);
+}
+
+TEST(CliResume, CleanJournalExitsThree) {
+    TempDir tmp;
+    ASSERT_EQ(run_cli("tune lenet-mnist --journal " + tmp.sub("journal.log") +
+                      " --state-dir " + tmp.sub("state")),
+              0);
+    // Every journaled job completed: there is nothing to resume.
+    EXPECT_EQ(run_cli("resume " + tmp.sub("journal.log") + " --state-dir " + tmp.sub("state")),
+              3);
+}
+
+TEST(CliResume, CrashThenResumeReproducesTheUninterruptedStore) {
+    TempDir tmp;
+    // Reference: the same tune run, uninterrupted. It must also be journaled:
+    // --journal switches tune onto the per-job reseeding path, and only runs
+    // on the same path are comparable trial-stream for trial-stream.
+    ASSERT_EQ(run_cli("tune lenet-mnist --journal " + tmp.sub("ref_journal.log") +
+                      " --state-dir " + tmp.sub("reference")),
+              0);
+    const std::string want = slurp(tmp.sub("reference") + "/ground_truth.json");
+    ASSERT_FALSE(want.empty());
+
+    // Kill the journaled run 12 epochs in (simulated crash, nonzero exit) ...
+    EXPECT_NE(run_cli("tune lenet-mnist --journal " + tmp.sub("journal.log") +
+                      " --crash-after 12 --state-dir " + tmp.sub("crashed")),
+              0);
+    // ... resume finishes the pending job (exit 0) ...
+    ASSERT_EQ(run_cli("resume " + tmp.sub("journal.log") + " --state-dir " + tmp.sub("crashed")),
+              0);
+    // ... and the persisted store is byte-identical to the reference.
+    EXPECT_EQ(slurp(tmp.sub("crashed") + "/ground_truth.json"), want);
+
+    // Resume converged: running it again finds nothing pending.
+    EXPECT_EQ(run_cli("resume " + tmp.sub("journal.log") + " --state-dir " + tmp.sub("crashed")),
+              3);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// FaultInjector + FaultTolerantBackend tests: the injected fault schedule is
+// a pure function of the seed, epoch-level retries absorb exactly the
+// injected failures, and a SimulatedCrash is never swallowed in-process.
+
+#include "pipetune/ft/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipetune/ft/errors.hpp"
+#include "pipetune/ft/ft_backend.hpp"
+#include "pipetune/obs/obs_context.hpp"
+#include "pipetune/sim/sim_backend.hpp"
+
+namespace pipetune::ft {
+namespace {
+
+// Indices (0-based) of the epochs a given injector fails out of `n` draws.
+std::vector<std::size_t> failure_schedule(FaultInjector& injector, std::size_t n) {
+    const workload::Workload& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    workload::SystemParams system;
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            injector.before_epoch(workload, hyper, i + 1, system);
+        } catch (const InjectedEpochFailure&) {
+            failed.push_back(i);
+        }
+    }
+    return failed;
+}
+
+TEST(FaultInjector, ScheduleIsDeterministicPerSeed) {
+    FaultInjector a({.epoch_failure_rate = 0.2, .seed = 99});
+    FaultInjector b({.epoch_failure_rate = 0.2, .seed = 99});
+    FaultInjector c({.epoch_failure_rate = 0.2, .seed = 100});
+    const auto schedule_a = failure_schedule(a, 500);
+    const auto schedule_b = failure_schedule(b, 500);
+    const auto schedule_c = failure_schedule(c, 500);
+    EXPECT_FALSE(schedule_a.empty());
+    EXPECT_EQ(schedule_a, schedule_b);
+    EXPECT_NE(schedule_a, schedule_c);
+    EXPECT_EQ(a.injected_epoch_failures(), schedule_a.size());
+    EXPECT_EQ(a.epochs_seen(), 500u);
+}
+
+TEST(FaultInjector, CrashAfterEpochsThrowsSimulatedCrashOnce) {
+    FaultInjector injector({.crash_after_epochs = 3, .seed = 1});
+    const workload::Workload& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    workload::SystemParams system;
+    injector.before_epoch(workload, hyper, 1, system);
+    injector.before_epoch(workload, hyper, 2, system);
+    EXPECT_THROW(injector.before_epoch(workload, hyper, 3, system), SimulatedCrash);
+    EXPECT_EQ(injector.injected_crashes(), 1u);
+}
+
+TEST(FaultInjector, SlowNodeStallInflatesEpochDuration) {
+    FaultInjector injector({.slow_node_rate = 1.0, .slow_node_factor = 4.0, .seed = 5});
+    const workload::Workload& workload = workload::find_workload("lenet-mnist");
+    workload::EpochResult result;
+    result.duration_s = 10.0;
+    injector.after_epoch(workload, 1, result);
+    EXPECT_DOUBLE_EQ(result.duration_s, 40.0);
+    EXPECT_EQ(injector.injected_stalls(), 1u);
+}
+
+TEST(FaultTolerantBackend, RetriesAbsorbEveryInjectedFailure) {
+    obs::ObsContext obs;
+    FaultInjector injector({.epoch_failure_rate = 0.15, .seed = 7});
+    sim::SimBackend sim({.seed = 3, .epoch_observer = &injector});
+    FaultTolerantBackend backend(sim, {.retry = {.max_retries = 20}, .obs = &obs});
+
+    const workload::Workload& workload = workload::find_workload("lenet-mnist");
+    workload::HyperParams hyper;
+    workload::SystemParams system;
+    auto session = backend.start_trial(workload, hyper);
+    for (int i = 0; i < 60; ++i) EXPECT_NO_THROW((void)session->run_epoch(system));
+
+    EXPECT_GT(injector.injected_epoch_failures(), 0u);
+    // Every injected failure was caught+retried; none escaped or gave up.
+    EXPECT_EQ(backend.retries_total(), injector.injected_epoch_failures());
+    EXPECT_GT(backend.recoveries_total(), 0u);
+    EXPECT_LE(backend.recoveries_total(), backend.retries_total());
+    EXPECT_EQ(backend.gave_up_total(), 0u);
+    // The same counts flow into the obs registry for --metrics-out.
+    EXPECT_DOUBLE_EQ(obs.metrics().counter("pipetune_ft_retries_total").value(),
+                     static_cast<double>(backend.retries_total()));
+    EXPECT_DOUBLE_EQ(obs.metrics().counter("pipetune_ft_recoveries_total").value(),
+                     static_cast<double>(backend.recoveries_total()));
+}
+
+TEST(FaultTolerantBackend, ExhaustedBudgetRethrowsAndCountsGaveUp) {
+    FaultInjector injector({.epoch_failure_rate = 1.0, .seed = 2});  // never succeeds
+    sim::SimBackend sim({.seed = 3, .epoch_observer = &injector});
+    FaultTolerantBackend backend(
+        sim, {.retry = {.max_retries = 2, .initial_backoff_s = 0.001, .max_backoff_s = 0.002}});
+    auto session = backend.start_trial(workload::find_workload("lenet-mnist"), {});
+    workload::SystemParams system;
+    EXPECT_THROW((void)session->run_epoch(system), TransientFailure);
+    EXPECT_EQ(backend.retries_total(), 2u);
+    EXPECT_EQ(backend.gave_up_total(), 1u);
+    EXPECT_EQ(backend.recoveries_total(), 0u);
+}
+
+TEST(FaultTolerantBackend, SimulatedCrashIsNeverRetried) {
+    FaultInjector injector({.crash_after_epochs = 2, .seed = 2});
+    sim::SimBackend sim({.seed = 3, .epoch_observer = &injector});
+    FaultTolerantBackend backend(sim, {.retry = {.max_retries = 10}});
+    auto session = backend.start_trial(workload::find_workload("lenet-mnist"), {});
+    workload::SystemParams system;
+    (void)session->run_epoch(system);
+    // The crash models kill -9: the retry wrapper must let it unwind.
+    EXPECT_THROW((void)session->run_epoch(system), SimulatedCrash);
+    EXPECT_EQ(backend.retries_total(), 0u);
+}
+
+// Fails exactly the first N before_epoch calls, then runs clean — the
+// deterministic minimal flaky substrate.
+class FailFirstN final : public workload::EpochObserver {
+public:
+    explicit FailFirstN(std::size_t n) : remaining_(n) {}
+    void before_epoch(const workload::Workload&, const workload::HyperParams&, std::size_t,
+                      const workload::SystemParams&) override {
+        if (remaining_ > 0) {
+            --remaining_;
+            throw InjectedEpochFailure("flaky start");
+        }
+    }
+    void after_epoch(const workload::Workload&, std::size_t,
+                     workload::EpochResult&) override {}
+
+private:
+    std::size_t remaining_;
+};
+
+TEST(FaultTolerantBackend, BackoffIsChargedToVirtualDuration) {
+    FailFirstN flaky(2);
+    sim::SimBackend sim_faulty({.seed = 3, .epoch_observer = &flaky});
+    sim::SimBackend sim_clean({.seed = 3});
+    FaultTolerantBackend backend(
+        sim_faulty, {.retry = {.max_retries = 5, .initial_backoff_s = 0.5,
+                               .backoff_multiplier = 2.0, .jitter_fraction = 0.0}});
+    auto session = backend.start_trial(workload::find_workload("lenet-mnist"), {});
+    auto baseline_session = sim_clean.start_trial(workload::find_workload("lenet-mnist"), {});
+    workload::SystemParams system;
+    const auto recovered = session->run_epoch(system);
+    const auto baseline = baseline_session->run_epoch(system);
+    EXPECT_EQ(backend.retries_total(), 2u);
+    EXPECT_EQ(backend.recoveries_total(), 1u);
+    // The two jitter-free backoffs (0.5s + 1.0s) land in the epoch's virtual
+    // duration instead of being slept.
+    EXPECT_DOUBLE_EQ(recovered.duration_s, baseline.duration_s + 1.5);
+}
+
+}  // namespace
+}  // namespace pipetune::ft

@@ -1,0 +1,76 @@
+// Crash-safety of the persisted metrics database: TimeSeriesDb::try_load
+// must survive a state file torn at ANY byte offset without crashing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "pipetune/metricsdb/tsdb.hpp"
+
+namespace pipetune::metricsdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir()
+        : path(fs::temp_directory_path() / ("pt_tsdb_trunc_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string file(const std::string& name) const { return (path / name).string(); }
+};
+
+TEST(TsdbTruncation, TryLoadSurvivesEveryTruncationOffset) {
+    TempDir tmp;
+    TimeSeriesDb db;
+    for (int i = 0; i < 6; ++i) {
+        db.append("epoch_duration_s", 1.0 * i, 3.5 + 0.1 * i, {{"workload", "lenet-mnist"}});
+        db.append("accuracy_pct", 1.0 * i, 80.0 + i);
+    }
+    const std::string full_path = tmp.file("metrics.json");
+    db.save(full_path);
+
+    std::string bytes;
+    {
+        std::ifstream in(full_path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    ASSERT_GT(bytes.size(), 0u);
+
+    const std::string truncated_path = tmp.file("truncated.json");
+    std::size_t successes = 0;
+    for (std::size_t len = 0; len <= bytes.size(); ++len) {
+        {
+            std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+            out << bytes.substr(0, len);
+        }
+        auto loaded = TimeSeriesDb::try_load(truncated_path);  // must never throw
+        if (loaded.ok()) {
+            ++successes;
+            EXPECT_LE(loaded.value().total_points(), db.total_points()) << "offset " << len;
+        } else {
+            EXPECT_FALSE(loaded.error().empty()) << "offset " << len;
+        }
+    }
+    EXPECT_GE(successes, 1u);
+    auto full = TimeSeriesDb::try_load(full_path);
+    ASSERT_TRUE(full.ok()) << full.error();
+    EXPECT_EQ(full.value().total_points(), db.total_points());
+}
+
+TEST(TsdbTruncation, MissingFileIsAnErrorNotACrash) {
+    TempDir tmp;
+    EXPECT_FALSE(TimeSeriesDb::try_load(tmp.file("no_such.json")).ok());
+}
+
+}  // namespace
+}  // namespace pipetune::metricsdb

@@ -8,9 +8,16 @@
 //   pipetune warm-start --state-dir DIR [--seed N]  # §7.2 offline campaign
 //   pipetune replay [--jobs N] [--workers N] ...    # §7.4 multi-tenant trace on
 //                                                   # the concurrent scheduler
+//   pipetune resume <journal>                       # re-run a crashed run's
+//                                                   # pending jobs from its journal
 //
 // `tune` and `replay` accept --metrics-out FILE (Prometheus text snapshot)
-// and --trace-out FILE (Chrome trace-event JSON) to dump the run's telemetry.
+// and --trace-out FILE (Chrome trace-event JSON) to dump the run's telemetry,
+// plus the fault-tolerance flags (DESIGN.md §10): --journal FILE records a
+// durable write-ahead journal, --inject-faults RATE injects seeded epoch
+// failures (absorbed by epoch-level retry), --crash-after N kills the run
+// with a simulated crash on the Nth epoch (then `pipetune resume` finishes
+// the work).
 //
 // Everything runs on the simulation backend by default (instant, virtual
 // time); --backend real trains the bundled NN engine instead.
@@ -28,6 +35,10 @@
 #include "pipetune/core/experiment.hpp"
 #include "pipetune/core/service.hpp"
 #include "pipetune/core/warm_start.hpp"
+#include "pipetune/ft/fault_injector.hpp"
+#include "pipetune/ft/ft_backend.hpp"
+#include "pipetune/ft/journal.hpp"
+#include "pipetune/ft/recovery.hpp"
 #include "pipetune/sched/concurrent_service.hpp"
 #include "pipetune/sim/real_backend.hpp"
 #include "pipetune/sim/sim_backend.hpp"
@@ -48,11 +59,15 @@ usage:
                 [--resource R] [--state-dir DIR] [--dvfs]
                 [--objective duration|energy] [--backend sim|real]
                 [--metrics-out FILE] [--trace-out FILE]
+                [--journal FILE] [--inject-faults RATE] [--crash-after N]
   pipetune compare <workload> [--seed N] [--backend sim|real]
   pipetune warm-start --state-dir DIR [--seed N] [--backend sim|real]
   pipetune replay [--jobs N] [--interarrival S] [--unseen F] [--mix type1|type2|type3|all]
                   [--workers N] [--queue-capacity N] [--compress X] [--slots N]
                   [--state-dir DIR] [--seed N] [--backend sim|real]
+                  [--metrics-out FILE] [--trace-out FILE]
+                  [--journal FILE] [--inject-faults RATE] [--crash-after N]
+  pipetune resume <journal> [--state-dir DIR] [--backend sim|real]
                   [--metrics-out FILE] [--trace-out FILE]
 
 replay generates a §7.4 arrival trace and runs it through the tuning service
@@ -64,21 +79,84 @@ histogram the run touched; --trace-out dumps the hierarchical span tree
 (job -> trial -> epoch -> probe) as Chrome trace-event JSON (load in
 chrome://tracing or Perfetto).
 
+resume replays the journal of a crashed run: jobs with a completed record
+contribute their ground truth, jobs without one re-run deterministically
+with their recorded config and seeds. Exit codes: 0 jobs were resumed,
+3 nothing to resume, 4 journal unreadable.
+
 workloads: run `pipetune list-workloads` for the catalogue (paper Table 3).
 )";
     return 2;
 }
 
-std::unique_ptr<workload::Backend> make_backend(const util::Args& args, std::uint64_t seed) {
+std::unique_ptr<workload::Backend> make_backend(const util::Args& args, std::uint64_t seed,
+                                                workload::EpochObserver* observer = nullptr) {
     if (args.get_or("backend", "sim") == "real") {
         sim::RealBackendConfig config;
         config.seed = seed;
+        config.epoch_observer = observer;
         return std::make_unique<sim::RealBackend>(config);
     }
     sim::SimBackendConfig config;
     config.seed = seed;
+    config.epoch_observer = observer;
     return std::make_unique<sim::SimBackend>(config);
 }
+
+// Fault-tolerance wiring shared by tune/replay/resume: an optional durable
+// journal, an optional seeded fault injector observing every epoch, and —
+// whenever faults are injected — a FaultTolerantBackend decorator so the
+// injected epoch failures are retried instead of killing the job.
+struct FtSetup {
+    std::unique_ptr<ft::Journal> journal;
+    std::unique_ptr<ft::FaultInjector> injector;
+    std::unique_ptr<ft::FaultTolerantBackend> retry_backend;
+
+    static FtSetup from_args(const util::Args& args, std::uint64_t seed,
+                             obs::ObsContext* obs) {
+        FtSetup out;
+        const std::string journal_path = args.get_or("journal", "");
+        if (!journal_path.empty()) out.journal = std::make_unique<ft::Journal>(journal_path);
+        const double fault_rate = args.get_number_or("inject-faults", 0.0);
+        const auto crash_after = static_cast<std::size_t>(args.get_uint_or("crash-after", 0));
+        if (fault_rate > 0.0 || crash_after > 0) {
+            ft::FaultInjectorConfig config;
+            config.epoch_failure_rate = fault_rate;
+            config.crash_after_epochs = crash_after;
+            config.seed = seed;
+            config.obs = obs;
+            out.injector = std::make_unique<ft::FaultInjector>(config);
+        }
+        return out;
+    }
+
+    /// Decorate `inner` with epoch-level retry when faults are injected.
+    workload::Backend& wrap(workload::Backend& inner, std::uint64_t seed,
+                            obs::ObsContext* obs) {
+        if (!injector) return inner;
+        ft::FaultTolerantBackendConfig config;
+        config.retry.max_retries = 8;
+        config.seed = seed;
+        config.obs = obs;
+        retry_backend = std::make_unique<ft::FaultTolerantBackend>(inner, config);
+        return *retry_backend;
+    }
+
+    void report() const {
+        if (injector)
+            std::cout << "fault injection: " << injector->injected_epoch_failures()
+                      << " epoch failures, " << injector->injected_stalls() << " stalls, "
+                      << injector->injected_crashes() << " crashes over "
+                      << injector->epochs_seen() << " epochs\n";
+        if (retry_backend)
+            std::cout << "epoch retry: " << retry_backend->retries_total() << " retries, "
+                      << retry_backend->recoveries_total() << " recoveries, "
+                      << retry_backend->gave_up_total() << " gave up\n";
+        if (journal)
+            std::cout << "journal: " << journal->last_seq() << " records in "
+                      << journal->path() << "\n";
+    }
+};
 
 // Telemetry sinks requested on the command line. The context is only
 // constructed when at least one output flag is present, so default runs pay
@@ -154,16 +232,15 @@ int cmd_tune(const util::Args& args) {
     if (args.positionals().empty()) return usage();
     const auto& workload = workload::find_workload(args.positionals()[0]);
     const auto seed = args.get_uint_or("seed", 1);
-    auto backend = make_backend(args, seed);
     const auto job = job_config(args, seed);
     const std::string approach = args.get_or("approach", "pipetune");
 
     if (approach == "v1") {
-        print_result("Tune V1", hpt::run_tune_v1(*backend, workload, job));
+        print_result("Tune V1", hpt::run_tune_v1(*make_backend(args, seed), workload, job));
         return 0;
     }
     if (approach == "v2") {
-        print_result("Tune V2", hpt::run_tune_v2(*backend, workload, job));
+        print_result("Tune V2", hpt::run_tune_v2(*make_backend(args, seed), workload, job));
         return 0;
     }
     if (approach != "pipetune") {
@@ -172,14 +249,42 @@ int cmd_tune(const util::Args& args) {
     }
 
     const auto obs_outputs = ObsOutputs::from_args(args);
+    auto ft_setup = FtSetup::from_args(args, seed, obs_outputs.get());
+
+    // With a journal the backend is rebuilt per job from an id-derived seed
+    // (ReseedingBackend), so `pipetune resume` can re-run the job bit-equal
+    // to this attempt; without one a plain backend suffices.
+    std::unique_ptr<workload::Backend> plain;
+    std::unique_ptr<ft::ReseedingBackend> reseeding;
+    workload::Backend* base = nullptr;
+    std::uint64_t derived_seed = 0;
+    if (ft_setup.journal) {
+        reseeding = std::make_unique<ft::ReseedingBackend>(
+            [&args, observer = ft_setup.injector.get()](std::uint64_t job_seed) {
+                return make_backend(args, job_seed, observer);
+            },
+            seed);
+        // The serial service numbers jobs from 1; this run submits exactly one.
+        derived_seed = ft::ReseedingBackend::job_seed(seed, 1);
+        reseeding->begin_job(derived_seed);
+        base = reseeding.get();
+    } else {
+        plain = make_backend(args, seed, ft_setup.injector.get());
+        base = plain.get();
+    }
+    workload::Backend& active = ft_setup.wrap(*base, seed, obs_outputs.get());
+
     core::ServiceOptions service_options;
     service_options.state_dir = args.get_or("state-dir", "");
     service_options.pipetune.tune_frequency = args.get_flag("dvfs");
     if (args.get_or("objective", "duration") == "energy")
         service_options.pipetune.probe_objective = core::PipeTuneConfig::ProbeObjective::kEnergy;
     service_options.obs = obs_outputs.get();
-    const auto service = sched::make_tuning_service(*backend, service_options);
-    const auto result = service->run(workload, job);
+    service_options.journal = ft_setup.journal.get();
+    const auto service = sched::make_tuning_service(active, service_options);
+    core::SubmitOptions submit_options;
+    submit_options.backend_seed = derived_seed;
+    const auto result = service->run(workload, job, submit_options);
     print_result("PipeTune", result.baseline);
     if (args.get_flag("verbose")) {
         util::Table decisions({"trial", "similarity", "decision", "applied config"});
@@ -198,6 +303,7 @@ int cmd_tune(const util::Args& args) {
               << "\n";
     if (!service->ground_truth_path().empty())
         std::cout << "state persisted under " << args.get_or("state-dir", "") << "\n";
+    ft_setup.report();
     obs_outputs.write();
     return 0;
 }
@@ -244,7 +350,10 @@ int cmd_warm_start(const util::Args& args) {
 
 int cmd_replay(const util::Args& args) {
     const auto seed = args.get_uint_or("seed", 1);
-    auto backend = make_backend(args, seed);
+    const auto obs_outputs = ObsOutputs::from_args(args);
+    auto ft_setup = FtSetup::from_args(args, seed, obs_outputs.get());
+    auto backend = make_backend(args, seed, ft_setup.injector.get());
+    workload::Backend& active = ft_setup.wrap(*backend, seed, obs_outputs.get());
 
     std::vector<workload::Workload> mix;
     const std::string mix_name = args.get_or("mix", "all");
@@ -264,7 +373,6 @@ int cmd_replay(const util::Args& args) {
     arrivals.seed = seed;
     const auto jobs = cluster::generate_arrivals(mix, arrivals);
 
-    const auto obs_outputs = ObsOutputs::from_args(args);
     core::ServiceOptions options;
     options.state_dir = args.get_or("state-dir", "");
     // The scheduler clamps 0 slots to 1 internally; mirror that here so the
@@ -272,9 +380,13 @@ int cmd_replay(const util::Args& args) {
     options.concurrency = std::max<std::size_t>(1, args.get_uint_or("workers", 4));
     options.queue_capacity = static_cast<std::size_t>(args.get_uint_or("queue-capacity", 64));
     options.obs = obs_outputs.get();
+    options.journal = ft_setup.journal.get();
+    // Injected faults are mostly absorbed by the epoch-level retry decorator;
+    // give the scheduler a job-level retry budget for the ones that escape.
+    if (ft_setup.injector) options.retry.max_retries = 3;
     // One interface for both shapes: --workers 1 gets the in-process serial
     // service, anything above gets the concurrent scheduler.
-    const auto service = sched::make_tuning_service(*backend, options);
+    const auto service = sched::make_tuning_service(active, options);
     const double compress = args.get_number_or("compress", 2e-5);
 
     struct Pending {
@@ -289,8 +401,9 @@ int cmd_replay(const util::Args& args) {
         const double gap_s = (job.arrival_s - prev_arrival_s) * compress;
         prev_arrival_s = job.arrival_s;
         if (gap_s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(gap_s));
-        auto submission = service->submit(job.workload, job_config(args, ++job_seed),
-                                          {.label = job.workload.name});
+        auto submission =
+            service->submit(job.workload, job_config(args, ++job_seed),
+                            {.label = job.workload.name, .backend_seed = seed});
         if (!submission.has_value()) {
             std::cerr << "job " << job.index << " (" << job.workload.name << ") rejected\n";
             continue;
@@ -358,6 +471,98 @@ int cmd_replay(const util::Args& args) {
     std::cout << summary.render();
     if (!options.state_dir.empty())
         std::cout << "state persisted under " << options.state_dir << "\n";
+    ft_setup.report();
+    obs_outputs.write();
+    return 0;
+}
+
+int cmd_resume(const util::Args& args) {
+    if (args.positionals().empty()) {
+        std::cerr << "resume requires a journal path\n";
+        return usage();
+    }
+    const std::string journal_path = args.positionals()[0];
+    const auto analyzed = ft::Recovery::analyze(journal_path);
+    if (!analyzed) {
+        std::cerr << "error: unreadable journal '" << journal_path << "': " << analyzed.error()
+                  << "\n";
+        return 4;
+    }
+    const ft::RecoveryPlan& plan = analyzed.value();
+    const auto pending = plan.pending_jobs();
+    std::cout << "journal " << journal_path << ": " << plan.records_read << " records ("
+              << plan.completed_count() << " jobs completed, " << plan.failed_count()
+              << " failed, " << pending.size() << " pending)"
+              << (plan.truncated_tail ? ", truncated tail dropped" : "") << "\n";
+    // Consume the run options before the nothing-to-resume exit, or a clean
+    // second resume would warn about "unrecognized" flags it simply never
+    // needed.
+    const std::string state_dir = args.get_or("state-dir", "");
+    const auto obs_outputs = ObsOutputs::from_args(args);
+    if (pending.empty()) {
+        std::cout << "nothing to resume\n";
+        return 3;
+    }
+
+    // Pending jobs re-run from scratch on a per-job reseeded backend: the
+    // recorded backend_seed plus the job id reproduce the exact seed stream
+    // the crashed attempt used, so the re-run regenerates precisely the
+    // observations the crash threw away (see DESIGN.md §10).
+    ft::ReseedingBackend backend(
+        [&args](std::uint64_t job_seed) { return make_backend(args, job_seed); }, 1);
+    ft::Journal journal(journal_path);  // resumed run extends the same journal
+    core::ServiceOptions service_options;
+    service_options.state_dir = state_dir;
+    service_options.obs = obs_outputs.get();
+    service_options.journal = &journal;
+    // Number the re-runs after every id the journal already knows, so the
+    // records this run appends never collide with the crashed run's.
+    for (const ft::RecoveredJob& job : plan.jobs)
+        service_options.first_job_id = std::max(service_options.first_job_id, job.job_id);
+    core::PipeTuneService service(backend, service_options);
+
+    std::vector<core::GroundTruthEntry> recovered;
+    recovered.reserve(plan.ground_truth.size());
+    for (const ft::RecoveredGtMutation& mutation : plan.ground_truth)
+        recovered.push_back({mutation.features, mutation.best_system, mutation.metric});
+    service.seed_ground_truth(recovered);
+
+    util::Table table({"job", "workload", "state", "accuracy [%]", "GT hits", "probes"});
+    std::size_t resumed = 0;
+    for (const ft::RecoveredJob& job : pending) {
+        if (job.workload.empty()) {
+            std::cerr << "job " << job.job_id
+                      << ": no job_submitted record in the journal, skipping\n";
+            continue;
+        }
+        const auto& workload = workload::find_workload(job.workload);
+        auto submit_options = core::submit_options_from_journal(job.submit);
+        // Re-run under the original id: its journal completion record is what
+        // marks the pending job terminal, making resume idempotent.
+        submit_options.job_id = job.job_id;
+        // backend_seed is the fully derived per-job seed the crashed attempt
+        // used (or 0: derive a deterministic one from the job id).
+        backend.begin_job(submit_options.backend_seed != 0
+                              ? submit_options.backend_seed
+                              : ft::ReseedingBackend::job_seed(1, job.job_id));
+        try {
+            const auto result = service.run(
+                workload, core::job_config_from_journal(job.submit), submit_options);
+            ++resumed;
+            table.add_row({std::to_string(job.job_id), job.workload, "completed",
+                           util::Table::num(result.baseline.final_accuracy, 2),
+                           std::to_string(result.ground_truth_hits),
+                           std::to_string(result.probes_started)});
+        } catch (const std::exception& error) {
+            table.add_row(
+                {std::to_string(job.job_id), job.workload, error.what(), "-", "-", "-"});
+        }
+    }
+    std::cout << table.render();
+    std::cout << "resumed " << resumed << "/" << pending.size() << " pending jobs; store size "
+              << service.ground_truth_snapshot().size() << "\n";
+    if (!service.ground_truth_path().empty())
+        std::cout << "state persisted under " << service_options.state_dir << "\n";
     obs_outputs.write();
     return 0;
 }
@@ -373,6 +578,7 @@ int main(int argc, char** argv) {
         else if (args.command() == "compare") status = cmd_compare(args);
         else if (args.command() == "warm-start") status = cmd_warm_start(args);
         else if (args.command() == "replay") status = cmd_replay(args);
+        else if (args.command() == "resume") status = cmd_resume(args);
         else return usage();
 
         for (const auto& key : args.unused_keys())
