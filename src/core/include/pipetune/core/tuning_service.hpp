@@ -157,6 +157,23 @@ public:
     /// Block until every admitted job is terminal. No-op for serial services.
     virtual void drain() = 0;
 
+    /// Best-effort cancel: a queued job is discarded (its future reports the
+    /// cancellation), a running job gets its cooperative flag set. Serial
+    /// services run jobs inline, so there is never anything to cancel and
+    /// they return false. A cancelled-while-queued job gets NO terminal
+    /// journal record — it stays pending, and `pipetune resume` re-runs it.
+    virtual bool cancel(std::uint64_t id) {
+        (void)id;
+        return false;
+    }
+
+    /// Discard every still-queued job (their futures report the discard) and
+    /// return how many were dropped. Running jobs are untouched. This is the
+    /// fast-drain half of a SIGTERM: running jobs finish and journal their
+    /// completion, queued jobs stay journal-pending so a `pipetune resume`
+    /// completes the remainder (DESIGN.md §11 overload/drain semantics).
+    virtual std::size_t discard_queued() { return 0; }
+
     /// Snapshot + atomically rewrite the state files (no-op when state_dir is
     /// empty). Also runs after each job when persist_after_each_job is set.
     virtual void persist() const = 0;

@@ -1,0 +1,129 @@
+#include "pipetune/net/auth.hpp"
+
+#include <stdexcept>
+
+namespace pipetune::net {
+
+TenantRegistry::TenantRegistry(std::size_t anonymous_quota) : open_mode_(true) {
+    Tenant anonymous;
+    anonymous.config.name = kAnonymousTenant;
+    anonymous.config.max_in_flight = anonymous_quota;
+    tenants_.emplace(kAnonymousTenant, std::move(anonymous));
+}
+
+TenantRegistry::TenantRegistry(const std::vector<TenantConfig>& tenants) : open_mode_(false) {
+    if (tenants.empty())
+        throw std::invalid_argument("TenantRegistry: closed mode needs at least one tenant");
+    for (const TenantConfig& config : tenants) {
+        if (config.name.empty() || config.token.empty())
+            throw std::invalid_argument("TenantRegistry: tenant name and token must be set");
+        if (!tenants_.emplace(config.name, Tenant{config, 0, 0, 0, 0}).second)
+            throw std::invalid_argument("TenantRegistry: duplicate tenant '" + config.name +
+                                        "'");
+        if (!by_token_.emplace(config.token, config.name).second)
+            throw std::invalid_argument("TenantRegistry: duplicate token (tenant '" +
+                                        config.name + "')");
+    }
+}
+
+util::Result<TenantRegistry> TenantRegistry::from_spec(const std::string& spec,
+                                                       std::size_t anonymous_quota) {
+    if (spec.empty()) return TenantRegistry(anonymous_quota);
+    std::vector<TenantConfig> tenants;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string item =
+            spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (item.empty()) continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return util::Result<TenantRegistry>::failure(
+                "tenant spec entry '" + item + "' is not name=token[:max_in_flight]");
+        TenantConfig config;
+        config.name = item.substr(0, eq);
+        std::string token = item.substr(eq + 1);
+        const std::size_t colon = token.rfind(':');
+        if (colon != std::string::npos) {
+            const std::string quota = token.substr(colon + 1);
+            try {
+                config.max_in_flight = std::stoul(quota);
+            } catch (const std::exception&) {
+                return util::Result<TenantRegistry>::failure(
+                    "tenant spec entry '" + item + "': quota '" + quota + "' is not a number");
+            }
+            token = token.substr(0, colon);
+        }
+        if (token.empty())
+            return util::Result<TenantRegistry>::failure("tenant spec entry '" + item +
+                                                         "' has an empty token");
+        config.token = std::move(token);
+        tenants.push_back(std::move(config));
+    }
+    try {
+        return TenantRegistry(tenants);
+    } catch (const std::exception& error) {
+        return util::Result<TenantRegistry>::failure(error.what());
+    }
+}
+
+std::size_t TenantRegistry::tenant_count() const {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    return tenants_.size();
+}
+
+util::Result<std::string> TenantRegistry::authenticate(const std::string& token) const {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    if (open_mode_) return std::string(kAnonymousTenant);
+    const auto it = by_token_.find(token);
+    if (it == by_token_.end())
+        return util::Result<std::string>::failure(
+            token.empty() ? "missing bearer token" : "unknown bearer token");
+    return it->second;
+}
+
+util::Result<void> TenantRegistry::try_admit(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return util::Result<void>::failure("unknown tenant '" + tenant + "'");
+    Tenant& entry = it->second;
+    const std::size_t quota = entry.config.max_in_flight;
+    if (quota != 0 && entry.in_flight >= quota) {
+        ++entry.rejected;
+        return util::Result<void>::failure("tenant '" + tenant + "' over quota (" +
+                                           std::to_string(entry.in_flight) + "/" +
+                                           std::to_string(quota) + " jobs in flight)");
+    }
+    ++entry.in_flight;
+    ++entry.submitted;
+    return util::Result<void>::success();
+}
+
+void TenantRegistry::release(const std::string& tenant, bool completed) {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return;
+    if (it->second.in_flight > 0) --it->second.in_flight;
+    if (completed) ++it->second.completed;
+}
+
+std::vector<TenantStats> TenantRegistry::stats() const {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    std::vector<TenantStats> out;
+    out.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) {
+        TenantStats stats;
+        stats.name = name;
+        stats.in_flight = tenant.in_flight;
+        stats.max_in_flight = tenant.config.max_in_flight;
+        stats.submitted = tenant.submitted;
+        stats.completed = tenant.completed;
+        stats.rejected = tenant.rejected;
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+}  // namespace pipetune::net

@@ -1,0 +1,140 @@
+#include "pipetune/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "pipetune/net/framing.hpp"
+
+namespace pipetune::net {
+
+util::Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                     double timeout_s) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return util::Result<Client>::failure(std::string("socket: ") + std::strerror(errno));
+
+    if (timeout_s > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<long>(timeout_s);
+        tv.tv_usec = static_cast<long>((timeout_s - std::floor(timeout_s)) * 1e6);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return util::Result<Client>::failure("bad address '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        std::string message = "connect " + host + ":" + std::to_string(port) + ": " +
+                              std::strerror(errno);
+        ::close(fd);
+        return util::Result<Client>::failure(message);
+    }
+    Client client;
+    client.fd_ = fd;
+    return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_), inbuf_(std::move(other.inbuf_)) {
+    other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        next_id_ = other.next_id_;
+        inbuf_ = std::move(other.inbuf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+util::Result<Response> Client::call(const std::string& method, util::Json params,
+                                    const std::string& token) {
+    if (fd_ < 0) return util::Result<Response>::failure("client not connected");
+    std::uint64_t id = next_id_++;
+    util::Json request = util::Json::object();
+    request["id"] = id;
+    request["method"] = method;
+    if (!token.empty()) request["token"] = token;
+    request["params"] = std::move(params);
+
+    auto sent = raw_send(encode_frame(request.dump()));
+    if (!sent) return util::Result<Response>::failure(sent.error());
+
+    auto frame = read_frame();
+    if (!frame) return util::Result<Response>::failure(frame.error());
+    auto response = parse_response(frame.value());
+    if (!response) return response;
+    if (response.value().id != id)
+        return util::Result<Response>::failure(
+            "response id " + std::to_string(response.value().id) + " does not match request id " +
+            std::to_string(id));
+    return response;
+}
+
+util::Result<void> Client::raw_send(const std::string& bytes) {
+    if (fd_ < 0) return util::Result<void>::failure("client not connected");
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return util::Result<void>::failure(std::string("send: ") + std::strerror(errno));
+    }
+    return util::Result<void>::success();
+}
+
+util::Result<std::string> Client::read_frame() {
+    if (fd_ < 0) return util::Result<std::string>::failure("client not connected");
+    while (true) {
+        std::size_t pos = inbuf_.find('\n');
+        if (pos != std::string::npos) {
+            std::string frame = inbuf_.substr(0, pos);
+            inbuf_.erase(0, pos + 1);
+            if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+            return frame;
+        }
+        char buf[16384];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            inbuf_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) return util::Result<std::string>::failure("connection closed by server");
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return util::Result<std::string>::failure("read timed out waiting for a frame");
+        return util::Result<std::string>::failure(std::string("recv: ") + std::strerror(errno));
+    }
+}
+
+}  // namespace pipetune::net

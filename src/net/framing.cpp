@@ -1,0 +1,53 @@
+#include "pipetune/net/framing.hpp"
+
+#include <stdexcept>
+
+namespace pipetune::net {
+
+FrameReader::Event FrameReader::next(std::string* frame) {
+    while (true) {
+        const std::size_t newline = buffer_.find('\n');
+        if (discarding_) {
+            if (newline == std::string::npos) {
+                buffer_.clear();  // still inside the oversized line
+                return Event::kNeedMore;
+            }
+            buffer_.erase(0, newline + 1);
+            discarding_ = false;
+            continue;  // resume scanning at the line after the oversized one
+        }
+        if (newline == std::string::npos) {
+            // An unterminated line longer than the cap can never become a
+            // valid frame; report it now so the caller can reply 413 instead
+            // of buffering a hostile peer's infinite line.
+            if (buffer_.size() >= max_frame_bytes_) {
+                buffer_.clear();
+                discarding_ = true;
+                return Event::kOversized;
+            }
+            return Event::kNeedMore;
+        }
+        if (newline + 1 > max_frame_bytes_) {
+            buffer_.erase(0, newline + 1);  // complete but over the cap
+            return Event::kOversized;
+        }
+        if (frame != nullptr) {
+            frame->assign(buffer_, 0, newline);
+            if (!frame->empty() && frame->back() == '\r') frame->pop_back();
+        }
+        buffer_.erase(0, newline + 1);
+        return Event::kFrame;
+    }
+}
+
+std::string encode_frame(const std::string& payload) {
+    if (payload.find('\n') != std::string::npos)
+        throw std::invalid_argument("net::encode_frame: payload contains a newline");
+    std::string out;
+    out.reserve(payload.size() + 1);
+    out.append(payload);
+    out.push_back('\n');
+    return out;
+}
+
+}  // namespace pipetune::net

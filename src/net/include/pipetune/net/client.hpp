@@ -1,0 +1,64 @@
+#pragma once
+// Blocking client for the pipetune wire protocol (DESIGN.md §11): one TCP
+// connection, one in-flight request at a time. This is the client the CLI,
+// the load generator and the tests share — deliberately synchronous, because
+// every caller either wants the answer before proceeding (CLI) or gets its
+// concurrency from running many clients (loadgen).
+//
+//   auto client = net::Client::connect("127.0.0.1", port);
+//   util::Json params = util::Json::object();
+//   params["workload"] = "lenet-mnist";
+//   auto reply = client.value().call(net::method::kSubmit, params, token);
+//
+// raw_send/read_frame expose the byte layer for the protocol-robustness
+// tests (garbage, truncated frames, oversized lines).
+
+#include <cstdint>
+#include <string>
+
+#include "pipetune/net/protocol.hpp"
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+
+namespace pipetune::net {
+
+class Client {
+public:
+    /// Connect to host:port (IPv4 dotted quad). `timeout_s` bounds BOTH the
+    /// connect and every subsequent read — a submit that waits on a long job
+    /// needs a generous one. <= 0 means no read timeout.
+    static util::Result<Client> connect(const std::string& host, std::uint16_t port,
+                                        double timeout_s = 30.0);
+
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    ~Client();
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /// One request/response round trip. Ids are assigned internally and
+    /// checked on the way back. Fails on transport errors (including read
+    /// timeout); protocol-level errors (429, 503, ...) come back as a
+    /// successful Result holding a non-ok Response.
+    util::Result<Response> call(const std::string& method, util::Json params = util::Json::object(),
+                                const std::string& token = "");
+
+    /// Write raw bytes verbatim (no framing) — the robustness tests' hook
+    /// for sending garbage, partial frames and oversized lines.
+    util::Result<void> raw_send(const std::string& bytes);
+
+    /// Read one newline-terminated frame (terminator stripped).
+    util::Result<std::string> read_frame();
+
+private:
+    Client() = default;
+
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+    std::string inbuf_;
+};
+
+}  // namespace pipetune::net

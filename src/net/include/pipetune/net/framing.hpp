@@ -1,0 +1,55 @@
+#pragma once
+// Length-capped newline framing: the byte layer of the pipetune wire
+// protocol (DESIGN.md §11). Every message is one line — a JSON document
+// followed by '\n', at most max_frame_bytes long including the terminator.
+// FrameReader turns an arbitrary byte stream (whatever recv() happened to
+// return) into complete frames, and is deliberately unkillable: garbage is
+// surfaced as a frame for the parser to reject, an over-long line is
+// reported ONCE as kOversized and then discarded through its terminating
+// newline, so a hostile or buggy peer can never wedge the connection state
+// machine or balloon server memory.
+
+#include <cstddef>
+#include <string>
+
+namespace pipetune::net {
+
+/// Default frame cap (1 MiB): far above any legitimate request, far below
+/// anything that could hurt a server holding hundreds of connections.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;
+
+class FrameReader {
+public:
+    explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+        : max_frame_bytes_(max_frame_bytes == 0 ? 1 : max_frame_bytes) {}
+
+    /// Append raw bytes from the stream.
+    void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+    enum class Event {
+        kNeedMore,   ///< no complete frame buffered yet
+        kFrame,      ///< *frame holds one complete line (terminator stripped)
+        kOversized,  ///< a line exceeded the cap; it is being/was discarded
+    };
+
+    /// Extract the next frame. Call in a loop until kNeedMore. A trailing
+    /// '\r' (telnet/netcat convenience) is stripped from returned frames.
+    /// kOversized is reported exactly once per offending line; subsequent
+    /// calls skip the line's remaining bytes silently.
+    Event next(std::string* frame);
+
+    /// Bytes buffered but not yet returned as frames.
+    std::size_t buffered() const { return buffer_.size(); }
+    std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+private:
+    std::size_t max_frame_bytes_;
+    std::string buffer_;
+    bool discarding_ = false;  ///< inside an oversized line, dropping to '\n'
+};
+
+/// Serialize one frame: `payload` + '\n'. Throws std::invalid_argument when
+/// the payload embeds a newline (it would silently become two frames).
+std::string encode_frame(const std::string& payload);
+
+}  // namespace pipetune::net

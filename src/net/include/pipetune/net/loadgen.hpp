@@ -1,0 +1,68 @@
+#pragma once
+// Open-loop load generator for the tuning daemon (DESIGN.md §11). Arrivals
+// are a Poisson process: inter-arrival gaps are drawn i.i.d. exponential
+// with the offered rate BEFORE the run starts, and every request fires at
+// its scheduled time regardless of how the previous ones are doing — the
+// open-loop discipline that, unlike closed-loop "send, wait, send" drivers,
+// keeps offering load to a saturated server and therefore measures the
+// latency a real multi-tenant cluster would see. Latency is measured from
+// the SCHEDULED arrival, not the actual send, so a generator that falls
+// behind reports the delay instead of hiding it (coordinated omission).
+//
+// Each request runs on its own thread with its own connection: at bench
+// scale (hundreds of requests) thread cost is noise next to tuning-job cost,
+// and per-request connections exercise the server's accept path the way a
+// fleet of short-lived clients would.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+
+namespace pipetune::net {
+
+struct LoadGenConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Bearer tokens cycled round-robin across requests (the tenant mix).
+    /// Empty = anonymous.
+    std::vector<std::string> tokens;
+    /// Workload names cycled round-robin across requests.
+    std::vector<std::string> workloads{"lenet-mnist"};
+    double rate_per_s = 4.0;         ///< offered arrival rate (lambda)
+    std::size_t total_requests = 32;
+    std::uint64_t seed = 1;          ///< arrival-schedule + nothing else
+    /// Extra submit params merged into every request (e.g. a small
+    /// hyperband_resource so bench jobs stay short).
+    util::Json submit_params = util::Json::object();
+    double request_timeout_s = 120.0;
+};
+
+struct LoadGenReport {
+    double offered_rate_per_s = 0.0;
+    std::size_t requests = 0;
+    std::size_t completed = 0;  ///< 200 with a job result
+    std::size_t rejected = 0;   ///< 429 (quota/queue) or 503 (draining)
+    std::size_t errors = 0;     ///< transport failures or 4xx/500
+    double duration_s = 0.0;    ///< first scheduled arrival -> last settle
+    double goodput_per_s = 0.0; ///< completed / duration
+    double reject_rate = 0.0;   ///< rejected / requests
+    /// Completed-request latency from scheduled arrival, seconds.
+    double latency_mean_s = 0.0;
+    double latency_p50_s = 0.0;
+    double latency_p90_s = 0.0;
+    double latency_p99_s = 0.0;
+    double latency_p999_s = 0.0;
+    double latency_max_s = 0.0;
+
+    util::Json to_json() const;
+};
+
+/// Run one offered-load point against a live server. Fails only when the
+/// server is unreachable outright; per-request rejections and errors are
+/// data, not failures.
+util::Result<LoadGenReport> run_loadgen(const LoadGenConfig& config);
+
+}  // namespace pipetune::net

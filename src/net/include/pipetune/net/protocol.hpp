@@ -1,0 +1,94 @@
+#pragma once
+// The pipetune wire protocol (DESIGN.md §11): newline-delimited JSON
+// request/response pairs on a stream socket.
+//
+// Request:   {"id":7,"method":"submit","token":"...","params":{...}}
+// Response:  {"id":7,"status":200,"result":{...}}
+//            {"id":7,"status":429,"error":"tenant 'a' over quota"}
+//
+// `id` is caller-chosen and echoed verbatim so a client may pipeline;
+// responses to unparsable requests carry id 0. Status codes borrow HTTP's
+// vocabulary because every operator already knows what a 429 means:
+//
+//   200 ok · 400 bad request · 401 unauthorized · 404 unknown job ·
+//   405 unknown method · 413 frame too large · 429 rejected (admission
+//   control: queue full or tenant over quota) · 500 job failed ·
+//   503 draining (server is shutting down)
+//
+// The serializers for job results and service stats live here — the SAME
+// functions produce the server's response body and the in-process reference
+// in tests, so "network result equals in-process result byte-for-byte" is
+// checkable with a string compare.
+
+#include <cstdint>
+#include <string>
+
+#include "pipetune/core/experiment.hpp"
+#include "pipetune/core/tuning_service.hpp"
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/result.hpp"
+
+namespace pipetune::net {
+
+/// Method vocabulary. Anything else is answered with status 405.
+namespace method {
+inline constexpr const char* kPing = "ping";
+inline constexpr const char* kVersion = "version";
+inline constexpr const char* kSubmit = "submit";
+inline constexpr const char* kStatus = "status";
+inline constexpr const char* kCancel = "cancel";
+inline constexpr const char* kStats = "stats";
+inline constexpr const char* kMetrics = "metrics";
+inline constexpr const char* kDrain = "drain";
+}  // namespace method
+
+namespace status {
+inline constexpr int kOk = 200;
+inline constexpr int kBadRequest = 400;
+inline constexpr int kUnauthorized = 401;
+inline constexpr int kNotFound = 404;
+inline constexpr int kUnknownMethod = 405;
+inline constexpr int kFrameTooLarge = 413;
+inline constexpr int kRejected = 429;
+inline constexpr int kJobFailed = 500;
+inline constexpr int kDraining = 503;
+}  // namespace status
+
+struct Request {
+    std::uint64_t id = 0;
+    std::string method;
+    std::string token;  ///< bearer token; empty = anonymous
+    util::Json params;  ///< object (possibly empty)
+};
+
+/// Parse one frame into a Request. The error text is operator-facing (it is
+/// echoed back in the 400 reply).
+util::Result<Request> parse_request(const std::string& frame);
+
+/// Response builders; both return the compact single-line JSON document
+/// (pass through encode_frame before writing to the socket).
+std::string ok_response(std::uint64_t id, util::Json result);
+std::string error_response(std::uint64_t id, int status_code, const std::string& message);
+
+/// Client-side view of one response frame.
+struct Response {
+    std::uint64_t id = 0;
+    int status = 0;
+    util::Json result;  ///< body of a 200
+    std::string error;  ///< message of a non-200
+    bool ok() const { return status == status::kOk; }
+};
+util::Result<Response> parse_response(const std::string& frame);
+
+/// Canonical serialization of one finished tuning job — the submit reply's
+/// `result` field. Key order is fixed (util::Json objects are sorted maps),
+/// so equal results serialize to equal bytes.
+util::Json job_result_to_json(const core::PipeTuneJobResult& result);
+
+/// Canonical serialization of the service-level lifecycle counters.
+util::Json service_stats_to_json(const core::ServiceStats& stats);
+
+/// Canonical serialization of one job's wall-clock lifecycle (status reply).
+util::Json job_timing_to_json(const core::JobTiming& timing);
+
+}  // namespace pipetune::net

@@ -1,0 +1,151 @@
+#include "pipetune/net/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "pipetune/net/client.hpp"
+#include "pipetune/util/rng.hpp"
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Outcome { kCompleted, kRejected, kError };
+
+struct Sample {
+    Outcome outcome = Outcome::kError;
+    double latency_s = 0.0;  ///< from scheduled arrival to settled response
+};
+
+}  // namespace
+
+util::Json LoadGenReport::to_json() const {
+    util::Json j = util::Json::object();
+    j["offered_rate_per_s"] = offered_rate_per_s;
+    j["requests"] = requests;
+    j["completed"] = completed;
+    j["rejected"] = rejected;
+    j["errors"] = errors;
+    j["duration_s"] = duration_s;
+    j["goodput_per_s"] = goodput_per_s;
+    j["reject_rate"] = reject_rate;
+    j["latency_mean_s"] = latency_mean_s;
+    j["latency_p50_s"] = latency_p50_s;
+    j["latency_p90_s"] = latency_p90_s;
+    j["latency_p99_s"] = latency_p99_s;
+    j["latency_p999_s"] = latency_p999_s;
+    j["latency_max_s"] = latency_max_s;
+    return j;
+}
+
+util::Result<LoadGenReport> run_loadgen(const LoadGenConfig& config) {
+    if (config.total_requests == 0)
+        return util::Result<LoadGenReport>::failure("loadgen: total_requests must be > 0");
+    if (config.rate_per_s <= 0)
+        return util::Result<LoadGenReport>::failure("loadgen: rate_per_s must be > 0");
+    if (config.workloads.empty())
+        return util::Result<LoadGenReport>::failure("loadgen: at least one workload required");
+
+    // Reachability probe: fail fast (and once) when nothing is listening,
+    // instead of letting every request thread report the same connect error.
+    {
+        auto probe = Client::connect(config.host, config.port, 5.0);
+        if (!probe) return util::Result<LoadGenReport>::failure("loadgen: " + probe.error());
+        auto pong = probe.value().call(method::kPing);
+        if (!pong) return util::Result<LoadGenReport>::failure("loadgen: ping: " + pong.error());
+    }
+
+    // The whole arrival schedule is drawn up front: open loop means the
+    // schedule is independent of how the server responds.
+    util::Rng rng(config.seed);
+    std::vector<double> arrival_offsets_s(config.total_requests);
+    double t = 0.0;
+    for (std::size_t i = 0; i < config.total_requests; ++i) {
+        arrival_offsets_s[i] = t;
+        t += rng.exponential(config.rate_per_s);
+    }
+
+    std::vector<Sample> samples(config.total_requests);
+    Clock::time_point start = Clock::now();
+
+    std::vector<std::thread> threads;
+    threads.reserve(config.total_requests);
+    for (std::size_t i = 0; i < config.total_requests; ++i) {
+        threads.emplace_back([&, i] {
+            Clock::time_point scheduled =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(arrival_offsets_s[i]));
+            std::this_thread::sleep_until(scheduled);
+
+            Sample sample;
+            auto finish = [&] {
+                sample.latency_s = std::chrono::duration<double>(Clock::now() - scheduled).count();
+                samples[i] = sample;
+            };
+
+            auto client = Client::connect(config.host, config.port, config.request_timeout_s);
+            if (!client) {
+                finish();
+                return;
+            }
+            util::Json params = config.submit_params;  // deep copy
+            params["workload"] = config.workloads[i % config.workloads.size()];
+            params["label"] = "loadgen-" + std::to_string(i);
+            const std::string token =
+                config.tokens.empty() ? std::string() : config.tokens[i % config.tokens.size()];
+            auto reply = client.value().call(method::kSubmit, std::move(params), token);
+            if (!reply) {
+                finish();
+                return;
+            }
+            const Response& response = reply.value();
+            if (response.ok()) {
+                sample.outcome = Outcome::kCompleted;
+            } else if (response.status == status::kRejected ||
+                       response.status == status::kDraining) {
+                sample.outcome = Outcome::kRejected;
+            }
+            finish();
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    LoadGenReport report;
+    report.offered_rate_per_s = config.rate_per_s;
+    report.requests = config.total_requests;
+    std::vector<double> latencies;
+    double last_settle_s = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample& sample = samples[i];
+        last_settle_s = std::max(last_settle_s, arrival_offsets_s[i] + sample.latency_s);
+        switch (sample.outcome) {
+            case Outcome::kCompleted:
+                ++report.completed;
+                latencies.push_back(sample.latency_s);
+                break;
+            case Outcome::kRejected: ++report.rejected; break;
+            case Outcome::kError: ++report.errors; break;
+        }
+    }
+    report.duration_s = last_settle_s;
+    report.goodput_per_s = report.duration_s > 0
+                               ? static_cast<double>(report.completed) / report.duration_s
+                               : 0.0;
+    report.reject_rate = static_cast<double>(report.rejected) / static_cast<double>(report.requests);
+    if (!latencies.empty()) {
+        report.latency_mean_s = util::mean(latencies);
+        report.latency_p50_s = util::percentile(latencies, 50.0);
+        report.latency_p90_s = util::percentile(latencies, 90.0);
+        report.latency_p99_s = util::percentile(latencies, 99.0);
+        report.latency_p999_s = util::percentile(latencies, 99.9);
+        report.latency_max_s = *std::max_element(latencies.begin(), latencies.end());
+    }
+    return report;
+}
+
+}  // namespace pipetune::net

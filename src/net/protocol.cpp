@@ -1,0 +1,107 @@
+#include "pipetune/net/protocol.hpp"
+
+namespace pipetune::net {
+
+util::Result<Request> parse_request(const std::string& frame) {
+    auto parsed = util::Json::try_parse(frame);
+    if (!parsed) return util::Result<Request>::failure("request is not valid JSON: " + parsed.error());
+    const util::Json& doc = parsed.value();
+    if (!doc.is_object()) return util::Result<Request>::failure("request must be a JSON object");
+    if (!doc.contains("method") || !doc.at("method").is_string())
+        return util::Result<Request>::failure("request is missing a string 'method' field");
+    Request request;
+    if (doc.contains("id")) {
+        if (!doc.at("id").is_number() || doc.at("id").as_number() < 0)
+            return util::Result<Request>::failure("request 'id' must be a non-negative number");
+        request.id = static_cast<std::uint64_t>(doc.at("id").as_number());
+    }
+    request.method = doc.at("method").as_string();
+    request.token = doc.get_string("token", "");
+    if (doc.contains("params")) {
+        if (!doc.at("params").is_object())
+            return util::Result<Request>::failure("request 'params' must be an object");
+        request.params = doc.at("params");
+    } else {
+        request.params = util::Json::object();
+    }
+    return request;
+}
+
+std::string ok_response(std::uint64_t id, util::Json result) {
+    util::Json doc = util::Json::object();
+    doc["id"] = id;
+    doc["status"] = status::kOk;
+    doc["result"] = std::move(result);
+    return doc.dump();
+}
+
+std::string error_response(std::uint64_t id, int status_code, const std::string& message) {
+    util::Json doc = util::Json::object();
+    doc["id"] = id;
+    doc["status"] = status_code;
+    doc["error"] = message;
+    return doc.dump();
+}
+
+util::Result<Response> parse_response(const std::string& frame) {
+    auto parsed = util::Json::try_parse(frame);
+    if (!parsed)
+        return util::Result<Response>::failure("response is not valid JSON: " + parsed.error());
+    const util::Json& doc = parsed.value();
+    if (!doc.is_object() || !doc.contains("status") || !doc.at("status").is_number())
+        return util::Result<Response>::failure("response is missing a numeric 'status' field");
+    Response response;
+    response.id = static_cast<std::uint64_t>(doc.get_number("id", 0.0));
+    response.status = static_cast<int>(doc.at("status").as_number());
+    if (doc.contains("result")) response.result = doc.at("result");
+    response.error = doc.get_string("error", "");
+    return response;
+}
+
+util::Json job_result_to_json(const core::PipeTuneJobResult& result) {
+    util::Json doc = util::Json::object();
+    doc["best_hyper"] = result.baseline.best_hyper.to_string();
+    doc["final_system"] = result.baseline.final_system.to_string();
+    doc["final_accuracy"] = result.baseline.final_accuracy;
+    doc["training_time_s"] = result.baseline.training_time_s;
+    doc["tuning_duration_s"] = result.baseline.tuning.tuning_duration_s;
+    doc["tuning_energy_j"] = result.baseline.tuning.tuning_energy_j;
+    doc["trials"] = result.baseline.tuning.trials;
+    doc["epochs"] = result.baseline.tuning.epochs;
+    doc["ground_truth_hits"] = result.ground_truth_hits;
+    doc["probes_started"] = result.probes_started;
+    doc["ground_truth_size"] = result.ground_truth_size;
+    doc["decisions"] = result.decisions.size();
+    return doc;
+}
+
+util::Json service_stats_to_json(const core::ServiceStats& stats) {
+    util::Json doc = util::Json::object();
+    doc["submitted"] = stats.submitted;
+    doc["completed"] = stats.completed;
+    doc["failed"] = stats.failed;
+    doc["cancelled"] = stats.cancelled;
+    doc["timed_out"] = stats.timed_out;
+    doc["running"] = stats.running;
+    doc["queued"] = stats.queued;
+    doc["max_queue_depth"] = stats.max_queue_depth;
+    return doc;
+}
+
+util::Json job_timing_to_json(const core::JobTiming& timing) {
+    util::Json doc = util::Json::object();
+    doc["job_id"] = timing.id;
+    doc["label"] = timing.label;
+    const char* state = timing.finish_s >= 0 ? (timing.ok ? "completed" : "failed")
+                        : timing.start_s >= 0 ? "running"
+                                              : "queued";
+    doc["state"] = state;
+    doc["submit_s"] = timing.submit_s;
+    doc["start_s"] = timing.start_s;
+    doc["finish_s"] = timing.finish_s;
+    doc["ok"] = timing.ok;
+    if (!timing.error.empty()) doc["error"] = timing.error;
+    return doc;
+}
+
+}  // namespace pipetune::net

@@ -1,0 +1,16 @@
+#include "pipetune/obs/build_info.hpp"
+
+#include "pipetune/util/build_info.hpp"
+
+namespace pipetune::obs {
+
+Gauge& register_build_info(MetricsRegistry& registry) {
+    Gauge& gauge = registry.gauge(
+        "pipetune_build_info",
+        {{"version", util::kVersion}, {"compiler", util::compiler_string()}},
+        "Build identity of the running binary (value is always 1)");
+    gauge.set(1.0);
+    return gauge;
+}
+
+}  // namespace pipetune::obs

@@ -1,0 +1,15 @@
+#pragma once
+// pipetune_build_info: the Prometheus "info metric" pattern — a gauge pinned
+// to 1 whose labels carry the build identity, so every /metrics scrape
+// self-identifies the binary that produced it (join on the labels, never on
+// the value). Register once at startup; re-registration is idempotent
+// because the registry keys instruments on (name, labels).
+
+#include "pipetune/obs/metrics_registry.hpp"
+
+namespace pipetune::obs {
+
+/// Register (or fetch) pipetune_build_info{version,compiler} and set it to 1.
+Gauge& register_build_info(MetricsRegistry& registry);
+
+}  // namespace pipetune::obs

@@ -47,10 +47,13 @@ public:
                                      core::SubmitOptions options = {}) override;
 
     /// Cooperative cancel (see ClusterScheduler::cancel).
-    bool cancel(std::uint64_t id) { return scheduler_.cancel(id); }
+    bool cancel(std::uint64_t id) override { return scheduler_.cancel(id); }
     JobState state(std::uint64_t id) const { return scheduler_.state(id); }
     /// Block until every submitted job is terminal.
     void drain() override { scheduler_.drain(); }
+    /// Drop every still-queued job (stays journal-pending; see the interface
+    /// contract) — the SIGTERM fast-drain hook used by net::TuningServer.
+    std::size_t discard_queued() override { return scheduler_.discard_queued(); }
 
     std::size_t jobs_served() const override {
         return jobs_served_.load(std::memory_order_relaxed);

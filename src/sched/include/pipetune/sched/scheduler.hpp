@@ -146,6 +146,13 @@ public:
     /// job gets its cooperative flag set (true). Terminal/unknown: false.
     bool cancel(std::uint64_t id);
 
+    /// Discard every job still waiting in the queue (each retires as
+    /// kCancelled through its on_discard). Running jobs are NOT flagged —
+    /// unlike shutdown(false), which cancels them cooperatively — so this is
+    /// the graceful-drain primitive: callers discard the queue, then drain()
+    /// to let the running remainder finish cleanly. Returns the drop count.
+    std::size_t discard_queued();
+
     /// Wait until `id` reaches a terminal state. Negative timeout = forever.
     /// Returns false on timeout or unknown id.
     bool wait(std::uint64_t id, double timeout_s = -1.0);

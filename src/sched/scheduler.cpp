@@ -207,6 +207,34 @@ bool ClusterScheduler::cancel(std::uint64_t id) {
     return true;
 }
 
+std::size_t ClusterScheduler::discard_queued() {
+    // Collect the discards under the lock, run the callbacks outside it
+    // (an on_discard settles a promise, and the waiter may call back into
+    // the scheduler). Jobs a worker pops between the state check and
+    // queue_.erase simply stay running — exactly the contract.
+    std::vector<std::pair<JobInfo, DiscardFn>> discarded;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [id, job] : jobs_) {
+            if (job.info.state != JobState::kQueued || !queue_.erase(id)) continue;
+            job.cancel->store(true, std::memory_order_relaxed);
+            job.info.state = JobState::kCancelled;
+            job.info.finish_s = now_s();
+            --stats_.queued;
+            ++stats_.cancelled;
+            count_terminal_locked(JobState::kCancelled);
+            discarded.emplace_back(job.info, std::move(job.on_discard));
+        }
+        if (!discarded.empty()) update_gauges_locked();
+    }
+    if (!discarded.empty()) {
+        terminal_cv_.notify_all();
+        for (auto& [info, on_discard] : discarded)
+            if (on_discard) on_discard(info);
+    }
+    return discarded.size();
+}
+
 void ClusterScheduler::finish(std::uint64_t id, JobState state, const std::string& error,
                               std::exception_ptr failure) {
     FailFn on_failed;

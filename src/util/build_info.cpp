@@ -1,0 +1,28 @@
+#include "pipetune/util/build_info.hpp"
+
+namespace pipetune::util {
+
+std::string version_string() { return std::string("pipetune ") + kVersion; }
+
+std::string compiler_string() {
+#if defined(__clang__)
+    return "clang " + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+std::string build_banner() {
+#ifdef NDEBUG
+    const char* build_type = "release";
+#else
+    const char* build_type = "debug";
+#endif
+    return version_string() + " (" + compiler_string() + ", " + build_type + ")";
+}
+
+}  // namespace pipetune::util

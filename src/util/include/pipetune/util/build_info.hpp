@@ -1,0 +1,24 @@
+#pragma once
+// Build identity: one version string for the whole repo plus the compiler
+// that produced the running binary. Surfaced by `pipetune --version` and by
+// the pipetune_build_info metric (obs/build_info.hpp), so an operator
+// scraping /metrics can tell WHICH build is behind the numbers — the first
+// question in any perf-trajectory comparison across BENCH_*.json files.
+
+#include <string>
+
+namespace pipetune::util {
+
+/// Repo-level semantic version; bumped when a PR changes a served surface.
+inline constexpr const char* kVersion = "0.6.0";
+
+/// "pipetune <version>".
+std::string version_string();
+
+/// Human-readable compiler id, e.g. "gcc 12.2.0" or "clang 17.0.1".
+std::string compiler_string();
+
+/// One-line build banner: "pipetune <version> (<compiler>, <build type>)".
+std::string build_banner();
+
+}  // namespace pipetune::util

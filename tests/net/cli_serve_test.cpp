@@ -1,0 +1,249 @@
+// Drives the real `pipetune serve` binary end to end: daemon startup with a
+// kernel-assigned port published through --port-file, live submits over the
+// wire, then the SIGTERM acceptance path — a mid-run TERM drains gracefully
+// (exit 0), queued jobs stay journal-pending, and `pipetune resume` completes
+// exactly the remainder (second resume: nothing left, exit 3).
+// PIPETUNE_CLI_PATH is injected by CMake as $<TARGET_FILE:pipetune>.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "pipetune/net/client.hpp"
+#include "pipetune/util/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pipetune;
+
+// Sanitizer instrumentation slows the real-backend jobs this suite leans on
+// by an order of magnitude; stretch every wall-clock deadline to match.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PT_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PT_SANITIZED 1
+#endif
+#ifdef PT_SANITIZED
+constexpr double kDeadlineScale = 8.0;
+#else
+constexpr double kDeadlineScale = 1.0;
+#endif
+
+struct TempDir {
+    fs::path path;
+    TempDir() : path(fs::temp_directory_path() / ("pt_cli_net_" + std::to_string(::getpid()))) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string sub(const std::string& name) const { return (path / name).string(); }
+};
+
+// Runs the CLI with `args`, discarding output; returns its exit code.
+int run_cli(const std::string& args) {
+    const std::string command =
+        std::string(PIPETUNE_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    if (status == -1) return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// Runs the CLI and captures stdout.
+std::string run_cli_capture(const std::string& args, int* exit_code) {
+    const std::string command = std::string(PIPETUNE_CLI_PATH) + " " + args + " 2>/dev/null";
+    FILE* pipe = ::popen(command.c_str(), "r");
+    if (pipe == nullptr) {
+        *exit_code = -1;
+        return {};
+    }
+    std::string out;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+    const int status = ::pclose(pipe);
+    *exit_code = (status != -1 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+    return out;
+}
+
+// fork/exec the serve daemon (we need its pid to deliver the SIGTERM).
+pid_t spawn_serve(const std::vector<std::string>& args) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child: silence output, exec the CLI.
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+        ::dup2(null_fd, STDOUT_FILENO);
+        ::dup2(null_fd, STDERR_FILENO);
+        ::close(null_fd);
+    }
+    std::vector<char*> argv;
+    static const std::string binary = PIPETUNE_CLI_PATH;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);
+}
+
+// Poll the --port-file until the daemon publishes its port (or time out).
+std::uint16_t wait_for_port(const std::string& port_file, double timeout_s = 30.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::ifstream in(port_file);
+        int port = 0;
+        if (in >> port && port > 0) return static_cast<std::uint16_t>(port);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return 0;
+}
+
+// waitpid with a deadline; SIGKILLs the child if it never exits.
+int wait_for_exit(pid_t pid, double timeout_s) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+        int status = 0;
+        const pid_t done = ::waitpid(pid, &status, WNOHANG);
+        if (done == pid) return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return -2;  // timed out
+}
+
+TEST(CliServeTest, VersionFlagPrintsBuildBanner) {
+    int exit_code = -1;
+    const std::string out = run_cli_capture("--version", &exit_code);
+    EXPECT_EQ(exit_code, 0);
+    EXPECT_NE(out.find("pipetune"), std::string::npos) << out;
+    // The banner carries a dotted version number.
+    EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(CliServeTest, ServeAnswersSubmitsOverTheWire) {
+    TempDir tmp;
+    const std::string port_file = tmp.sub("port");
+    const pid_t pid = spawn_serve({"serve", "--workers", "2", "--backend", "sim",
+                                   "--port-file", port_file});
+    ASSERT_GT(pid, 0);
+    const std::uint16_t port = wait_for_port(port_file);
+    ASSERT_NE(port, 0) << "serve never published its port";
+
+    auto client = net::Client::connect("127.0.0.1", port, 60.0);
+    ASSERT_TRUE(client.ok()) << client.error();
+    util::Json params = util::Json::object();
+    params["workload"] = "lenet-mnist";
+    params["hyperband_resource"] = 3;
+    params["final_epochs"] = 3;
+    params["parallel_slots"] = 2;
+    auto reply = client.value().call(net::method::kSubmit, params);
+    ASSERT_TRUE(reply.ok()) << reply.error();
+    ASSERT_TRUE(reply.value().ok()) << reply.value().error;
+    EXPECT_TRUE(reply.value().result.contains("result"));
+
+    ::kill(pid, SIGTERM);
+    EXPECT_EQ(wait_for_exit(pid, 30.0 * kDeadlineScale), 0);
+}
+
+TEST(CliServeTest, SigtermMidRunDrainsAndResumeCompletesTheRemainder) {
+    TempDir tmp;
+    const std::string port_file = tmp.sub("port");
+    const std::string journal = tmp.sub("journal.log");
+    // Real backend: jobs take ~a second each, so with 2 workers a TERM right
+    // after five submits deterministically catches jobs still queued.
+    const pid_t pid = spawn_serve({"serve", "--workers", "2", "--backend", "real",
+                                   "--resource", "3", "--journal", journal,
+                                   "--state-dir", tmp.sub("state"),
+                                   "--port-file", port_file});
+    ASSERT_GT(pid, 0);
+    const std::uint16_t port = wait_for_port(port_file);
+    ASSERT_NE(port, 0) << "serve never published its port";
+
+    auto client = net::Client::connect("127.0.0.1", port, 60.0);
+    ASSERT_TRUE(client.ok()) << client.error();
+    util::Json params = util::Json::object();
+    params["workload"] = "lenet-mnist";
+    params["hyperband_resource"] = 3;
+    params["final_epochs"] = 3;
+    params["parallel_slots"] = 2;
+    params["wait"] = false;
+    for (int i = 0; i < 5; ++i) {
+        auto reply = client.value().call(net::method::kSubmit, params);
+        ASSERT_TRUE(reply.ok()) << reply.error();
+        ASSERT_TRUE(reply.value().ok()) << reply.value().error;
+    }
+
+    // Let the two workers pick up their first jobs, then TERM mid-run.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ::kill(pid, SIGTERM);
+    // Graceful drain: running jobs finish, queued ones are discarded, exit 0.
+    ASSERT_EQ(wait_for_exit(pid, 60.0 * kDeadlineScale), 0);
+
+    // The journal must hold pending (submitted, never terminal) jobs...
+    ASSERT_TRUE(fs::exists(journal));
+    std::ifstream in(journal);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string journal_text = buffer.str();
+    EXPECT_NE(journal_text.find("job_submitted"), std::string::npos);
+
+    // ...which `pipetune resume` completes (exit 0). Everything done after
+    // that, a second resume finds nothing pending (exit 3).
+    ASSERT_EQ(run_cli("resume " + journal + " --backend real --state-dir " + tmp.sub("resumed")),
+              0);
+    EXPECT_EQ(run_cli("resume " + journal + " --backend real --state-dir " + tmp.sub("resumed")),
+              3);
+}
+
+TEST(CliServeTest, LoadgenDrivesALiveServerAndWritesAReport) {
+    TempDir tmp;
+    const std::string port_file = tmp.sub("port");
+    const std::string report_path = tmp.sub("bench.json");
+    const pid_t pid = spawn_serve({"serve", "--workers", "2", "--backend", "sim",
+                                   "--resource", "3", "--port-file", port_file});
+    ASSERT_GT(pid, 0);
+    const std::uint16_t port = wait_for_port(port_file);
+    ASSERT_NE(port, 0);
+
+    const int exit_code =
+        run_cli("loadgen --port " + std::to_string(port) +
+                " --rate 50 --requests 8 --resource 3 --seed 7 --out " + report_path);
+    EXPECT_EQ(exit_code, 0);
+
+    std::ifstream in(report_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto report = util::Json::try_parse(buffer.str());
+    ASSERT_TRUE(report.ok()) << report.error();
+    ASSERT_TRUE(report.value().contains("points"));
+    const auto& points = report.value().at("points").as_array();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].get_number("requests", 0), 8.0);
+    EXPECT_EQ(points[0].get_number("completed", 0) + points[0].get_number("rejected", 0) +
+                  points[0].get_number("errors", 0),
+              8.0);
+    EXPECT_TRUE(points[0].contains("latency_p99_s"));
+
+    ::kill(pid, SIGTERM);
+    EXPECT_EQ(wait_for_exit(pid, 30.0 * kDeadlineScale), 0);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// FrameReader: the byte layer of the wire protocol (DESIGN.md §11). The
+// invariant under test is that NO byte stream — split anywhere, containing
+// garbage or over-long lines — can wedge the reader or make it drop a
+// well-formed frame that follows the damage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pipetune/net/framing.hpp"
+
+namespace {
+
+using pipetune::net::encode_frame;
+using pipetune::net::FrameReader;
+using Event = pipetune::net::FrameReader::Event;
+
+TEST(FramingTest, SingleFrameRoundTrip) {
+    FrameReader reader;
+    const std::string wire = encode_frame("{\"id\":1}");
+    reader.feed(wire.data(), wire.size());
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "{\"id\":1}");
+    EXPECT_EQ(reader.next(&frame), Event::kNeedMore);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FramingTest, EncodeRejectsEmbeddedNewline) {
+    EXPECT_THROW(encode_frame("a\nb"), std::invalid_argument);
+}
+
+TEST(FramingTest, PartialFrameNeedsMore) {
+    FrameReader reader;
+    reader.feed("{\"id\":", 6);
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kNeedMore);
+    reader.feed("1}\n", 3);
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "{\"id\":1}");
+}
+
+TEST(FramingTest, EveryByteSplitYieldsSameFrames) {
+    const std::string wire = encode_frame("{\"id\":1,\"method\":\"ping\"}") +
+                             encode_frame("{\"id\":2,\"method\":\"stats\"}");
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+        FrameReader reader;
+        reader.feed(wire.data(), split);
+        std::string frame;
+        std::vector<std::string> frames;
+        while (reader.next(&frame) == Event::kFrame) frames.push_back(frame);
+        reader.feed(wire.data() + split, wire.size() - split);
+        while (reader.next(&frame) == Event::kFrame) frames.push_back(frame);
+        ASSERT_EQ(frames.size(), 2u) << "split at byte " << split;
+        EXPECT_EQ(frames[0], "{\"id\":1,\"method\":\"ping\"}");
+        EXPECT_EQ(frames[1], "{\"id\":2,\"method\":\"stats\"}");
+    }
+}
+
+TEST(FramingTest, PipelinedFramesInOneFeed) {
+    FrameReader reader;
+    const std::string wire = "a\nb\nc\n";
+    reader.feed(wire.data(), wire.size());
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "a");
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "b");
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "c");
+    EXPECT_EQ(reader.next(&frame), Event::kNeedMore);
+}
+
+TEST(FramingTest, CarriageReturnStripped) {
+    FrameReader reader;
+    reader.feed("ping\r\n", 6);
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "ping");
+}
+
+TEST(FramingTest, OversizedLineReportedOnceThenDiscarded) {
+    FrameReader reader(8);  // tiny cap
+    const std::string big(64, 'x');
+    reader.feed(big.data(), big.size());
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kOversized);
+    // The rest of the oversized line is dropped silently, in pieces.
+    EXPECT_EQ(reader.next(&frame), Event::kNeedMore);
+    reader.feed("yyy\n", 4);  // terminates the oversized line
+    EXPECT_EQ(reader.next(&frame), Event::kNeedMore);
+    // The connection is still usable: the next line parses normally.
+    reader.feed("ok\n", 3);
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "ok");
+}
+
+TEST(FramingTest, OversizedDetectedWithoutNewline) {
+    // A peer streaming an endless line must be caught at the cap, not at the
+    // (never-arriving) terminator — otherwise memory grows without bound.
+    FrameReader reader(16);
+    std::string frame;
+    for (int i = 0; i < 4; ++i) reader.feed("aaaaaaaa", 8);
+    EXPECT_EQ(reader.next(&frame), Event::kOversized);
+    EXPECT_LE(reader.buffered(), reader.max_frame_bytes());
+}
+
+TEST(FramingTest, FrameExactlyAtCapAccepted) {
+    // Cap includes the '\n': a 7-byte payload + terminator fits a cap of 8.
+    FrameReader reader(8);
+    reader.feed("1234567\n", 8);
+    std::string frame;
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "1234567");
+}
+
+TEST(FramingTest, EmptyLineIsAnEmptyFrame) {
+    FrameReader reader;
+    reader.feed("\n", 1);
+    std::string frame = "sentinel";
+    EXPECT_EQ(reader.next(&frame), Event::kFrame);
+    EXPECT_EQ(frame, "");
+}
+
+}  // namespace

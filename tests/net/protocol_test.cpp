@@ -1,0 +1,116 @@
+// Wire-protocol parsing and the canonical serializers (DESIGN.md §11). The
+// serializer tests pin the exact key set: the same functions produce the
+// server's response bodies AND the in-process reference in the e2e test, so
+// a silently added/renamed key would break byte-for-byte comparability.
+
+#include <gtest/gtest.h>
+
+#include "pipetune/net/protocol.hpp"
+#include "pipetune/util/json.hpp"
+
+namespace {
+
+using namespace pipetune;
+
+TEST(ProtocolTest, ParseRequestFull) {
+    auto parsed = net::parse_request(
+        R"({"id":7,"method":"submit","token":"tok-a","params":{"workload":"lenet-mnist"}})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    const net::Request& request = parsed.value();
+    EXPECT_EQ(request.id, 7u);
+    EXPECT_EQ(request.method, "submit");
+    EXPECT_EQ(request.token, "tok-a");
+    EXPECT_EQ(request.params.get_string("workload", ""), "lenet-mnist");
+}
+
+TEST(ProtocolTest, ParseRequestDefaults) {
+    auto parsed = net::parse_request(R"({"method":"ping"})");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().id, 0u);
+    EXPECT_EQ(parsed.value().token, "");
+    EXPECT_TRUE(parsed.value().params.is_object());
+}
+
+TEST(ProtocolTest, ParseRequestRejects) {
+    EXPECT_FALSE(net::parse_request("not json").ok());
+    EXPECT_FALSE(net::parse_request("[1,2,3]").ok());
+    EXPECT_FALSE(net::parse_request(R"({"id":1})").ok());           // no method
+    EXPECT_FALSE(net::parse_request(R"({"method":7})").ok());       // non-string method
+    EXPECT_FALSE(net::parse_request(R"({"id":-1,"method":"x"})").ok());
+    EXPECT_FALSE(net::parse_request(R"({"id":"x","method":"x"})").ok());
+    EXPECT_FALSE(net::parse_request(R"({"method":"x","params":3})").ok());
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+    util::Json body = util::Json::object();
+    body["job_id"] = 3;
+    auto ok = net::parse_response(net::ok_response(9, body));
+    ASSERT_TRUE(ok.ok()) << ok.error();
+    EXPECT_TRUE(ok.value().ok());
+    EXPECT_EQ(ok.value().id, 9u);
+    EXPECT_EQ(ok.value().status, net::status::kOk);
+    EXPECT_EQ(ok.value().result.get_number("job_id", 0), 3);
+
+    auto err = net::parse_response(net::error_response(4, net::status::kRejected, "over quota"));
+    ASSERT_TRUE(err.ok());
+    EXPECT_FALSE(err.value().ok());
+    EXPECT_EQ(err.value().status, 429);
+    EXPECT_EQ(err.value().error, "over quota");
+}
+
+TEST(ProtocolTest, ParseResponseRejectsMissingStatus) {
+    EXPECT_FALSE(net::parse_response(R"({"id":1})").ok());
+    EXPECT_FALSE(net::parse_response("garbage").ok());
+}
+
+TEST(ProtocolTest, JobResultSerializationIsCanonical) {
+    core::PipeTuneJobResult result;
+    result.baseline.final_accuracy = 0.5;
+    result.ground_truth_hits = 2;
+    const util::Json doc = net::job_result_to_json(result);
+    // util::Json objects are sorted maps: equal results → equal bytes. Pin
+    // the key set so the e2e byte-compare stays meaningful.
+    const std::vector<std::string> expected = {
+        "best_hyper",     "decisions",         "epochs",         "final_accuracy",
+        "final_system",   "ground_truth_hits", "ground_truth_size", "probes_started",
+        "training_time_s", "trials",           "tuning_duration_s", "tuning_energy_j"};
+    ASSERT_TRUE(doc.is_object());
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : doc.as_object()) keys.push_back(key);
+    EXPECT_EQ(keys, expected);
+    // dump() of the same value twice is bitwise identical.
+    EXPECT_EQ(doc.dump(), net::job_result_to_json(result).dump());
+}
+
+TEST(ProtocolTest, ServiceStatsSerialization) {
+    core::ServiceStats stats;
+    stats.submitted = 5;
+    stats.completed = 3;
+    stats.queued = 2;
+    const util::Json doc = net::service_stats_to_json(stats);
+    EXPECT_EQ(doc.get_number("submitted", 0), 5);
+    EXPECT_EQ(doc.get_number("completed", 0), 3);
+    EXPECT_EQ(doc.get_number("queued", 0), 2);
+    EXPECT_EQ(doc.get_number("failed", -1), 0);
+}
+
+TEST(ProtocolTest, JobTimingStates) {
+    core::JobTiming timing;
+    timing.id = 4;
+    timing.label = "t/lenet";
+    EXPECT_EQ(net::job_timing_to_json(timing).get_string("state", ""), "queued");
+    timing.start_s = 0.5;
+    EXPECT_EQ(net::job_timing_to_json(timing).get_string("state", ""), "running");
+    timing.finish_s = 1.5;
+    timing.ok = true;
+    const util::Json done = net::job_timing_to_json(timing);
+    EXPECT_EQ(done.get_string("state", ""), "completed");
+    EXPECT_FALSE(done.contains("error"));
+    timing.ok = false;
+    timing.error = "boom";
+    const util::Json failed = net::job_timing_to_json(timing);
+    EXPECT_EQ(failed.get_string("state", ""), "failed");
+    EXPECT_EQ(failed.get_string("error", ""), "boom");
+}
+
+}  // namespace

@@ -23,11 +23,14 @@
 // time); --backend real trains the bundled NN engine instead.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <system_error>
 #include <thread>
 
@@ -35,19 +38,81 @@
 #include "pipetune/core/experiment.hpp"
 #include "pipetune/core/service.hpp"
 #include "pipetune/core/warm_start.hpp"
+#include "pipetune/ft/errors.hpp"
 #include "pipetune/ft/fault_injector.hpp"
 #include "pipetune/ft/ft_backend.hpp"
 #include "pipetune/ft/journal.hpp"
 #include "pipetune/ft/recovery.hpp"
+#include "pipetune/net/auth.hpp"
+#include "pipetune/net/client.hpp"
+#include "pipetune/net/loadgen.hpp"
+#include "pipetune/net/server.hpp"
+#include "pipetune/obs/build_info.hpp"
 #include "pipetune/sched/concurrent_service.hpp"
 #include "pipetune/sim/real_backend.hpp"
 #include "pipetune/sim/sim_backend.hpp"
 #include "pipetune/util/args.hpp"
+#include "pipetune/util/build_info.hpp"
+#include "pipetune/util/fs.hpp"
 #include "pipetune/util/table.hpp"
 
 namespace {
 
 using namespace pipetune;
+
+// ---------------------------------------------------------------- signals
+// One flag + one server pointer, both async-signal-safe to touch. `serve`
+// points g_server at its live instance so SIGTERM/SIGINT start a fast drain
+// (running jobs finish and journal; queued jobs stay journal-pending for
+// `pipetune resume`). `tune` has no server: its observer sees the flag and
+// throws ft::SimulatedCrash, unwinding the run WITHOUT a terminal journal
+// record — the same resumable shape a --crash-after run leaves behind.
+std::atomic<int> g_signal{0};
+std::atomic<net::TuningServer*> g_server{nullptr};
+
+extern "C" void pipetune_handle_signal(int sig) {
+    g_signal.store(sig, std::memory_order_relaxed);
+    net::TuningServer* server = g_server.load(std::memory_order_relaxed);
+    if (server != nullptr) server->request_stop(net::DrainMode::kFast);
+}
+
+void install_signal_handlers() {
+    std::signal(SIGINT, pipetune_handle_signal);
+    std::signal(SIGTERM, pipetune_handle_signal);
+}
+
+/// EpochObserver that aborts the run (ft::SimulatedCrash) once a signal has
+/// arrived, checking before each epoch so the journal stays consistent; any
+/// inner observer (the fault injector) is consulted after the signal check.
+class SignalAbortObserver final : public workload::EpochObserver {
+public:
+    explicit SignalAbortObserver(workload::EpochObserver* inner) : inner_(inner) {}
+
+    void before_epoch(const workload::Workload& workload, const workload::HyperParams& hyper,
+                      std::size_t epoch, const workload::SystemParams& system) override {
+        int sig = g_signal.load(std::memory_order_relaxed);
+        if (sig != 0)
+            throw ft::SimulatedCrash("interrupted by signal " + std::to_string(sig));
+        if (inner_ != nullptr) inner_->before_epoch(workload, hyper, epoch, system);
+    }
+
+    void after_epoch(const workload::Workload& workload, std::size_t epoch,
+                     workload::EpochResult& result) override {
+        if (inner_ != nullptr) inner_->after_epoch(workload, epoch, result);
+    }
+
+private:
+    workload::EpochObserver* inner_;
+};
+
+std::vector<std::string> split_csv(const std::string& text) {
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
 
 int usage() {
     std::cout <<
@@ -69,6 +134,16 @@ usage:
                   [--journal FILE] [--inject-faults RATE] [--crash-after N]
   pipetune resume <journal> [--state-dir DIR] [--backend sim|real]
                   [--metrics-out FILE] [--trace-out FILE]
+  pipetune serve [--port N] [--bind ADDR] [--workers N] [--queue-capacity N]
+                 [--tenants name=token[:quota],...] [--anonymous-quota N]
+                 [--max-connections N] [--state-dir DIR] [--journal FILE]
+                 [--seed N] [--backend sim|real] [--slots N] [--resource R]
+                 [--port-file FILE] [--metrics-out FILE] [--trace-out FILE]
+  pipetune loadgen --port N [--host ADDR] [--rate R | --sweep R1,R2,...]
+                   [--requests N] [--tokens T1,T2,...] [--workloads W1,W2,...]
+                   [--resource R] [--slots N] [--seed N] [--timeout S]
+                   [--out FILE]
+  pipetune --version
 
 replay generates a §7.4 arrival trace and runs it through the tuning service
 (concurrent scheduler when --workers > 1) on real worker threads; arrival
@@ -78,6 +153,15 @@ gaps are multiplied by --compress (default 2e-5) before sleeping.
 histogram the run touched; --trace-out dumps the hierarchical span tree
 (job -> trial -> epoch -> probe) as Chrome trace-event JSON (load in
 chrome://tracing or Perfetto).
+
+serve turns the tuning service into a network daemon speaking the
+newline-delimited JSON protocol of DESIGN.md §11 (submit/status/cancel/
+stats/metrics/drain) with per-tenant bearer-token auth and quotas; the same
+port answers HTTP `GET /metrics` with the Prometheus export. SIGINT/SIGTERM
+drain gracefully: running jobs finish and journal, queued jobs stay
+journal-pending so `pipetune resume` completes them. loadgen drives a
+running server open-loop (Poisson arrivals at --rate, or one point per
+--sweep rate) and reports p50/p99/p999 latency, goodput and reject rate.
 
 resume replays the journal of a crashed run: jobs with a completed record
 contribute their ground truth, jobs without one re-run deterministically
@@ -251,6 +335,11 @@ int cmd_tune(const util::Args& args) {
     const auto obs_outputs = ObsOutputs::from_args(args);
     auto ft_setup = FtSetup::from_args(args, seed, obs_outputs.get());
 
+    // SIGINT/SIGTERM abort the run between epochs as a simulated crash: no
+    // terminal journal record is written, so the journal stays resumable.
+    install_signal_handlers();
+    SignalAbortObserver signal_observer(ft_setup.injector.get());
+
     // With a journal the backend is rebuilt per job from an id-derived seed
     // (ReseedingBackend), so `pipetune resume` can re-run the job bit-equal
     // to this attempt; without one a plain backend suffices.
@@ -260,7 +349,7 @@ int cmd_tune(const util::Args& args) {
     std::uint64_t derived_seed = 0;
     if (ft_setup.journal) {
         reseeding = std::make_unique<ft::ReseedingBackend>(
-            [&args, observer = ft_setup.injector.get()](std::uint64_t job_seed) {
+            [&args, observer = &signal_observer](std::uint64_t job_seed) {
                 return make_backend(args, job_seed, observer);
             },
             seed);
@@ -269,7 +358,7 @@ int cmd_tune(const util::Args& args) {
         reseeding->begin_job(derived_seed);
         base = reseeding.get();
     } else {
-        plain = make_backend(args, seed, ft_setup.injector.get());
+        plain = make_backend(args, seed, &signal_observer);
         base = plain.get();
     }
     workload::Backend& active = ft_setup.wrap(*base, seed, obs_outputs.get());
@@ -284,7 +373,19 @@ int cmd_tune(const util::Args& args) {
     const auto service = sched::make_tuning_service(active, service_options);
     core::SubmitOptions submit_options;
     submit_options.backend_seed = derived_seed;
-    const auto result = service->run(workload, job, submit_options);
+    core::PipeTuneJobResult result;
+    try {
+        result = service->run(workload, job, submit_options);
+    } catch (const ft::SimulatedCrash& crash) {
+        if (g_signal.load(std::memory_order_relaxed) == 0) throw;  // --crash-after path
+        std::cout << "interrupted (" << crash.what() << ")\n";
+        if (ft_setup.journal)
+            std::cout << "journal " << ft_setup.journal->path()
+                      << " left resumable; run `pipetune resume " << ft_setup.journal->path()
+                      << "` to finish\n";
+        obs_outputs.write();
+        return 130;
+    }
     print_result("PipeTune", result.baseline);
     if (args.get_flag("verbose")) {
         util::Table decisions({"trial", "similarity", "decision", "applied config"});
@@ -567,11 +668,167 @@ int cmd_resume(const util::Args& args) {
     return 0;
 }
 
+int cmd_serve(const util::Args& args) {
+    const auto seed = args.get_uint_or("seed", 1);
+
+    // /metrics is part of the served surface, so serve always runs with a
+    // live ObsContext (unlike the batch commands, which only build one when
+    // an output flag asks for it).
+    auto obs_outputs = ObsOutputs::from_args(args);
+    if (!obs_outputs.context) {
+        obs_outputs.context = std::make_unique<obs::ObsContext>();
+        obs_outputs.context->mirror_logs();
+    }
+    obs::register_build_info(obs_outputs.context->metrics());
+
+    auto ft_setup = FtSetup::from_args(args, seed, obs_outputs.get());
+    auto backend = make_backend(args, seed, ft_setup.injector.get());
+    workload::Backend& active = ft_setup.wrap(*backend, seed, obs_outputs.get());
+
+    core::ServiceOptions service_options;
+    service_options.state_dir = args.get_or("state-dir", "");
+    service_options.concurrency = std::max<std::size_t>(1, args.get_uint_or("workers", 2));
+    service_options.queue_capacity =
+        static_cast<std::size_t>(args.get_uint_or("queue-capacity", 16));
+    // Overload must surface as a 429 on the wire, not as a parked dispatch
+    // thread: the server's bounded-queueing contract.
+    service_options.reject_when_full = true;
+    service_options.obs = obs_outputs.get();
+    service_options.journal = ft_setup.journal.get();
+    const auto service = sched::make_tuning_service(active, service_options);
+
+    auto tenants = net::TenantRegistry::from_spec(
+        args.get_or("tenants", ""),
+        static_cast<std::size_t>(args.get_uint_or("anonymous-quota", 0)));
+    if (!tenants) {
+        std::cerr << "error: --tenants: " << tenants.error() << "\n";
+        return 2;
+    }
+
+    net::ServerConfig server_config;
+    server_config.bind_address = args.get_or("bind", "127.0.0.1");
+    server_config.port = static_cast<std::uint16_t>(args.get_uint_or("port", 0));
+    server_config.max_connections =
+        static_cast<std::size_t>(args.get_uint_or("max-connections", 256));
+    server_config.service = service.get();
+    server_config.tenants = &tenants.value();
+    server_config.obs = obs_outputs.get();
+    server_config.default_job = job_config(args, seed);
+    // Keep default served jobs small unless the operator says otherwise:
+    // a daemon's default should answer in seconds, not minutes.
+    if (!args.has("resource")) {
+        server_config.default_job.hyperband_resource = 9;
+        server_config.default_job.final_epochs = 9;
+    }
+
+    net::TuningServer server(server_config);
+    auto started = server.start();
+    if (!started) {
+        std::cerr << "error: " << started.error() << "\n";
+        return 1;
+    }
+    std::cout << "pipetune serve: listening on " << server_config.bind_address << ":"
+              << server.port() << " (" << service_options.concurrency << " worker(s), queue "
+              << service_options.queue_capacity << ", "
+              << (tenants.value().open_mode()
+                      ? "open mode"
+                      : std::to_string(tenants.value().tenant_count()) + " tenant(s)")
+              << ")\n"
+              << "GET /metrics on the same port; SIGTERM drains gracefully\n";
+    const std::string port_file = args.get_or("port-file", "");
+    if (!port_file.empty())
+        util::write_file_atomic(port_file, std::to_string(server.port()) + "\n");
+
+    g_server.store(&server, std::memory_order_relaxed);
+    install_signal_handlers();
+    server.wait();
+    g_server.store(nullptr, std::memory_order_relaxed);
+
+    service->drain();
+    const auto counters = server.counters();
+    util::Table summary({"metric", "value"});
+    summary.add_row({"connections", std::to_string(counters.connections)});
+    summary.add_row({"requests", std::to_string(counters.requests)});
+    summary.add_row({"jobs submitted", std::to_string(counters.jobs_submitted)});
+    summary.add_row({"jobs completed", std::to_string(counters.jobs_completed)});
+    summary.add_row({"rejects", std::to_string(counters.rejects)});
+    summary.add_row({"bad frames", std::to_string(counters.bad_frames)});
+    summary.add_row({"auth failures", std::to_string(counters.auth_failures)});
+    std::cout << "server stopped\n" << summary.render();
+    ft_setup.report();
+    obs_outputs.write();
+    return 0;
+}
+
+int cmd_loadgen(const util::Args& args) {
+    net::LoadGenConfig config;
+    config.host = args.get_or("host", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(args.get_uint_or("port", 0));
+    if (config.port == 0) {
+        std::cerr << "loadgen requires --port\n";
+        return usage();
+    }
+    config.tokens = split_csv(args.get_or("tokens", ""));
+    const auto workloads = split_csv(args.get_or("workloads", ""));
+    if (!workloads.empty()) config.workloads = workloads;
+    config.total_requests = static_cast<std::size_t>(args.get_uint_or("requests", 32));
+    config.seed = args.get_uint_or("seed", 1);
+    config.request_timeout_s = args.get_number_or("timeout", 120.0);
+    if (args.has("resource")) {
+        config.submit_params["hyperband_resource"] = args.get_number_or("resource", 9);
+        config.submit_params["final_epochs"] = args.get_number_or("resource", 9);
+    }
+    if (args.has("slots"))
+        config.submit_params["parallel_slots"] = args.get_number_or("slots", 4);
+
+    std::vector<double> rates;
+    for (const auto& token : split_csv(args.get_or("sweep", "")))
+        rates.push_back(std::stod(token));
+    if (rates.empty()) rates.push_back(args.get_number_or("rate", 4.0));
+
+    util::Table table({"offered [req/s]", "completed", "rejected", "errors", "goodput [/s]",
+                       "p50 [s]", "p99 [s]", "p999 [s]"});
+    util::Json points = util::Json::array();
+    for (double rate : rates) {
+        config.rate_per_s = rate;
+        auto run = net::run_loadgen(config);
+        if (!run) {
+            std::cerr << "error: " << run.error() << "\n";
+            return 1;
+        }
+        const net::LoadGenReport& report = run.value();
+        table.add_row({util::Table::num(report.offered_rate_per_s, 2),
+                       std::to_string(report.completed), std::to_string(report.rejected),
+                       std::to_string(report.errors), util::Table::num(report.goodput_per_s, 2),
+                       util::Table::num(report.latency_p50_s, 3),
+                       util::Table::num(report.latency_p99_s, 3),
+                       util::Table::num(report.latency_p999_s, 3)});
+        points.push_back(report.to_json());
+    }
+    std::cout << table.render();
+
+    const std::string out = args.get_or("out", "");
+    if (!out.empty()) {
+        util::Json doc = util::Json::object();
+        doc["bench"] = "serve";
+        doc["requests_per_point"] = config.total_requests;
+        doc["seed"] = config.seed;
+        doc["points"] = std::move(points);
+        util::write_file_atomic(out, doc.dump(2) + "\n");
+        std::cout << "report written to " << out << "\n";
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     try {
         const auto args = util::Args::parse(argc, argv);
+        if (args.get_flag("version") || args.command() == "version") {
+            std::cout << util::build_banner() << "\n";
+            return 0;
+        }
         int status;
         if (args.command() == "list-workloads") status = cmd_list_workloads();
         else if (args.command() == "tune") status = cmd_tune(args);
@@ -579,6 +836,8 @@ int main(int argc, char** argv) {
         else if (args.command() == "warm-start") status = cmd_warm_start(args);
         else if (args.command() == "replay") status = cmd_replay(args);
         else if (args.command() == "resume") status = cmd_resume(args);
+        else if (args.command() == "serve") status = cmd_serve(args);
+        else if (args.command() == "loadgen") status = cmd_loadgen(args);
         else return usage();
 
         for (const auto& key : args.unused_keys())
