@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_timing.hpp"
 #include "pipetune/net/loadgen.hpp"
 #include "pipetune/net/server.hpp"
 #include "pipetune/sched/concurrent_service.hpp"
@@ -29,7 +30,7 @@
 namespace {
 
 using namespace pipetune;
-using Clock = std::chrono::steady_clock;
+using bench::Clock;
 
 constexpr std::size_t kWorkers = 2;
 constexpr std::size_t kQueueCapacity = 8;
@@ -86,7 +87,7 @@ double calibrate_capacity_per_s() {
         auto report = net::run_loadgen(config);
         if (!report.ok()) throw std::runtime_error(report.error());
     }
-    const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    const double elapsed = bench::seconds_since(start);
     const double mean_service_s = elapsed / kCalibrationJobs;
     return static_cast<double>(kWorkers) / mean_service_s;
 }

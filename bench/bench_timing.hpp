@@ -1,0 +1,165 @@
+#pragma once
+// Unified wall-clock measurement for the bench harness (DESIGN.md §12,
+// "Perf methodology"). Every BENCH_* artifact times through this header so
+// calibration, repetition counts and p50/p99 summaries mean the same thing
+// in every file: previously bench_serve.cpp, bench_sched.hpp and the figure
+// benches each carried their own steady_clock arithmetic.
+//
+// Protocol (the one DESIGN.md §12 documents):
+//   1. CALIBRATE — grow the inner iteration count geometrically until one
+//      repetition runs for at least `min_rep_s`, so a repetition is long
+//      enough that clock granularity and scheduling jitter stay in the
+//      noise floor.
+//   2. WARM UP — run (and discard) `warmup` repetitions: first-touch page
+//      faults, cold caches and lazy initialisation are not the steady state
+//      being claimed.
+//   3. REPEAT — time `repetitions` independent repetitions and summarise
+//      the per-iteration seconds as p50 (the reported central value — robust
+//      to a noisy neighbour in a way the mean is not) and p99 (the tail).
+// Percentiles come from util::percentile (linear interpolation), the same
+// estimator the serving bench and the cluster simulator report.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/stats.hpp"
+
+namespace pipetune::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Seconds elapsed since `start` on the monotonic bench clock.
+inline double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Wall-clock seconds of one invocation of `fn`.
+template <typename Fn>
+double time_once(Fn&& fn) {
+    const auto start = Clock::now();
+    fn();
+    return seconds_since(start);
+}
+
+/// Result of one measure() run. All latencies are seconds PER ITERATION
+/// (repetition time / inner_iterations); throughput helpers invert p50.
+struct TimingSummary {
+    std::size_t repetitions = 0;
+    std::size_t inner_iterations = 1;  ///< fn calls per timed repetition
+    double total_s = 0.0;              ///< wall clock across all repetitions
+    double mean_s = 0.0;
+    double p50_s = 0.0;
+    double p99_s = 0.0;
+    double min_s = 0.0;
+
+    /// Iterations per second at the median repetition.
+    double ops_per_s() const { return p50_s > 0.0 ? 1.0 / p50_s : 0.0; }
+
+    util::Json to_json() const {
+        util::Json doc = util::Json::object();
+        doc["repetitions"] = repetitions;
+        doc["inner_iterations"] = inner_iterations;
+        doc["mean_s"] = mean_s;
+        doc["p50_s"] = p50_s;
+        doc["p99_s"] = p99_s;
+        doc["min_s"] = min_s;
+        doc["ops_per_s"] = ops_per_s();
+        return doc;
+    }
+};
+
+/// Step 1 of the protocol: smallest iteration count whose repetition runs
+/// for at least `min_rep_s` (grown geometrically, capped at 2^20).
+template <typename Fn>
+std::size_t calibrate_iterations(Fn&& fn, double min_rep_s = 0.01) {
+    std::size_t iterations = 1;
+    for (;;) {
+        const auto start = Clock::now();
+        for (std::size_t i = 0; i < iterations; ++i) fn();
+        const double elapsed = seconds_since(start);
+        if (elapsed >= min_rep_s || iterations >= (std::size_t{1} << 20)) return iterations;
+        // Overshoot the projection slightly so calibration converges in a
+        // couple of rounds instead of creeping up on the threshold.
+        const double projected =
+            elapsed > 0.0 ? static_cast<double>(iterations) * (min_rep_s / elapsed) * 1.4
+                          : static_cast<double>(iterations) * 2.0;
+        iterations = std::max(iterations + 1, static_cast<std::size_t>(projected));
+    }
+}
+
+/// Summarise per-iteration timings (seconds per fn call) into the reported
+/// statistics; `total_s` is the sum of timed repetition wall clock.
+inline TimingSummary summarize(const std::vector<double>& per_iteration_s,
+                               std::size_t inner_iterations) {
+    TimingSummary summary;
+    summary.repetitions = per_iteration_s.size();
+    summary.inner_iterations = inner_iterations;
+    for (double s : per_iteration_s) summary.total_s += s * static_cast<double>(inner_iterations);
+    summary.mean_s = util::mean(per_iteration_s);
+    summary.p50_s = util::percentile(per_iteration_s, 50.0);
+    summary.p99_s = util::percentile(per_iteration_s, 99.0);
+    summary.min_s = util::min_of(per_iteration_s);
+    return summary;
+}
+
+/// Steps 2–3: discard `warmup` repetitions, then time `repetitions`
+/// repetitions of `inner_iterations` calls each and summarise.
+template <typename Fn>
+TimingSummary measure(Fn&& fn, std::size_t repetitions, std::size_t inner_iterations,
+                      std::size_t warmup = 1) {
+    for (std::size_t r = 0; r < warmup; ++r)
+        for (std::size_t i = 0; i < inner_iterations; ++i) fn();
+    std::vector<double> per_iteration_s;
+    per_iteration_s.reserve(repetitions);
+    for (std::size_t r = 0; r < repetitions; ++r) {
+        const auto rep_start = Clock::now();
+        for (std::size_t i = 0; i < inner_iterations; ++i) fn();
+        per_iteration_s.push_back(seconds_since(rep_start) /
+                                  static_cast<double>(inner_iterations));
+    }
+    return summarize(per_iteration_s, inner_iterations);
+}
+
+/// Paired before/after variant of measure(): repetitions of the two sides
+/// are interleaved (A, B, A, B, ...) so an ambient noise episode — another
+/// tenant, a frequency excursion, the VM hypervisor — lands on both sides
+/// instead of biasing whichever side it happened to coincide with. Every
+/// before/after speedup in BENCH_micro.json is a ratio of the two min_s
+/// values from one paired run: on a shared host interference only ever adds
+/// time, so min-of-reps is the least biased estimate of intrinsic cost.
+template <typename FnA, typename FnB>
+std::pair<TimingSummary, TimingSummary> measure_paired(FnA&& before_fn, FnB&& after_fn,
+                                                       std::size_t repetitions,
+                                                       std::size_t inner_iterations,
+                                                       std::size_t warmup = 1) {
+    for (std::size_t r = 0; r < warmup; ++r) {
+        for (std::size_t i = 0; i < inner_iterations; ++i) before_fn();
+        for (std::size_t i = 0; i < inner_iterations; ++i) after_fn();
+    }
+    std::vector<double> before_s, after_s;
+    before_s.reserve(repetitions);
+    after_s.reserve(repetitions);
+    for (std::size_t r = 0; r < repetitions; ++r) {
+        auto rep_start = Clock::now();
+        for (std::size_t i = 0; i < inner_iterations; ++i) before_fn();
+        before_s.push_back(seconds_since(rep_start) / static_cast<double>(inner_iterations));
+        rep_start = Clock::now();
+        for (std::size_t i = 0; i < inner_iterations; ++i) after_fn();
+        after_s.push_back(seconds_since(rep_start) / static_cast<double>(inner_iterations));
+    }
+    return {summarize(before_s, inner_iterations), summarize(after_s, inner_iterations)};
+}
+
+/// The full protocol in one call: calibrate, warm up, repeat, summarise.
+template <typename Fn>
+TimingSummary measure_calibrated(Fn&& fn, std::size_t repetitions = 11,
+                                 double min_rep_s = 0.01, std::size_t warmup = 1) {
+    const std::size_t inner = calibrate_iterations(fn, min_rep_s);
+    return measure(fn, repetitions, inner, warmup);
+}
+
+}  // namespace pipetune::bench

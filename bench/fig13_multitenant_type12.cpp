@@ -7,11 +7,11 @@
 // Tune V1 and Tune V2; its ground truth persists across jobs, so later
 // similar jobs skip probing entirely.
 
-#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "bench_sched.hpp"
+#include "bench_timing.hpp"
 #include "pipetune/cluster/cluster_sim.hpp"
 #include "pipetune/core/experiment.hpp"
 #include "pipetune/core/service.hpp"
@@ -156,10 +156,7 @@ int main() {
         hpt::HptJobConfig config;
         config.seed = seed;
         config.parallel_slots = 1;  // keep pool scheduling out of the clock
-        const auto start = std::chrono::steady_clock::now();
-        service.run(w, config);
-        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+        return bench::time_once([&] { service.run(w, config); });
     };
     for (const auto& job : replay_jobs) {  // warm-up: code + allocator, untimed
         run_one(service_off, job.workload, ++off_seed);

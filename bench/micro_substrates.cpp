@@ -1,50 +1,113 @@
-// google-benchmark microbenchmarks of the substrates: tensor GEMM and conv,
-// one data-parallel training epoch, k-means fit, PMU measurement and the
-// analytic cost model. These quantify the constant factors behind the
-// simulation's instant turnaround and the real engine's epoch times.
+// micro_substrates — the before/after gate for the hot-path work (DESIGN.md
+// §12): every optimisation in this repo that claims a speedup is measured
+// here against the implementation it replaced, on the same binary, in the
+// same run. Two substrates carry the claims:
+//
+//   KERNELS    scalar vs AVX2 through tensor::simd::force_isa — blocked GEMM,
+//              im2col conv2d forward, and one full LeNet data-parallel
+//              training epoch. The two ISA paths are bit-identical (the
+//              parity suite asserts exact equality), so this measures pure
+//              throughput, not an accuracy trade.
+//   SCHEDULER  two rows. (a) The dispatch substrate: the legacy mutex+CV
+//              JobQueue vs the MPMC ring under 16 threads (8 submitters, 8
+//              drainers) — the structure swap SchedulerConfig::lock_light
+//              performs, measured where it differs. (b) End-to-end:
+//              ClusterScheduler in coarse vs lock-light mode running trivial
+//              jobs at 16 worker slots — on a single-core host this path is
+//              dominated by per-job costs identical in both modes (job
+//              records, telemetry spans), so the claim there is
+//              no-regression, not speedup.
+//
+// Timing follows the calibrate → warm up → repeat → p50/p99 protocol from
+// bench_timing.hpp. Results land in BENCH_micro.json next to the binary;
+// the gate claims ≥2× epoch throughput and ≥2× scheduler jobs/s.
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "bench_timing.hpp"
 #include "pipetune/data/synthetic.hpp"
-#include "pipetune/mlcore/kmeans.hpp"
 #include "pipetune/nn/models.hpp"
 #include "pipetune/nn/trainer.hpp"
-#include "pipetune/perf/counter_model.hpp"
-#include "pipetune/sim/cost_model.hpp"
+#include "pipetune/obs/obs_context.hpp"
+#include "pipetune/sched/job_queue.hpp"
+#include "pipetune/sched/mpmc_ring.hpp"
+#include "pipetune/sched/scheduler.hpp"
 #include "pipetune/tensor/ops.hpp"
+#include "pipetune/tensor/simd.hpp"
+#include "pipetune/util/fs.hpp"
+#include "pipetune/util/json.hpp"
+#include "pipetune/util/rng.hpp"
+#include "pipetune/util/table.hpp"
 
 namespace {
 
 using namespace pipetune;
 
-void BM_TensorMatmul(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    util::Rng rng(1);
-    const tensor::Tensor a = tensor::Tensor::uniform({n, n}, rng);
-    const tensor::Tensor b = tensor::Tensor::uniform({n, n}, rng);
-    for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(2 * n * n * n));
-}
-BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+constexpr std::size_t kGemmDim = 192;
+constexpr std::size_t kSchedulerSlots = 16;
+constexpr std::size_t kSchedulerJobsPerRep = 2000;
+constexpr std::size_t kSchedulerReps = 9;
+constexpr std::size_t kDispatchPairs = 8;  // 8 submitters + 8 drainers = 16 threads
+constexpr std::size_t kDispatchItemsPerProducer = 20000;
+constexpr std::size_t kDispatchCapacity = 256;
+constexpr std::size_t kDispatchReps = 5;
 
-void BM_Conv2dForward(benchmark::State& state) {
-    util::Rng rng(2);
-    const tensor::Tensor input = tensor::Tensor::uniform({8, 1, 28, 28}, rng);
-    const tensor::Tensor kernel = tensor::Tensor::uniform({6, 1, 5, 5}, rng);
-    const tensor::Tensor bias({6});
-    for (auto _ : state) benchmark::DoNotOptimize(tensor::conv2d(input, kernel, bias));
-}
-BENCHMARK(BM_Conv2dForward);
+/// One before/after pair plus its ratio, as it lands in the JSON artifact.
+struct Comparison {
+    std::string name;
+    bench::TimingSummary before;  ///< scalar kernels / coarse scheduler
+    bench::TimingSummary after;   ///< AVX2 kernels / lock-light scheduler
+    // Ratio of per-side minimum repetitions. On a shared (or single-core)
+    // host, interference only ever adds time, so min-of-reps is the least
+    // biased estimate of intrinsic cost; p50/p99 are still reported so the
+    // spread is visible (DESIGN.md §12).
+    double speedup = 0.0;
 
-void BM_LeNetEpoch(benchmark::State& state) {
-    const auto workers = static_cast<std::size_t>(state.range(0));
-    data::ImageDatasetConfig data_config;
-    data_config.classes = 4;
-    data_config.samples = 64;
-    data_config.image_size = 20;
-    data_config.seed = 3;
-    auto split = data::make_image_split(data_config, "bench", 16);
+    util::Json to_json(const char* before_key, const char* after_key) const {
+        util::Json doc = util::Json::object();
+        doc[before_key] = before.to_json();
+        doc[after_key] = after.to_json();
+        doc["speedup"] = speedup;
+        return doc;
+    }
+};
+
+/// Run `fn` under both ISAs (dispatch restored afterwards). The per-call
+/// work must be identical across ISAs — force_isa only swaps the kernel
+/// table. Calibration happens once, on the slower scalar side, so both ISAs
+/// are measured over the same inner count; repetitions interleave the two
+/// ISAs (bench::measure_paired) so ambient noise cannot bias one side.
+template <typename Fn>
+Comparison compare_isa(std::string name, Fn&& fn, std::size_t repetitions = 11,
+                       double min_rep_s = 0.02) {
+    Comparison result;
+    result.name = std::move(name);
+    tensor::simd::force_isa(tensor::simd::Isa::kScalar);
+    const std::size_t inner = bench::calibrate_iterations(fn, min_rep_s);
+    auto [before, after] = bench::measure_paired(
+        [&] {
+            tensor::simd::force_isa(tensor::simd::Isa::kScalar);
+            fn();
+        },
+        [&] {
+            tensor::simd::force_isa(tensor::simd::Isa::kAvx2);
+            fn();
+        },
+        repetitions, inner);
+    tensor::simd::reset_isa();
+    result.before = before;
+    result.after = after;
+    result.speedup = result.after.min_s > 0.0 ? result.before.min_s / result.after.min_s : 0.0;
+    return result;
+}
+
+nn::Trainer make_trainer(const data::TrainTestPair& split) {
     nn::ImageModelConfig model_config;
     model_config.image_size = 20;
     model_config.classes = 4;
@@ -52,51 +115,225 @@ void BM_LeNetEpoch(benchmark::State& state) {
     nn::TrainerConfig trainer_config;
     trainer_config.batch_size = 16;
     trainer_config.sgd.learning_rate = 0.05;
-    nn::Trainer trainer(nn::build_lenet5(model_config), *split.train, *split.test,
-                        trainer_config);
-    for (auto _ : state) benchmark::DoNotOptimize(trainer.run_epoch(workers));
+    return nn::Trainer(nn::build_lenet5(model_config), *split.train, *split.test,
+                       trainer_config);
 }
-BENCHMARK(BM_LeNetEpoch)->Arg(1)->Arg(2);
 
-void BM_KMeansFit(benchmark::State& state) {
-    util::Rng rng(4);
-    std::vector<std::vector<double>> rows;
-    for (int i = 0; i < 200; ++i) {
-        std::vector<double> row(58);
-        for (auto& v : row) v = rng.normal(i % 2 ? 5.0 : 0.0, 1.0);
-        rows.push_back(std::move(row));
-    }
-    for (auto _ : state) {
-        mlcore::KMeans kmeans({.k = 2, .max_iterations = 50, .tolerance = 1e-6, .seed = 1});
-        benchmark::DoNotOptimize(kmeans.fit(rows));
-    }
+/// One dispatch-substrate run: kDispatchPairs producer threads race the same
+/// number of consumer threads over one bounded queue until every item has
+/// crossed it. Thread spawn/join is inside the clock but is microseconds
+/// against a run of kDispatchPairs * kDispatchItemsPerProducer crossings.
+template <typename PushFn, typename PopFn>
+void dispatch_run(PushFn push, PopFn pop) {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(2 * kDispatchPairs);
+    for (std::size_t t = 0; t < kDispatchPairs; ++t)
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+            for (std::size_t i = 0; i < kDispatchItemsPerProducer; ++i) push();
+        });
+    for (std::size_t t = 0; t < kDispatchPairs; ++t)
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+            for (std::size_t i = 0; i < kDispatchItemsPerProducer; ++i) pop();
+        });
+    go.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
 }
-BENCHMARK(BM_KMeansFit);
 
-void BM_PmuMeasureEpoch(benchmark::State& state) {
-    perf::PmuSimulator pmu;
-    util::Rng rng(5);
-    const auto rates = perf::true_event_rates({.model_family = "lenet",
-                                               .dataset_family = "mnist",
-                                               .compute_scale = 1.0,
-                                               .memory_scale = 1.0,
-                                               .batch_size = 64,
-                                               .cores = 8});
-    for (auto _ : state) benchmark::DoNotOptimize(pmu.measure_epoch(rates, 60.0, rng));
+Comparison measure_dispatch() {
+    Comparison result;
+    result.name = "dispatch_16_threads";
+    auto [before, after] = bench::measure_paired(
+        [] {
+            sched::JobQueue<int> queue(kDispatchCapacity, sched::OverflowPolicy::kBlock);
+            dispatch_run([&] { (void)queue.push(1); },
+                         [&] {
+                             std::uint64_t id;
+                             int item;
+                             (void)queue.pop(&id, &item);
+                         });
+        },
+        [] {
+            sched::MpmcRing<int> ring(kDispatchCapacity);
+            dispatch_run(
+                [&] {
+                    while (!ring.try_push(1)) std::this_thread::yield();
+                },
+                [&] {
+                    int item;
+                    while (!ring.try_pop(&item)) std::this_thread::yield();
+                });
+        },
+        kDispatchReps, 1);
+    result.before = before;
+    result.after = after;
+    result.speedup = result.before.min_s / result.after.min_s;
+    return result;
 }
-BENCHMARK(BM_PmuMeasureEpoch);
 
-void BM_CostModelEpoch(benchmark::State& state) {
-    sim::CostModel cost;
-    const auto& workload = workload::find_workload("lenet-mnist");
-    workload::HyperParams hyper;
-    hyper.batch_size = 128;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            cost.epoch_seconds(workload, hyper, {.cores = 8, .memory_gb = 16}));
+/// Jobs/s through a ClusterScheduler at kSchedulerSlots slots: one batch of
+/// trivial jobs submitted and drained per repetition, workers reused across
+/// repetitions so thread spawn stays out of the clock.
+bench::TimingSummary measure_scheduler(bool lock_light) {
+    obs::ObsContext obs;  // telemetry attached on BOTH sides — gauge-flush
+                          // batching is part of what the gate measures
+    sched::SchedulerConfig config;
+    config.worker_slots = kSchedulerSlots;
+    config.queue_capacity = 2 * kSchedulerJobsPerRep;  // pushes never block
+    config.lock_light = lock_light;
+    config.obs = &obs;
+    sched::ClusterScheduler scheduler(config);
+    std::atomic<std::size_t> executed{0};
+    const auto one_batch = [&] {
+        for (std::size_t i = 0; i < kSchedulerJobsPerRep; ++i)
+            (void)scheduler.submit(
+                [&](sched::JobContext&) { executed.fetch_add(1, std::memory_order_relaxed); });
+        scheduler.drain();
+    };
+    auto summary = bench::measure(one_batch, kSchedulerReps, 1);
+    scheduler.shutdown(true);
+    if (executed.load() != (kSchedulerReps + 1) * kSchedulerJobsPerRep)
+        throw std::runtime_error("scheduler bench lost jobs");
+    return summary;
 }
-BENCHMARK(BM_CostModelEpoch);
+
+/// The end-to-end rows cannot be noise-paired the way the kernel and
+/// dispatch rows are: two live 16-worker pools on a small host perturb each
+/// other (the idle pool's wakeups steal cycles from the measured one). So
+/// the two modes run sequentially, each pool torn down before the next
+/// starts, and the ratio is taken at p50 — for a blocking-heavy workload
+/// the median is the stable statistic, min is a lottery over futex timing.
+Comparison measure_scheduler_pair() {
+    Comparison result;
+    result.name = "scheduler_e2e_16_slots";
+    result.before = measure_scheduler(/*lock_light=*/false);
+    result.after = measure_scheduler(/*lock_light=*/true);
+    result.speedup = result.before.p50_s / result.after.p50_s;
+    return result;
+}
+
+std::string ms(double seconds) { return util::Table::num(1e3 * seconds, 3); }
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+    bench::print_header("BENCH micro",
+                        "hot-path before/after gate: scalar vs AVX2 kernels, coarse vs "
+                        "lock-light scheduler");
+    const bool has_avx2 = tensor::simd::best_isa() == tensor::simd::Isa::kAvx2;
+    std::cout << "host ISA: best=" << tensor::simd::to_string(tensor::simd::best_isa())
+              << " active=" << tensor::simd::to_string(tensor::simd::active_isa()) << "\n\n";
+
+    util::Json doc = util::Json::object();
+    doc["bench"] = "micro";
+    doc["best_isa"] = tensor::simd::to_string(tensor::simd::best_isa());
+    std::vector<bench::Claim> claims;
+    util::Table table({"substrate", "before p50 ms", "after p50 ms", "after p99 ms", "speedup"});
+
+    // ---- Kernel substrate: scalar vs AVX2 -------------------------------
+    if (has_avx2) {
+        util::Rng rng(1);
+        const tensor::Tensor a = tensor::Tensor::uniform({kGemmDim, kGemmDim}, rng);
+        const tensor::Tensor b = tensor::Tensor::uniform({kGemmDim, kGemmDim}, rng);
+        auto gemm = compare_isa("gemm_" + std::to_string(kGemmDim),
+                                [&] { tensor::matmul(a, b); });
+
+        const tensor::Tensor input = tensor::Tensor::uniform({8, 1, 28, 28}, rng);
+        const tensor::Tensor kernel = tensor::Tensor::uniform({6, 1, 5, 5}, rng);
+        const tensor::Tensor bias({6});
+        auto conv = compare_isa("conv2d_8x1x28x28",
+                                [&] { tensor::conv2d(input, kernel, bias); });
+
+        data::ImageDatasetConfig data_config;
+        data_config.classes = 4;
+        data_config.samples = 64;
+        data_config.image_size = 20;
+        data_config.seed = 3;
+        auto split = data::make_image_split(data_config, "bench", 16);
+        auto trainer = make_trainer(split);
+        auto epoch = compare_isa("epoch_lenet", [&] { trainer.run_epoch(1); },
+                                 /*repetitions=*/7, /*min_rep_s=*/0.0);
+
+        for (const auto* c : {&gemm, &conv, &epoch})
+            table.add_row({c->name, ms(c->before.p50_s), ms(c->after.p50_s),
+                           ms(c->after.p99_s), util::Table::num(c->speedup, 2) + "x"});
+        util::Json kernels = util::Json::object();
+        for (const auto* c : {&gemm, &conv, &epoch})
+            kernels[c->name] = c->to_json("scalar", "avx2");
+        doc["kernels"] = std::move(kernels);
+
+        claims.push_back({"vectorised GEMM beats scalar", ">= 2x",
+                          util::Table::num(gemm.speedup, 2) + "x", gemm.speedup >= 2.0});
+        claims.push_back({"im2col conv rides the GEMM speedup", ">= 1.5x",
+                          util::Table::num(conv.speedup, 2) + "x", conv.speedup >= 1.5});
+        claims.push_back({"epoch throughput (the paper's trial clock)", ">= 2x",
+                          util::Table::num(epoch.speedup, 2) + "x", epoch.speedup >= 2.0});
+    } else {
+        // Scalar-only host: nothing to compare against — the gate is about
+        // the AVX2 build, so record the skip instead of a fake pass/fail.
+        doc["kernels"] = "skipped: host lacks AVX2";
+        std::cout << "kernel substrate skipped: host lacks AVX2\n";
+    }
+
+    // ---- Scheduler substrate: coarse vs lock-light ----------------------
+    Comparison dispatch = measure_dispatch();
+    const double dispatch_items =
+        static_cast<double>(kDispatchPairs * kDispatchItemsPerProducer);
+    Comparison sched_cmp = measure_scheduler_pair();
+    for (const auto* c : {&dispatch, &sched_cmp})
+        table.add_row({c->name, ms(c->before.p50_s), ms(c->after.p50_s), ms(c->after.p99_s),
+                       util::Table::num(c->speedup, 2) + "x"});
+    std::cout << table.render() << "\n";
+    std::cout << "dispatch substrate (" << 2 * kDispatchPairs << " threads, capacity "
+              << kDispatchCapacity << "): mutex queue "
+              << util::Table::num(dispatch_items / dispatch.before.p50_s, 0)
+              << " jobs/s, MPMC ring "
+              << util::Table::num(dispatch_items / dispatch.after.p50_s, 0) << " jobs/s\n";
+    std::cout << "end-to-end scheduler (" << kSchedulerJobsPerRep << "-job batches, "
+              << kSchedulerSlots << " slots): coarse "
+              << util::Table::num(kSchedulerJobsPerRep * sched_cmp.before.ops_per_s(), 0)
+              << " jobs/s, lock-light "
+              << util::Table::num(kSchedulerJobsPerRep * sched_cmp.after.ops_per_s(), 0)
+              << " jobs/s\n";
+
+    util::Json dispatch_json = dispatch.to_json("mutex_queue", "mpmc_ring");
+    dispatch_json["threads"] = 2 * kDispatchPairs;
+    dispatch_json["capacity"] = kDispatchCapacity;
+    dispatch_json["items_per_run"] = dispatch_items;
+    dispatch_json["mutex_queue_jobs_per_s"] = dispatch_items / dispatch.before.p50_s;
+    dispatch_json["mpmc_ring_jobs_per_s"] = dispatch_items / dispatch.after.p50_s;
+    util::Json sched_json = sched_cmp.to_json("coarse", "lock_light");
+    sched_json["worker_slots"] = kSchedulerSlots;
+    sched_json["jobs_per_batch"] = kSchedulerJobsPerRep;
+    sched_json["coarse_jobs_per_s"] = kSchedulerJobsPerRep * sched_cmp.before.ops_per_s();
+    sched_json["lock_light_jobs_per_s"] = kSchedulerJobsPerRep * sched_cmp.after.ops_per_s();
+    util::Json scheduler = util::Json::object();
+    scheduler["dispatch"] = std::move(dispatch_json);
+    scheduler["end_to_end"] = std::move(sched_json);
+    doc["scheduler"] = std::move(scheduler);
+
+    claims.push_back({"lock-light dispatch beats the mutex queue at 16 threads",
+                      ">= 2x jobs/s", util::Table::num(dispatch.speedup, 2) + "x",
+                      dispatch.speedup >= 2.0});
+    // End-to-end on a single-core host: per-job costs shared by both modes
+    // (job record allocation, telemetry span) dominate, and a mutex that is
+    // never held by a preempted thread is nearly free — so the honest
+    // end-to-end claim is "the lock-light path costs nothing", with the
+    // structural win isolated in the dispatch row above.
+    claims.push_back({"lock-light end-to-end does not regress at 16 slots",
+                      ">= 0.8x jobs/s", util::Table::num(sched_cmp.speedup, 2) + "x",
+                      sched_cmp.speedup >= 0.8});
+
+    bench::print_claims(claims);
+
+    const std::string out = "BENCH_micro.json";
+    auto written = util::try_write_file_atomic(out, doc.dump(2) + "\n");
+    if (!written.ok()) {
+        std::cerr << "failed to write " << out << ": " << written.error() << "\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << out << "\n";
+    return 0;
+}

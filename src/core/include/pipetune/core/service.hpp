@@ -78,6 +78,14 @@ private:
     std::uint64_t next_id_ = 0;
     std::vector<JobTiming> timings_;
     std::chrono::steady_clock::time_point epoch_;
+    // Instrument references cached at construction (the obs pattern,
+    // DESIGN.md §12): per-job/per-flush touches must not pay a registry
+    // lookup. Null when options_.obs is null.
+    obs::Counter* obs_flush_total_ = nullptr;
+    obs::Histogram* obs_flush_seconds_ = nullptr;
+    obs::Gauge* obs_points_ = nullptr;
+    obs::Counter* obs_jobs_served_ = nullptr;
+    obs::Counter* obs_job_retries_ = nullptr;
 };
 
 }  // namespace pipetune::core

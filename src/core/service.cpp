@@ -21,6 +21,22 @@ PipeTuneService::PipeTuneService(workload::Backend& backend, ServiceOptions opti
       ground_truth_(options_.pipetune.ground_truth),
       next_id_(options_.first_job_id),
       epoch_(std::chrono::steady_clock::now()) {
+    if (options_.obs != nullptr) {
+        auto& registry = options_.obs->metrics();
+        obs_flush_total_ = &registry.counter("pipetune_metricsdb_flush_total", {},
+                                             "State flushes (ground truth + metrics db)");
+        obs_flush_seconds_ =
+            &registry.histogram("pipetune_metricsdb_flush_seconds",
+                                {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
+                                "Wall-clock latency of one state flush");
+        obs_points_ =
+            &registry.gauge("pipetune_metricsdb_points", {}, "Points in the metrics database");
+        obs_jobs_served_ =
+            &registry.counter("pipetune_service_jobs_served_total", {},
+                              "HPT jobs run to completion by a tuning service");
+        obs_job_retries_ = &registry.counter("pipetune_ft_job_retries_total", {},
+                                             "Jobs re-run after a transient failure");
+    }
     if (!options_.state_dir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(options_.state_dir, ec);
@@ -63,19 +79,9 @@ void PipeTuneService::persist() const {
     ground_truth_.save(ground_truth_path());
     metrics_.save(metrics_path());
     if (options_.obs) {
-        auto& registry = options_.obs->metrics();
-        registry
-            .counter("pipetune_metricsdb_flush_total", {},
-                     "State flushes (ground truth + metrics db)")
-            .inc();
-        registry
-            .histogram("pipetune_metricsdb_flush_seconds",
-                       {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
-                       "Wall-clock latency of one state flush")
-            .observe(options_.obs->tracer().now_s() - start_s);
-        registry
-            .gauge("pipetune_metricsdb_points", {}, "Points in the metrics database")
-            .set(static_cast<double>(metrics_.total_points()));
+        obs_flush_total_->inc();
+        obs_flush_seconds_->observe(options_.obs->tracer().now_s() - start_s);
+        obs_points_->set(static_cast<double>(metrics_.total_points()));
     }
 }
 
@@ -143,11 +149,7 @@ std::optional<TuningService::Submission> PipeTuneService::submit(
                                                std::move(payload));
             }
             if (options_.persist_after_each_job) persist();
-            if (options_.obs)
-                options_.obs->metrics()
-                    .counter("pipetune_service_jobs_served_total", {},
-                             "HPT jobs run to completion by a tuning service")
-                    .inc();
+            if (obs_jobs_served_ != nullptr) obs_jobs_served_->inc();
             PT_LOG_INFO("service")
                     .field("workload", workload.name)
                     .field("accuracy_pct", result.baseline.final_accuracy)
@@ -161,11 +163,7 @@ std::optional<TuningService::Submission> PipeTuneService::submit(
         } catch (const ft::TransientFailure& e) {
             ++failures;
             if (options_.retry.should_retry(failures, clock_s() - timing.submit_s)) {
-                if (options_.obs)
-                    options_.obs->metrics()
-                        .counter("pipetune_ft_job_retries_total", {},
-                                 "Jobs re-run after a transient failure")
-                        .inc();
+                if (obs_job_retries_ != nullptr) obs_job_retries_->inc();
                 PT_LOG_WARN("service").field("job", id).field("attempt", failures + 1)
                     << "transient job failure, retrying: " << e.what();
                 (void)options_.retry.backoff_s(failures, retry_rng);  // charged nowhere:

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "pipetune/tensor/ops.hpp"
+#include "pipetune/tensor/simd.hpp"
 
 namespace pipetune::nn {
 
@@ -26,8 +27,11 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
     cached_input_ = input;
     Tensor out = tensor::matmul_transposed_b(input, weight_);  // (batch, out)
     const std::size_t batch = out.dim(0);
-    for (std::size_t i = 0; i < batch; ++i)
-        for (std::size_t j = 0; j < out_; ++j) out(i, j) += bias_[j];
+    const float* b = bias_.data();
+    for (std::size_t i = 0; i < batch; ++i) {
+        float* row = out.data() + i * out_;
+        tensor::simd::axpy(out_, 1.0f, b, row);
+    }
     return out;
 }
 
@@ -37,8 +41,9 @@ Tensor Dense::backward(const Tensor& grad_output) {
         throw std::invalid_argument("Dense::backward: bad grad shape or forward not called");
     // dW += dY^T X ; db += colsum(dY) ; dX = dY W
     grad_weight_ += tensor::matmul_transposed_a(grad_output, cached_input_);
-    for (std::size_t i = 0; i < batch; ++i)
-        for (std::size_t j = 0; j < out_; ++j) grad_bias_[j] += grad_output(i, j);
+    // Row-order column sums — the same accumulation order as the scalar
+    // loop, vectorised across columns.
+    tensor::simd::colwise_sum(batch, out_, grad_output.data(), grad_bias_.data());
     return tensor::matmul(grad_output, weight_);
 }
 

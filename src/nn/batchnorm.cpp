@@ -1,7 +1,11 @@
 #include "pipetune/nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "pipetune/tensor/arena.hpp"
+#include "pipetune/tensor/simd.hpp"
 
 namespace pipetune::nn {
 
@@ -33,22 +37,19 @@ Tensor BatchNorm1d::forward(const Tensor& input, bool training) {
     if (training) {
         if (batch < 2)
             throw std::invalid_argument("BatchNorm1d: training needs batch size >= 2");
+        const float inv_n = 1.0f / static_cast<float>(batch);
+        // Column-wise kernels: one vectorized pass for the sums, one for the
+        // squared deviations, instead of a strided per-feature loop.
+        tensor::simd::colwise_sum(batch, features_, input.data(), mean.data());
+        tensor::simd::scale(features_, inv_n, mean.data());
+        tensor::simd::colwise_sq_dev_sum(batch, features_, input.data(), mean.data(),
+                                         variance.data());
+        tensor::simd::scale(features_, inv_n, variance.data());  // biased, training-mode BN
+        // Exponential running estimates for eval mode.
+        const auto mom = static_cast<float>(momentum_);
         for (std::size_t j = 0; j < features_; ++j) {
-            float m = 0.0f;
-            for (std::size_t i = 0; i < batch; ++i) m += input(i, j);
-            m /= static_cast<float>(batch);
-            float v = 0.0f;
-            for (std::size_t i = 0; i < batch; ++i) {
-                const float d = input(i, j) - m;
-                v += d * d;
-            }
-            v /= static_cast<float>(batch);  // biased, as in training-mode BN
-            mean[j] = m;
-            variance[j] = v;
-            // Exponential running estimates for eval mode.
-            const auto mom = static_cast<float>(momentum_);
-            running_mean_[j] = (1.0f - mom) * running_mean_[j] + mom * m;
-            running_var_[j] = (1.0f - mom) * running_var_[j] + mom * v;
+            running_mean_[j] = (1.0f - mom) * running_mean_[j] + mom * mean[j];
+            running_var_[j] = (1.0f - mom) * running_var_[j] + mom * variance[j];
         }
     } else {
         mean = running_mean_;
@@ -61,12 +62,9 @@ Tensor BatchNorm1d::forward(const Tensor& input, bool training) {
 
     cached_x_hat_ = Tensor({batch, features_});
     Tensor out({batch, features_});
-    for (std::size_t i = 0; i < batch; ++i)
-        for (std::size_t j = 0; j < features_; ++j) {
-            const float x_hat = (input(i, j) - mean[j]) * cached_inv_std_[j];
-            cached_x_hat_(i, j) = x_hat;
-            out(i, j) = gamma_[j] * x_hat + beta_[j];
-        }
+    tensor::simd::bn_normalize(batch, features_, input.data(), mean.data(),
+                               cached_inv_std_.data(), gamma_.data(), beta_.data(),
+                               cached_x_hat_.data(), out.data());
     return out;
 }
 
@@ -78,21 +76,24 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output) {
 
     Tensor grad_in({batch, features_});
     const auto n = static_cast<float>(batch);
+    tensor::ArenaScope scope;
+    float* sum_dy = scope.alloc_floats(features_);
+    float* sum_dy_xhat = scope.alloc_floats(features_);
+    float* scale = scope.alloc_floats(features_);
+    std::fill(sum_dy, sum_dy + features_, 0.0f);
+    std::fill(sum_dy_xhat, sum_dy_xhat + features_, 0.0f);
+    tensor::simd::colwise_sum(batch, features_, grad_output.data(), sum_dy);
+    tensor::simd::colwise_mul_sum(batch, features_, grad_output.data(), cached_x_hat_.data(),
+                                  sum_dy_xhat);
     for (std::size_t j = 0; j < features_; ++j) {
-        float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
-        for (std::size_t i = 0; i < batch; ++i) {
-            sum_dy += grad_output(i, j);
-            sum_dy_xhat += grad_output(i, j) * cached_x_hat_(i, j);
-        }
-        grad_beta_[j] += sum_dy;
-        grad_gamma_[j] += sum_dy_xhat;
-        // Standard BN input gradient (batch statistics participate):
-        // dx = gamma*inv_std/n * (n*dy - sum(dy) - x_hat*sum(dy*x_hat))
-        const float scale = gamma_[j] * cached_inv_std_[j] / n;
-        for (std::size_t i = 0; i < batch; ++i)
-            grad_in(i, j) = scale * (n * grad_output(i, j) - sum_dy -
-                                     cached_x_hat_(i, j) * sum_dy_xhat);
+        grad_beta_[j] += sum_dy[j];
+        grad_gamma_[j] += sum_dy_xhat[j];
+        scale[j] = gamma_[j] * cached_inv_std_[j] / n;
     }
+    // Standard BN input gradient (batch statistics participate):
+    // dx = gamma*inv_std/n * (n*dy - sum(dy) - x_hat*sum(dy*x_hat))
+    tensor::simd::bn_backward_apply(batch, features_, grad_output.data(), cached_x_hat_.data(),
+                                    scale, sum_dy, sum_dy_xhat, n, grad_in.data());
     return grad_in;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pipetune/tensor/simd.hpp"
+
 namespace pipetune::nn {
 
 double clip_gradients(Sequential& model, double max_norm) {
@@ -40,12 +42,9 @@ void SgdOptimizer::step() {
         Tensor& w = *params[i];
         Tensor& g = *grads[i];
         Tensor& v = velocity_[i];
-        for (std::size_t k = 0; k < w.numel(); ++k) {
-            const float grad = g[k] + wd * w[k];
-            v[k] = mu * v[k] - lr * grad;
-            w[k] += v[k];
-        }
-        g.fill(0.0f);
+        // Fused kernel: one pass over w/g/v instead of three, and g is
+        // zeroed in the same sweep (saves the separate fill traversal).
+        tensor::simd::sgd_momentum_step(w.numel(), lr, mu, wd, w.data(), g.data(), v.data());
     }
 }
 
@@ -78,22 +77,14 @@ void AdamOptimizer::step() {
     const auto eps = static_cast<float>(config_.epsilon);
     const auto wd = static_cast<float>(config_.weight_decay);
     const auto t = static_cast<float>(steps_);
-    const float bias1 = 1.0f - std::pow(b1, t);
-    const float bias2 = 1.0f - std::pow(b2, t);
+    const tensor::simd::AdamStep step{lr,  b1,  b2, eps, wd, 1.0f - std::pow(b1, t),
+                                      1.0f - std::pow(b2, t)};
     for (std::size_t i = 0; i < params.size(); ++i) {
         Tensor& w = *params[i];
         Tensor& g = *grads[i];
         Tensor& m = first_moment_[i];
         Tensor& v = second_moment_[i];
-        for (std::size_t k = 0; k < w.numel(); ++k) {
-            const float grad = g[k] + wd * w[k];
-            m[k] = b1 * m[k] + (1.0f - b1) * grad;
-            v[k] = b2 * v[k] + (1.0f - b2) * grad * grad;
-            const float m_hat = m[k] / bias1;
-            const float v_hat = v[k] / bias2;
-            w[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-        }
-        g.fill(0.0f);
+        tensor::simd::adam_step(w.numel(), step, w.data(), g.data(), m.data(), v.data());
     }
 }
 

@@ -1,6 +1,7 @@
 #include "pipetune/nn/trainer.hpp"
 
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "pipetune/tensor/ops.hpp"
@@ -50,7 +51,10 @@ EpochStats Trainer::run_epoch(std::size_t workers) {
 
     util::RunningStats loss_stats, acc_stats;
     data::Batch batch;
-    util::ThreadPool pool(workers);
+    // Lazy pool: single-worker epochs (the common case) never pay for thread
+    // spawn/teardown; multi-worker epochs spin it up once, not per batch.
+    std::optional<util::ThreadPool> pool;
+    if (workers > 1) pool.emplace(workers);
     while (batches.next(batch)) {
         const std::size_t batch_n = batch.labels.size();
         const std::size_t used_workers = std::min(workers, batch_n);
@@ -74,7 +78,7 @@ EpochStats Trainer::run_epoch(std::size_t workers) {
             std::vector<double> shard_loss(used_workers, 0.0);
             std::vector<double> shard_correct(used_workers, 0.0);
 
-            pool.parallel_for(used_workers, [&](std::size_t w) {
+            pool->parallel_for(used_workers, [&](std::size_t w) {
                 const auto& rows = shard_rows[w];
                 tensor::Shape shard_shape = batch.features.shape();
                 shard_shape[0] = rows.size();

@@ -40,6 +40,20 @@ ConcurrentPipeTuneService::ConcurrentPipeTuneService(workload::Backend& backend,
       backend_(backend),
       state_(options_.pipetune.ground_truth),
       scheduler_(scheduler_config(options_)) {
+    if (options_.obs != nullptr) {
+        auto& registry = options_.obs->metrics();
+        obs_flush_total_ = &registry.counter("pipetune_metricsdb_flush_total", {},
+                                             "State flushes (ground truth + metrics db)");
+        obs_flush_seconds_ =
+            &registry.histogram("pipetune_metricsdb_flush_seconds",
+                                {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
+                                "Wall-clock latency of one state flush");
+        obs_points_ =
+            &registry.gauge("pipetune_metricsdb_points", {}, "Points in the metrics database");
+        obs_jobs_served_ =
+            &registry.counter("pipetune_service_jobs_served_total", {},
+                              "HPT jobs run to completion by a tuning service");
+    }
     if (!options_.state_dir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(options_.state_dir, ec);
@@ -91,19 +105,9 @@ void ConcurrentPipeTuneService::persist() const {
     const double start_s = options_.obs ? options_.obs->tracer().now_s() : 0.0;
     state_.save(options_.state_dir);
     if (options_.obs) {
-        auto& registry = options_.obs->metrics();
-        registry
-            .counter("pipetune_metricsdb_flush_total", {},
-                     "State flushes (ground truth + metrics db)")
-            .inc();
-        registry
-            .histogram("pipetune_metricsdb_flush_seconds",
-                       {0.001, 0.005, 0.02, 0.1, 0.5, 2.0}, {},
-                       "Wall-clock latency of one state flush")
-            .observe(options_.obs->tracer().now_s() - start_s);
-        registry
-            .gauge("pipetune_metricsdb_points", {}, "Points in the metrics database")
-            .set(static_cast<double>(state_.metric_points()));
+        obs_flush_total_->inc();
+        obs_flush_seconds_->observe(options_.obs->tracer().now_s() - start_s);
+        obs_points_->set(static_cast<double>(state_.metric_points()));
     }
 }
 
@@ -184,11 +188,7 @@ std::optional<core::TuningService::Submission> ConcurrentPipeTuneService::submit
             (void)options_.journal->append(ft::record_type::kJobCompleted,
                                            std::move(payload));
         }
-        if (options_.obs)
-            options_.obs->metrics()
-                .counter("pipetune_service_jobs_served_total", {},
-                         "HPT jobs run to completion by a tuning service")
-                .inc();
+        if (obs_jobs_served_ != nullptr) obs_jobs_served_->inc();
         if (options_.persist_after_each_job && !options_.state_dir.empty()) persist();
         PT_LOG_INFO("sched")
                 .field("workload", workload.name)

@@ -93,6 +93,13 @@ private:
     SerializedBackend backend_;
     SharedClusterState state_;
     std::atomic<std::size_t> jobs_served_{0};
+    // Instrument references cached at construction (the obs pattern,
+    // DESIGN.md §12): the per-job and per-flush paths must not pay a
+    // registry lookup. Null when options_.obs is null.
+    obs::Counter* obs_flush_total_ = nullptr;
+    obs::Histogram* obs_flush_seconds_ = nullptr;
+    obs::Gauge* obs_points_ = nullptr;
+    obs::Counter* obs_jobs_served_ = nullptr;
     ClusterScheduler scheduler_;  ///< after state_: jobs reference it
 };
 

@@ -1,0 +1,107 @@
+#pragma once
+// Bounded lock-free MPMC ring (Vyukov's bounded queue): the per-priority-class
+// dispatch lane inside the lock-light scheduler (DESIGN.md §12). Each cell
+// carries a sequence number; producers and consumers claim cells with one CAS
+// on their respective cursors and publish with a release store on the cell,
+// so the hot path is two atomic RMWs and no mutex. Non-blocking by design:
+// try_push fails when full, try_pop when empty — sleeping is layered on top
+// by the caller (the scheduler parks on a condition variable only after a
+// failed scan, and producers gate their notifies on a waiter count).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace pipetune::sched {
+
+template <typename T>
+class MpmcRing {
+public:
+    /// Capacity is rounded up to a power of two (minimum 2).
+    explicit MpmcRing(std::size_t capacity) {
+        std::size_t cap = 2;
+        while (cap < capacity) cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcRing(const MpmcRing&) = delete;
+    MpmcRing& operator=(const MpmcRing&) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /// False when the ring is full (the value is not consumed).
+    bool try_push(T value) {
+        Cell* cell;
+        std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                                       std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false;  // full: the cell still holds an unconsumed value
+            } else {
+                pos = enqueue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        cell->sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// False when the ring is empty.
+    bool try_pop(T* out) {
+        Cell* cell;
+        std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+            const auto diff =
+                static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                                       std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false;  // empty: no producer has published this cell yet
+            } else {
+                pos = dequeue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        *out = std::move(cell->value);
+        cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Approximate occupancy (racy; for stats/backpressure heuristics only).
+    std::size_t size_approx() const {
+        const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+        const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+        return enq > deq ? enq - deq : 0;
+    }
+
+private:
+    // Fixed 64 (not hardware_destructive_interference_size): the value is
+    // part of cell layout, and GCC warns that the builtin is ABI-unstable.
+    static constexpr std::size_t kCacheLine = 64;
+
+    struct alignas(kCacheLine) Cell {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t mask_ = 0;
+    alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+    alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace pipetune::sched

@@ -1,10 +1,11 @@
 #pragma once
 // ClusterScheduler: dispatches queued jobs onto a pool of N worker slots —
 // the real-concurrency counterpart of cluster::FifoClusterSim's virtual-time
-// model (§7.4). Jobs are admitted through a bounded JobQueue (priority
-// classes + backpressure) and executed on util::ThreadPool workers; the
-// scheduler tracks each job's lifecycle and wall-clock timings so a finished
-// trace feeds the same cluster::summarize_trace as the simulator.
+// model (§7.4). Jobs are admitted through a bounded priority queue
+// (backpressure per SchedulerConfig::overflow) and executed on
+// util::ThreadPool workers; the scheduler tracks each job's lifecycle and
+// wall-clock timings so a finished trace feeds the same
+// cluster::summarize_trace as the simulator.
 //
 // Lifecycle:
 //
@@ -21,15 +22,32 @@
 // Deadlines bound *queueing*: a job whose deadline passes before a worker
 // picks it up is discarded as kTimedOut without running. Running jobs can
 // poll JobContext::deadline_expired() to stop cooperatively.
+//
+// Concurrency architecture (DESIGN.md §12). The hot path is lock-light:
+//  - dispatch runs through a Vyukov MPMC ring per priority class (plus a
+//    small mutex-protected retry lane per class for requeued jobs);
+//  - job records live in a sharded hash table — each shard has its own
+//    mutex, so per-job state transitions never contend globally;
+//  - queued jobs are retired by a claim CAS (worker vs canceller race is a
+//    single compare-exchange; the loser walks away);
+//  - counters are plain atomics; queue-depth/running gauges are flushed in
+//    batches; waiter condition variables are only signalled when a waiter
+//    has registered (Dekker-paired atomic waiter counts).
+// SchedulerConfig::lock_light = false swaps in the coarse baseline (global
+// mutex queue, unconditional notifies, per-transition gauge flushes) — kept
+// so bench/micro_substrates can measure the before/after honestly.
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pipetune/cluster/cluster_sim.hpp"
@@ -100,6 +118,10 @@ struct SchedulerConfig {
     /// Telemetry (queue-depth/running gauges, lifecycle counters, queue-wait
     /// histogram, one "job" span per executed job). Not owned; may be null.
     obs::ObsContext* obs = nullptr;
+    /// Default: MPMC-ring dispatch, sharded job table, gated notifies,
+    /// batched gauge flushes (DESIGN.md §12). False restores the coarse
+    /// global-mutex baseline for before/after benchmarking.
+    bool lock_light = true;
 };
 
 struct SchedulerStats {
@@ -113,6 +135,54 @@ struct SchedulerStats {
     std::size_t max_queue_depth = 0;
     std::size_t requeued = 0;  ///< retry requeues after a transient failure
 };
+
+namespace detail {
+
+/// Claim states for the queued→{running,cancelled} race. A queued job is
+/// retired by exactly one party: the worker that pops it (kClaimWorker) or a
+/// canceller (kClaimCancel) — decided by one compare-exchange on `claimed`.
+/// The loser leaves the job alone; a worker popping an already-cancelled
+/// entry just skips the stale queue slot. A retried job is republished by
+/// storing kClaimNone again before it re-enters the queue.
+inline constexpr std::uint8_t kClaimNone = 0;
+inline constexpr std::uint8_t kClaimWorker = 1;
+inline constexpr std::uint8_t kClaimCancel = 2;
+
+/// One job record, allocated once per submit and stable for the scheduler's
+/// lifetime (queues and JobContext hold raw pointers into it). `info` is
+/// guarded by the owning shard's mutex; `cancel`/`claimed` are lock-free;
+/// `fn` is owned by whoever holds the claim.
+struct Job {
+    JobInfo info;
+    std::atomic<bool> cancel{false};
+    std::atomic<std::uint8_t> claimed{kClaimNone};
+    std::function<void(JobContext&)> fn;
+    std::function<void(const JobInfo&)> on_discard;
+    std::function<void(const JobInfo&, std::exception_ptr)> on_failed;
+};
+
+/// Internal dispatch-queue interface: the lock-light implementation (MPMC
+/// ring per priority class) and the coarse baseline (legacy JobQueue) both
+/// implement it; ClusterScheduler picks one per SchedulerConfig::lock_light.
+/// pop() returns jobs already claimed for the calling worker.
+class DispatchQueue {
+public:
+    virtual ~DispatchQueue() = default;
+    /// Admit per the overflow policy. False: rejected (kReject) or closed.
+    virtual bool push(Job* job) = 0;
+    /// Requeue at the front of the job's priority class (retry path,
+    /// capacity check bypassed). False when closed.
+    virtual bool push_front(Job* job) = 0;
+    /// Block for the next claimable job. Null: closed and drained.
+    virtual Job* pop() = 0;
+    /// A queued entry was retired out-of-band (cancel claim): release its
+    /// capacity slot. The stale queue entry is skipped by a later pop.
+    virtual void retired(Job* job) = 0;
+    virtual void close() = 0;
+    virtual std::size_t max_depth() const = 0;
+};
+
+}  // namespace detail
 
 class ClusterScheduler {
 public:
@@ -175,32 +245,62 @@ public:
     const SchedulerConfig& config() const { return config_; }
 
 private:
-    struct Job {
-        JobInfo info;
-        std::shared_ptr<std::atomic<bool>> cancel = std::make_shared<std::atomic<bool>>(false);
-        DiscardFn on_discard;
-        FailFn on_failed;
+    /// Job records, sharded by id so per-job transitions don't contend.
+    /// Coarse mode collapses to one shard (shard_mask_ = 0).
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::uint64_t, std::unique_ptr<detail::Job>> jobs;
     };
+    static constexpr std::size_t kMaxShards = 8;  // power of two
+    static constexpr std::uint32_t kGaugeFlushInterval = 32;  // power of two
+
+    Shard& shard(std::uint64_t id) { return shards_[id & shard_mask_]; }
+    const Shard& shard(std::uint64_t id) const { return shards_[id & shard_mask_]; }
 
     void worker_loop();
-    /// Mark terminal + notify waiters (invoking on_failed for kFailed).
-    /// Caller must NOT hold mutex_.
-    void finish(std::uint64_t id, JobState state, const std::string& error = {},
+    /// Mark a RUNNING job terminal + notify waiters (invoking on_failed for
+    /// kFailed). Caller must hold the job's claim and no shard mutex.
+    void finish(detail::Job* job, JobState state, const std::string& error = {},
                 std::exception_ptr failure = nullptr);
-    /// Refresh the depth/running gauges from stats_. Caller holds mutex_.
-    void update_gauges_locked();
-    /// Count one terminal transition. Caller holds mutex_.
-    void count_terminal_locked(JobState state);
+    /// Count one terminal transition on the obs counters.
+    void count_terminal(JobState state);
+    /// One state transition happened: flush gauges per the batching policy
+    /// (every transition in coarse mode, every kGaugeFlushInterval-th in
+    /// lock-light mode).
+    void gauge_tick();
+    /// Force the depth/running gauges to the current counters.
+    void flush_gauges() const;
+    /// Wake terminal waiters — gated on the registered-waiter count in
+    /// lock-light mode, unconditional in coarse mode.
+    void notify_terminal();
 
     SchedulerConfig config_;
     std::chrono::steady_clock::time_point epoch_;
-    JobQueue<JobFn> queue_;
-    mutable std::mutex mutex_;
+    std::unique_ptr<detail::DispatchQueue> queue_;
+    std::array<Shard, kMaxShards> shards_;
+    std::uint64_t shard_mask_ = 0;
+
+    // Lifecycle counters. queued_/running_ are seq_cst-updated: drain()'s
+    // wakeup protocol Dekker-pairs them with terminal_waiters_.
+    std::atomic<std::int64_t> queued_{0};
+    std::atomic<std::int64_t> running_{0};
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> timed_out_{0};
+    std::atomic<std::uint64_t> requeued_{0};
+    std::atomic<std::uint64_t> next_job_id_{1};
+    std::atomic<bool> shut_down_{false};
+    mutable std::atomic<std::uint32_t> gauge_ticks_{0};
+
+    // Terminal-wait machinery: waiters register in terminal_waiters_ before
+    // evaluating their predicate; notifiers skip the CV entirely when the
+    // count is zero (the common case on the hot path).
+    std::mutex wait_mutex_;
     std::condition_variable terminal_cv_;
-    std::map<std::uint64_t, Job> jobs_;
-    SchedulerStats stats_;
-    std::uint64_t next_job_id_ = 1;
-    bool shut_down_ = false;
+    std::atomic<int> terminal_waiters_{0};
+
     // Instrument references cached at construction (null when obs is null).
     obs::Counter* obs_submitted_ = nullptr;
     obs::Counter* obs_rejected_ = nullptr;

@@ -5,25 +5,39 @@
 // concurrency pay off is that early finishers shorten the probing of jobs
 // still in the queue).
 //
-// Locking discipline (see DESIGN.md §8):
+// Read-path architecture (DESIGN.md §8, §12). The hot reads are wait-bounded:
+//  - GroundTruth lookup goes through an RCU-style snapshot: readers copy a
+//    shared_ptr to an immutable GroundTruth under a dedicated micro-mutex
+//    whose critical section is just the refcount bump — never the store
+//    mutation, the O(n) copy-on-write, or serialization, which all happen
+//    outside it. record()/load() mutate the master under the write lock and
+//    republish a fresh snapshot (records are rare, one per finished
+//    campaign, while lookups happen on every trial of every queued job).
+//    (A std::atomic<shared_ptr> would make this fully lock-free, but GCC's
+//    implementation synchronizes through pointer-bit spinlocks that
+//    ThreadSanitizer cannot see; the micro-mutex is tsan-clean.)
+//  - The scalar stats (size / model_ready / total points) are read through a
+//    util::Seqlock snapshot, refreshed by every writer.
+// Writers keep the original discipline:
 //  - Each of the two stores has its own std::shared_mutex; they are never
 //    held together, so lock ordering is a non-issue.
-//  - Reads (lookup / size / model_ready / count / snapshots) take shared
-//    locks; writes (record / append / load) take unique locks.
-//  - GroundTruth::lookup is logically const (no mutable caches), which is
-//    what makes the reader-writer split sound.
+//  - record / append / load take unique locks; whole-store snapshots
+//    (metrics_snapshot / save) take shared locks.
 //  - The metrics view additionally clamps pseudo-times per series under the
 //    write lock: concurrent jobs each generate locally monotone times, and
 //    interleaving them raw would violate the TSDB's per-series monotonicity
 //    invariant.
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 
 #include "pipetune/core/ground_truth.hpp"
 #include "pipetune/metricsdb/tsdb.hpp"
+#include "pipetune/util/seqlock.hpp"
 #include "pipetune/workload/types.hpp"
 
 namespace pipetune::sched {
@@ -42,7 +56,8 @@ public:
     core::GroundTruthStore& ground_truth();
     metricsdb::MetricsSink& metrics();
 
-    // Synchronized reads of the underlying stores.
+    // Synchronized reads of the underlying stores. The scalar reads are
+    // lock-free (seqlock snapshot); ground_truth_snapshot is the RCU copy.
     std::size_t ground_truth_size() const;
     bool model_ready() const;
     std::size_t metric_points() const;
@@ -59,6 +74,13 @@ public:
     static std::string metrics_path(const std::string& state_dir);
 
 private:
+    /// Scalar hot-read snapshot, published through a seqlock by every writer.
+    struct StateStats {
+        std::uint64_t truth_size = 0;
+        std::uint64_t metric_points = 0;
+        bool model_ready = false;
+    };
+
     class LockedGroundTruth final : public core::GroundTruthStore {
     public:
         explicit LockedGroundTruth(SharedClusterState& state) : state_(state) {}
@@ -84,10 +106,25 @@ private:
         SharedClusterState& state_;
     };
 
+    /// Republish the RCU snapshot from truth_. Caller holds truth_mutex_
+    /// exclusively.
+    void republish_truth_locked();
+    /// Copy the current snapshot pointer (micro-critical-section).
+    std::shared_ptr<const core::GroundTruth> truth_snapshot_ptr() const;
+    /// Refresh the seqlock scalars. Caller holds the respective write lock
+    /// (values are read from the stores, so they must be quiescent).
+    void refresh_truth_stats_locked();
+    void refresh_metrics_stats_locked();
+
     mutable std::shared_mutex truth_mutex_;
     mutable std::shared_mutex metrics_mutex_;
     core::GroundTruth truth_;
     metricsdb::TimeSeriesDb metrics_;
+    /// Immutable copy for near-lock-free lookup; swapped whole on every
+    /// record. snapshot_mutex_ guards ONLY the pointer copy/swap.
+    mutable std::mutex snapshot_mutex_;
+    std::shared_ptr<const core::GroundTruth> truth_snapshot_;
+    util::Seqlock<StateStats> stats_;
     /// Last time appended per series (under metrics_mutex_): appends from
     /// interleaved jobs are clamped up to this to keep series monotone.
     std::map<std::string, double> series_clock_;

@@ -8,7 +8,10 @@
 namespace pipetune::sched {
 
 SharedClusterState::SharedClusterState(core::GroundTruthConfig config)
-    : truth_(config), truth_view_(*this), metrics_view_(*this) {}
+    : truth_(config), truth_view_(*this), metrics_view_(*this) {
+    republish_truth_locked();  // single-threaded in the constructor
+    refresh_truth_stats_locked();
+}
 
 SharedClusterState::SharedClusterState(core::GroundTruth ground_truth,
                                        metricsdb::TimeSeriesDb metrics)
@@ -20,29 +23,58 @@ SharedClusterState::SharedClusterState(core::GroundTruth ground_truth,
         const auto points = metrics_.select({.series = series});
         if (!points.empty()) series_clock_[series] = points.back().time;
     }
+    republish_truth_locked();
+    refresh_truth_stats_locked();
+    refresh_metrics_stats_locked();
 }
 
 core::GroundTruthStore& SharedClusterState::ground_truth() { return truth_view_; }
 metricsdb::MetricsSink& SharedClusterState::metrics() { return metrics_view_; }
 
-std::size_t SharedClusterState::ground_truth_size() const {
-    std::shared_lock lock(truth_mutex_);
-    return truth_.size();
+void SharedClusterState::republish_truth_locked() {
+    // The O(n) copy happens OUTSIDE the snapshot mutex; only the pointer
+    // swap is inside, so lookups are never blocked behind it.
+    auto fresh = std::make_shared<const core::GroundTruth>(truth_);
+    std::shared_ptr<const core::GroundTruth> old;
+    {
+        std::lock_guard<std::mutex> lock(snapshot_mutex_);
+        old = std::exchange(truth_snapshot_, std::move(fresh));
+    }
+    // `old` destructs here — outside the mutex, in case this is the last ref.
 }
 
-bool SharedClusterState::model_ready() const {
-    std::shared_lock lock(truth_mutex_);
-    return truth_.model_ready();
+std::shared_ptr<const core::GroundTruth> SharedClusterState::truth_snapshot_ptr() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return truth_snapshot_;
 }
+
+void SharedClusterState::refresh_truth_stats_locked() {
+    const std::uint64_t size = truth_.size();
+    const bool ready = truth_.model_ready();
+    stats_.update([&](StateStats& s) {
+        s.truth_size = size;
+        s.model_ready = ready;
+    });
+}
+
+void SharedClusterState::refresh_metrics_stats_locked() {
+    const std::uint64_t points = metrics_.total_points();
+    stats_.update([&](StateStats& s) { s.metric_points = points; });
+}
+
+std::size_t SharedClusterState::ground_truth_size() const {
+    return static_cast<std::size_t>(stats_.read().truth_size);
+}
+
+bool SharedClusterState::model_ready() const { return stats_.read().model_ready; }
 
 std::size_t SharedClusterState::metric_points() const {
-    std::shared_lock lock(metrics_mutex_);
-    return metrics_.total_points();
+    return static_cast<std::size_t>(stats_.read().metric_points);
 }
 
 core::GroundTruth SharedClusterState::ground_truth_snapshot() const {
-    std::shared_lock lock(truth_mutex_);
-    return truth_;
+    // The RCU snapshot IS a consistent copy — copy from it directly.
+    return *truth_snapshot_ptr();
 }
 
 metricsdb::TimeSeriesDb SharedClusterState::metrics_snapshot() const {
@@ -68,6 +100,8 @@ void SharedClusterState::load(const std::string& state_dir,
             throw std::runtime_error("SharedClusterState::load: " + loaded.error());
         std::unique_lock lock(truth_mutex_);
         truth_ = std::move(loaded).value();
+        republish_truth_locked();
+        refresh_truth_stats_locked();
     }
     if (std::filesystem::exists(metrics_path(state_dir), ec)) {
         auto result = metricsdb::TimeSeriesDb::try_load(metrics_path(state_dir));
@@ -81,6 +115,7 @@ void SharedClusterState::load(const std::string& state_dir,
             if (!points.empty()) series_clock_[series] = points.back().time;
         }
         metrics_ = std::move(loaded);
+        refresh_metrics_stats_locked();
     }
 }
 
@@ -91,11 +126,10 @@ void SharedClusterState::save(const std::string& state_dir) const {
     if (ec)
         throw std::runtime_error("SharedClusterState::save: cannot create '" + state_dir +
                                  "': " + ec.message());
-    // Serialize under shared locks, write (atomically) without holding them.
-    util::Json truth_json = [this] {
-        std::shared_lock lock(truth_mutex_);
-        return truth_.to_json();
-    }();
+    // Ground truth serializes from the RCU snapshot (no lock at all); the
+    // metrics copy is taken under a shared lock, written outside it.
+    const auto truth_snap = truth_snapshot_ptr();
+    util::Json truth_json = truth_snap->to_json();
     util::Json metrics_json = [this] {
         std::shared_lock lock(metrics_mutex_);
         return metrics_.to_json();
@@ -106,8 +140,12 @@ void SharedClusterState::save(const std::string& state_dir) const {
 
 std::optional<workload::SystemParams> SharedClusterState::LockedGroundTruth::lookup(
     const std::vector<double>& features, double* score_out) const {
-    std::shared_lock lock(state_.truth_mutex_);
-    return state_.truth_.lookup(features, score_out);
+    // Hot path (every trial of every job): one micro-mutexed shared_ptr
+    // copy, then a lookup against the immutable snapshot with no lock held.
+    // The snapshot may lag a concurrent record() by one publish — the same
+    // staleness a reader arriving a moment earlier would have seen.
+    const auto snap = state_.truth_snapshot_ptr();
+    return snap->lookup(features, score_out);
 }
 
 void SharedClusterState::LockedGroundTruth::record(const std::vector<double>& features,
@@ -115,16 +153,18 @@ void SharedClusterState::LockedGroundTruth::record(const std::vector<double>& fe
                                                    double metric) {
     std::unique_lock lock(state_.truth_mutex_);
     state_.truth_.record(features, best, metric);
+    // Copy-on-write republish: O(store size), but records are rare (one per
+    // finished campaign) and lookups are the hot path.
+    state_.republish_truth_locked();
+    state_.refresh_truth_stats_locked();
 }
 
 std::size_t SharedClusterState::LockedGroundTruth::size() const {
-    std::shared_lock lock(state_.truth_mutex_);
-    return state_.truth_.size();
+    return static_cast<std::size_t>(state_.stats_.read().truth_size);
 }
 
 bool SharedClusterState::LockedGroundTruth::model_ready() const {
-    std::shared_lock lock(state_.truth_mutex_);
-    return state_.truth_.model_ready();
+    return state_.stats_.read().model_ready;
 }
 
 void SharedClusterState::LockedMetrics::append(const std::string& series, double time,
@@ -137,6 +177,8 @@ void SharedClusterState::LockedMetrics::append(const std::string& series, double
     if (time < clock) time = clock;
     clock = time;
     state_.metrics_.append(series, time, value, std::move(tags));
+    // Incremental: one seqlock publish, not a full total_points() rescan.
+    state_.stats_.update([](StateStats& s) { ++s.metric_points; });
 }
 
 std::size_t SharedClusterState::LockedMetrics::count(const metricsdb::Query& query) const {

@@ -1,0 +1,99 @@
+#include "pipetune/tensor/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pipetune::tensor {
+
+namespace {
+constexpr std::size_t kMinBlockFloats = 16 * 1024;  // 64 KiB
+constexpr std::size_t kAlignFloats = Arena::kAlignment / sizeof(float);
+
+std::size_t align_up(std::size_t n) {
+    return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+}  // namespace
+
+float* Arena::alloc_floats(std::size_t n) {
+    const std::size_t need = align_up(std::max<std::size_t>(n, 1));
+    // Bump into the current block when it fits.
+    while (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        if (block.capacity - block.used >= need) {
+            float* p = block.base + block.used;
+            block.used += need;
+            high_water_floats_ = std::max(high_water_floats_, in_use_floats());
+            return p;
+        }
+        // A later (larger) block may have room — blocks are only appended, so
+        // advancing never skips free space created by rewind().
+        if (current_ + 1 == blocks_.size()) break;
+        ++current_;
+    }
+    // Grow: geometric in total capacity so repeated growth converges fast.
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.capacity;
+    const std::size_t capacity = std::max({need, kMinBlockFloats, total});
+    Block block;
+    // Over-align by hand: unique_ptr<float[]> from new[] is 16-byte aligned
+    // on most ABIs; pad and round the base pointer up to 32.
+    block.data = std::make_unique<float[]>(capacity + kAlignFloats);
+    auto raw = reinterpret_cast<std::uintptr_t>(block.data.get());
+    const std::size_t skew =
+        (Arena::kAlignment - raw % Arena::kAlignment) % Arena::kAlignment / sizeof(float);
+    block.base = block.data.get() + skew;
+    block.capacity = capacity;
+    block.used = need;
+    ++grow_count_;
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    high_water_floats_ = std::max(high_water_floats_, in_use_floats());
+    return blocks_.back().base;
+}
+
+void Arena::release_all() {
+    if (blocks_.empty()) return;
+    // Keep only the largest block: next campaign reuses the high-water buffer.
+    std::size_t keep = 0;
+    for (std::size_t i = 1; i < blocks_.size(); ++i)
+        if (blocks_[i].capacity > blocks_[keep].capacity) keep = i;
+    Block kept = std::move(blocks_[keep]);
+    kept.used = 0;
+    blocks_.clear();
+    blocks_.push_back(std::move(kept));
+    current_ = 0;
+}
+
+Arena::Mark Arena::mark() const {
+    if (blocks_.empty()) return {0, 0};
+    return {current_, blocks_[current_].used};
+}
+
+void Arena::rewind(const Mark& mark) {
+    if (blocks_.empty()) return;
+    for (std::size_t i = mark.block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+    if (mark.block < blocks_.size()) blocks_[mark.block].used = mark.used;
+    current_ = std::min(mark.block, blocks_.size() - 1);
+}
+
+std::size_t Arena::in_use_floats() const {
+    std::size_t used = 0;
+    for (const Block& block : blocks_) used += block.used;
+    return used;
+}
+
+Arena::Stats Arena::stats() const {
+    Stats stats;
+    for (const Block& block : blocks_) stats.capacity_bytes += block.capacity * sizeof(float);
+    stats.in_use_bytes = in_use_floats() * sizeof(float);
+    stats.high_water_bytes = high_water_floats_ * sizeof(float);
+    stats.grow_count = grow_count_;
+    return stats;
+}
+
+Arena& Arena::thread_local_arena() {
+    static thread_local Arena arena;
+    return arena;
+}
+
+}  // namespace pipetune::tensor

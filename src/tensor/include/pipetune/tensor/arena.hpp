@@ -1,0 +1,93 @@
+#pragma once
+// Bump-pointer scratch arena for kernel temporaries (DESIGN.md §12): im2col
+// buffers, GEMM packing panels, batchnorm column statistics. The hot path
+// allocates per-epoch scratch thousands of times; a thread-local arena turns
+// each of those into a pointer bump. Capacity grows geometrically to the
+// workload's high-water mark and is then reused forever, so steady-state
+// epochs perform zero heap allocations for scratch.
+//
+// Lifetime rules (enforced by ArenaScope, see DESIGN.md §12):
+//  - Scratch is valid until the enclosing ArenaScope is destroyed.
+//  - Kernels nest (conv2d → gemm_bt): each opens its own scope; inner scopes
+//    release their scratch on exit, outer scratch stays valid throughout.
+//  - Scratch never escapes a kernel: anything returned to callers is a
+//    Tensor with owning storage.
+//  - The arena is thread-local; pointers must not cross threads.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pipetune::tensor {
+
+class Arena {
+public:
+    static constexpr std::size_t kAlignment = 32;  ///< AVX2 register width
+
+    Arena() = default;
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// 32-byte-aligned scratch for `n` floats, valid until the enclosing
+    /// scope releases it. n == 0 returns a non-null dummy pointer.
+    float* alloc_floats(std::size_t n);
+
+    /// Release everything. Keeps only the largest block so the steady state
+    /// holds exactly one buffer at the high-water size.
+    void release_all();
+
+    struct Stats {
+        std::size_t capacity_bytes = 0;    ///< total bytes across blocks
+        std::size_t in_use_bytes = 0;      ///< bytes handed out right now
+        std::size_t high_water_bytes = 0;  ///< max in_use ever observed
+        std::size_t grow_count = 0;        ///< heap allocations since construction
+    };
+    Stats stats() const;
+
+    /// The calling thread's arena (one per thread, created on first use).
+    static Arena& thread_local_arena();
+
+private:
+    friend class ArenaScope;
+
+    struct Block {
+        std::unique_ptr<float[]> data;
+        float* base = nullptr;     ///< data rounded up to kAlignment
+        std::size_t capacity = 0;  ///< floats, measured from base
+        std::size_t used = 0;      ///< floats, measured from base
+    };
+
+    struct Mark {
+        std::size_t block = 0;
+        std::size_t used = 0;
+    };
+
+    Mark mark() const;
+    void rewind(const Mark& mark);
+    std::size_t in_use_floats() const;
+
+    std::vector<Block> blocks_;
+    std::size_t current_ = 0;  ///< block new allocations bump into
+    std::size_t high_water_floats_ = 0;
+    std::size_t grow_count_ = 0;
+};
+
+/// RAII watermark: scratch allocated inside the scope is released when the
+/// scope ends. Scopes nest; destruction order must match construction order
+/// (automatic storage guarantees it).
+class ArenaScope {
+public:
+    explicit ArenaScope(Arena& arena = Arena::thread_local_arena())
+        : arena_(arena), mark_(arena.mark()) {}
+    ~ArenaScope() { arena_.rewind(mark_); }
+    ArenaScope(const ArenaScope&) = delete;
+    ArenaScope& operator=(const ArenaScope&) = delete;
+
+    float* alloc_floats(std::size_t n) { return arena_.alloc_floats(n); }
+
+private:
+    Arena& arena_;
+    Arena::Mark mark_;
+};
+
+}  // namespace pipetune::tensor

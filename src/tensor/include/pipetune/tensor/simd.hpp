@@ -1,0 +1,100 @@
+#pragma once
+// Runtime-dispatched SIMD kernels behind the tensor/nn hot path (DESIGN.md
+// §12). Every kernel exists in two implementations — portable scalar and
+// AVX2 — selected once at startup from CPUID (overridable for parity tests
+// and benches via force_isa). Both implementations share one loop structure,
+// accumulate each output element in the same order, and never use FMA, so
+// the two paths are BIT-IDENTICAL: the parity suite asserts exact float
+// equality, not tolerances. Anything that would break that (fused
+// multiply-add, lane-order reductions) is deliberately excluded; reductions
+// use a fixed 8-slot lane-strided accumulator pattern on both paths.
+//
+// All pointers are to contiguous float32; matrices are row-major. GEMM
+// kernels ACCUMULATE (C += ...): callers zero- or bias-initialise C.
+
+#include <cstddef>
+
+namespace pipetune::tensor::simd {
+
+enum class Isa { kScalar, kAvx2 };
+
+const char* to_string(Isa isa);
+
+/// Best ISA the host supports (CPUID, probed once).
+Isa best_isa();
+/// ISA the kernel table currently dispatches to.
+Isa active_isa();
+/// Override dispatch (parity tests, before/after benches). Returns the
+/// previously active ISA. Throws std::invalid_argument when the host cannot
+/// run `isa`. NOT thread-safe: call only while no kernel is in flight.
+Isa force_isa(Isa isa);
+/// Restore dispatch to best_isa().
+void reset_isa();
+
+// ---- Elementwise / fused update kernels ----
+
+/// y += alpha * x  (the gradient-accumulation primitive)
+void axpy(std::size_t n, float alpha, const float* x, float* y);
+/// x *= alpha
+void scale(std::size_t n, float alpha, float* x);
+/// y[i] = x[i] > 0 ? x[i] : 0
+void relu(std::size_t n, const float* x, float* y);
+/// g[i] = 0 where x[i] <= 0 (in-place gradient mask)
+void relu_backward(std::size_t n, const float* x, float* g);
+/// sum(x[i]^2) with the fixed 8-slot lane-strided accumulation order
+/// (identical on both ISAs; NOT the same order as a sequential loop).
+float squared_norm(std::size_t n, const float* x);
+
+/// Fused SGD+momentum+weight-decay update; zeroes g afterwards.
+///   grad = g + wd*w;  v = mu*v - lr*grad;  w += v;  g = 0
+void sgd_momentum_step(std::size_t n, float lr, float mu, float wd, float* w, float* g,
+                       float* v);
+
+struct AdamStep {
+    float lr;
+    float beta1;
+    float beta2;
+    float epsilon;
+    float weight_decay;
+    float bias1;  ///< 1 - beta1^t
+    float bias2;  ///< 1 - beta2^t
+};
+/// Fused Adam update (bias-corrected moments); zeroes g afterwards.
+void adam_step(std::size_t n, const AdamStep& step, float* w, float* g, float* m, float* v);
+
+// ---- Column-wise kernels (x is rows x cols row-major; accumulation over
+// rows happens in row order for every column — identical on both ISAs) ----
+
+/// acc[j] += sum_i x(i, j)
+void colwise_sum(std::size_t rows, std::size_t cols, const float* x, float* acc);
+/// acc[j] += sum_i (x(i, j) - mean[j])^2
+void colwise_sq_dev_sum(std::size_t rows, std::size_t cols, const float* x, const float* mean,
+                        float* acc);
+/// acc[j] += sum_i a(i, j) * b(i, j)
+void colwise_mul_sum(std::size_t rows, std::size_t cols, const float* a, const float* b,
+                     float* acc);
+/// Fused batchnorm forward:
+///   x_hat(i,j) = (x(i,j) - mean[j]) * inv_std[j];  y(i,j) = gamma[j]*x_hat + beta[j]
+void bn_normalize(std::size_t rows, std::size_t cols, const float* x, const float* mean,
+                  const float* inv_std, const float* gamma, const float* beta, float* x_hat,
+                  float* y);
+/// Fused batchnorm input-gradient:
+///   dx(i,j) = scale[j] * (n*dy(i,j) - sum_dy[j] - x_hat(i,j)*sum_dy_xhat[j])
+/// where scale[j] = gamma[j] * inv_std[j] / n is precomputed by the caller.
+void bn_backward_apply(std::size_t rows, std::size_t cols, const float* dy, const float* x_hat,
+                       const float* scale, const float* sum_dy, const float* sum_dy_xhat,
+                       float batch_n, float* dx);
+
+// ---- GEMM kernels (row-major, accumulate into C) ----
+
+/// C(m,n) += A(m,k) @ B(k,n)
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+          float* c);
+/// C(m,n) += A(m,k) @ B(n,k)^T  (B stored as n rows of length k)
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+             float* c);
+/// C(m,n) += A(k,m)^T @ B(k,n)
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+             float* c);
+
+}  // namespace pipetune::tensor::simd

@@ -52,15 +52,36 @@ public:
     float& operator[](std::size_t flat_index) { return data_[flat_index]; }
     float operator[](std::size_t flat_index) const { return data_[flat_index]; }
 
-    /// Multi-dimensional accessors (bounds unchecked in release, checked via at()).
-    float& operator()(std::size_t i);
-    float& operator()(std::size_t i, std::size_t j);
-    float& operator()(std::size_t i, std::size_t j, std::size_t k);
-    float& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
-    float operator()(std::size_t i) const;
-    float operator()(std::size_t i, std::size_t j) const;
-    float operator()(std::size_t i, std::size_t j, std::size_t k) const;
-    float operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+    /// Multi-dimensional accessors (rank-checked, offsets unchecked in
+    /// release — use at() for checked flat access). Defined inline: these
+    /// sit on the per-element hot path of every conv/pool/dense loop, and an
+    /// out-of-line call per element dominated epoch profiles (DESIGN.md §12).
+    float& operator()(std::size_t i) {
+        require_rank(1, "Tensor(i)");
+        return data_[i];
+    }
+    float& operator()(std::size_t i, std::size_t j) {
+        require_rank(2, "Tensor(i,j)");
+        return data_[i * shape_[1] + j];
+    }
+    float& operator()(std::size_t i, std::size_t j, std::size_t k) {
+        require_rank(3, "Tensor(i,j,k)");
+        return data_[(i * shape_[1] + j) * shape_[2] + k];
+    }
+    float& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+        require_rank(4, "Tensor(i,j,k,l)");
+        return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+    }
+    float operator()(std::size_t i) const { return const_cast<Tensor&>(*this)(i); }
+    float operator()(std::size_t i, std::size_t j) const {
+        return const_cast<Tensor&>(*this)(i, j);
+    }
+    float operator()(std::size_t i, std::size_t j, std::size_t k) const {
+        return const_cast<Tensor&>(*this)(i, j, k);
+    }
+    float operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+        return const_cast<Tensor&>(*this)(i, j, k, l);
+    }
 
     /// Bounds-checked flat access.
     float& at(std::size_t flat_index);
@@ -98,6 +119,10 @@ public:
 
 private:
     void check_same_shape(const Tensor& other, const char* op) const;
+    void require_rank(std::size_t rank, const char* what) const {
+        if (shape_.size() != rank) throw_rank_mismatch(what);
+    }
+    [[noreturn]] void throw_rank_mismatch(const char* what) const;  // cold path out of line
 
     Shape shape_;
     std::vector<float> data_;

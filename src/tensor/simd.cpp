@@ -1,0 +1,130 @@
+// Scalar kernel instantiation + the runtime ISA dispatcher (DESIGN.md §12).
+
+#include "pipetune/tensor/simd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "simd_internal.hpp"
+#include "simd_kernels.inl.hpp"
+
+namespace pipetune::tensor::simd {
+
+namespace {
+
+// Width-1 policy: plain IEEE float ops, the reference semantics every other
+// ISA must reproduce bitwise.
+struct ScalarOps {
+    static constexpr std::size_t kWidth = 1;
+    using Reg = float;
+    static Reg load(const float* p) { return *p; }
+    static void store(float* p, Reg r) { *p = r; }
+    static Reg set1(float v) { return v; }
+    static Reg zero() { return 0.0f; }
+    static Reg add(Reg a, Reg b) { return a + b; }
+    static Reg sub(Reg a, Reg b) { return a - b; }
+    static Reg mul(Reg a, Reg b) { return a * b; }
+    static Reg div(Reg a, Reg b) { return a / b; }
+    static Reg sqrt(Reg a) { return std::sqrt(a); }
+    static Reg relu(Reg a) { return a > 0.0f ? a : 0.0f; }
+    static Reg mask_positive(Reg x, Reg g) { return x > 0.0f ? g : 0.0f; }
+};
+
+const detail::KernelTable kScalarTable = kernels::make_kernel_table<ScalarOps>();
+
+const detail::KernelTable* table_for(Isa isa) {
+    return isa == Isa::kAvx2 ? detail::avx2_table() : &kScalarTable;
+}
+
+struct Dispatch {
+    Isa isa;
+    const detail::KernelTable* table;
+};
+
+Dispatch& dispatch() {
+    static Dispatch d{best_isa(), table_for(best_isa())};
+    return d;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) { return isa == Isa::kAvx2 ? "avx2" : "scalar"; }
+
+Isa best_isa() {
+    static const Isa best = [] {
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+        if (detail::avx2_table() != nullptr && __builtin_cpu_supports("avx2"))
+            return Isa::kAvx2;
+#endif
+        return Isa::kScalar;
+    }();
+    return best;
+}
+
+Isa active_isa() { return dispatch().isa; }
+
+Isa force_isa(Isa isa) {
+    if (isa == Isa::kAvx2 && best_isa() != Isa::kAvx2)
+        throw std::invalid_argument(std::string("force_isa: host cannot run ") + to_string(isa));
+    Dispatch& d = dispatch();
+    const Isa previous = d.isa;
+    d.isa = isa;
+    d.table = table_for(isa);
+    return previous;
+}
+
+void reset_isa() { force_isa(best_isa()); }
+
+void axpy(std::size_t n, float alpha, const float* x, float* y) {
+    dispatch().table->axpy(n, alpha, x, y);
+}
+void scale(std::size_t n, float alpha, float* x) { dispatch().table->scale(n, alpha, x); }
+void relu(std::size_t n, const float* x, float* y) { dispatch().table->relu(n, x, y); }
+void relu_backward(std::size_t n, const float* x, float* g) {
+    dispatch().table->relu_backward(n, x, g);
+}
+float squared_norm(std::size_t n, const float* x) { return dispatch().table->squared_norm(n, x); }
+void sgd_momentum_step(std::size_t n, float lr, float mu, float wd, float* w, float* g,
+                       float* v) {
+    dispatch().table->sgd_momentum_step(n, lr, mu, wd, w, g, v);
+}
+void adam_step(std::size_t n, const AdamStep& step, float* w, float* g, float* m, float* v) {
+    dispatch().table->adam_step(n, step, w, g, m, v);
+}
+void colwise_sum(std::size_t rows, std::size_t cols, const float* x, float* acc) {
+    dispatch().table->colwise_sum(rows, cols, x, acc);
+}
+void colwise_sq_dev_sum(std::size_t rows, std::size_t cols, const float* x, const float* mean,
+                        float* acc) {
+    dispatch().table->colwise_sq_dev_sum(rows, cols, x, mean, acc);
+}
+void colwise_mul_sum(std::size_t rows, std::size_t cols, const float* a, const float* b,
+                     float* acc) {
+    dispatch().table->colwise_mul_sum(rows, cols, a, b, acc);
+}
+void bn_normalize(std::size_t rows, std::size_t cols, const float* x, const float* mean,
+                  const float* inv_std, const float* gamma, const float* beta, float* x_hat,
+                  float* y) {
+    dispatch().table->bn_normalize(rows, cols, x, mean, inv_std, gamma, beta, x_hat, y);
+}
+void bn_backward_apply(std::size_t rows, std::size_t cols, const float* dy, const float* x_hat,
+                       const float* scale, const float* sum_dy, const float* sum_dy_xhat,
+                       float batch_n, float* dx) {
+    dispatch().table->bn_backward_apply(rows, cols, dy, x_hat, scale, sum_dy, sum_dy_xhat,
+                                        batch_n, dx);
+}
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+          float* c) {
+    dispatch().table->gemm(m, k, n, a, b, c);
+}
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+             float* c) {
+    dispatch().table->gemm_bt(m, k, n, a, b, c);
+}
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a, const float* b,
+             float* c) {
+    dispatch().table->gemm_at(m, k, n, a, b, c);
+}
+
+}  // namespace pipetune::tensor::simd

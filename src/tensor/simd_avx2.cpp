@@ -1,0 +1,55 @@
+// AVX2 kernel instantiation. This TU is the only one compiled with -mavx2
+// (plus -mno-fma -ffp-contract=off, which the bit-compatibility contract in
+// simd.hpp depends on); when the toolchain or target cannot do that, the
+// fallback stub below reports "no table" and dispatch stays scalar.
+
+#include "simd_internal.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "simd_kernels.inl.hpp"
+
+namespace pipetune::tensor::simd {
+namespace {
+
+struct Avx2Ops {
+    static constexpr std::size_t kWidth = 8;
+    using Reg = __m256;
+    static Reg load(const float* p) { return _mm256_loadu_ps(p); }
+    static void store(float* p, Reg r) { _mm256_storeu_ps(p, r); }
+    static Reg set1(float v) { return _mm256_set1_ps(v); }
+    static Reg zero() { return _mm256_setzero_ps(); }
+    static Reg add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+    static Reg sub(Reg a, Reg b) { return _mm256_sub_ps(a, b); }
+    static Reg mul(Reg a, Reg b) { return _mm256_mul_ps(a, b); }
+    static Reg div(Reg a, Reg b) { return _mm256_div_ps(a, b); }
+    static Reg sqrt(Reg a) { return _mm256_sqrt_ps(a); }
+    // vmaxps returns the SECOND operand when either input is NaN, so
+    // max(x, 0) maps NaN -> +0 exactly like the scalar `x > 0 ? x : 0`.
+    static Reg relu(Reg a) { return _mm256_max_ps(a, zero()); }
+    // Ordered-quiet compare: NaN compares false, lane becomes +0 — again
+    // matching the scalar ternary bitwise.
+    static Reg mask_positive(Reg x, Reg g) {
+        return _mm256_and_ps(_mm256_cmp_ps(x, zero(), _CMP_GT_OQ), g);
+    }
+};
+
+const detail::KernelTable kAvx2Table = kernels::make_kernel_table<Avx2Ops>();
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_table() { return &kAvx2Table; }
+}  // namespace detail
+
+}  // namespace pipetune::tensor::simd
+
+#else  // !__AVX2__
+
+namespace pipetune::tensor::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace pipetune::tensor::simd::detail
+
+#endif

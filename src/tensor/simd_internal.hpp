@@ -1,0 +1,38 @@
+#pragma once
+// Private glue between the dispatcher (simd.cpp) and the per-ISA translation
+// units. Not installed under include/: nothing outside src/tensor may depend
+// on the table layout.
+
+#include <cstddef>
+
+#include "pipetune/tensor/simd.hpp"
+
+namespace pipetune::tensor::simd::detail {
+
+/// One function pointer per public kernel. simd.cpp owns the scalar table;
+/// simd_avx2.cpp owns the AVX2 one (or reports nullptr when the build lacks
+/// AVX2 support, e.g. non-x86 hosts).
+struct KernelTable {
+    void (*axpy)(std::size_t, float, const float*, float*);
+    void (*scale)(std::size_t, float, float*);
+    void (*relu)(std::size_t, const float*, float*);
+    void (*relu_backward)(std::size_t, const float*, float*);
+    float (*squared_norm)(std::size_t, const float*);
+    void (*sgd_momentum_step)(std::size_t, float, float, float, float*, float*, float*);
+    void (*adam_step)(std::size_t, const AdamStep&, float*, float*, float*, float*);
+    void (*colwise_sum)(std::size_t, std::size_t, const float*, float*);
+    void (*colwise_sq_dev_sum)(std::size_t, std::size_t, const float*, const float*, float*);
+    void (*colwise_mul_sum)(std::size_t, std::size_t, const float*, const float*, float*);
+    void (*bn_normalize)(std::size_t, std::size_t, const float*, const float*, const float*,
+                         const float*, const float*, float*, float*);
+    void (*bn_backward_apply)(std::size_t, std::size_t, const float*, const float*, const float*,
+                              const float*, const float*, float, float*);
+    void (*gemm)(std::size_t, std::size_t, std::size_t, const float*, const float*, float*);
+    void (*gemm_bt)(std::size_t, std::size_t, std::size_t, const float*, const float*, float*);
+    void (*gemm_at)(std::size_t, std::size_t, std::size_t, const float*, const float*, float*);
+};
+
+/// Defined in simd_avx2.cpp. nullptr when that TU was built without AVX2.
+const KernelTable* avx2_table();
+
+}  // namespace pipetune::tensor::simd::detail

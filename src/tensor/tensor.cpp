@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "pipetune/tensor/simd.hpp"
+
 namespace pipetune::tensor {
 
 std::size_t shape_numel(const Shape& shape) {
@@ -59,39 +61,9 @@ std::size_t Tensor::dim(std::size_t axis) const {
     return shape_[axis];
 }
 
-namespace {
-inline void require_rank(const Shape& shape, std::size_t rank, const char* what) {
-    if (shape.size() != rank)
-        throw std::invalid_argument(std::string(what) + ": rank mismatch, shape is " +
-                                    shape_to_string(shape));
-}
-}  // namespace
-
-float& Tensor::operator()(std::size_t i) {
-    require_rank(shape_, 1, "Tensor(i)");
-    return data_[i];
-}
-float& Tensor::operator()(std::size_t i, std::size_t j) {
-    require_rank(shape_, 2, "Tensor(i,j)");
-    return data_[i * shape_[1] + j];
-}
-float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) {
-    require_rank(shape_, 3, "Tensor(i,j,k)");
-    return data_[(i * shape_[1] + j) * shape_[2] + k];
-}
-float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
-    require_rank(shape_, 4, "Tensor(i,j,k,l)");
-    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
-}
-float Tensor::operator()(std::size_t i) const { return const_cast<Tensor&>(*this)(i); }
-float Tensor::operator()(std::size_t i, std::size_t j) const {
-    return const_cast<Tensor&>(*this)(i, j);
-}
-float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) const {
-    return const_cast<Tensor&>(*this)(i, j, k);
-}
-float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
-    return const_cast<Tensor&>(*this)(i, j, k, l);
+void Tensor::throw_rank_mismatch(const char* what) const {
+    throw std::invalid_argument(std::string(what) + ": rank mismatch, shape is " +
+                                shape_to_string(shape_));
 }
 
 float& Tensor::at(std::size_t flat_index) {
@@ -149,13 +121,13 @@ Tensor& Tensor::operator+=(float scalar) {
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-    for (auto& x : data_) x *= scalar;
+    simd::scale(data_.size(), scalar, data_.data());
     return *this;
 }
 
 void Tensor::add_scaled(const Tensor& other, float alpha) {
     check_same_shape(other, "Tensor::add_scaled");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+    simd::axpy(data_.size(), alpha, other.data_.data(), data_.data());
 }
 
 float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
@@ -175,11 +147,7 @@ float Tensor::mean() const {
     return sum() / static_cast<float>(data_.size());
 }
 
-float Tensor::squared_norm() const {
-    float acc = 0.0f;
-    for (float x : data_) acc += x * x;
-    return acc;
-}
+float Tensor::squared_norm() const { return simd::squared_norm(data_.size(), data_.data()); }
 
 std::size_t Tensor::argmax() const {
     if (data_.empty()) throw std::runtime_error("Tensor::argmax: empty tensor");
@@ -194,8 +162,6 @@ Tensor operator*(Tensor lhs, float scalar) { return lhs *= scalar; }
 Tensor operator*(float scalar, Tensor rhs) { return rhs *= scalar; }
 
 namespace {
-constexpr std::size_t kBlock = 64;
-
 void require_matmul_shapes(const Tensor& a, const Tensor& b, std::size_t a_cols,
                            std::size_t b_rows, const char* op) {
     if (a.rank() != 2 || b.rank() != 2)
@@ -211,23 +177,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                           "matmul");
     const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
     Tensor c({rows, cols});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    for (std::size_t i0 = 0; i0 < rows; i0 += kBlock)
-        for (std::size_t k0 = 0; k0 < inner; k0 += kBlock)
-            for (std::size_t j0 = 0; j0 < cols; j0 += kBlock) {
-                const std::size_t imax = std::min(i0 + kBlock, rows);
-                const std::size_t kmax = std::min(k0 + kBlock, inner);
-                const std::size_t jmax = std::min(j0 + kBlock, cols);
-                for (std::size_t i = i0; i < imax; ++i)
-                    for (std::size_t k = k0; k < kmax; ++k) {
-                        const float av = pa[i * inner + k];
-                        const float* brow = pb + k * cols;
-                        float* crow = pc + i * cols;
-                        for (std::size_t j = j0; j < jmax; ++j) crow[j] += av * brow[j];
-                    }
-            }
+    simd::gemm(rows, inner, cols, a.data(), b.data(), c.data());
     return c;
 }
 
@@ -237,17 +187,7 @@ Tensor matmul_transposed_b(const Tensor& a, const Tensor& b) {
                           "matmul_transposed_b");
     const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(0);
     Tensor c({rows, cols});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j) {
-            const float* arow = pa + i * inner;
-            const float* brow = pb + j * inner;
-            float acc = 0.0f;
-            for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * brow[k];
-            pc[i * cols + j] = acc;
-        }
+    simd::gemm_bt(rows, inner, cols, a.data(), b.data(), c.data());
     return c;
 }
 
@@ -257,19 +197,7 @@ Tensor matmul_transposed_a(const Tensor& a, const Tensor& b) {
                           "matmul_transposed_a");
     const std::size_t rows = a.dim(1), inner = a.dim(0), cols = b.dim(1);
     Tensor c({rows, cols});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    for (std::size_t k = 0; k < inner; ++k) {
-        const float* arow = pa + k * rows;
-        const float* brow = pb + k * cols;
-        for (std::size_t i = 0; i < rows; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f) continue;
-            float* crow = pc + i * cols;
-            for (std::size_t j = 0; j < cols; ++j) crow[j] += av * brow[j];
-        }
-    }
+    simd::gemm_at(rows, inner, cols, a.data(), b.data(), c.data());
     return c;
 }
 

@@ -1,0 +1,160 @@
+// Lifecycle parity between the two dispatch substrates: every behaviour the
+// scheduler promises must hold identically with lock_light on (MPMC rings,
+// sharded job table, gated notifies) and off (coarse global-mutex baseline).
+// bench/micro_substrates measures the speed difference; this suite pins the
+// semantics so the fast path cannot drift from the simple one.
+
+#include "pipetune/sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pipetune::sched {
+namespace {
+
+using namespace std::chrono_literals;
+
+class SchedulerModeTest : public ::testing::TestWithParam<bool> {
+protected:
+    SchedulerConfig config(std::size_t slots, std::size_t capacity) const {
+        SchedulerConfig c;
+        c.worker_slots = slots;
+        c.queue_capacity = capacity;
+        c.lock_light = GetParam();
+        return c;
+    }
+};
+
+TEST_P(SchedulerModeTest, RunsEveryJobExactlyOnce) {
+    ClusterScheduler scheduler(config(4, 64));
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i)
+        ASSERT_TRUE(scheduler.submit([&](JobContext&) { ran.fetch_add(1); }).has_value());
+    scheduler.drain();
+    EXPECT_EQ(ran.load(), 32);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, 32u);
+    EXPECT_EQ(stats.completed, 32u);
+    EXPECT_EQ(stats.queued, 0u);
+    EXPECT_EQ(stats.running, 0u);
+}
+
+TEST_P(SchedulerModeTest, FailedJobCarriesErrorAndCounts) {
+    ClusterScheduler scheduler(config(1, 8));
+    auto ticket = scheduler.submit(
+        [](JobContext&) { throw std::runtime_error("boom"); });
+    ASSERT_TRUE(ticket.has_value());
+    scheduler.drain();
+    EXPECT_EQ(scheduler.state(ticket->id), JobState::kFailed);
+    EXPECT_EQ(scheduler.info(ticket->id)->error, "boom");
+    EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+TEST_P(SchedulerModeTest, CancelQueuedJobNeverRuns) {
+    ClusterScheduler scheduler(config(1, 8));
+    std::atomic<bool> release{false};
+    std::atomic<bool> victim_ran{false};
+    auto blocker = scheduler.submit([&](JobContext&) {
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+    });
+    ASSERT_TRUE(blocker.has_value());
+    // The only worker slot is occupied, so this job sits in the queue.
+    auto victim = scheduler.submit([&](JobContext&) { victim_ran.store(true); });
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(scheduler.cancel(victim->id));
+    release.store(true);
+    scheduler.drain();
+    EXPECT_FALSE(victim_ran.load());
+    EXPECT_EQ(scheduler.state(victim->id), JobState::kCancelled);
+    EXPECT_EQ(scheduler.stats().cancelled, 1u);
+}
+
+TEST_P(SchedulerModeTest, HighPriorityOvertakesQueuedBatchWork) {
+    ClusterScheduler scheduler(config(1, 16));
+    std::atomic<bool> release{false};
+    std::vector<int> order;
+    std::mutex order_mutex;
+    auto blocker = scheduler.submit([&](JobContext&) {
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+    });
+    ASSERT_TRUE(blocker.has_value());
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(scheduler
+                        .submit(
+                            [&, i](JobContext&) {
+                                std::lock_guard<std::mutex> lock(order_mutex);
+                                order.push_back(i);
+                            },
+                            {.priority = Priority::kBatch})
+                        .has_value());
+    ASSERT_TRUE(scheduler
+                    .submit(
+                        [&](JobContext&) {
+                            std::lock_guard<std::mutex> lock(order_mutex);
+                            order.push_back(99);
+                        },
+                        {.priority = Priority::kHigh})
+                    .has_value());
+    release.store(true);
+    scheduler.drain();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), 99);  // high overtook the queued batch jobs
+}
+
+TEST_P(SchedulerModeTest, RunningJobCancelsCooperatively) {
+    ClusterScheduler scheduler(config(1, 8));
+    std::atomic<bool> started{false};
+    auto ticket = scheduler.submit([&](JobContext& ctx) {
+        started.store(true);
+        while (!ctx.cancel_requested()) std::this_thread::sleep_for(1ms);
+    });
+    ASSERT_TRUE(ticket.has_value());
+    while (!started.load()) std::this_thread::sleep_for(1ms);
+    EXPECT_TRUE(scheduler.cancel(ticket->id));
+    ASSERT_TRUE(scheduler.wait(ticket->id, 5.0));
+    EXPECT_EQ(scheduler.state(ticket->id), JobState::kCancelled);
+}
+
+TEST_P(SchedulerModeTest, DrainThenShutdownIsIdempotentAndFinal) {
+    ClusterScheduler scheduler(config(2, 8));
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(scheduler.submit([&](JobContext&) { ran.fetch_add(1); }).has_value());
+    scheduler.shutdown(true);
+    scheduler.shutdown(true);  // idempotent
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_FALSE(scheduler.submit([](JobContext&) {}).has_value());
+}
+
+TEST_P(SchedulerModeTest, StressManySubmittersDrainCleanly) {
+    ClusterScheduler scheduler(config(4, 4096));
+    std::atomic<int> ran{0};
+    const int kThreads = 4, kPerThread = 250;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t)
+        submitters.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i)
+                ASSERT_TRUE(
+                    scheduler.submit([&](JobContext&) { ran.fetch_add(1); }).has_value());
+        });
+    for (auto& t : submitters) t.join();
+    scheduler.drain();
+    EXPECT_EQ(ran.load(), kThreads * kPerThread);
+    EXPECT_EQ(scheduler.stats().completed,
+              static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDispatchSubstrates, SchedulerModeTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "LockLight" : "Coarse";
+                         });
+
+}  // namespace
+}  // namespace pipetune::sched

@@ -1,0 +1,110 @@
+// Arena allocator (DESIGN.md §12): alignment, scope rewind, nesting, and the
+// zero-steady-state-allocations property the per-epoch hot path relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pipetune/tensor/arena.hpp"
+
+namespace {
+
+using pipetune::tensor::Arena;
+using pipetune::tensor::ArenaScope;
+
+bool aligned32(const float* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, AllocationsAreAligned) {
+    Arena arena;
+    for (std::size_t n : {1u, 3u, 8u, 31u, 1000u}) {
+        float* p = arena.alloc_floats(n);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(aligned32(p)) << "n=" << n;
+        p[0] = 1.0f;
+        p[n - 1] = 2.0f;  // writable across the whole span
+    }
+}
+
+TEST(Arena, ScopeRewindReusesMemory) {
+    Arena arena;
+    float* first = nullptr;
+    {
+        ArenaScope scope(arena);
+        first = scope.alloc_floats(100);
+    }
+    ArenaScope scope(arena);
+    float* second = scope.alloc_floats(100);
+    EXPECT_EQ(first, second) << "scope exit must rewind the bump pointer";
+}
+
+TEST(Arena, NestedScopesReleaseInnerOnly) {
+    Arena arena;
+    ArenaScope outer(arena);
+    float* a = outer.alloc_floats(16);
+    a[0] = 42.0f;
+    float* inner_ptr = nullptr;
+    {
+        ArenaScope inner(arena);
+        inner_ptr = inner.alloc_floats(16);
+        EXPECT_NE(a, inner_ptr);
+    }
+    // Outer scratch survives the inner scope; inner scratch is reusable.
+    EXPECT_EQ(a[0], 42.0f);
+    float* b = outer.alloc_floats(16);
+    EXPECT_EQ(b, inner_ptr);
+}
+
+TEST(Arena, SteadyStateAllocatesNothing) {
+    Arena arena;
+    // Warm-up campaign establishes the high-water mark.
+    {
+        ArenaScope scope(arena);
+        scope.alloc_floats(500);
+        scope.alloc_floats(700);
+    }
+    arena.release_all();
+    const std::size_t grows_after_warmup = arena.stats().grow_count;
+    // Steady state: identical campaigns must not touch the heap again.
+    for (int epoch = 0; epoch < 10; ++epoch) {
+        ArenaScope scope(arena);
+        scope.alloc_floats(500);
+        scope.alloc_floats(700);
+    }
+    EXPECT_EQ(arena.stats().grow_count, grows_after_warmup);
+}
+
+TEST(Arena, ReleaseAllKeepsLargestBlock) {
+    Arena arena;
+    arena.alloc_floats(100);
+    arena.alloc_floats(100000);  // forces a second, larger block
+    const auto before = arena.stats();
+    EXPECT_GE(before.grow_count, 2u);
+    arena.release_all();
+    const auto after = arena.stats();
+    EXPECT_EQ(after.in_use_bytes, 0u);
+    EXPECT_GT(after.capacity_bytes, 100000u * sizeof(float) / 2);
+    EXPECT_LT(after.capacity_bytes, before.capacity_bytes + 1);
+    // And the kept block is immediately reusable without growth.
+    arena.alloc_floats(100000);
+    EXPECT_EQ(arena.stats().grow_count, after.grow_count);
+}
+
+TEST(Arena, StatsTrackHighWater) {
+    Arena arena;
+    {
+        ArenaScope scope(arena);
+        scope.alloc_floats(256);
+    }
+    const auto stats = arena.stats();
+    EXPECT_EQ(stats.in_use_bytes, 0u);
+    EXPECT_GE(stats.high_water_bytes, 256 * sizeof(float));
+}
+
+TEST(Arena, ThreadLocalArenaIsPerThread) {
+    Arena* main_arena = &Arena::thread_local_arena();
+    EXPECT_EQ(main_arena, &Arena::thread_local_arena());
+}
+
+}  // namespace

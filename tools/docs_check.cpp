@@ -1,0 +1,118 @@
+// docs_check — keeps the prose honest. Registered as the `docs_check` ctest
+// target (label `docs`); takes the repo root as argv[1] and fails when:
+//
+//   1. a public header (src/<module>/include/pipetune/**.hpp) is missing
+//      from the "Public header index" in DESIGN.md §3;
+//   2. a relative markdown link in README.md / DESIGN.md / EXPERIMENTS.md
+//      points at a file that does not exist;
+//   3. a fenced code block in those files is left unclosed (odd number of
+//      ``` fences), which silently swallows the rest of the document.
+//
+// Deliberately dependency-free line scanning, not a markdown parser: the
+// checks only need to be strict enough that a renamed header or a moved doc
+// breaks the build instead of rotting quietly.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// All public header paths, repo-include-relative ("pipetune/x/y.hpp").
+std::vector<std::string> public_headers(const fs::path& root) {
+    std::vector<std::string> headers;
+    for (const auto& module : fs::directory_iterator(root / "src")) {
+        const fs::path include = module.path() / "include";
+        if (!fs::is_directory(include)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(include))
+            if (entry.is_regular_file() && entry.path().extension() == ".hpp")
+                headers.push_back(fs::relative(entry.path(), include).generic_string());
+    }
+    return headers;
+}
+
+/// Extract relative link targets from markdown: [text](target). Skips
+/// external (scheme://), mailto and intra-document (#anchor) targets, and
+/// drops any trailing #anchor from file targets.
+std::vector<std::string> relative_links(const std::string& text) {
+    std::vector<std::string> targets;
+    for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+        if (text[i] != ']' || text[i + 1] != '(') continue;
+        const std::size_t open = i + 2;
+        const std::size_t close = text.find(')', open);
+        if (close == std::string::npos) continue;
+        std::string target = text.substr(open, close - open);
+        if (const std::size_t anchor = target.find('#'); anchor != std::string::npos)
+            target.resize(anchor);
+        if (target.empty() || target.find("://") != std::string::npos ||
+            target.rfind("mailto:", 0) == 0)
+            continue;
+        targets.push_back(std::move(target));
+    }
+    return targets;
+}
+
+/// Count lines that open/close a fenced code block.
+std::size_t count_fences(const std::string& text) {
+    std::size_t fences = 0;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const std::size_t start = line.find_first_not_of(" \t");
+        if (start != std::string::npos && line.compare(start, 3, "```") == 0) ++fences;
+    }
+    return fences;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::cerr << "usage: docs_check <repo-root>\n";
+        return 2;
+    }
+    const fs::path root = argv[1];
+    std::vector<std::string> failures;
+
+    // 1. Every public header appears in DESIGN.md's header index.
+    const std::string design = read_file(root / "DESIGN.md");
+    if (design.empty()) failures.push_back("DESIGN.md is missing or empty");
+    for (const std::string& header : public_headers(root))
+        if (design.find(header) == std::string::npos)
+            failures.push_back("public header not in DESIGN.md header index: " + header);
+
+    // 2 + 3. Link targets resolve and fences are balanced in the core docs.
+    for (const char* name : {"README.md", "DESIGN.md", "EXPERIMENTS.md"}) {
+        const fs::path doc = root / name;
+        if (!fs::exists(doc)) {
+            failures.push_back(std::string(name) + " does not exist");
+            continue;
+        }
+        const std::string text = read_file(doc);
+        for (const std::string& target : relative_links(text))
+            if (!fs::exists(root / target))
+                failures.push_back(std::string(name) + " links to missing file: " + target);
+        if (count_fences(text) % 2 != 0)
+            failures.push_back(std::string(name) + " has an unclosed ``` code fence");
+    }
+
+    for (const std::string& failure : failures) std::cerr << "docs_check: " << failure << "\n";
+    if (failures.empty()) {
+        std::cout << "docs_check: OK (" << public_headers(root).size()
+                  << " public headers indexed, links and fences clean)\n";
+        return 0;
+    }
+    return 1;
+}
